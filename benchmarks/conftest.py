@@ -1,0 +1,26 @@
+"""Shared fixtures for the benchmark suite (pytest-benchmark)."""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "table(n): benchmark regenerating paper table n"
+    )
+
+
+@pytest.fixture(scope="session")
+def table1_fixtures():
+    from repro.bench.workloads import Table1Fixture
+
+    return {
+        "msvm": Table1Fixture("msvm"),
+        "sunvm": Table1Fixture("sunvm"),
+    }
+
+
+@pytest.fixture(scope="session")
+def table4_fixture():
+    from repro.bench.workloads import Table4Fixture
+
+    return Table4Fixture()

@@ -1,0 +1,71 @@
+"""Table 4: cost of argument copying during an LRMI (µs).
+
+Serialization (byte-array round trip) vs generated fast-copy, across the
+paper's payload shapes.  Shape claims: serialization cost grows steeply
+with payload size; fast-copy wins at every size; the 10-objects row costs
+more than the same bytes in one object (per-object overhead)."""
+
+import pytest
+
+from repro.bench.paper import TABLE4
+from repro.bench.table import format_table
+
+_SHAPES = ("1 x 10 bytes", "1 x 100 bytes", "10 x 10 bytes",
+           "1 x 1000 bytes")
+
+
+@pytest.mark.table(4)
+@pytest.mark.parametrize("shape", _SHAPES)
+class TestTable4Shapes:
+    def test_serialization(self, benchmark, table4_fixture, shape):
+        payload = table4_fixture.SHAPES[shape]()
+        cap = table4_fixture.serial_cap
+        benchmark(lambda: cap.take(payload))
+
+    def test_fast_copy(self, benchmark, table4_fixture, shape):
+        payload = table4_fixture.SHAPES[shape]()
+        cap = table4_fixture.fast_cap
+        benchmark(lambda: cap.take(payload))
+
+
+@pytest.mark.table(4)
+def test_table4_report(benchmark, table4_fixture):
+    results = {}
+
+    def run():
+        for shape in _SHAPES:
+            results[shape] = (
+                table4_fixture.copy_us(shape, "serial"),
+                table4_fixture.copy_us(shape, "fast"),
+            )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for shape in _SHAPES:
+        serial_us, fast_us = results[shape]
+        reference = TABLE4["rows"][shape]
+        rows.append([shape, serial_us, fast_us, reference[0], reference[1]])
+        benchmark.extra_info[shape] = {
+            "serialization_us": round(serial_us, 2),
+            "fast_copy_us": round(fast_us, 2),
+        }
+    print()
+    print(format_table(
+        "Table 4 (measured vs paper MS-VM, µs)",
+        ["shape", "serialization", "fast-copy", "paper ser", "paper fast"],
+        rows,
+    ))
+
+    # Shape: fast copy beats serialization at every payload shape.
+    for shape in _SHAPES:
+        serial_us, fast_us = results[shape]
+        assert fast_us < serial_us
+
+    # Shape: serialization grows with payload size (10B -> 1000B).
+    assert results["1 x 1000 bytes"][0] > 5 * results["1 x 10 bytes"][0]
+
+    # Shape: 10 x 10 costs more than 1 x 100 under both mechanisms —
+    # "the cost of object allocation and invocations of the copying
+    # routine for every object".
+    assert results["10 x 10 bytes"][0] > results["1 x 100 bytes"][0]
+    assert results["10 x 10 bytes"][1] > results["1 x 100 bytes"][1]

@@ -1,0 +1,57 @@
+"""Table 6: comparison with selected kernels.
+
+L4 / Exokernel / Eros round-trip IPC numbers are the paper's (they cannot
+be re-run here); the J-Kernel row — a 3-argument cross-domain method
+invocation — is measured on this reproduction's MiniJVM path.  The
+paper's point is qualitative: language-based cross-domain calls sit in
+the same cost class as the fastest microkernel IPC, not orders above it.
+"""
+
+import pytest
+
+from repro.bench.paper import TABLE6
+from repro.bench.table import format_table
+
+
+@pytest.mark.table(6)
+def test_lrmi_3arg(benchmark, table1_fixtures):
+    fixture = table1_fixtures["msvm"]
+    benchmark.pedantic(
+        lambda: fixture._run(("loopLrmi3", "(Lbench/INull;I)V"),
+                             [fixture.capability], 120),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )
+    benchmark.extra_info["batch_ops_per_round"] = 120
+
+
+@pytest.mark.table(6)
+def test_table6_report(benchmark, table1_fixtures):
+    measured = {}
+
+    def run():
+        fixture = table1_fixtures["msvm"]
+        measured["lrmi3_us"] = fixture.lrmi3_us(batch=300)
+        measured["regular_us"] = fixture.regular_invocation_us(batch=600)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for name, entry in TABLE6["rows"].items():
+        if name == "J-Kernel":
+            rows.append(["J-Kernel (measured)", entry["operation"],
+                         "this repro", measured["lrmi3_us"]])
+        rows.append([f"{name} (paper)", entry["operation"],
+                     entry["platform"], entry["time_us"]])
+    print()
+    print(format_table(
+        "Table 6 (kernel comparison, µs)",
+        ["system", "operation", "platform", "time"],
+        rows,
+    ))
+    benchmark.extra_info["lrmi_3arg_us"] = round(measured["lrmi3_us"], 2)
+
+    # Shape: the paper's qualitative claim, restated for our substrate —
+    # a 3-arg LRMI costs a bounded multiple of a plain invocation (it is
+    # an IPC-class operation, not a process switch).  Paper: 3.77 µs vs
+    # 0.04 µs regular (~94x).  We assert it stays within that order.
+    ratio = measured["lrmi3_us"] / max(measured["regular_us"], 1e-9)
+    assert ratio < 200

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""The §2 file-system scenario, done the J-Kernel way.
+
+A file-server domain gives each client a *capability* carrying that
+client's access rights and root directory.  Static access control keeps
+the fields private; revocation enforces least privilege over time; and
+because every capability is revocable independently, kicking one client
+out does not disturb the others.
+
+Run:  python examples/file_server.py
+"""
+
+from repro.core import (
+    Capability,
+    Domain,
+    Remote,
+    RemoteException,
+    RevokedException,
+)
+
+READ = 1
+WRITE = 2
+
+
+class FileSystem(Remote):
+    """The remote interface clients see (cf. FileSystemInterface)."""
+
+    def open(self, file_name): ...
+    def write(self, file_name, data): ...
+    def listing(self): ...
+
+
+class FileSystemInterface(FileSystem):
+    """Per-client view: private rights + root directory (paper §2)."""
+
+    def __init__(self, store, access_rights, root_directory):
+        self._store = store
+        self._access_rights = access_rights
+        self._root_directory = root_directory
+
+    def _resolve(self, file_name):
+        return f"{self._root_directory.rstrip('/')}/{file_name.lstrip('/')}"
+
+    def open(self, file_name):
+        if not self._access_rights & READ:
+            raise PermissionError("no read right")
+        path = self._resolve(file_name)
+        if path not in self._store:
+            raise FileNotFoundError(file_name)
+        return self._store[path]
+
+    def write(self, file_name, data):
+        if not self._access_rights & WRITE:
+            raise PermissionError("no write right")
+        self._store[self._resolve(file_name)] = data
+        return len(data)
+
+    def listing(self):
+        prefix = self._root_directory.rstrip("/") + "/"
+        return sorted(
+            path[len(prefix):]
+            for path in self._store
+            if path.startswith(prefix)
+        )
+
+
+def main():
+    server = Domain("file-server")
+    store = {
+        "/home/alice/notes.txt": b"alice's notes",
+        "/home/bob/todo.txt": b"bob's list",
+        "/shared/readme.txt": b"shared readme",
+    }
+
+    def grant(rights, root):
+        return server.run(
+            lambda: Capability.create(
+                FileSystemInterface(store, rights, root),
+                label=f"fs:{root}",
+            )
+        )
+
+    # Different capabilities enforce different policies for each client.
+    alice = grant(READ | WRITE, "/home/alice")
+    bob_readonly = grant(READ, "/home/bob")
+    shared = grant(READ, "/shared")
+
+    print("alice reads her file:", alice.open("notes.txt"))
+    alice.write("draft.txt", b"work in progress")
+    print("alice's directory:", alice.listing())
+
+    print("bob reads:", bob_readonly.open("todo.txt"))
+    try:
+        bob_readonly.write("todo.txt", b"overwrite!")
+    except PermissionError as exc:
+        print("bob cannot write:", exc)
+
+    # Clients cannot reach outside their root or forge rights: the fields
+    # are private state of the server's object, and the only entry points
+    # are the interface methods.
+    try:
+        bob_readonly.open("../alice/notes.txt")
+    except (FileNotFoundError, RemoteException) as exc:
+        print("bob cannot escape his root:", type(exc).__name__)
+
+    # Least privilege over time: revoke bob when his task is done.
+    bob_readonly.revoke()
+    try:
+        bob_readonly.open("todo.txt")
+    except RevokedException:
+        print("bob's capability revoked; alice unaffected:",
+              alice.open("notes.txt"))
+
+    # Server shutdown revokes everything at once.
+    server.terminate()
+    try:
+        shared.open("readme.txt")
+    except RemoteException as exc:
+        print("after server termination:", type(exc).__name__)
+
+
+if __name__ == "__main__":
+    main()

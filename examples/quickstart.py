@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's §3.1 capability walkthrough.
+
+Domain 1 creates a capability for a ReadFile service and publishes it in
+the system repository; Domain 2 looks it up and makes cross-domain calls.
+Then we revoke, and terminate, and watch failure propagate correctly.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    Capability,
+    Domain,
+    DomainTerminatedException,
+    Remote,
+    RevokedException,
+    get_repository,
+)
+
+
+# A remote interface: the contract shared between domains (extends Remote,
+# exactly like the paper's `interface ReadFile extends Remote`).
+class ReadFile(Remote):
+    def read_byte(self): ...
+    def read_bytes(self, n): ...
+
+
+# The implementation stays hidden inside its domain; only the interface
+# methods are reachable through the capability.
+class ReadFileImpl(ReadFile):
+    CONTENT = b"The quick brown fox jumps over the lazy dog"
+
+    def __init__(self):
+        self._cursor = 0
+
+    def read_byte(self):
+        value = self.CONTENT[self._cursor % len(self.CONTENT)]
+        self._cursor += 1
+        return value
+
+    def read_bytes(self, n):
+        return bytes(self.read_byte() for _ in range(n))
+
+    def internal_bookkeeping(self):  # NOT in any remote interface
+        return "secret"
+
+
+def main():
+    # --- Domain 1: create and publish ---------------------------------
+    domain1 = Domain("domain-1")
+    capability = domain1.run(lambda: Capability.create(ReadFileImpl()))
+    get_repository().bind("Domain1ReadFile", capability, domain=domain1)
+    print(f"domain-1 published {capability!r}")
+
+    # --- Domain 2: look up and invoke ------------------------------------
+    found = get_repository().lookup("Domain1ReadFile")
+    print("isinstance(found, ReadFile):", isinstance(found, ReadFile))
+    print("read_bytes(9):", found.read_bytes(9))
+    print("has internal_bookkeeping:", hasattr(found, "internal_bookkeeping"))
+
+    # --- revocation ----------------------------------------------------------
+    capability.revoke()
+    try:
+        found.read_byte()
+    except RevokedException as exc:
+        print("after revoke():", exc)
+
+    # --- a fresh capability, then domain termination ---------------------------
+    second = domain1.run(lambda: Capability.create(ReadFileImpl()))
+    print("fresh capability works:", second.read_byte())
+    domain1.terminate()
+    try:
+        second.read_byte()
+    except DomainTerminatedException as exc:
+        print("after terminate():", exc)
+
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

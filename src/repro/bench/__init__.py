@@ -1,0 +1,34 @@
+"""Measurement harness: timers, the paper's reported numbers, workload
+fixtures and the table runner (``python -m repro.bench.runner``)."""
+
+from . import paper
+from .table import format_table
+from .timer import BenchResult, measure, measure_batch
+from .workloads import (
+    Chunk,
+    Table1Fixture,
+    Table3Fixture,
+    Table4Fixture,
+    build_iis,
+    build_iis_jkernel,
+    build_jws,
+    make_documents,
+    PAGE_SIZES,
+)
+
+__all__ = [
+    "BenchResult",
+    "Chunk",
+    "PAGE_SIZES",
+    "Table1Fixture",
+    "Table3Fixture",
+    "Table4Fixture",
+    "build_iis",
+    "build_iis_jkernel",
+    "build_jws",
+    "format_table",
+    "make_documents",
+    "measure",
+    "measure_batch",
+    "paper",
+]

@@ -1,0 +1,114 @@
+"""The paper's reported numbers, as data.
+
+Source: Hawblitzel et al., "Implementing Multiple Protection Domains in
+Java", USENIX 1998 (draft 12/23/97).  Hardware: 200 MHz Pentium Pro,
+Windows NT 4.0; MS-VM = Microsoft VM, Sun-VM = Sun VM + Symantec JIT.
+
+Absolute numbers are not reproducible on modern hardware with a Python
+substrate; EXPERIMENTS.md compares *shapes* (ratios, orderings,
+crossovers) against these reference values.
+"""
+
+# Table 1: cost of null method invocations (µs).
+TABLE1 = {
+    "title": "Cost of null method invocations (µs)",
+    "columns": ("MS-VM", "Sun-VM"),
+    "rows": {
+        "Regular method invocation": (0.04, 0.03),
+        "Interface method invocation": (0.54, 0.05),
+        "Thread info lookup": (0.55, 0.29),
+        "Acquire/release lock": (0.20, 1.91),
+        "J-Kernel LRMI": (2.22, 5.41),
+    },
+}
+
+# Table 2: local RPC costs using standard NT mechanisms (µs).
+TABLE2 = {
+    "title": "Local RPC costs using standard NT mechanisms (µs)",
+    "rows": {
+        "NT-RPC": 109.0,
+        "COM out-of-proc": 99.0,
+        "COM in-proc": 0.03,
+    },
+}
+
+# Table 3: cost of a double thread switch (µs).
+TABLE3 = {
+    "title": "Cost of a double thread switch using regular threads (µs)",
+    "rows": {
+        "NT-base": 8.6,
+        "MS-VM": 9.8,
+        "Sun-VM": 10.2,
+    },
+}
+
+# Table 4: cost of argument copying (µs); rows are payload shapes,
+# values are (MS serialization, MS fast-copy, Sun serialization,
+# Sun fast-copy).
+TABLE4 = {
+    "title": "Cost of argument copying (µs)",
+    "columns": (
+        "MS serialization", "MS fast-copy",
+        "Sun serialization", "Sun fast-copy",
+    ),
+    "rows": {
+        "1 x 10 bytes": (104.0, 4.8, 331.0, 13.7),
+        "1 x 100 bytes": (158.0, 7.7, 509.0, 18.5),
+        "10 x 10 bytes": (193.0, 23.3, 521.0, 79.3),
+        "1 x 1000 bytes": (633.0, 19.2, 2105.0, 66.7),
+    },
+}
+
+# Table 5: HTTP server throughput (pages/second).
+TABLE5 = {
+    "title": "HTTP server throughput (pages/second)",
+    "columns": ("IIS", "JWS", "IIS+J-Kernel"),
+    "rows": {
+        "10 bytes": (801, 122, 662),
+        "100 bytes": (790, 121, 640),
+        "1000 bytes": (759, 96, 616),
+    },
+}
+
+# Table 6: comparison with selected kernels (µs).
+TABLE6 = {
+    "title": "Comparison with selected kernels (µs)",
+    "rows": {
+        "L4": {
+            "operation": "Round-trip IPC", "platform": "P5-133",
+            "time_us": 1.82,
+        },
+        "Exokernel": {
+            "operation": "Protected control transfer (r/t)",
+            "platform": "DEC-5000", "time_us": 2.40,
+        },
+        "Eros": {
+            "operation": "Round-trip IPC", "platform": "P5-120",
+            "time_us": 4.90,
+        },
+        "J-Kernel": {
+            "operation": "Method invocation with 3 args",
+            "platform": "P5-133", "time_us": 3.77,
+        },
+    },
+}
+
+# Derived reference shapes checked in EXPERIMENTS.md.
+SHAPES = {
+    # LRMI is 50x-100x a regular invocation ("The J-Kernel null LRMI takes
+    # 50x to 100x longer than a regular method invocation").
+    "lrmi_vs_regular": (50, 100),
+    # Interface dispatch is ~10x pricier on MS-VM, near parity on Sun-VM.
+    "iface_ratio_msvm": 0.54 / 0.04,
+    "iface_ratio_sunvm": 0.05 / 0.03,
+    # Locks dominate on Sun-VM (1.91 vs 0.20).
+    "lock_ratio_sun_over_ms": 1.91 / 0.20,
+    # Out-of-proc RPC is >1000x in-proc COM.
+    "outproc_vs_inproc_min": 1000,
+    # Fast copy is >10x faster than serialization for large arguments.
+    "fastcopy_speedup_1000B_min": 10,
+    # J-Kernel costs IIS about 20% of its throughput.
+    "jk_over_iis": 662 / 801,
+    # JWS is several-fold slower than IIS (no JIT).
+    "iis_over_jws_min": 5,
+}

@@ -1,0 +1,230 @@
+"""Regenerate every table of the paper's evaluation.
+
+Usage::
+
+    python -m repro.bench.runner            # all tables
+    python -m repro.bench.runner --table 4  # one table
+    python -m repro.bench.runner --quick    # smaller batches
+
+Each function returns ``(headers, rows)`` where rows interleave measured
+values with the paper's reported numbers, and prints nothing itself —
+printing happens in :func:`main` via ``repro.bench.table``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from . import paper
+from .table import format_table
+from .timer import measure
+from .workloads import (
+    Table1Fixture,
+    Table3Fixture,
+    Table4Fixture,
+    build_iis,
+    build_iis_jkernel,
+    build_jws,
+    PAGE_SIZES,
+)
+
+
+def table1(quick=False):
+    """Null method invocation costs on both VM profiles."""
+    batch = 600 if quick else 2000
+    headers = ["operation", "msvm (µs)", "sunvm (µs)",
+               "paper MS-VM", "paper Sun-VM"]
+    measured = {}
+    for profile in ("msvm", "sunvm"):
+        fixture = Table1Fixture(profile)
+        measured[profile] = fixture.row(batch=batch)
+    rows = []
+    for name, (paper_ms, paper_sun) in paper.TABLE1["rows"].items():
+        rows.append([
+            name,
+            measured["msvm"][name],
+            measured["sunvm"][name],
+            paper_ms,
+            paper_sun,
+        ])
+    return headers, rows
+
+
+def table2(quick=False):
+    """Local RPC costs: NT-RPC, COM out-of-proc, COM in-proc."""
+    from repro.ipc import (
+        IN_PROC,
+        OUT_OF_PROC,
+        ComInterface,
+        ComRegistry,
+        RpcClient,
+        create_instance,
+        null_server,
+    )
+
+    calls = 100 if quick else 300
+    headers = ["mechanism", "measured (µs)", "paper (µs)"]
+
+    with null_server() as server:
+        with RpcClient(server.path) as client:
+            client.call("null")  # warm up
+            result = measure(lambda: client.call("null"),
+                             number=calls, rounds=3)
+            ntrpc_us = result.us_per_op
+
+    registry = ComRegistry()
+    iface = ComInterface("INull", ["null_op"])
+
+    class NullComponent:
+        def null_op(self):
+            return 0
+
+    registry.register_class("CLSID_Null", NullComponent, iface)
+
+    in_proc = create_instance(registry, "CLSID_Null", IN_PROC)
+    bound = in_proc.method("null_op")
+    in_us = measure(bound).us_per_op
+
+    out_proc = create_instance(registry, "CLSID_Null", OUT_OF_PROC)
+    bound_out = out_proc.method("null_op")
+    bound_out()  # warm up
+    out_us = measure(bound_out, number=calls, rounds=3).us_per_op
+    out_proc._com_host.stop()
+
+    rows = [
+        ["NT-RPC", ntrpc_us, paper.TABLE2["rows"]["NT-RPC"]],
+        ["COM out-of-proc", out_us, paper.TABLE2["rows"]["COM out-of-proc"]],
+        ["COM in-proc", in_us, paper.TABLE2["rows"]["COM in-proc"]],
+    ]
+    return headers, rows
+
+
+def table3(quick=False):
+    """Double thread switch: host threads vs VM threads per profile."""
+    switches = 400 if quick else 2000
+    headers = ["system", "measured (µs)", "paper (µs)"]
+    host_us = Table3Fixture.host_double_switch_us(switches)
+    msvm_us = Table3Fixture("msvm").vm_double_switch_us(switches)
+    sunvm_us = Table3Fixture("sunvm").vm_double_switch_us(switches)
+    rows = [
+        ["NT-base (host threads)", host_us, paper.TABLE3["rows"]["NT-base"]],
+        ["MS-VM (green threads)", msvm_us, paper.TABLE3["rows"]["MS-VM"]],
+        ["Sun-VM (green threads)", sunvm_us, paper.TABLE3["rows"]["Sun-VM"]],
+    ]
+    return headers, rows
+
+
+def table4(quick=False):
+    """Argument copying: serialization vs fast-copy per payload shape."""
+    headers = ["shape", "serialization (µs)", "fast-copy (µs)",
+               "paper ser (MS)", "paper fast (MS)"]
+    fixture = Table4Fixture()
+    rows = []
+    for shape, reference in paper.TABLE4["rows"].items():
+        serial_us = fixture.copy_us(shape, "serial",
+                                    min_time=0.01 if quick else 0.05)
+        fast_us = fixture.copy_us(shape, "fast",
+                                  min_time=0.01 if quick else 0.05)
+        rows.append([shape, serial_us, fast_us, reference[0], reference[1]])
+    return headers, rows
+
+
+def table5(quick=False):
+    """HTTP throughput for IIS / JWS / IIS+J-Kernel at three page sizes."""
+    from repro.web import measure_throughput
+
+    clients = 4 if quick else 8
+    requests = 25 if quick else 60
+    jws_requests = max(requests // 3, 10)
+    headers = ["page size", "IIS (pages/s)", "JWS (pages/s)",
+               "IIS+J-K (pages/s)", "paper IIS", "paper JWS", "paper IIS+J-K"]
+
+    iis = build_iis().start()
+    jk = build_iis_jkernel().start()
+    jws = build_jws().start()
+    time.sleep(0.05)
+    rows = []
+    try:
+        for size in PAGE_SIZES:
+            path = f"/doc{size}"
+            iis_tput = measure_throughput(
+                "127.0.0.1", iis.port, path, clients, requests
+            )
+            jws_tput = measure_throughput(
+                "127.0.0.1", jws.port, path, clients, jws_requests
+            )
+            jk_tput = measure_throughput(
+                "127.0.0.1", jk.server.port, "/servlet" + path, clients,
+                requests,
+            )
+            reference = paper.TABLE5["rows"][f"{size} bytes"]
+            rows.append([
+                f"{size} bytes", iis_tput, jws_tput, jk_tput,
+                float(reference[0]), float(reference[1]), float(reference[2]),
+            ])
+    finally:
+        iis.stop()
+        jk.stop()
+        jws.stop()
+    return headers, rows
+
+
+def table6(quick=False):
+    """Kernel comparison: measured 3-arg LRMI vs reported microkernel IPC."""
+    headers = ["system", "operation", "platform", "time (µs)"]
+    fixture = Table1Fixture("msvm")
+    lrmi3 = fixture.lrmi3_us(batch=200 if quick else 500)
+    rows = []
+    for name, entry in paper.TABLE6["rows"].items():
+        if name == "J-Kernel":
+            rows.append([
+                "J-Kernel (this repro)", entry["operation"],
+                "measured here", lrmi3,
+            ])
+            rows.append([
+                "J-Kernel (paper)", entry["operation"], entry["platform"],
+                entry["time_us"],
+            ])
+        else:
+            rows.append([
+                f"{name} (paper)", entry["operation"], entry["platform"],
+                entry["time_us"],
+            ])
+    return headers, rows
+
+
+TABLES = {
+    1: ("Table 1: cost of null method invocations", table1),
+    2: ("Table 2: local RPC costs", table2),
+    3: ("Table 3: double thread switch", table3),
+    4: ("Table 4: argument copying", table4),
+    5: ("Table 5: HTTP server throughput", table5),
+    6: ("Table 6: comparison with selected kernels", table6),
+}
+
+
+def run_table(number, quick=False):
+    title, builder = TABLES[number]
+    headers, rows = builder(quick=quick)
+    return format_table(title, headers, rows)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's evaluation tables."
+    )
+    parser.add_argument("--table", type=int, choices=sorted(TABLES),
+                        help="only this table")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller batches (CI-friendly)")
+    options = parser.parse_args(argv)
+    numbers = [options.table] if options.table else sorted(TABLES)
+    for number in numbers:
+        print(run_table(number, quick=options.quick))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,36 @@
+"""Plain-text table rendering for benchmark reports."""
+
+from __future__ import annotations
+
+
+def format_table(title, headers, rows):
+    """Render a list-of-lists as an aligned text table."""
+    columns = [str(h) for h in headers]
+    text_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(column) for column in columns]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells):
+        return "  ".join(
+            cell.ljust(widths[index]) if index == 0 else
+            cell.rjust(widths[index])
+            for index, cell in enumerate(cells)
+        )
+
+    separator = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    parts = [title, separator, line(columns), separator]
+    parts += [line(row) for row in text_rows]
+    parts.append(separator)
+    return "\n".join(parts)
+
+
+def _cell(value):
+    if isinstance(value, float):
+        if value >= 1000:
+            return f"{value:,.0f}"
+        if value >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)

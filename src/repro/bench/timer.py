@@ -1,0 +1,58 @@
+"""Calibrated wall-clock measurement helpers."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+
+@dataclass
+class BenchResult:
+    ns_per_op: float
+    number: int
+    rounds: int
+
+    @property
+    def us_per_op(self):
+        return self.ns_per_op / 1000.0
+
+    def __repr__(self):
+        return f"<BenchResult {self.us_per_op:.3f} µs/op>"
+
+
+def measure(fn, min_time=0.02, rounds=5, number=None):
+    """Best-of-``rounds`` timing of ``fn()`` executed ``number`` times.
+
+    ``number`` is auto-calibrated so one round takes at least ``min_time``
+    seconds.
+    """
+    if number is None:
+        number = 1
+        while True:
+            started = time.perf_counter()
+            for _ in range(number):
+                fn()
+            elapsed = time.perf_counter() - started
+            if elapsed >= min_time / 4 or number >= 1 << 20:
+                break
+            number *= 4
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        for _ in range(number):
+            fn()
+        elapsed = time.perf_counter() - started
+        best = min(best, elapsed)
+    return BenchResult(best / number * 1e9, number, rounds)
+
+
+def measure_batch(fn, batch, rounds=3):
+    """Time ``fn(batch)`` where ``fn`` performs ``batch`` operations
+    internally (guest-code loops); returns ns per operation."""
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn(batch)
+        elapsed = time.perf_counter() - started
+        best = min(best, elapsed)
+    return BenchResult(best / batch * 1e9, batch, rounds)

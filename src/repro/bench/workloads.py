@@ -1,0 +1,433 @@
+"""Benchmark fixtures: one builder per paper table.
+
+Each fixture packages the workload (guest classes, domains, capabilities,
+servers) plus measurement methods returning µs/op or pages/sec.  Both the
+pytest-benchmark suite (``benchmarks/``) and the table runner
+(``repro.bench.runner``) build on these.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.core import Capability, Domain, Remote, fast_copy, serializable
+from repro.jkvm import JKernelVM
+from repro.jvm import ClassAssembler, interface
+from repro.jvm.classfile import ACC_PUBLIC, ACC_STATIC, CONSTRUCTOR_NAME
+from repro.jvm.instructions import (
+    ALOAD,
+    GOTO,
+    ICONST,
+    IF_ICMPGE,
+    IINC,
+    ILOAD,
+    INVOKEINTERFACE,
+    INVOKESPECIAL,
+    INVOKESTATIC,
+    INVOKEVIRTUAL,
+    IRETURN,
+    IADD,
+    ISTORE,
+    MONITORENTER,
+    MONITOREXIT,
+    POP,
+    RETURN,
+)
+
+from .timer import measure, measure_batch
+
+_STATIC = ACC_PUBLIC | ACC_STATIC
+
+
+def _loop_method(ca, name, desc, body_emitter, counter_slot, limit_slot):
+    """Emit ``for (i = 0; i < n; i++) { body }`` with n in ``limit_slot``."""
+    m = ca.method(name, desc, _STATIC)
+    m.emit(ICONST, 0)
+    m.emit(ISTORE, counter_slot)
+    loop = m.here()
+    m.emit(ILOAD, counter_slot)
+    m.emit(ILOAD, limit_slot)
+    done = m.label()
+    m.emit(IF_ICMPGE, done)
+    body_emitter(m)
+    m.emit(IINC, counter_slot, 1)
+    m.emit(GOTO, loop.pc)
+    m.mark(done)
+    m.emit(RETURN)
+    return m
+
+
+class Table1Fixture:
+    """Null-invocation micro-benchmarks on the MiniJVM, per VM profile."""
+
+    def __init__(self, profile):
+        self.profile = profile
+        self.kernel = JKernelVM(profile=profile)
+        vm = self.kernel.vm
+        self.vm = vm
+
+        self.server = self.kernel.new_domain("bench-server")
+        self.client = self.kernel.new_domain("bench-client")
+
+        remote_iface = interface(
+            "bench/INull", [("nullOp", "()V"), ("add3", "(III)I")],
+            extends=("jk/Remote",),
+        )
+        target = ClassAssembler(
+            "bench/Target", interfaces=("bench/INull", "jk/Remote")
+        )
+        with target.method(CONSTRUCTOR_NAME, "()V") as m:
+            m.emit(ALOAD, 0)
+            m.emit(INVOKESPECIAL, "java/lang/Object", CONSTRUCTOR_NAME, "()V")
+            m.emit(RETURN)
+        with target.method("nullOp", "()V") as m:
+            m.emit(RETURN)
+        with target.method("add3", "(III)I") as m:
+            m.emit(ILOAD, 1)
+            m.emit(ILOAD, 2)
+            m.emit(IADD)
+            m.emit(ILOAD, 3)
+            m.emit(IADD)
+            m.emit(IRETURN)
+        self.server.define([remote_iface, target.build()])
+        target_obj = vm.construct(
+            self.server.load("bench/Target"), domain_tag=self.server.tag
+        )
+        self.capability = self.server.create_capability(target_obj)
+        self.client.share_from(self.server, "bench/INull")
+
+        # Local (same-domain) classes for the non-LRMI rows.
+        local_iface = interface("bench/ILocal", [("nullOp", "()V")])
+        local_impl = ClassAssembler(
+            "bench/Local", interfaces=("bench/ILocal",)
+        )
+        with local_impl.method(CONSTRUCTOR_NAME, "()V") as m:
+            m.emit(ALOAD, 0)
+            m.emit(INVOKESPECIAL, "java/lang/Object", CONSTRUCTOR_NAME, "()V")
+            m.emit(RETURN)
+        with local_impl.method("nullOp", "()V") as m:
+            m.emit(RETURN)
+
+        driver = ClassAssembler("bench/Driver")
+        # loopEmpty(I)V            -- loop overhead baseline
+        _loop_method(driver, "loopEmpty", "(I)V", lambda m: None, 1, 0)
+        # loopInvoke(Lbench/Local;I)V   -- regular virtual invocation
+        _loop_method(
+            driver, "loopInvoke", "(Lbench/Local;I)V",
+            lambda m: (
+                m.emit(ALOAD, 0),
+                m.emit(INVOKEVIRTUAL, "bench/Local", "nullOp", "()V"),
+            ),
+            2, 1,
+        )
+        # loopIface(Lbench/ILocal;I)V   -- interface invocation
+        _loop_method(
+            driver, "loopIface", "(Lbench/ILocal;I)V",
+            lambda m: (
+                m.emit(ALOAD, 0),
+                m.emit(INVOKEINTERFACE, "bench/ILocal", "nullOp", "()V"),
+            ),
+            2, 1,
+        )
+        # loopThreadInfo(I)V       -- current-thread lookup
+        _loop_method(
+            driver, "loopThreadInfo", "(I)V",
+            lambda m: (
+                m.emit(INVOKESTATIC, "java/lang/Thread", "currentThread",
+                       "()Ljava/lang/Thread;"),
+                m.emit(POP),
+            ),
+            1, 0,
+        )
+        # loopLock(Ljava/lang/Object;I)V -- one acquire/release per round
+        _loop_method(
+            driver, "loopLock", "(Ljava/lang/Object;I)V",
+            lambda m: (
+                m.emit(ALOAD, 0),
+                m.emit(MONITORENTER),
+                m.emit(ALOAD, 0),
+                m.emit(MONITOREXIT),
+            ),
+            2, 1,
+        )
+        # loopLrmi(Lbench/INull;I)V  -- cross-domain call via capability
+        _loop_method(
+            driver, "loopLrmi", "(Lbench/INull;I)V",
+            lambda m: (
+                m.emit(ALOAD, 0),
+                m.emit(INVOKEINTERFACE, "bench/INull", "nullOp", "()V"),
+            ),
+            2, 1,
+        )
+        # loopLrmi3(Lbench/INull;I)V -- 3-argument LRMI (Table 6 row)
+        _loop_method(
+            driver, "loopLrmi3", "(Lbench/INull;I)V",
+            lambda m: (
+                m.emit(ALOAD, 0),
+                m.emit(ICONST, 1),
+                m.emit(ICONST, 2),
+                m.emit(ICONST, 3),
+                m.emit(INVOKEINTERFACE, "bench/INull", "add3", "(III)I"),
+                m.emit(POP),
+            ),
+            2, 1,
+        )
+        self.client.define([local_iface, local_impl.build(), driver.build()])
+        self.driver = self.client.load("bench/Driver")
+        self.local_obj = vm.construct(
+            self.client.load("bench/Local"), domain_tag=self.client.tag
+        )
+        self.lock_obj = vm.heap.new_object(
+            vm.object_class, owner=self.client.tag
+        )
+        vm.pinned.add(self.lock_obj)
+
+    # -- measurement -------------------------------------------------------
+    def _run(self, method, extra_args, batch):
+        self.vm.call_static(
+            self.driver, method[0], method[1], [*extra_args, batch],
+            domain_tag=self.client.tag, max_steps=200_000_000,
+        )
+
+    def _per_op(self, method, extra_args, batch=2000, rounds=3):
+        timed = measure_batch(
+            lambda n: self._run(method, extra_args, n), batch, rounds
+        )
+        baseline = measure_batch(
+            lambda n: self._run(("loopEmpty", "(I)V"), [], n), batch, rounds
+        )
+        return max(timed.us_per_op - baseline.us_per_op, 0.001)
+
+    def regular_invocation_us(self, batch=2000):
+        return self._per_op(("loopInvoke", "(Lbench/Local;I)V"),
+                            [self.local_obj], batch)
+
+    def interface_invocation_us(self, batch=2000):
+        return self._per_op(("loopIface", "(Lbench/ILocal;I)V"),
+                            [self.local_obj], batch)
+
+    def thread_info_us(self, batch=2000):
+        return self._per_op(("loopThreadInfo", "(I)V"), [], batch)
+
+    def lock_us(self, batch=2000):
+        return self._per_op(("loopLock", "(Ljava/lang/Object;I)V"),
+                            [self.lock_obj], batch)
+
+    def lrmi_us(self, batch=500):
+        return self._per_op(("loopLrmi", "(Lbench/INull;I)V"),
+                            [self.capability], batch)
+
+    def lrmi3_us(self, batch=500):
+        return self._per_op(("loopLrmi3", "(Lbench/INull;I)V"),
+                            [self.capability], batch)
+
+    def row(self, batch=2000):
+        return {
+            "Regular method invocation": self.regular_invocation_us(batch),
+            "Interface method invocation": self.interface_invocation_us(batch),
+            "Thread info lookup": self.thread_info_us(batch),
+            "Acquire/release lock": self.lock_us(batch),
+            "J-Kernel LRMI": self.lrmi_us(max(batch // 4, 100)),
+        }
+
+
+class Table3Fixture:
+    """Double thread switches: host threads (NT-base) vs VM green threads."""
+
+    def __init__(self, profile):
+        self.profile = profile
+
+    @staticmethod
+    def host_double_switch_us(switches=2000):
+        """Ping-pong between two host threads via two events."""
+        ping = threading.Event()
+        pong = threading.Event()
+        rounds = switches // 2
+
+        def other():
+            for _ in range(rounds):
+                ping.wait()
+                ping.clear()
+                pong.set()
+
+        worker = threading.Thread(target=other, daemon=True)
+        worker.start()
+        started = time.perf_counter()
+        for _ in range(rounds):
+            ping.set()
+            pong.wait()
+            pong.clear()
+        elapsed = time.perf_counter() - started
+        worker.join()
+        return elapsed / rounds * 1e6  # per double switch
+
+    def vm_double_switch_us(self, switches=4000):
+        """Ping-pong between two guest threads via Thread.yield."""
+        from repro.jvm import VM, MapResolver
+
+        vm = VM(profile=self.profile)
+        ca = ClassAssembler("bench/Yielder", super_name="java/lang/Thread")
+        with ca.method(CONSTRUCTOR_NAME, "()V") as m:
+            m.emit(ALOAD, 0)
+            m.emit(INVOKESPECIAL, "java/lang/Thread", CONSTRUCTOR_NAME, "()V")
+            m.emit(RETURN)
+        m = ca.method("run", "()V")
+        m.emit(ICONST, 0)
+        m.emit("istore", 1)
+        loop = m.here()
+        m.emit(ILOAD, 1)
+        m.emit(ICONST, switches // 2)
+        done = m.label()
+        m.emit(IF_ICMPGE, done)
+        m.emit(INVOKESTATIC, "java/lang/Thread", "yield", "()V")
+        m.emit(IINC, 1, 1)
+        m.emit(GOTO, loop.pc)
+        m.mark(done)
+        m.emit(RETURN)
+        cf = ca.build()
+        loader = vm.new_loader("bench", resolver=MapResolver({cf.name: cf}))
+        yielder = loader.load("bench/Yielder")
+        first = vm.construct(yielder)
+        second = vm.construct(yielder)
+        vm.call_virtual(first, "start", "()V")
+        vm.call_virtual(second, "start", "()V")
+        before = vm.scheduler.context_switches
+        started = time.perf_counter()
+        vm.scheduler.run(max_steps=200_000_000)
+        elapsed = time.perf_counter() - started
+        switched = vm.scheduler.context_switches - before
+        if switched < 2:
+            return 0.0
+        return elapsed / (switched / 2) * 1e6
+
+
+# -- Table 4 payloads ---------------------------------------------------------
+
+@fast_copy(fields=("payload",))
+@serializable(fields=("payload",))
+class Chunk:
+    """One copyable object carrying a Java-style byte array.
+
+    The payload is a list of per-element integers, not Python ``bytes``:
+    the 1997 serializer the paper measures copies array *elements* through
+    the stream, so its cost grows with payload size.  Python ``bytes``
+    would cross via one memcpy and erase exactly the effect Table 4
+    measures (see the substitution note in DESIGN.md); the bytes-payload
+    variant is kept for the ablation bench.
+    """
+
+    def __init__(self, payload):
+        self.payload = payload
+
+    @classmethod
+    def of_size(cls, nbytes):
+        return cls([index & 0x7F for index in range(nbytes)])
+
+
+@fast_copy(fields=("payload",))
+@serializable(fields=("payload",))
+class RawChunk:
+    """Ablation variant: payload is immutable Python bytes (memcpy path)."""
+
+    def __init__(self, payload):
+        self.payload = payload
+
+
+class _Sink(Remote):
+    def take(self, value): ...
+
+
+class _SinkImpl(_Sink):
+    def take(self, value):
+        return 0
+
+
+class Table4Fixture:
+    """Argument copying during hosted LRMI: serialization vs fast-copy."""
+
+    SHAPES = {
+        "1 x 10 bytes": lambda: Chunk.of_size(10),
+        "1 x 100 bytes": lambda: Chunk.of_size(100),
+        "10 x 10 bytes": lambda: [Chunk.of_size(10) for _ in range(10)],
+        "1 x 1000 bytes": lambda: Chunk.of_size(1000),
+    }
+
+    def __init__(self):
+        self.domain = Domain(f"table4-{id(self)}")
+        impl = _SinkImpl()
+        self.serial_cap = self.domain.run(
+            lambda: Capability.create(impl, copy="serial")
+        )
+        self.fast_cap = self.domain.run(
+            lambda: Capability.create(impl, copy="fast")
+        )
+
+    def copy_us(self, shape, mechanism, min_time=0.02):
+        payload = self.SHAPES[shape]()
+        capability = self.serial_cap if mechanism == "serial" else self.fast_cap
+        result = measure(lambda: capability.take(payload), min_time=min_time)
+        return result.us_per_op
+
+    def raw_bytes_us(self, nbytes, mechanism, min_time=0.02):
+        """Ablation: the same transfer with a memcpy-able bytes payload."""
+        payload = RawChunk(bytes(nbytes))
+        capability = self.serial_cap if mechanism == "serial" else self.fast_cap
+        result = measure(lambda: capability.take(payload), min_time=min_time)
+        return result.us_per_op
+
+    def rows(self):
+        table = {}
+        for shape in self.SHAPES:
+            table[shape] = (
+                self.copy_us(shape, "serial"),
+                self.copy_us(shape, "fast"),
+            )
+        return table
+
+
+# -- Table 5 servers ------------------------------------------------------------
+
+PAGE_SIZES = (10, 100, 1000)
+
+
+def make_documents():
+    return {
+        f"/doc{size}": bytes(ord("a") + (i % 26) for i in range(size))
+        for size in PAGE_SIZES
+        for i in [0]
+    }
+
+
+def build_iis():
+    from repro.web import NativeHttpServer
+
+    server = NativeHttpServer()
+    for path, body in make_documents().items():
+        server.documents.put(path, body)
+    return server
+
+
+def build_iis_jkernel():
+    from repro.web import JKernelWebServer, Servlet, ServletResponse
+
+    class DocServlet(Servlet):
+        def __init__(self, body):
+            self.body = body
+
+        def service(self, request):
+            return ServletResponse(
+                200, {"Content-Type": "text/html"}, self.body
+            )
+
+    server = build_iis()
+    jk = JKernelWebServer(server=server, mount="/servlet")
+    for path, body in make_documents().items():
+        jk.install_servlet(path, lambda body=body: DocServlet(body))
+    return jk
+
+
+def build_jws(profile="sunvm"):
+    from repro.web import JWSServer
+
+    return JWSServer(make_documents(), profile=profile)

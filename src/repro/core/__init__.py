@@ -1,0 +1,123 @@
+"""The J-Kernel core: capabilities, domains, LRMI.
+
+The hosted (Python-object) implementation of the paper's protection
+architecture.  Quickstart::
+
+    from repro.core import Capability, Domain, Remote, get_repository
+
+    class ReadFile(Remote):
+        def read_byte(self): ...
+
+    class ReadFileImpl(ReadFile):
+        def read_byte(self): return 7
+
+    server = Domain("file-server")
+    cap = server.run(lambda: Capability.create(ReadFileImpl()))
+    get_repository().bind("Domain1ReadFile", cap, domain=server)
+
+    client = get_repository().lookup("Domain1ReadFile")
+    assert client.read_byte() == 7
+    cap.revoke()          # -> further calls raise RevokedException
+"""
+
+from .accounting import Accountant, ResourceAccount, get_accountant
+from .capability import Capability, lrmi_invoke
+from .convention import (
+    MODE_AUTO,
+    MODE_FAST,
+    MODE_SERIAL,
+    transfer,
+    transfer_args,
+    transfer_exception,
+)
+from .domain import Domain
+from .errors import (
+    DomainError,
+    DomainTerminatedException,
+    JKernelError,
+    NameAlreadyBoundError,
+    NameNotBoundError,
+    NotSerializableError,
+    RemoteException,
+    RemoteInterfaceError,
+    RevokedException,
+    SegmentStoppedException,
+    SharingError,
+)
+from .fastcopy import fast_copy, fast_copy_value
+from .remote import Remote, remote_interfaces, remote_methods
+from .repository import Repository, get_repository, reset_repository
+from .resolver import SAFE_BUILTINS, DomainResolver
+from .segments import (
+    SegmentHandle,
+    ThreadSegment,
+    checkpoint,
+    current_domain,
+    current_handle,
+    current_segment,
+)
+from .serial import (
+    ObjectReader,
+    ObjectWriter,
+    SerialRegistry,
+    copy_via_serialization,
+    dumps,
+    loads,
+    register_class,
+    serializable,
+)
+from .sharing import SharedClass, check_no_static_state, references, share_class
+
+__all__ = [
+    "Accountant",
+    "Capability",
+    "Domain",
+    "DomainError",
+    "DomainResolver",
+    "DomainTerminatedException",
+    "JKernelError",
+    "MODE_AUTO",
+    "MODE_FAST",
+    "MODE_SERIAL",
+    "NameAlreadyBoundError",
+    "NameNotBoundError",
+    "NotSerializableError",
+    "ObjectReader",
+    "ObjectWriter",
+    "Remote",
+    "RemoteException",
+    "RemoteInterfaceError",
+    "Repository",
+    "ResourceAccount",
+    "RevokedException",
+    "SAFE_BUILTINS",
+    "SegmentHandle",
+    "SegmentStoppedException",
+    "SerialRegistry",
+    "SharedClass",
+    "SharingError",
+    "ThreadSegment",
+    "check_no_static_state",
+    "checkpoint",
+    "copy_via_serialization",
+    "current_domain",
+    "current_handle",
+    "current_segment",
+    "dumps",
+    "fast_copy",
+    "fast_copy_value",
+    "get_accountant",
+    "get_repository",
+    "loads",
+    "lrmi_invoke",
+    "references",
+    "register_class",
+    "remote_interfaces",
+    "remote_methods",
+    "reset_repository",
+    "serializable",
+    "share_class",
+    "transfer",
+    "transfer_args",
+    "transfer_exception",
+]

@@ -1,0 +1,108 @@
+"""Per-domain resource accounting (paper §2, "Resource Accounting").
+
+The paper identifies accounting as an open problem for share-anything
+systems: shared objects have no clear owner.  The J-Kernel architecture
+makes it tractable — objects never cross domains, only copies do — so this
+module implements the natural policy:
+
+* a domain is charged for what is copied *into* it (arguments of calls it
+  receives, results of calls it makes), and
+* explicit allocations recorded by cooperative code.
+
+Charges are attributed to the domain of the thread's current segment at
+copy time; the serializer reports byte counts through an observer hook.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from . import segments
+
+
+class ResourceAccount:
+    """Counters for one domain."""
+
+    __slots__ = ("bytes_copied_in", "copy_operations", "allocations",
+                 "allocated_bytes")
+
+    def __init__(self):
+        self.bytes_copied_in = 0
+        self.copy_operations = 0
+        self.allocations = 0
+        self.allocated_bytes = 0
+
+    def snapshot(self):
+        return {
+            "bytes_copied_in": self.bytes_copied_in,
+            "copy_operations": self.copy_operations,
+            "allocations": self.allocations,
+            "allocated_bytes": self.allocated_bytes,
+        }
+
+
+class Accountant:
+    """Holds per-domain accounts and plugs into the copy machinery."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._accounts = {}
+
+    def account(self, domain):
+        with self._lock:
+            found = self._accounts.get(domain.name)
+            if found is None:
+                found = self._accounts[domain.name] = ResourceAccount()
+            return found
+
+    def charge_copy(self, nbytes, domain=None):
+        """Charge one serialized copy to the receiving domain."""
+        target = domain or segments.current_domain()
+        if target is None:
+            return
+        account = self.account(target)
+        account.bytes_copied_in += nbytes
+        account.copy_operations += 1
+
+    def charge_allocation(self, nbytes, domain=None):
+        target = domain or segments.current_domain()
+        if target is None:
+            return
+        account = self.account(target)
+        account.allocations += 1
+        account.allocated_bytes += nbytes
+
+    def release_domain(self, domain):
+        """Forget a terminated domain's charges (its memory is reclaimed
+        when its capabilities are revoked, so the account closes)."""
+        with self._lock:
+            return self._accounts.pop(domain.name, None)
+
+    def report(self):
+        with self._lock:
+            return {
+                name: account.snapshot()
+                for name, account in sorted(self._accounts.items())
+            }
+
+
+_default = Accountant()
+
+
+def get_accountant():
+    return _default
+
+
+def install(accountant=None):
+    """Start charging serialized copies to receiving domains."""
+    from . import serial
+
+    target = accountant or _default
+    serial.set_copy_observer(lambda nbytes: target.charge_copy(nbytes))
+    return target
+
+
+def uninstall():
+    from . import serial
+
+    serial.set_copy_observer(None)

@@ -1,0 +1,139 @@
+"""Capabilities and the LRMI invocation path (paper §3).
+
+"Capabilities are implemented as objects of the class Capability and
+represent handles onto resources in other domains.  A capability can be
+revoked at any time by the domain that created it.  All uses of a revoked
+capability throw an exception, ensuring the correct propagation of
+failure."
+
+``Capability.create(target)`` returns an instance of a generated stub
+class implementing the target's remote interfaces; the stub's methods call
+:func:`lrmi_invoke`, which performs, in order:
+
+1. revocation / termination check,
+2. segment switch into the callee domain (checkpoint + two lock pairs),
+3. deep copy of non-capability arguments (capabilities by reference),
+4. the target invocation,
+5. segment restore,
+6. deep copy of the result (or of the callee's exception) back into the
+   caller.
+
+``revoke()`` nulls the stub's internal target pointer, making the target
+eligible for collection "regardless of how many other domains hold a
+reference to the capability" — revoking prevents domains from holding on
+to each other's garbage.
+"""
+
+from __future__ import annotations
+
+from . import segments
+from .convention import (
+    MODE_AUTO,
+    check_mode,
+    transfer,
+    transfer_args,
+    transfer_exception,
+)
+from .errors import (
+    DomainError,
+    DomainTerminatedException,
+    RevokedException,
+)
+
+
+class Capability:
+    """Base class of all generated capability stubs.
+
+    Never instantiated directly — use :meth:`create`.
+    """
+
+    _jk_fields = ("_target", "_domain", "_copy_mode", "_label")
+
+    @staticmethod
+    def create(target, domain=None, copy=MODE_AUTO, label=None):
+        """Create a capability for ``target`` owned by ``domain``.
+
+        ``domain`` defaults to the calling domain (the current segment's
+        domain), falling back to the system domain.  ``copy`` selects the
+        argument copy mechanism: ``"auto"`` (per-class registration),
+        ``"serial"`` (force serialization) or ``"fast"`` (force the direct
+        copy path).
+        """
+        from .domain import Domain
+        from .stubs import stub_class_for
+
+        if domain is None:
+            domain = segments.current_domain() or Domain.system()
+        if domain.terminated:
+            raise DomainError(
+                f"cannot create capability in terminated domain {domain.name}"
+            )
+        check_mode(copy)
+        stub_cls = stub_class_for(type(target))
+        stub = object.__new__(stub_cls)
+        stub._target = target
+        stub._domain = domain
+        stub._copy_mode = copy
+        stub._label = label or type(target).__name__
+        domain._register_capability(stub)
+        return stub
+
+    # -- revocation ----------------------------------------------------------
+    def revoke(self):
+        """Sever the stub from its target; all further uses throw."""
+        self._target = None
+
+    @property
+    def revoked(self):
+        return self._target is None
+
+    @property
+    def creator(self):
+        """The domain that created (and can revoke) this capability."""
+        return self._domain
+
+    @property
+    def label(self):
+        return self._label
+
+    def __repr__(self):
+        state = "revoked" if self.revoked else "live"
+        return (
+            f"<Capability {self._label} of domain "
+            f"{self._domain.name!r} ({state})>"
+        )
+
+
+def lrmi_invoke(capability, method_name, args, kwargs):
+    """Execute one cross-domain call through a capability stub."""
+    target = capability._target
+    domain = capability._domain
+    if domain.terminated:
+        raise DomainTerminatedException(
+            f"{capability._label}: domain {domain.name!r} terminated"
+        )
+    if target is None:
+        raise RevokedException(f"{capability._label}: capability revoked")
+
+    mode = capability._copy_mode
+    domain.stats["lrmi_calls_in"] = domain.stats.get("lrmi_calls_in", 0) + 1
+
+    segments.push(domain)
+    result = None
+    pending = None
+    try:
+        copied_args, copied_kwargs = transfer_args(args, kwargs, mode=mode)
+        try:
+            result = getattr(target, method_name)(
+                *copied_args, **copied_kwargs
+            )
+        except BaseException as exc:  # copied/re-raised after segment pop
+            pending = exc
+    finally:
+        segments.pop()
+
+    if pending is not None:
+        if not isinstance(pending, Exception):
+            raise pending  # KeyboardInterrupt etc. pass through raw
+        raise transfer_exception(pending, mode=mode) from None
+    return transfer(result, mode=mode)

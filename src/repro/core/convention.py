@@ -1,0 +1,162 @@
+"""The LRMI calling convention (paper §3).
+
+"Arguments and return values are passed by reference if they are also
+capabilities, but they are passed by copy if they are primitive types or
+non-capability objects.  When an object is copied, these rules are applied
+recursively to the data in the object's fields, so that a deep copy of the
+object is made.  The effect is that only capabilities can be shared between
+protection domains and references to regular objects are confined to single
+domains."
+
+Mechanism selection per value (paper §3.1):
+
+* capabilities — by reference, always;
+* immutable primitives — as-is (copying is unobservable);
+* classes registered with :func:`~repro.core.fastcopy.fast_copy` — the
+  generated fast-copy code;
+* built-in containers and classes registered ``@serializable`` — the
+  serializer (byte-array round trip), unless ``mode="fast"`` forces the
+  direct structural path;
+* anything else — :class:`NotSerializableError`.
+"""
+
+from __future__ import annotations
+
+from . import fastcopy as _fastcopy
+from . import serial as _serial
+from .errors import NotSerializableError, RemoteException
+
+_IMMUTABLE_TYPES = frozenset(
+    {int, float, bool, str, bytes, complex, type(None), range}
+)
+
+_CONTAINER_TYPES = (list, tuple, dict, set, frozenset, bytearray)
+
+MODE_AUTO = "auto"
+MODE_SERIAL = "serial"
+MODE_FAST = "fast"
+
+_MODES = frozenset({MODE_AUTO, MODE_SERIAL, MODE_FAST})
+
+
+def check_mode(mode):
+    if mode not in _MODES:
+        raise ValueError(f"unknown copy mode {mode!r}; one of {sorted(_MODES)}")
+    return mode
+
+
+def transfer(value, mode=MODE_AUTO, memo=None,
+             serial_registry=None, fastcopy_registry=None):
+    """Copy one value across a domain boundary per the calling convention."""
+    value_type = type(value)
+    if value_type in _IMMUTABLE_TYPES:
+        return value
+
+    from .capability import Capability
+
+    if isinstance(value, Capability):
+        return value
+
+    fc_registry = fastcopy_registry or _fastcopy.DEFAULT_REGISTRY
+    info = None if mode == MODE_SERIAL else fc_registry.lookup(value_type)
+    if info is not None:
+        if info.cyclic and memo is None:
+            memo = {}
+
+        def field_transfer(field_value, field_memo):
+            return transfer(
+                field_value, mode=mode, memo=field_memo,
+                serial_registry=serial_registry,
+                fastcopy_registry=fastcopy_registry,
+            )
+
+        return info.copier(value, memo, field_transfer)
+
+    if mode == MODE_FAST and isinstance(value, _CONTAINER_TYPES):
+        return _structural_copy(
+            value, mode, memo, serial_registry, fastcopy_registry
+        )
+
+    registry = serial_registry or _serial.DEFAULT_REGISTRY
+    if (
+        isinstance(value, _CONTAINER_TYPES)
+        or registry.knows(value_type)
+        or isinstance(value, BaseException)
+    ):
+        return _serial.copy_via_serialization(value, registry)
+
+    raise NotSerializableError(
+        f"cannot pass {value_type.__qualname__} across domains: not a "
+        "capability, not primitive, and no copy mechanism is registered"
+    )
+
+
+def _structural_copy(value, mode, memo, serial_registry, fastcopy_registry):
+    """Direct container copy used in forced-fast mode (no byte array)."""
+    if memo is None:
+        memo = {}
+    hit = memo.get(id(value))
+    if hit is not None:
+        return hit
+
+    def item(element):
+        return transfer(element, mode=mode, memo=memo,
+                        serial_registry=serial_registry,
+                        fastcopy_registry=fastcopy_registry)
+
+    value_type = type(value)
+    if value_type is list:
+        copied = []
+        memo[id(value)] = copied
+        copied.extend(item(element) for element in value)
+        return copied
+    if value_type is dict:
+        copied = {}
+        memo[id(value)] = copied
+        for key, element in value.items():
+            copied[item(key)] = item(element)
+        return copied
+    if value_type is bytearray:
+        copied = bytearray(value)
+        memo[id(value)] = copied
+        return copied
+    copied = value_type(item(element) for element in value)
+    memo[id(value)] = copied
+    return copied
+
+
+def transfer_args(args, kwargs=None, mode=MODE_AUTO,
+                  serial_registry=None, fastcopy_registry=None):
+    """Apply the calling convention to a full argument list."""
+    copied_args = tuple(
+        transfer(arg, mode=mode, serial_registry=serial_registry,
+                 fastcopy_registry=fastcopy_registry)
+        for arg in args
+    )
+    if not kwargs:
+        return copied_args, {}
+    copied_kwargs = {
+        name: transfer(value, mode=mode, serial_registry=serial_registry,
+                       fastcopy_registry=fastcopy_registry)
+        for name, value in kwargs.items()
+    }
+    return copied_args, copied_kwargs
+
+
+def transfer_exception(exc, mode=MODE_AUTO, serial_registry=None,
+                       fastcopy_registry=None):
+    """Copy a callee exception for re-raising in the caller.
+
+    Kernel-level RemoteExceptions pass through unchanged (they carry no
+    domain state); other exceptions are copied like any value, falling back
+    to a RemoteException wrapper carrying the repr when uncopyable.
+    """
+    if isinstance(exc, RemoteException):
+        return exc
+    try:
+        return transfer(exc, mode=mode, serial_registry=serial_registry,
+                        fastcopy_registry=fastcopy_registry)
+    except NotSerializableError:
+        return RemoteException(
+            f"{type(exc).__qualname__} in callee domain: {exc}"
+        )

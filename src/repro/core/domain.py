@@ -1,0 +1,201 @@
+"""Protection domains (paper §3).
+
+"Protection domains are represented by the Java class Domain.  Each
+protection domain has a namespace that it controls as well as a set of
+threads.  When a domain terminates, all of the capabilities that it created
+are revoked, so that all of its memory may be freed."
+
+A hosted domain owns:
+
+* a weak registry of the capabilities it created (revoked en masse at
+  termination — weak, so discarded stubs do not accumulate),
+* the thread segments currently executing inside it,
+* the threads it spawned,
+* a controlled namespace for dynamically loaded code (see
+  ``repro.core.resolver``),
+* per-domain "system" state — the paper notes ``System``'s stdio must be
+  interposed per domain; ``println``/``output`` are that replacement.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from contextlib import contextmanager
+
+from . import segments
+from .errors import DomainError, DomainTerminatedException
+
+
+class Domain:
+    """One protection domain."""
+
+    _system = None
+    _system_lock = threading.Lock()
+
+    def __init__(self, name):
+        self.name = name
+        self.terminated = False
+        self.stats = {}
+        self._lock = threading.Lock()
+        self._capabilities = weakref.WeakSet()
+        self._segments = set()
+        self._threads = []
+        self._namespace = {}
+        self._modules = {}
+        self._output = []
+        self._resolver = None
+
+    def __repr__(self):
+        state = "terminated" if self.terminated else "live"
+        return f"<Domain {self.name!r} ({state})>"
+
+    # -- the system domain ------------------------------------------------
+    @classmethod
+    def system(cls):
+        """The implicit domain of host code running outside any domain."""
+        with cls._system_lock:
+            if cls._system is None or cls._system.terminated:
+                cls._system = Domain("<system>")
+            return cls._system
+
+    @staticmethod
+    def current():
+        """The domain of the calling thread's current segment."""
+        return segments.current_domain() or Domain.system()
+
+    @staticmethod
+    def get_repository():
+        from .repository import get_repository
+
+        return get_repository()
+
+    # -- capability bookkeeping -----------------------------------------------
+    def _register_capability(self, capability):
+        with self._lock:
+            if self.terminated:
+                raise DomainError(f"domain {self.name} terminated")
+            self._capabilities.add(capability)
+
+    def capabilities(self):
+        """Snapshot of this domain's live (non-collected) capabilities."""
+        with self._lock:
+            return [cap for cap in self._capabilities if not cap.revoked]
+
+    # -- segment bookkeeping -------------------------------------------------------
+    def _register_segment(self, segment):
+        if self.terminated:
+            raise DomainTerminatedException(
+                f"domain {self.name!r} has terminated"
+            )
+        with self._lock:
+            self._segments.add(segment)
+
+    def _unregister_segment(self, segment):
+        with self._lock:
+            self._segments.discard(segment)
+
+    # -- execution inside the domain ----------------------------------------------
+    @contextmanager
+    def context(self):
+        """Run host code inside this domain (pushes a root segment)."""
+        segments.push(self)
+        try:
+            yield self
+        finally:
+            segments.pop()
+
+    def run(self, fn, *args, **kwargs):
+        """Call ``fn`` with this domain as the current domain."""
+        with self.context():
+            return fn(*args, **kwargs)
+
+    def spawn(self, fn, *args, name=None, daemon=True):
+        """Start a thread whose root segment belongs to this domain.
+
+        The thread dies quietly if its segment is stopped (domain
+        termination or a segment-handle ``stop``).
+        """
+        if self.terminated:
+            raise DomainError(f"domain {self.name} terminated")
+
+        def body():
+            segments.push(self)
+            try:
+                fn(*args)
+            except DomainTerminatedException:
+                pass
+            except Exception as exc:
+                if not _is_segment_stop(exc):
+                    self._output.append(f"thread error: {exc!r}")
+            finally:
+                segments.pop()
+
+        thread = threading.Thread(
+            target=body, name=name or f"{self.name}-thread", daemon=daemon
+        )
+        with self._lock:
+            self._threads.append(thread)
+        thread.start()
+        return thread
+
+    # -- per-domain "System" ------------------------------------------------------
+    def println(self, text):
+        """Per-domain standard output (the interposed ``System.out``)."""
+        self._output.append(str(text))
+
+    @property
+    def output(self):
+        return list(self._output)
+
+    # -- namespace (resolver-controlled) ------------------------------------------
+    @property
+    def resolver(self):
+        if self._resolver is None:
+            from .resolver import DomainResolver
+
+            self._resolver = DomainResolver(self)
+        return self._resolver
+
+    def load_module(self, module_name, source):
+        """Load code into this domain through its resolver."""
+        return self.resolver.load_module(module_name, source)
+
+    def lookup_loaded(self, module_name):
+        return self._modules.get(module_name)
+
+    # -- termination ------------------------------------------------------------------
+    def terminate(self):
+        """Terminate the domain (paper's clean termination semantics).
+
+        Revokes every capability the domain created, stops every segment
+        currently executing inside the domain (including suspended ones,
+        which are resumed so they can die), and marks the domain dead so no
+        new capability, segment or thread can be created.  Idempotent.
+        """
+        with self._lock:
+            if self.terminated:
+                return
+            self.terminated = True
+            live_capabilities = list(self._capabilities)
+            live_segments = list(self._segments)
+        for capability in live_capabilities:
+            capability.revoke()
+        reason = DomainTerminatedException(
+            f"domain {self.name!r} has terminated"
+        )
+        for segment in live_segments:
+            segment.stop(reason)
+
+    def join_threads(self, timeout=2.0):
+        """Wait for this domain's spawned threads (test/shutdown helper)."""
+        with self._lock:
+            threads = list(self._threads)
+        for thread in threads:
+            thread.join(timeout)
+
+
+def _is_segment_stop(exc):
+    from .errors import SegmentStoppedException
+
+    return isinstance(exc, SegmentStoppedException)

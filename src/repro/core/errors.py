@@ -1,0 +1,59 @@
+"""J-Kernel error hierarchy.
+
+Mirrors the RMI-flavoured design of the paper: every cross-domain failure
+surfaces as a :class:`RemoteException` (or subclass) in the caller, so a
+caller can catch one exception type at every capability call site and be
+guaranteed correct failure propagation — including when the callee domain
+has been terminated or the capability revoked.
+"""
+
+from __future__ import annotations
+
+
+class JKernelError(Exception):
+    """Base class for all J-Kernel errors."""
+
+
+class RemoteException(JKernelError):
+    """A cross-domain call failed.
+
+    Raised for revoked capabilities, terminated domains, uncopyable
+    arguments and callee-side exceptions that could not be copied back.
+    """
+
+
+class RevokedException(RemoteException):
+    """The capability was revoked; all uses throw (paper §3)."""
+
+
+class DomainTerminatedException(RevokedException):
+    """The creating domain terminated, revoking all of its capabilities."""
+
+
+class SegmentStoppedException(RemoteException):
+    """This thread segment was stopped (the segment-local ``Thread.stop``)."""
+
+
+class NotSerializableError(RemoteException):
+    """A value crossing a domain boundary has no registered copy mechanism."""
+
+
+class RemoteInterfaceError(JKernelError):
+    """A target object does not implement any valid remote interface."""
+
+
+class SharingError(JKernelError):
+    """A class violates the shared-class rules (static state, or its
+    referenced classes are not shared along with it — paper §3.1 fn. 3)."""
+
+
+class NameAlreadyBoundError(JKernelError):
+    """Repository bind() on a name that is already bound."""
+
+
+class NameNotBoundError(JKernelError):
+    """Repository lookup()/unbind() on an unknown name."""
+
+
+class DomainError(JKernelError):
+    """Invalid domain operation (e.g. acting on a terminated domain)."""

@@ -1,0 +1,117 @@
+"""The system-wide capability repository (paper §3.1).
+
+"The repository is a service allowing domains to publish capabilities under
+a name."  Domain 1 binds, domain 2 looks up and invokes.  Only capabilities
+may be bound — binding a plain object would leak a shared reference, which
+is exactly what the J-Kernel architecture forbids.
+
+Bindings remember the binding domain; only that domain may unbind or
+rebind a name.  Looking up a name bound to a revoked capability succeeds —
+using the capability then throws, which is the designed failure
+propagation (a terminated server's clients learn of the failure at the
+call site).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from .capability import Capability
+from .domain import Domain
+from .errors import DomainError, NameAlreadyBoundError, NameNotBoundError
+
+
+class Repository:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._bindings = {}  # name -> (capability, binder_domain)
+
+    def bind(self, name, capability, domain=None):
+        """Publish ``capability`` under ``name``."""
+        if not isinstance(capability, Capability):
+            raise TypeError(
+                "only capabilities may be bound in the repository "
+                f"(got {type(capability).__name__})"
+            )
+        binder = domain or Domain.current()
+        with self._lock:
+            if name in self._bindings:
+                raise NameAlreadyBoundError(name)
+            self._bindings[name] = (capability, binder)
+
+    def lookup(self, name):
+        """Fetch the capability bound to ``name``."""
+        with self._lock:
+            entry = self._bindings.get(name)
+        if entry is None:
+            raise NameNotBoundError(name)
+        return entry[0]
+
+    def unbind(self, name, domain=None):
+        """Remove a binding; only the binding domain may do this."""
+        requester = domain or Domain.current()
+        with self._lock:
+            entry = self._bindings.get(name)
+            if entry is None:
+                raise NameNotBoundError(name)
+            if entry[1] is not requester:
+                raise DomainError(
+                    f"{requester.name} may not unbind {name!r} "
+                    f"(bound by {entry[1].name})"
+                )
+            del self._bindings[name]
+
+    def rebind(self, name, capability, domain=None):
+        """Atomically replace a binding owned by the calling domain."""
+        if not isinstance(capability, Capability):
+            raise TypeError("only capabilities may be bound")
+        requester = domain or Domain.current()
+        with self._lock:
+            entry = self._bindings.get(name)
+            if entry is not None and entry[1] is not requester:
+                raise DomainError(
+                    f"{requester.name} may not rebind {name!r} "
+                    f"(bound by {entry[1].name})"
+                )
+            self._bindings[name] = (capability, requester)
+
+    def names(self):
+        with self._lock:
+            return sorted(self._bindings)
+
+    def binder_of(self, name):
+        with self._lock:
+            entry = self._bindings.get(name)
+        if entry is None:
+            raise NameNotBoundError(name)
+        return entry[1]
+
+    def sweep_revoked(self):
+        """Drop bindings whose capabilities have been revoked; returns how
+        many were removed (housekeeping after domain terminations)."""
+        with self._lock:
+            dead = [
+                name
+                for name, (capability, _) in self._bindings.items()
+                if capability.revoked
+            ]
+            for name in dead:
+                del self._bindings[name]
+        return len(dead)
+
+
+_default = Repository()
+_default_lock = threading.Lock()
+
+
+def get_repository():
+    """The process-wide repository instance."""
+    return _default
+
+
+def reset_repository():
+    """Replace the global repository (test isolation helper)."""
+    global _default
+    with _default_lock:
+        _default = Repository()
+    return _default

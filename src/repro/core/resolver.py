@@ -1,0 +1,116 @@
+"""Per-domain code loading through resolvers (paper §3.1).
+
+"Each domain has its own class namespace that maps names to classes. …
+A domain's namespace is controlled by a user-defined resolver, which is
+queried by the J-Kernel whenever a new class name is encountered."
+
+Hosted analogue: a domain loads source code through its
+:class:`DomainResolver`, which executes it in a *restricted namespace*
+containing only (a) a whitelist of safe builtins and (b) names explicitly
+granted to the domain (shared classes, capabilities, the per-domain
+``println``).  The dangerous ambient names — ``open``, ``__import__``,
+``eval``, ``exec`` — simply do not exist in that namespace, the same move
+the J-Kernel makes by hiding problematic system classes.
+
+This controls the *namespace*, not CPython memory safety: hostile Python
+can still escape via reflection.  Enforced isolation against hostile code
+is the MiniJVM path (``repro.jkvm``); this resolver provides the paper's
+fail-isolation for cooperating-but-buggy components (the CS314 situation:
+"servlets are developed by the trusted course staff, malicious attack is
+not a source of concern").
+"""
+
+from __future__ import annotations
+
+import builtins
+import types
+
+from .errors import DomainError
+
+_SAFE_BUILTIN_NAMES = (
+    # class machinery (class statements need __build_class__)
+    "__build_class__", "classmethod", "staticmethod", "property", "super",
+    # types & constructors
+    "bool", "bytearray", "bytes", "complex", "dict", "float", "frozenset",
+    "int", "list", "object", "set", "str", "tuple", "type",
+    # functions
+    "abs", "all", "any", "callable", "chr", "divmod", "enumerate", "filter",
+    "format", "hash", "hex", "isinstance", "issubclass", "iter", "len",
+    "map", "max", "min", "next", "oct", "ord", "pow", "range", "repr",
+    "reversed", "round", "slice", "sorted", "sum", "zip",
+    # exceptions
+    "ArithmeticError", "AssertionError", "AttributeError", "BaseException",
+    "Exception", "IndexError", "KeyError", "LookupError", "NameError",
+    "NotImplementedError", "OverflowError", "RuntimeError", "StopIteration",
+    "TypeError", "ValueError", "ZeroDivisionError",
+    # constants
+    "True", "False", "None", "NotImplemented",
+)
+
+SAFE_BUILTINS = types.MappingProxyType({
+    name: getattr(builtins, name)
+    for name in _SAFE_BUILTIN_NAMES
+    if hasattr(builtins, name)
+})
+
+
+class DomainResolver:
+    """Controls what names code loaded into a domain can see."""
+
+    def __init__(self, domain, grants=None):
+        self.domain = domain
+        self._grants = dict(grants or {})
+
+    def grant(self, name, value):
+        """Make ``value`` visible under ``name`` to loaded code."""
+        self._grants[name] = value
+        return self
+
+    def grant_many(self, mapping):
+        self._grants.update(mapping)
+        return self
+
+    def granted(self, name):
+        return self._grants.get(name)
+
+    def granted_names(self):
+        return sorted(self._grants)
+
+    def deny(self, name):
+        self._grants.pop(name, None)
+        return self
+
+    def build_globals(self, module_name):
+        """The restricted global namespace for one module."""
+        scope = {
+            "__builtins__": dict(SAFE_BUILTINS),
+            "__name__": module_name,
+            "__domain__": self.domain.name,
+            # the interposed per-domain System.out:
+            "println": self.domain.println,
+        }
+        scope.update(self._grants)
+        return scope
+
+    def load_module(self, module_name, source):
+        """Compile and execute ``source`` in the restricted namespace.
+
+        Returns a module-like namespace object; also recorded in the
+        domain so later loads can reference it by name.
+        """
+        if self.domain.terminated:
+            raise DomainError(f"domain {self.domain.name} terminated")
+        code = compile(
+            source, f"<domain {self.domain.name}:{module_name}>", "exec"
+        )
+        scope = self.build_globals(module_name)
+        with self.domain.context():
+            exec(code, scope)
+        public = {
+            name: value
+            for name, value in scope.items()
+            if not name.startswith("__")
+        }
+        module = types.SimpleNamespace(**public)
+        self.domain._modules[module_name] = module
+        return module

@@ -1,0 +1,198 @@
+"""Thread segments (paper §3.1).
+
+"Conceptually, the J-Kernel divides each Java thread into multiple
+segments, one for each side of a cross-domain call. … Thread modification
+methods such as stop and suspend act on thread segments rather than Java
+threads, which prevents the caller from modifying the callee's thread
+segment and vice-versa."
+
+One host (OS) thread carries a stack of :class:`ThreadSegment` objects; an
+LRMI pushes a fresh segment bound to the callee domain and pops it on
+return.  No thread switch happens — only segment bookkeeping, which is why
+cross-domain calls stay fast (Table 3 shows what real switches would cost).
+
+A segment switch performs, as in the paper: a current-segment lookup
+("thread info lookup") and two lock acquire/release pairs (caller segment,
+callee segment).  ``stop``/``suspend``/``resume``/``set_priority`` act on a
+:class:`SegmentHandle`, which names exactly one segment — a handle leaked
+to another domain cannot reach any other segment of the thread.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from .errors import DomainTerminatedException, SegmentStoppedException
+
+_tls = threading.local()
+
+
+class ThreadSegment:
+    """One side of a cross-domain call on one host thread."""
+
+    _next_id = 1
+
+    __slots__ = (
+        "segment_id",
+        "domain",
+        "lock",
+        "alive",
+        "priority",
+        "_stop_exc",
+        "_resume_event",
+    )
+
+    def __init__(self, domain):
+        self.segment_id = ThreadSegment._next_id
+        ThreadSegment._next_id += 1
+        self.domain = domain
+        self.lock = threading.Lock()
+        self.alive = True
+        self.priority = 5
+        self._stop_exc = None
+        self._resume_event = threading.Event()
+        self._resume_event.set()  # not suspended
+
+    # -- state changes (via handles) ------------------------------------------
+    def stop(self, exc=None):
+        self._stop_exc = exc or SegmentStoppedException(
+            f"segment {self.segment_id} stopped"
+        )
+        self._resume_event.set()  # a stopped segment must not sleep forever
+
+    def suspend(self):
+        self._resume_event.clear()
+
+    def resume(self):
+        self._resume_event.set()
+
+    @property
+    def suspended(self):
+        return not self._resume_event.is_set()
+
+    @property
+    def stop_pending(self):
+        return self._stop_exc is not None
+
+    # -- cooperative safepoint ----------------------------------------------------
+    def checkpoint(self):
+        """Apply pending stop/suspend.  Called at LRMI boundaries and by
+        domain code that wants to be promptly stoppable."""
+        while True:
+            exc = self._stop_exc
+            if exc is not None:
+                raise exc
+            if self._resume_event.is_set():
+                return
+            self._resume_event.wait(0.02)
+
+
+class SegmentHandle:
+    """The interposed ``Thread`` object: names one segment only.
+
+    The real J-Kernel hides ``java.lang.Thread`` and substitutes a class
+    with the same interface acting on the local segment; this handle is the
+    hosted analogue.  It is safe to hand to other domains: the most it can
+    do is affect the one segment it names.
+    """
+
+    __slots__ = ("_segment",)
+
+    def __init__(self, segment):
+        self._segment = segment
+
+    def stop(self, exc=None):
+        self._segment.stop(exc)
+
+    def suspend(self):
+        self._segment.suspend()
+
+    def resume(self):
+        self._segment.resume()
+
+    def set_priority(self, priority):
+        self._segment.priority = max(1, min(10, int(priority)))
+
+    @property
+    def priority(self):
+        return self._segment.priority
+
+    @property
+    def alive(self):
+        return self._segment.alive
+
+    @property
+    def domain_name(self):
+        return self._segment.domain.name
+
+
+def _stack():
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = _tls.stack = []
+    return stack
+
+
+def current_segment():
+    """The running thread's top segment, or None outside any domain."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+def current_domain():
+    segment = current_segment()
+    return segment.domain if segment is not None else None
+
+
+def current_handle():
+    """Handle on the caller's own segment (the interposed Thread.current)."""
+    segment = current_segment()
+    if segment is None:
+        raise RuntimeError("no active segment on this thread")
+    return SegmentHandle(segment)
+
+
+def checkpoint():
+    """Safepoint for domain code: honours stop/suspend of *this* segment."""
+    segment = current_segment()
+    if segment is not None:
+        segment.checkpoint()
+
+
+def push(domain):
+    """Enter a segment for ``domain`` (the callee side of an LRMI).
+
+    Performs the caller-segment checkpoint, the two lock pairs, and
+    registers the new segment with the callee domain.
+    """
+    if domain.terminated:
+        raise DomainTerminatedException(
+            f"domain {domain.name!r} has terminated"
+        )
+    stack = _stack()
+    caller = stack[-1] if stack else None
+    if caller is not None:
+        caller.checkpoint()
+        caller.lock.acquire()  # lock pair 1: caller segment
+        caller.lock.release()
+    segment = ThreadSegment(domain)
+    segment.lock.acquire()  # lock pair 2: callee segment
+    try:
+        domain._register_segment(segment)
+    finally:
+        segment.lock.release()
+    stack.append(segment)
+    return segment
+
+
+def pop():
+    """Leave the callee segment; re-applies the caller's pending state."""
+    stack = _stack()
+    segment = stack.pop()
+    with segment.lock:
+        segment.alive = False
+        segment.domain._unregister_segment(segment)
+    caller = stack[-1] if stack else None
+    if caller is not None:
+        caller.checkpoint()
+    return segment

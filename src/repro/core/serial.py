@@ -1,0 +1,463 @@
+"""From-scratch object serializer (the Java-serialization analogue).
+
+The default LRMI copy mechanism: a value is *serialized into an
+intermediate byte array* and deserialized into a fresh copy (paper §3.1).
+The byte-array round trip is deliberate — Table 4 measures exactly this
+cost against the fast-copy mechanism, which avoids it.
+
+Format: tag-length-value with back-references for shared/cyclic structure.
+Classes must be registered (``@serializable`` or :func:`register_class`),
+mirroring Java's ``implements Serializable`` opt-in.  Capabilities are
+never byte-encoded: during an LRMI transfer they are swapped out into a
+side table and re-inserted by reference on read (RMI's remote-reference
+semantics); outside an LRMI they are not serializable at all.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+
+from .errors import NotSerializableError
+
+_T_NULL = 0
+_T_TRUE = 1
+_T_FALSE = 2
+_T_INT64 = 3
+_T_BIGINT = 4
+_T_FLOAT = 5
+_T_STR = 6
+_T_BYTES = 7
+_T_BYTEARRAY = 8
+_T_LIST = 9
+_T_TUPLE = 10
+_T_SET = 11
+_T_FROZENSET = 12
+_T_DICT = 13
+_T_OBJECT = 14
+_T_EXCEPTION = 15
+_T_BACKREF = 16
+_T_CAPREF = 17
+
+_INT64_MIN = -(2 ** 63)
+_INT64_MAX = 2 ** 63 - 1
+
+_PACK_I64 = struct.Struct(">q")
+_PACK_F64 = struct.Struct(">d")
+_PACK_U32 = struct.Struct(">I")
+
+
+def class_fields(cls, explicit=None):
+    """Determine the copied fields of a class: explicit list, dataclass
+    fields, or ``__slots__``; ``None`` means "use the instance __dict__"."""
+    if explicit is not None:
+        return tuple(explicit)
+    if dataclasses.is_dataclass(cls):
+        return tuple(f.name for f in dataclasses.fields(cls))
+    slots = []
+    for ancestor in reversed(cls.__mro__):
+        declared = ancestor.__dict__.get("__slots__")
+        if declared is None:
+            continue
+        if isinstance(declared, str):
+            declared = (declared,)
+        slots.extend(s for s in declared if s not in ("__weakref__",))
+    return tuple(slots) or None
+
+
+class ClassDescriptor:
+    """Registration record for one serializable class."""
+
+    __slots__ = ("cls", "name", "fields", "is_exception")
+
+    def __init__(self, cls, name, fields):
+        self.cls = cls
+        self.name = name
+        self.fields = fields
+        self.is_exception = isinstance(cls, type) and issubclass(
+            cls, BaseException
+        )
+
+
+class SerialRegistry:
+    """Name <-> class mapping shared by writer and reader.
+
+    In J-Kernel terms this is the set of *shared classes* both domains can
+    see: a value can only cross if both sides agree on the class.
+    """
+
+    def __init__(self):
+        self._by_class = {}
+        self._by_name = {}
+
+    def register(self, cls, name=None, fields=None):
+        wire_name = name or f"{cls.__module__}.{cls.__qualname__}"
+        descriptor = ClassDescriptor(cls, wire_name, class_fields(cls, fields))
+        self._by_class[cls] = descriptor
+        self._by_name[wire_name] = descriptor
+        return cls
+
+    def lookup_class(self, cls):
+        return self._by_class.get(cls)
+
+    def lookup_name(self, name):
+        return self._by_name.get(name)
+
+    def knows(self, cls):
+        return cls in self._by_class
+
+
+#: Process-wide default registry (the "system-wide shared class space").
+DEFAULT_REGISTRY = SerialRegistry()
+
+
+def serializable(cls=None, *, name=None, fields=None, registry=None):
+    """Class decorator: make a class copyable via serialization."""
+    def register(target):
+        (registry or DEFAULT_REGISTRY).register(target, name=name,
+                                                fields=fields)
+        return target
+
+    if cls is None:
+        return register
+    return register(cls)
+
+
+def register_class(cls, name=None, fields=None, registry=None):
+    (registry or DEFAULT_REGISTRY).register(cls, name=name, fields=fields)
+    return cls
+
+
+# Common exception types are serializable out of the box, so callee-side
+# errors propagate to callers (paper: "ensuring the correct propagation of
+# failure").
+def _register_builtin_exceptions(registry):
+    for exc_type in (
+        Exception,
+        ValueError,
+        TypeError,
+        KeyError,
+        IndexError,
+        RuntimeError,
+        ArithmeticError,
+        ZeroDivisionError,
+        LookupError,
+        AttributeError,
+        NotImplementedError,
+        OSError,
+        StopIteration,
+        PermissionError,
+        FileNotFoundError,
+    ):
+        registry.register(exc_type, name=f"builtin.{exc_type.__name__}")
+
+
+_register_builtin_exceptions(DEFAULT_REGISTRY)
+
+
+class ObjectWriter:
+    """Serializes one value graph to bytes."""
+
+    def __init__(self, registry=None, capability_table=None):
+        self.registry = registry or DEFAULT_REGISTRY
+        self.capability_table = capability_table
+        self._buffer = bytearray()
+        self._memo = {}
+
+    def dumps(self, value):
+        self.write(value)
+        return bytes(self._buffer)
+
+    # -- primitives --------------------------------------------------------
+    def _tag(self, tag):
+        self._buffer.append(tag)
+
+    def _u32(self, value):
+        self._buffer += _PACK_U32.pack(value)
+
+    def _raw(self, data):
+        self._u32(len(data))
+        self._buffer += data
+
+    # -- main dispatch ---------------------------------------------------------
+    def write(self, value):
+        if value is None:
+            self._tag(_T_NULL)
+            return
+        if value is True:
+            self._tag(_T_TRUE)
+            return
+        if value is False:
+            self._tag(_T_FALSE)
+            return
+        value_type = type(value)
+        if value_type is int:
+            if _INT64_MIN <= value <= _INT64_MAX:
+                self._tag(_T_INT64)
+                self._buffer += _PACK_I64.pack(value)
+            else:
+                self._tag(_T_BIGINT)
+                encoded = value.to_bytes(
+                    (value.bit_length() + 8) // 8, "big", signed=True
+                )
+                self._raw(encoded)
+            return
+        if value_type is float:
+            self._tag(_T_FLOAT)
+            self._buffer += _PACK_F64.pack(value)
+            return
+        if value_type is str:
+            self._tag(_T_STR)
+            self._raw(value.encode("utf-8"))
+            return
+        if value_type is bytes:
+            self._tag(_T_BYTES)
+            self._raw(value)
+            return
+        if self._write_backref(value):
+            return
+        if value_type is bytearray:
+            self._memo[id(value)] = len(self._memo)
+            self._tag(_T_BYTEARRAY)
+            self._raw(bytes(value))
+            return
+        if value_type is list:
+            self._write_sequence(_T_LIST, value)
+            return
+        if value_type is tuple:
+            self._write_sequence(_T_TUPLE, value)
+            return
+        if value_type is set:
+            self._write_sequence(_T_SET, sorted(value, key=_sort_key))
+            return
+        if value_type is frozenset:
+            self._write_sequence(_T_FROZENSET, sorted(value, key=_sort_key))
+            return
+        if value_type is dict:
+            self._memo[id(value)] = len(self._memo)
+            self._tag(_T_DICT)
+            self._u32(len(value))
+            for key, item in value.items():
+                self.write(key)
+                self.write(item)
+            return
+        if self._write_capref(value):
+            return
+        self._write_object(value)
+
+    def _write_backref(self, value):
+        index = self._memo.get(id(value))
+        if index is None:
+            return False
+        self._tag(_T_BACKREF)
+        self._u32(index)
+        return True
+
+    def _write_sequence(self, tag, items):
+        self._memo[id(items)] = len(self._memo)
+        self._tag(tag)
+        self._u32(len(items))
+        for item in items:
+            self.write(item)
+
+    def _write_capref(self, value):
+        from .capability import Capability
+
+        if not isinstance(value, Capability):
+            return False
+        if self.capability_table is None:
+            raise NotSerializableError(
+                "capabilities cannot be serialized outside an LRMI transfer"
+            )
+        self._tag(_T_CAPREF)
+        self._u32(len(self.capability_table))
+        self.capability_table.append(value)
+        return True
+
+    def _write_object(self, value):
+        descriptor = self.registry.lookup_class(type(value))
+        if descriptor is None:
+            if isinstance(value, BaseException):
+                descriptor = self._exception_fallback(value)
+            if descriptor is None:
+                raise NotSerializableError(
+                    f"{type(value).__qualname__} is not registered as "
+                    "serializable (use @serializable or @fast_copy)"
+                )
+        self._memo[id(value)] = len(self._memo)
+        if descriptor.is_exception:
+            self._tag(_T_EXCEPTION)
+            self._raw(descriptor.name.encode("utf-8"))
+            self.write(tuple(value.args))
+            return
+        self._tag(_T_OBJECT)
+        self._raw(descriptor.name.encode("utf-8"))
+        if descriptor.fields is not None:
+            self._u32(len(descriptor.fields))
+            for field in descriptor.fields:
+                self._raw(field.encode("utf-8"))
+                self.write(getattr(value, field))
+        else:
+            state = vars(value)
+            self._u32(len(state))
+            for field in sorted(state):
+                self._raw(field.encode("utf-8"))
+                self.write(state[field])
+
+    def _exception_fallback(self, value):
+        # Walk up the exception hierarchy for a registered ancestor, so an
+        # unregistered subclass still crosses as its nearest known base.
+        for ancestor in type(value).__mro__[1:]:
+            descriptor = self.registry.lookup_class(ancestor)
+            if descriptor is not None and descriptor.is_exception:
+                return descriptor
+        return None
+
+
+class ObjectReader:
+    """Deserializes bytes produced by :class:`ObjectWriter`."""
+
+    def __init__(self, data, registry=None, capability_table=None):
+        self.registry = registry or DEFAULT_REGISTRY
+        self.capability_table = capability_table or []
+        self._data = memoryview(data)
+        self._offset = 0
+        self._memo = []
+
+    def loads(self):
+        value = self.read()
+        if self._offset != len(self._data):
+            raise NotSerializableError("trailing bytes after value")
+        return value
+
+    # -- primitives ---------------------------------------------------------
+    def _take(self, count):
+        end = self._offset + count
+        if end > len(self._data):
+            raise NotSerializableError("truncated stream")
+        chunk = self._data[self._offset:end]
+        self._offset = end
+        return chunk
+
+    def _u32(self):
+        return _PACK_U32.unpack(self._take(4))[0]
+
+    def _raw(self):
+        return bytes(self._take(self._u32()))
+
+    # -- main dispatch -----------------------------------------------------------
+    def read(self):
+        tag = self._take(1)[0]
+        if tag == _T_NULL:
+            return None
+        if tag == _T_TRUE:
+            return True
+        if tag == _T_FALSE:
+            return False
+        if tag == _T_INT64:
+            return _PACK_I64.unpack(self._take(8))[0]
+        if tag == _T_BIGINT:
+            return int.from_bytes(self._raw(), "big", signed=True)
+        if tag == _T_FLOAT:
+            return _PACK_F64.unpack(self._take(8))[0]
+        if tag == _T_STR:
+            return self._raw().decode("utf-8")
+        if tag == _T_BYTES:
+            return self._raw()
+        if tag == _T_BYTEARRAY:
+            value = bytearray(self._raw())
+            self._memo.append(value)
+            return value
+        if tag == _T_LIST:
+            return self._read_sequence(list)
+        if tag == _T_TUPLE:
+            return self._read_sequence(tuple)
+        if tag == _T_SET:
+            return self._read_sequence(set)
+        if tag == _T_FROZENSET:
+            return self._read_sequence(frozenset)
+        if tag == _T_DICT:
+            value = {}
+            self._memo.append(value)
+            for _ in range(self._u32()):
+                key = self.read()
+                value[key] = self.read()
+            return value
+        if tag == _T_BACKREF:
+            return self._memo[self._u32()]
+        if tag == _T_CAPREF:
+            return self.capability_table[self._u32()]
+        if tag == _T_EXCEPTION:
+            return self._read_exception()
+        if tag == _T_OBJECT:
+            return self._read_object()
+        raise NotSerializableError(f"unknown tag {tag}")
+
+    def _read_sequence(self, factory):
+        placeholder = []
+        self._memo.append(placeholder)
+        slot = len(self._memo) - 1
+        count = self._u32()
+        for _ in range(count):
+            placeholder.append(self.read())
+        if factory is list:
+            return placeholder
+        value = factory(placeholder)
+        self._memo[slot] = value
+        return value
+
+    def _read_exception(self):
+        name = self._raw().decode("utf-8")
+        descriptor = self.registry.lookup_name(name)
+        if descriptor is None:
+            raise NotSerializableError(f"unknown exception class {name!r}")
+        args = None
+        slot = len(self._memo)
+        self._memo.append(None)
+        args = self.read()
+        value = descriptor.cls(*args)
+        self._memo[slot] = value
+        return value
+
+    def _read_object(self):
+        name = self._raw().decode("utf-8")
+        descriptor = self.registry.lookup_name(name)
+        if descriptor is None:
+            raise NotSerializableError(f"unknown class {name!r}")
+        value = descriptor.cls.__new__(descriptor.cls)
+        self._memo.append(value)
+        for _ in range(self._u32()):
+            field = self._raw().decode("utf-8")
+            setattr(value, field, self.read())
+        return value
+
+
+def _sort_key(value):
+    return (type(value).__name__, repr(value))
+
+
+def dumps(value, registry=None, capability_table=None):
+    return ObjectWriter(registry, capability_table).dumps(value)
+
+
+def loads(data, registry=None, capability_table=None):
+    return ObjectReader(data, registry, capability_table).loads()
+
+
+_copy_observer = None
+
+
+def set_copy_observer(callback):
+    """Install a hook receiving the byte size of every serialized copy
+    (used by ``repro.core.accounting``)."""
+    global _copy_observer
+    _copy_observer = callback
+
+
+def copy_via_serialization(value, registry=None, capability_table=None):
+    """The default LRMI copy: serialize to a byte array, deserialize."""
+    table = capability_table if capability_table is not None else []
+    data = dumps(value, registry, table)
+    if _copy_observer is not None:
+        _copy_observer(len(data))
+    return loads(data, registry, table)

@@ -1,0 +1,135 @@
+"""Shared classes (paper §3.1, "Class Name Resolvers").
+
+Domains must share remote interfaces and fast-copy classes to establish
+common methods and argument types for cross-domain calls.  Sharing is
+governed by two rules (footnote 3 of the paper):
+
+* shared classes (and, transitively, the classes they refer to) must have
+  **no static fields** — otherwise a mutable class attribute becomes a
+  covert shared-object channel between domains;
+* two domains that share a class must also share the classes it
+  references, for cross-domain type consistency.
+
+:func:`share_class` validates the first rule and packages the class with
+its declared references; ``SharedClass.install`` grants the whole closure
+into a domain's namespace at once, enforcing the second rule.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+from .errors import SharingError
+
+_IMMUTABLE_STATIC_TYPES = (
+    int, float, bool, str, bytes, complex, frozenset, type(None),
+)
+
+_ALLOWED_DUNDERS = {
+    "__module__", "__qualname__", "__doc__", "__dict__", "__weakref__",
+    "__slots__", "__annotations__", "__parameters__", "__orig_bases__",
+    "__abstractmethods__", "__dataclass_fields__", "__dataclass_params__",
+    "__match_args__", "__hash__", "__firstlineno__", "__static_attributes__",
+    "__jk_references__",  # the sharing machinery's own metadata
+}
+
+
+def _is_immutable_static(value):
+    if isinstance(value, _IMMUTABLE_STATIC_TYPES):
+        return True
+    if isinstance(value, tuple):
+        return all(_is_immutable_static(item) for item in value)
+    return False
+
+
+def check_no_static_state(cls):
+    """Reject classes with mutable class-level attributes.
+
+    Methods, properties, descriptors and immutable constants are fine;
+    anything that could act as a mutable shared "static field" is not.
+    """
+    for name, value in vars(cls).items():
+        if name in _ALLOWED_DUNDERS:
+            continue
+        if callable(value) or isinstance(
+            value, (staticmethod, classmethod, property)
+        ):
+            continue
+        if inspect.isdatadescriptor(value) or inspect.ismemberdescriptor(
+            value
+        ):
+            continue
+        if _is_immutable_static(value):
+            continue
+        raise SharingError(
+            f"class {cls.__name__} cannot be shared: class attribute "
+            f"{name!r} is mutable static state ({type(value).__name__})"
+        )
+    return cls
+
+
+class SharedClass:
+    """A shareable class plus the classes it references.
+
+    The J-Kernel's ``SharedClass`` capability: a domain that loaded new
+    classes can hand this to other domains, which install it to gain the
+    class (and its referenced classes) in their namespace.
+    """
+
+    def __init__(self, cls, referenced=()):
+        check_no_static_state(cls)
+        closure = []
+        seen = set()
+        pending = list(referenced)
+        while pending:
+            ref = pending.pop()
+            if ref in seen:
+                continue
+            seen.add(ref)
+            check_no_static_state(ref)
+            closure.append(ref)
+            extra = getattr(ref, "__jk_references__", ())
+            pending.extend(extra)
+        extra = getattr(cls, "__jk_references__", ())
+        for ref in extra:
+            if ref not in seen:
+                seen.add(ref)
+                check_no_static_state(ref)
+                closure.append(ref)
+        self.cls = cls
+        self.referenced = tuple(closure)
+
+    def install(self, domain):
+        """Grant the class and its full reference closure to a domain."""
+        names = {self.cls.__name__: self.cls}
+        for ref in self.referenced:
+            names[ref.__name__] = ref
+        for name, cls in names.items():
+            existing = domain.resolver.granted(name)
+            if existing is not None and existing is not cls:
+                raise SharingError(
+                    f"domain {domain.name} already binds {name!r} to a "
+                    "different class"
+                )
+        for name, cls in names.items():
+            domain.resolver.grant(name, cls)
+        return sorted(names)
+
+    def __repr__(self):
+        refs = ", ".join(ref.__name__ for ref in self.referenced)
+        return f"<SharedClass {self.cls.__name__} [{refs}]>"
+
+
+def share_class(cls, referenced=()):
+    """Validate and package a class for cross-domain sharing."""
+    return SharedClass(cls, referenced)
+
+
+def references(*classes):
+    """Class decorator declaring which classes a shareable class refers to
+    (the transitive-sharing rule uses this declaration)."""
+    def mark(cls):
+        cls.__jk_references__ = tuple(classes)
+        return cls
+
+    return mark

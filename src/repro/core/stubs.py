@@ -1,0 +1,67 @@
+"""Run-time stub generation for capabilities (paper §3.1, "Local-RMI
+stubs").
+
+"Internally, create automatically generates a stub class at run-time for
+each target class.  This avoids off-line stub generators and IDL files."
+
+For each implementation class we generate (once, cached) a stub class that
+extends :class:`~repro.core.capability.Capability` and implements every
+remote interface of the target.  Each stub method is generated source code
+that funnels into the LRMI path: revocation check, segment switch, argument
+copy, target invoke, result copy, segment restore.
+"""
+
+from __future__ import annotations
+
+from .remote import remote_interfaces, remote_methods
+
+_cache = {}
+
+
+def stub_class_for(implementation_cls):
+    """The generated stub class for one target class (cached)."""
+    cached = _cache.get(implementation_cls)
+    if cached is not None:
+        return cached
+    stub_cls = _generate(implementation_cls)
+    _cache[implementation_cls] = stub_cls
+    return stub_cls
+
+
+def _generate(implementation_cls):
+    from .capability import Capability, lrmi_invoke
+
+    methods = remote_methods(implementation_cls)
+    interfaces = remote_interfaces(implementation_cls)
+
+    lines = []
+    for name in sorted(methods):
+        lines.append(f"def {name}(self, *args, **kwargs):")
+        lines.append(f"    return _lrmi(self, {name!r}, args, kwargs)")
+        lines.append("")
+    source = "\n".join(lines)
+    namespace = {"_lrmi": lrmi_invoke}
+    exec(
+        compile(source, f"<stub {implementation_cls.__qualname__}>", "exec"),
+        namespace,
+    )
+
+    body = {
+        name: namespace[name] for name in methods
+    }
+    body["__module__"] = implementation_cls.__module__
+    body["__doc__"] = (
+        f"Generated J-Kernel stub for {implementation_cls.__qualname__}."
+    )
+    body["__stub_source__"] = source
+    stub_cls = type(
+        f"{implementation_cls.__name__}_Stub",
+        (Capability, *interfaces),
+        body,
+    )
+    return stub_cls
+
+
+def clear_cache():
+    """Drop generated stubs (test isolation helper)."""
+    _cache.clear()

@@ -1,0 +1,35 @@
+"""OS IPC substrate for Table 2: local RPC between real processes and a
+COM-like component model with in-proc and out-of-proc activation."""
+
+from .com import (
+    IN_PROC,
+    OUT_OF_PROC,
+    ComError,
+    ComHost,
+    ComInterface,
+    ComRegistry,
+    InterfacePointer,
+    connect_proxy,
+    create_instance,
+)
+from .ntrpc import RpcClient, RpcError, RpcServerProcess, null_server
+from .wire import WireError, recv_frame, send_frame
+
+__all__ = [
+    "ComError",
+    "ComHost",
+    "ComInterface",
+    "ComRegistry",
+    "IN_PROC",
+    "InterfacePointer",
+    "OUT_OF_PROC",
+    "RpcClient",
+    "RpcError",
+    "RpcServerProcess",
+    "WireError",
+    "connect_proxy",
+    "create_instance",
+    "null_server",
+    "recv_frame",
+    "send_frame",
+]

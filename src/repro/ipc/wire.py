@@ -1,0 +1,45 @@
+"""Length-prefixed message framing over stream sockets.
+
+The shared wire layer of the NT-RPC and COM out-of-proc analogues: a frame
+is a 4-byte big-endian length followed by that many payload bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+
+_LEN = struct.Struct(">I")
+
+MAX_FRAME = 64 * 1024 * 1024
+
+
+class WireError(Exception):
+    """Framing violation or unexpected connection close."""
+
+
+def send_frame(sock, payload):
+    if len(payload) > MAX_FRAME:
+        raise WireError(f"frame too large: {len(payload)}")
+    sock.sendall(_LEN.pack(len(payload)) + payload)
+
+
+def recv_exact(sock, count):
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise WireError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock):
+    header = recv_exact(sock, 4)
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME:
+        raise WireError(f"frame too large: {length}")
+    if length == 0:
+        return b""
+    return recv_exact(sock, length)

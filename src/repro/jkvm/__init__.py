@@ -1,0 +1,30 @@
+"""J-Kernel on the MiniJVM (the enforced path).
+
+See ``repro.core`` for the hosted implementation of the same architecture;
+this package runs the protection machinery on verified bytecode with
+per-domain class loaders, and is the substrate for the Table 1 LRMI
+measurements.
+"""
+
+from .kernel import JKernelVM, VMDomain
+from .stubgen import (
+    CAPABILITY,
+    KERNEL,
+    REMOTE,
+    REVOKED,
+    generate_stub_classfile,
+    remote_interfaces_of,
+    stub_name_for,
+)
+
+__all__ = [
+    "CAPABILITY",
+    "JKernelVM",
+    "KERNEL",
+    "REMOTE",
+    "REVOKED",
+    "VMDomain",
+    "generate_stub_classfile",
+    "remote_interfaces_of",
+    "stub_name_for",
+]

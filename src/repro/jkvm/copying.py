@@ -1,0 +1,70 @@
+"""VM-level argument copying for cross-domain calls.
+
+The ``jk/Kernel.copyValue`` native: deep-copies a guest object graph into
+the callee domain, applying the LRMI calling convention — capabilities
+(instances of ``jk/Capability``) pass by reference, strings are immutable
+and pass as-is, everything else is copied field by field.  New objects are
+charged to the current thread's domain tag, so copies land on the
+receiving domain's heap account.
+"""
+
+from __future__ import annotations
+
+from repro.jvm.interp import GuestUnwind
+from repro.jvm.values import JArray, JObject
+
+ILLEGAL_ARGUMENT = "java/lang/IllegalArgumentException"
+
+
+def copy_value(vm, jkernel, thread, value, memo=None):
+    """Deep copy one guest value per the calling convention."""
+    if value is None or isinstance(value, (int, float)):
+        return value
+    if memo is None:
+        memo = {}
+    return _copy(vm, jkernel, thread, value, memo)
+
+
+def _copy(vm, jkernel, thread, value, memo):
+    hit = memo.get(id(value))
+    if hit is not None:
+        return hit
+    owner = thread.domain_tag
+    if isinstance(value, JArray):
+        copy = vm.heap.new_array(value.jclass, len(value.elems), owner=owner)
+        memo[id(value)] = copy
+        if value.jclass.element_class is None:
+            copy.elems[:] = value.elems
+        else:
+            copy.elems[:] = [
+                None if elem is None else _copy(vm, jkernel, thread, elem, memo)
+                for elem in value.elems
+            ]
+        return copy
+    if isinstance(value, JObject):
+        if value.jclass is vm.string_class:
+            return value  # immutable: sharing is unobservable
+        if value.jclass.is_assignable_to(jkernel.capability_class):
+            return value  # capabilities pass by reference
+        if value.native is not None:
+            raise GuestUnwind(
+                vm.make_throwable(
+                    ILLEGAL_ARGUMENT,
+                    f"native-backed {value.jclass.name} cannot cross domains",
+                    owner=owner,
+                )
+            )
+        copy = vm.heap.new_object(value.jclass, owner=owner)
+        memo[id(value)] = copy
+        copy.fields[:] = [
+            field if field is None or isinstance(field, (int, float))
+            else _copy(vm, jkernel, thread, field, memo)
+            for field in value.fields
+        ]
+        return copy
+    raise GuestUnwind(
+        vm.make_throwable(
+            ILLEGAL_ARGUMENT, f"uncopyable host value {type(value).__name__}",
+            owner=owner,
+        )
+    )

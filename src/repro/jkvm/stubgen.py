@@ -1,0 +1,191 @@
+"""LRMI stub bytecode generation (paper §3.1).
+
+For each target class the kernel generates a stub class whose methods are
+real MiniJVM bytecode performing the cross-domain calling convention:
+
+1. revocation check (``target`` field null → throw ``jk/RevokedException``),
+2. segment switch (``jk/Kernel.enterSegment`` — thread-info lookup plus the
+   two lock pairs, through the VM profile's monitor implementation),
+3. per-argument copy for reference arguments (``jk/Kernel.copyValue``),
+4. ``INVOKEVIRTUAL`` on the target,
+5. result copy (reference results),
+6. segment restore (``jk/Kernel.exitSegment``) — guaranteed by an
+   exception handler wrapping the call, so a callee throw still restores
+   the caller's segment before propagating.
+
+The generated classfile goes through the same structural check and
+bytecode verifier as user code: the kernel trusts nothing it generates.
+"""
+
+from __future__ import annotations
+
+from repro.jvm.asm import ClassAssembler
+from repro.jvm.classfile import ACC_PRIVATE, ACC_PUBLIC, CONSTRUCTOR_NAME
+from repro.jvm.errors import VMError
+from repro.jvm.instructions import (
+    ALOAD,
+    ARETURN,
+    ATHROW,
+    CHECKCAST,
+    DLOAD,
+    DRETURN,
+    DUP,
+    GETFIELD,
+    ILOAD,
+    INVOKESPECIAL,
+    INVOKESTATIC,
+    INVOKEVIRTUAL,
+    IFNONNULL,
+    IRETURN,
+    NEW,
+    POP,
+    PUTFIELD,
+    RETURN,
+)
+from repro.jvm.values import (
+    is_reference_descriptor,
+    parse_method_descriptor,
+)
+
+CAPABILITY = "jk/Capability"
+KERNEL = "jk/Kernel"
+REMOTE = "jk/Remote"
+REVOKED = "jk/RevokedException"
+
+TARGET_FIELD = "target"
+DOMAIN_FIELD = "domainHandle"
+
+
+def remote_interfaces_of(rtclass, remote_class):
+    """All interfaces of ``rtclass`` that extend ``jk/Remote``."""
+    found = []
+    for iface in rtclass.all_interfaces:
+        if iface is remote_class:
+            continue
+        if remote_class in iface.all_interfaces:
+            found.append(iface)
+    return sorted(found, key=lambda iface: iface.name)
+
+
+def remote_method_table(interfaces):
+    """Union of method signatures declared across the remote interfaces."""
+    table = {}
+    for iface in interfaces:
+        for key, method in iface.declared.items():
+            table.setdefault(key, method)
+        for parent in iface.all_interfaces:
+            for key, method in parent.declared.items():
+                table.setdefault(key, method)
+    return table
+
+
+def stub_name_for(target_class):
+    return "jk/stubs/" + target_class.name.replace("/", "_") + "$Stub"
+
+
+def generate_stub_classfile(target_class, remote_class):
+    """Build the stub classfile for one target class."""
+    interfaces = remote_interfaces_of(target_class, remote_class)
+    if not interfaces:
+        raise VMError(
+            f"{target_class.name} implements no interface extending {REMOTE}"
+        )
+    methods = remote_method_table(interfaces)
+    if not methods:
+        raise VMError(
+            f"{target_class.name}'s remote interfaces declare no methods"
+        )
+
+    ca = ClassAssembler(
+        stub_name_for(target_class),
+        super_name=CAPABILITY,
+        interfaces=tuple(iface.name for iface in interfaces),
+        source=f"<stub for {target_class.name}>",
+    )
+    ca.field(TARGET_FIELD, "Ljava/lang/Object;", ACC_PRIVATE)
+    ca.field(DOMAIN_FIELD, "Ljava/lang/Object;", ACC_PRIVATE)
+
+    with ca.method(CONSTRUCTOR_NAME, "()V") as m:
+        m.emit(ALOAD, 0)
+        m.emit(INVOKESPECIAL, CAPABILITY, CONSTRUCTOR_NAME, "()V")
+        m.emit(RETURN)
+
+    for (name, desc), _declaration in sorted(methods.items()):
+        _emit_stub_method(ca, target_class, name, desc)
+    return ca.build()
+
+
+def _emit_stub_method(ca, target_class, name, desc):
+    args, ret = parse_method_descriptor(desc)
+    stub_name = stub_name_for(target_class)
+    m = ca.method(name, desc, ACC_PUBLIC)
+
+    # 1. revocation check
+    m.emit(ALOAD, 0)
+    m.emit(GETFIELD, stub_name, TARGET_FIELD)
+    m.emit(DUP)
+    live = m.label("live")
+    m.emit(IFNONNULL, live)
+    m.emit(POP)
+    m.emit(NEW, REVOKED)
+    m.emit(DUP)
+    m.emit(INVOKESPECIAL, REVOKED, CONSTRUCTOR_NAME, "()V")
+    m.emit(ATHROW)
+    m.mark(live)
+    m.emit(CHECKCAST, target_class.name)  # stack: [target:T]
+
+    # 2. segment switch (checks domain termination too)
+    m.emit(ALOAD, 0)
+    m.emit(GETFIELD, stub_name, DOMAIN_FIELD)
+    m.emit(INVOKESTATIC, KERNEL, "enterSegment", "(Ljava/lang/Object;)V")
+
+    protected_start = m.here()
+
+    # 3. arguments: copy references, pass primitives
+    slot = 1
+    for arg_desc in args:
+        if is_reference_descriptor(arg_desc):
+            m.emit(ALOAD, slot)
+            m.emit(INVOKESTATIC, KERNEL, "copyValue",
+                   "(Ljava/lang/Object;)Ljava/lang/Object;")
+            m.emit(CHECKCAST, _cast_operand(arg_desc))
+        elif arg_desc == "D":
+            m.emit(DLOAD, slot)
+        else:
+            m.emit(ILOAD, slot)
+        slot += 1
+
+    # 4. the call
+    m.emit(INVOKEVIRTUAL, target_class.name, name, desc)
+
+    # 5. result copy
+    if is_reference_descriptor(ret):
+        m.emit(INVOKESTATIC, KERNEL, "copyValue",
+               "(Ljava/lang/Object;)Ljava/lang/Object;")
+        m.emit(CHECKCAST, _cast_operand(ret))
+
+    protected_end = m.here()
+
+    # 6. segment restore + return
+    m.emit(INVOKESTATIC, KERNEL, "exitSegment", "()V")
+    if ret == "V":
+        m.emit(RETURN)
+    elif ret == "D":
+        m.emit(DRETURN)
+    elif is_reference_descriptor(ret):
+        m.emit(ARETURN)
+    else:
+        m.emit(IRETURN)
+
+    # exception path: restore the segment, rethrow
+    handler = m.here()
+    m.emit(INVOKESTATIC, KERNEL, "exitSegment", "()V")
+    m.emit(ATHROW)
+    m.handler(protected_start, protected_end, handler, None)
+
+
+def _cast_operand(desc):
+    """CHECKCAST operand for a reference descriptor."""
+    if desc.startswith("["):
+        return desc
+    return desc[1:-1]

@@ -1,0 +1,81 @@
+"""MiniJVM: the safe-language substrate of the J-Kernel reproduction.
+
+A from-scratch stack-machine virtual machine with a typed classfile model,
+a dataflow bytecode verifier, per-loader namespaces, green threads,
+monitors, interface dispatch strategies and a mark-sweep collector.
+
+See ``DESIGN.md`` §3.1 for the module map.
+"""
+
+from .asm import ClassAssembler, MethodAssembler, interface
+from .classfile import (
+    ACC_ABSTRACT,
+    ACC_FINAL,
+    ACC_INTERFACE,
+    ACC_NATIVE,
+    ACC_PRIVATE,
+    ACC_PUBLIC,
+    ACC_STATIC,
+    ClassFile,
+    ExceptionHandler,
+    FieldDef,
+    MethodDef,
+)
+from .errors import (
+    ClassFormatError,
+    ClassNotFoundError,
+    DeadlockError,
+    IllegalAccessError,
+    IncompatibleClassChangeError,
+    JThrowable,
+    LinkageError,
+    OutOfStepsError,
+    VerifyError,
+    VMError,
+)
+from .loader import ChainResolver, ClassLoader, DenyResolver, MapResolver, Resolver
+from .machine import VM
+from .profiles import MSVM, PROFILES, SUNVM, VMProfile, get_profile
+from .values import JArray, JObject, i8, i32
+
+__all__ = [
+    "ACC_ABSTRACT",
+    "ACC_FINAL",
+    "ACC_INTERFACE",
+    "ACC_NATIVE",
+    "ACC_PRIVATE",
+    "ACC_PUBLIC",
+    "ACC_STATIC",
+    "ChainResolver",
+    "ClassAssembler",
+    "ClassFile",
+    "ClassFormatError",
+    "ClassLoader",
+    "ClassNotFoundError",
+    "DeadlockError",
+    "DenyResolver",
+    "ExceptionHandler",
+    "FieldDef",
+    "IllegalAccessError",
+    "IncompatibleClassChangeError",
+    "JArray",
+    "JObject",
+    "JThrowable",
+    "LinkageError",
+    "MapResolver",
+    "MethodAssembler",
+    "MethodDef",
+    "MSVM",
+    "OutOfStepsError",
+    "PROFILES",
+    "Resolver",
+    "SUNVM",
+    "VerifyError",
+    "VM",
+    "VMError",
+    "VMProfile",
+    "i32",
+    "i8",
+    "interface",
+    "get_profile",
+]

@@ -1,0 +1,342 @@
+"""Programmatic assembler for MiniJVM classfiles.
+
+The assembler is the trusted construction path used by the J-Kernel's stub
+generator, the CS314 toolchain backend and the test suite.  It provides
+labels, computes ``max_stack``/``max_locals`` automatically, and runs the
+structural classfile check on ``build()``.
+
+Example::
+
+    ca = ClassAssembler("demo/Adder")
+    with ca.method("add", "(II)I") as m:
+        m.emit(ILOAD, 1)
+        m.emit(ILOAD, 2)
+        m.emit(IADD)
+        m.emit(IRETURN)
+    classfile = ca.build()
+"""
+
+from __future__ import annotations
+
+from .classfile import (
+    ACC_ABSTRACT,
+    ACC_INTERFACE,
+    ACC_NATIVE,
+    ACC_PUBLIC,
+    ACC_STATIC,
+    ClassFile,
+    ExceptionHandler,
+    FieldDef,
+    MethodDef,
+    check_classfile,
+)
+from .errors import ClassFormatError
+from .instructions import (
+    ARETURN,
+    ATHROW,
+    BRANCH_OPCODES,
+    DRETURN,
+    GOTO,
+    INVOKEINTERFACE,
+    INVOKESPECIAL,
+    INVOKESTATIC,
+    INVOKEVIRTUAL,
+    IRETURN,
+    OPERAND_SHAPES,
+    RETURN,
+    TERMINAL_OPCODES,
+)
+from .values import OBJECT, parse_method_descriptor
+
+_SIMPLE_EFFECTS = {
+    "nop": (0, 0),
+    "iconst": (0, 1),
+    "dconst": (0, 1),
+    "ldc_str": (0, 1),
+    "aconst_null": (0, 1),
+    "iload": (0, 1),
+    "dload": (0, 1),
+    "aload": (0, 1),
+    "istore": (1, 0),
+    "dstore": (1, 0),
+    "astore": (1, 0),
+    "iinc": (0, 0),
+    "pop": (1, 0),
+    "dup": (1, 2),
+    "dup_x1": (2, 3),
+    "swap": (2, 2),
+    "iadd": (2, 1),
+    "isub": (2, 1),
+    "imul": (2, 1),
+    "idiv": (2, 1),
+    "irem": (2, 1),
+    "ineg": (1, 1),
+    "ishl": (2, 1),
+    "ishr": (2, 1),
+    "iand": (2, 1),
+    "ior": (2, 1),
+    "ixor": (2, 1),
+    "dadd": (2, 1),
+    "dsub": (2, 1),
+    "dmul": (2, 1),
+    "ddiv": (2, 1),
+    "dneg": (1, 1),
+    "dcmp": (2, 1),
+    "i2d": (1, 1),
+    "d2i": (1, 1),
+    "goto": (0, 0),
+    "ifeq": (1, 0),
+    "ifne": (1, 0),
+    "iflt": (1, 0),
+    "ifle": (1, 0),
+    "ifgt": (1, 0),
+    "ifge": (1, 0),
+    "if_icmpeq": (2, 0),
+    "if_icmpne": (2, 0),
+    "if_icmplt": (2, 0),
+    "if_icmple": (2, 0),
+    "if_icmpgt": (2, 0),
+    "if_icmpge": (2, 0),
+    "if_acmpeq": (2, 0),
+    "if_acmpne": (2, 0),
+    "ifnull": (1, 0),
+    "ifnonnull": (1, 0),
+    "new": (0, 1),
+    "getfield": (1, 1),
+    "putfield": (2, 0),
+    "getstatic": (0, 1),
+    "putstatic": (1, 0),
+    "checkcast": (1, 1),
+    "instanceof": (1, 1),
+    "newarray": (1, 1),
+    "arraylength": (1, 1),
+    "baload": (2, 1),
+    "bastore": (3, 0),
+    "iaload": (2, 1),
+    "iastore": (3, 0),
+    "daload": (2, 1),
+    "dastore": (3, 0),
+    "aaload": (2, 1),
+    "aastore": (3, 0),
+    "return": (0, 0),
+    "ireturn": (1, 0),
+    "dreturn": (1, 0),
+    "areturn": (1, 0),
+    "athrow": (1, 0),
+    "monitorenter": (1, 0),
+    "monitorexit": (1, 0),
+}
+
+_INVOKES = frozenset({INVOKEVIRTUAL, INVOKEINTERFACE, INVOKESTATIC, INVOKESPECIAL})
+
+
+def stack_effect(instr):
+    """Return ``(pops, pushes)`` for one instruction tuple."""
+    opcode = instr[0]
+    if opcode in _INVOKES:
+        args, ret = parse_method_descriptor(instr[3])
+        pops = len(args) + (0 if opcode == INVOKESTATIC else 1)
+        return pops, (0 if ret == "V" else 1)
+    return _SIMPLE_EFFECTS[opcode]
+
+
+class Label:
+    """A forward-referencable branch target."""
+
+    __slots__ = ("pc", "_name")
+
+    def __init__(self, name=None):
+        self.pc = None
+        self._name = name
+
+    def __repr__(self):
+        name = self._name if self._name is not None else f"{id(self):#x}"
+        return f"<Label {name} pc={self.pc}>"
+
+
+class MethodAssembler:
+    """Assembles one method body.  Usable as a context manager."""
+
+    def __init__(self, name, desc, flags=ACC_PUBLIC):
+        self.name = name
+        self.desc = desc
+        self.flags = flags
+        self._code = []
+        self._handlers = []
+
+    # -- emission -----------------------------------------------------
+    def emit(self, opcode, *operands):
+        """Append one instruction; ``target`` operands may be Labels."""
+        if opcode not in OPERAND_SHAPES:
+            raise ClassFormatError(f"unknown opcode {opcode!r}")
+        self._code.append((opcode, *operands))
+        return len(self._code) - 1
+
+    def label(self, name=None):
+        return Label(name)
+
+    def mark(self, label):
+        """Bind ``label`` to the next instruction index."""
+        if label.pc is not None:
+            raise ClassFormatError(f"label bound twice: {label!r}")
+        label.pc = len(self._code)
+        return label
+
+    def here(self):
+        """A label bound to the next instruction index."""
+        return self.mark(Label())
+
+    def handler(self, start, end, target, catch_type=None):
+        """Register an exception handler over ``[start, end)`` labels/pcs."""
+        self._handlers.append((start, end, target, catch_type))
+
+    # -- building -------------------------------------------------------
+    def _resolve(self, value):
+        if isinstance(value, Label):
+            if value.pc is None:
+                raise ClassFormatError(f"unbound label: {value!r}")
+            return value.pc
+        return value
+
+    def build(self):
+        code = []
+        for instr in self._code:
+            opcode = instr[0]
+            if opcode in BRANCH_OPCODES:
+                code.append((opcode, self._resolve(instr[1])))
+            else:
+                code.append(instr)
+        code = tuple(code)
+        handlers = tuple(
+            ExceptionHandler(
+                self._resolve(start), self._resolve(end), self._resolve(target), ct
+            )
+            for start, end, target, ct in self._handlers
+        )
+        max_stack = _compute_max_stack(self.name, code, handlers)
+        max_locals = _compute_max_locals(self.desc, self.flags, code)
+        return MethodDef(
+            name=self.name,
+            desc=self.desc,
+            flags=self.flags,
+            max_stack=max_stack,
+            max_locals=max_locals,
+            code=code,
+            handlers=handlers,
+        )
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+def _compute_max_stack(name, code, handlers):
+    """Depth-only dataflow: computes the deepest stack; rejects inconsistent
+    merge depths and stack underflow (the type verifier re-checks both)."""
+    if not code:
+        return 0
+    depths = [None] * len(code)
+    worklist = [(0, 0)]
+    for handler in handlers:
+        worklist.append((handler.handler_pc, 1))
+    max_depth = 0
+    while worklist:
+        pc, depth = worklist.pop()
+        if pc >= len(code):
+            raise ClassFormatError(f"control flows past end of {name}")
+        if depths[pc] is not None:
+            if depths[pc] != depth:
+                raise ClassFormatError(
+                    f"inconsistent stack depth at pc={pc} in {name}"
+                )
+            continue
+        depths[pc] = depth
+        instr = code[pc]
+        pops, pushes = stack_effect(instr)
+        if depth < pops:
+            raise ClassFormatError(f"stack underflow at pc={pc} in {name}")
+        new_depth = depth - pops + pushes
+        max_depth = max(max_depth, new_depth, depth)
+        opcode = instr[0]
+        if opcode in BRANCH_OPCODES:
+            worklist.append((instr[1], new_depth))
+        if opcode not in TERMINAL_OPCODES:
+            worklist.append((pc + 1, new_depth))
+    return max_depth
+
+
+_LOCAL_OPS = frozenset(
+    {"iload", "istore", "dload", "dstore", "aload", "astore", "iinc"}
+)
+
+
+def _compute_max_locals(desc, flags, code):
+    args, _ = parse_method_descriptor(desc)
+    count = len(args) + (0 if flags & ACC_STATIC else 1)
+    for instr in code:
+        if instr[0] in _LOCAL_OPS:
+            count = max(count, instr[1] + 1)
+    return count
+
+
+class ClassAssembler:
+    """Assembles one classfile."""
+
+    def __init__(
+        self, name, super_name=OBJECT, interfaces=(), flags=ACC_PUBLIC, source=None
+    ):
+        self.name = name
+        self.super_name = super_name
+        self.interfaces = tuple(interfaces)
+        self.flags = flags
+        self.source = source or "<assembled>"
+        self._fields = []
+        self._methods = []
+
+    def field(self, name, desc, flags=ACC_PUBLIC):
+        self._fields.append(FieldDef(name, desc, flags))
+        return self
+
+    def method(self, name, desc, flags=ACC_PUBLIC):
+        assembler = MethodAssembler(name, desc, flags)
+        self._methods.append(assembler)
+        return assembler
+
+    def native_method(self, name, desc, flags=ACC_PUBLIC):
+        self._methods.append(MethodDef(name, desc, flags | ACC_NATIVE))
+        return self
+
+    def abstract_method(self, name, desc, flags=ACC_PUBLIC):
+        self._methods.append(MethodDef(name, desc, flags | ACC_ABSTRACT))
+        return self
+
+    def build(self):
+        methods = tuple(
+            m.build() if isinstance(m, MethodAssembler) else m for m in self._methods
+        )
+        classfile = ClassFile(
+            name=self.name,
+            super_name=self.super_name,
+            interfaces=self.interfaces,
+            flags=self.flags,
+            fields=tuple(self._fields),
+            methods=methods,
+            source=self.source,
+        )
+        check_classfile(classfile)
+        return classfile
+
+
+def interface(name, methods, extends=(), flags=ACC_PUBLIC):
+    """Convenience constructor for an interface classfile.
+
+    ``methods`` is an iterable of ``(name, desc)`` pairs.
+    """
+    ca = ClassAssembler(
+        name, super_name=OBJECT, interfaces=extends, flags=flags | ACC_INTERFACE
+    )
+    for method_name, desc in methods:
+        ca.abstract_method(method_name, desc)
+    return ca.build()

@@ -1,0 +1,216 @@
+"""In-memory classfile model for the MiniJVM.
+
+A :class:`ClassFile` is the unit of code submitted to a class loader.  It is
+a plain data structure — untrusted until it passes structural checking
+(:func:`check_classfile`) and bytecode verification (``repro.jvm.verifier``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import ClassFormatError
+from .instructions import OPERAND_SHAPES
+from .values import OBJECT, parse_field_descriptor, parse_method_descriptor
+
+ACC_PUBLIC = 0x0001
+ACC_PRIVATE = 0x0002
+ACC_STATIC = 0x0008
+ACC_FINAL = 0x0010
+ACC_INTERFACE = 0x0200
+ACC_ABSTRACT = 0x0400
+ACC_NATIVE = 0x0100
+
+CONSTRUCTOR_NAME = "<init>"
+CLASS_INITIALIZER_NAME = "<clinit>"
+
+
+@dataclass(frozen=True)
+class FieldDef:
+    """A declared field: ``desc`` is a field descriptor, ``flags`` ACC_* bits."""
+
+    name: str
+    desc: str
+    flags: int = ACC_PUBLIC
+
+    @property
+    def is_static(self):
+        return bool(self.flags & ACC_STATIC)
+
+    @property
+    def is_private(self):
+        return bool(self.flags & ACC_PRIVATE)
+
+
+@dataclass(frozen=True)
+class ExceptionHandler:
+    """Covers instruction indices ``[start_pc, end_pc)``.
+
+    ``catch_type`` is a class name or ``None`` for a catch-all handler.
+    """
+
+    start_pc: int
+    end_pc: int
+    handler_pc: int
+    catch_type: str | None = None
+
+
+@dataclass(frozen=True)
+class MethodDef:
+    """A declared method.
+
+    ``code`` is a tuple of instruction tuples ``(opcode, *operands)``; pcs
+    are instruction indices (not byte offsets).  Native methods carry no
+    code and are bound to host functions by the native bridge at link time.
+    """
+
+    name: str
+    desc: str
+    flags: int = ACC_PUBLIC
+    max_stack: int = 0
+    max_locals: int = 0
+    code: tuple = ()
+    handlers: tuple = ()
+
+    @property
+    def is_static(self):
+        return bool(self.flags & ACC_STATIC)
+
+    @property
+    def is_private(self):
+        return bool(self.flags & ACC_PRIVATE)
+
+    @property
+    def is_native(self):
+        return bool(self.flags & ACC_NATIVE)
+
+    @property
+    def is_abstract(self):
+        return bool(self.flags & ACC_ABSTRACT)
+
+    @property
+    def key(self):
+        return (self.name, self.desc)
+
+
+@dataclass(frozen=True)
+class ClassFile:
+    """One class or interface as submitted to a loader."""
+
+    name: str
+    super_name: str | None = OBJECT
+    interfaces: tuple = ()
+    flags: int = ACC_PUBLIC
+    fields: tuple = ()
+    methods: tuple = ()
+    source: str = "<assembled>"
+
+    @property
+    def is_interface(self):
+        return bool(self.flags & ACC_INTERFACE)
+
+    def method(self, name, desc):
+        for method_def in self.methods:
+            if method_def.name == name and method_def.desc == desc:
+                return method_def
+        return None
+
+
+def check_classfile(classfile):
+    """Structural well-formedness check, applied before verification.
+
+    Catches duplicate members, malformed descriptors, bad handler ranges and
+    unknown opcodes.  Raises :class:`ClassFormatError`.
+    """
+    seen_fields = set()
+    for field_def in classfile.fields:
+        if field_def.name in seen_fields:
+            raise ClassFormatError(
+                f"duplicate field {field_def.name} in {classfile.name}"
+            )
+        seen_fields.add(field_def.name)
+        desc, end = parse_field_descriptor(field_def.desc)
+        if end != len(field_def.desc):
+            raise ClassFormatError(
+                f"trailing junk in descriptor of {classfile.name}.{field_def.name}"
+            )
+
+    seen_methods = set()
+    for method_def in classfile.methods:
+        if method_def.key in seen_methods:
+            raise ClassFormatError(
+                f"duplicate method {method_def.name}{method_def.desc} "
+                f"in {classfile.name}"
+            )
+        seen_methods.add(method_def.key)
+        try:
+            parse_method_descriptor(method_def.desc)
+        except ValueError as exc:
+            raise ClassFormatError(str(exc)) from exc
+        if method_def.is_native or method_def.is_abstract:
+            if method_def.code:
+                raise ClassFormatError(
+                    f"native/abstract method {classfile.name}.{method_def.name} "
+                    "has code"
+                )
+            continue
+        if classfile.is_interface:
+            raise ClassFormatError(
+                f"interface {classfile.name} declares concrete method "
+                f"{method_def.name}"
+            )
+        if not method_def.code:
+            raise ClassFormatError(
+                f"concrete method {classfile.name}.{method_def.name} has no code"
+            )
+        _check_code(classfile, method_def)
+
+
+def _check_code(classfile, method_def):
+    code_len = len(method_def.code)
+    for pc, instr in enumerate(method_def.code):
+        opcode = instr[0]
+        shape = OPERAND_SHAPES.get(opcode)
+        if shape is None:
+            raise ClassFormatError(
+                f"unknown opcode {opcode!r} at pc={pc} in "
+                f"{classfile.name}.{method_def.name}"
+            )
+        if len(instr) - 1 != len(shape):
+            raise ClassFormatError(
+                f"opcode {opcode} expects {len(shape)} operands, got "
+                f"{len(instr) - 1} at pc={pc} in "
+                f"{classfile.name}.{method_def.name}"
+            )
+        for operand, kind in zip(instr[1:], shape):
+            _check_operand(classfile, method_def, pc, opcode, operand, kind, code_len)
+    for handler in method_def.handlers:
+        if not (0 <= handler.start_pc < handler.end_pc <= code_len):
+            raise ClassFormatError(
+                f"bad handler range in {classfile.name}.{method_def.name}"
+            )
+        if not (0 <= handler.handler_pc < code_len):
+            raise ClassFormatError(
+                f"bad handler target in {classfile.name}.{method_def.name}"
+            )
+
+
+def _check_operand(classfile, method_def, pc, opcode, operand, kind, code_len):
+    where = f"at pc={pc} in {classfile.name}.{method_def.name}"
+    if kind == "int":
+        if not isinstance(operand, int) or isinstance(operand, bool):
+            raise ClassFormatError(f"{opcode} needs int operand {where}")
+    elif kind == "float":
+        if not isinstance(operand, float):
+            raise ClassFormatError(f"{opcode} needs float operand {where}")
+    elif kind == "str":
+        if not isinstance(operand, str):
+            raise ClassFormatError(f"{opcode} needs str operand {where}")
+    elif kind == "target":
+        if not isinstance(operand, int) or not 0 <= operand < code_len:
+            raise ClassFormatError(f"{opcode} branch target out of range {where}")
+    elif kind == "index":
+        if not isinstance(operand, int) or operand < 0:
+            raise ClassFormatError(f"{opcode} needs non-negative index {where}")
+    else:  # pragma: no cover - shape table is internal
+        raise AssertionError(f"unknown operand kind {kind}")

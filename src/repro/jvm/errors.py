@@ -1,0 +1,92 @@
+"""Error hierarchy for the MiniJVM substrate.
+
+Two kinds of failure exist in the VM:
+
+* *Host errors* (subclasses of :class:`VMError`) — raised when the VM itself
+  is misused or detects an inconsistency: malformed classfiles, verification
+  failures, linkage problems.  These are Python exceptions aimed at the
+  embedder and never visible to guest bytecode.
+
+* *Guest exceptions* — exceptions thrown *inside* the VM by executing
+  bytecode (``ATHROW``) or by the runtime (null dereference, bad cast).
+  They are represented by :class:`JThrowable`, which wraps a guest heap
+  object and unwinds guest frames; if no guest handler catches it, the
+  embedder sees the ``JThrowable``.
+"""
+
+from __future__ import annotations
+
+
+class VMError(Exception):
+    """Base class for host-visible VM errors."""
+
+
+class ClassFormatError(VMError):
+    """A classfile is structurally malformed."""
+
+
+class VerifyError(VMError):
+    """Bytecode failed verification.
+
+    Carries the class, method and program counter for diagnostics.
+    """
+
+    def __init__(self, message, class_name=None, method=None, pc=None):
+        location = ""
+        if class_name is not None:
+            location = f" in {class_name}"
+            if method is not None:
+                location += f".{method}"
+            if pc is not None:
+                location += f" at pc={pc}"
+        super().__init__(message + location)
+        self.class_name = class_name
+        self.method = method
+        self.pc = pc
+
+
+class LinkageError(VMError):
+    """Symbolic resolution failed (missing class/field/method, bad access,
+    or a cross-loader signature mismatch)."""
+
+
+class ClassNotFoundError(LinkageError):
+    """No class of the requested name is visible in the loader namespace."""
+
+
+class IllegalAccessError(LinkageError):
+    """A member was referenced in violation of its access modifiers."""
+
+
+class IncompatibleClassChangeError(LinkageError):
+    """A resolved member does not have the expected shape (e.g. static vs
+    instance mismatch, or a field changed type)."""
+
+
+class JThrowable(Exception):
+    """A guest exception in flight.
+
+    ``jobject`` is the guest heap object (an instance of a class assignable
+    to ``java/lang/Throwable``).  The interpreter raises and catches this to
+    unwind guest frames.
+    """
+
+    def __init__(self, jobject):
+        self.jobject = jobject
+        super().__init__(self._describe())
+
+    def _describe(self):
+        jclass = getattr(self.jobject, "jclass", None)
+        name = jclass.name if jclass is not None else "<unknown>"
+        detail = getattr(self.jobject, "native", None)
+        if detail:
+            return f"{name}: {detail}"
+        return name
+
+
+class DeadlockError(VMError):
+    """The scheduler found every live thread blocked."""
+
+
+class OutOfStepsError(VMError):
+    """A bounded run exhausted its instruction budget before completing."""

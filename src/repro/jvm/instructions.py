@@ -1,0 +1,207 @@
+"""MiniJVM instruction set.
+
+Instructions are tuples ``(opcode, *operands)`` where ``opcode`` is a string
+constant from this module.  Program counters are instruction indices.
+
+The set is a compact subset of JVM bytecode sufficient for the J-Kernel
+reproduction: int/double arithmetic, reference and array operations, field
+access, four invocation kinds, exceptions and monitors.  There is by design
+no instruction that converts an int to a reference — reference
+unforgeability is structural.
+"""
+
+from __future__ import annotations
+
+# --- constants ---------------------------------------------------------
+NOP = "nop"
+ICONST = "iconst"  # (value)
+DCONST = "dconst"  # (value)
+LDC_STR = "ldc_str"  # (python str) -> interned String reference
+ACONST_NULL = "aconst_null"
+
+# --- locals ------------------------------------------------------------
+ILOAD = "iload"  # (slot)
+ISTORE = "istore"  # (slot)
+DLOAD = "dload"
+DSTORE = "dstore"
+ALOAD = "aload"
+ASTORE = "astore"
+IINC = "iinc"  # (slot, delta)
+
+# --- operand stack ------------------------------------------------------
+POP = "pop"
+DUP = "dup"
+DUP_X1 = "dup_x1"
+SWAP = "swap"
+
+# --- int arithmetic ------------------------------------------------------
+IADD = "iadd"
+ISUB = "isub"
+IMUL = "imul"
+IDIV = "idiv"
+IREM = "irem"
+INEG = "ineg"
+ISHL = "ishl"
+ISHR = "ishr"
+IAND = "iand"
+IOR = "ior"
+IXOR = "ixor"
+
+# --- double arithmetic ---------------------------------------------------
+DADD = "dadd"
+DSUB = "dsub"
+DMUL = "dmul"
+DDIV = "ddiv"
+DNEG = "dneg"
+DCMP = "dcmp"  # pushes -1/0/1
+
+# --- conversions ----------------------------------------------------------
+I2D = "i2d"
+D2I = "d2i"
+
+# --- control flow ----------------------------------------------------------
+GOTO = "goto"  # (target)
+IFEQ = "ifeq"
+IFNE = "ifne"
+IFLT = "iflt"
+IFLE = "ifle"
+IFGT = "ifgt"
+IFGE = "ifge"
+IF_ICMPEQ = "if_icmpeq"
+IF_ICMPNE = "if_icmpne"
+IF_ICMPLT = "if_icmplt"
+IF_ICMPLE = "if_icmple"
+IF_ICMPGT = "if_icmpgt"
+IF_ICMPGE = "if_icmpge"
+IF_ACMPEQ = "if_acmpeq"
+IF_ACMPNE = "if_acmpne"
+IFNULL = "ifnull"
+IFNONNULL = "ifnonnull"
+
+# --- objects ---------------------------------------------------------------
+NEW = "new"  # (class_name)
+GETFIELD = "getfield"  # (class_name, field_name)
+PUTFIELD = "putfield"
+GETSTATIC = "getstatic"
+PUTSTATIC = "putstatic"
+INVOKEVIRTUAL = "invokevirtual"  # (class_name, method_name, desc)
+INVOKEINTERFACE = "invokeinterface"
+INVOKESTATIC = "invokestatic"
+INVOKESPECIAL = "invokespecial"  # constructors, private and super calls
+CHECKCAST = "checkcast"  # (class_name or array descriptor)
+INSTANCEOF = "instanceof"
+
+# --- arrays -----------------------------------------------------------------
+NEWARRAY = "newarray"  # (element_descriptor); length on stack
+ARRAYLENGTH = "arraylength"
+BALOAD = "baload"
+BASTORE = "bastore"
+IALOAD = "iaload"
+IASTORE = "iastore"
+DALOAD = "daload"
+DASTORE = "dastore"
+AALOAD = "aaload"
+AASTORE = "aastore"
+
+# --- returns / exceptions / monitors ------------------------------------------
+RETURN = "return"
+IRETURN = "ireturn"
+DRETURN = "dreturn"
+ARETURN = "areturn"
+ATHROW = "athrow"
+MONITORENTER = "monitorenter"
+MONITOREXIT = "monitorexit"
+
+# Operand shapes: opcode -> tuple of operand kinds.
+# Kinds: "int", "float", "str", "target" (branch pc), "index" (local slot).
+OPERAND_SHAPES = {
+    NOP: (),
+    ICONST: ("int",),
+    DCONST: ("float",),
+    LDC_STR: ("str",),
+    ACONST_NULL: (),
+    ILOAD: ("index",),
+    ISTORE: ("index",),
+    DLOAD: ("index",),
+    DSTORE: ("index",),
+    ALOAD: ("index",),
+    ASTORE: ("index",),
+    IINC: ("index", "int"),
+    POP: (),
+    DUP: (),
+    DUP_X1: (),
+    SWAP: (),
+    IADD: (),
+    ISUB: (),
+    IMUL: (),
+    IDIV: (),
+    IREM: (),
+    INEG: (),
+    ISHL: (),
+    ISHR: (),
+    IAND: (),
+    IOR: (),
+    IXOR: (),
+    DADD: (),
+    DSUB: (),
+    DMUL: (),
+    DDIV: (),
+    DNEG: (),
+    DCMP: (),
+    I2D: (),
+    D2I: (),
+    GOTO: ("target",),
+    IFEQ: ("target",),
+    IFNE: ("target",),
+    IFLT: ("target",),
+    IFLE: ("target",),
+    IFGT: ("target",),
+    IFGE: ("target",),
+    IF_ICMPEQ: ("target",),
+    IF_ICMPNE: ("target",),
+    IF_ICMPLT: ("target",),
+    IF_ICMPLE: ("target",),
+    IF_ICMPGT: ("target",),
+    IF_ICMPGE: ("target",),
+    IF_ACMPEQ: ("target",),
+    IF_ACMPNE: ("target",),
+    IFNULL: ("target",),
+    IFNONNULL: ("target",),
+    NEW: ("str",),
+    GETFIELD: ("str", "str"),
+    PUTFIELD: ("str", "str"),
+    GETSTATIC: ("str", "str"),
+    PUTSTATIC: ("str", "str"),
+    INVOKEVIRTUAL: ("str", "str", "str"),
+    INVOKEINTERFACE: ("str", "str", "str"),
+    INVOKESTATIC: ("str", "str", "str"),
+    INVOKESPECIAL: ("str", "str", "str"),
+    CHECKCAST: ("str",),
+    INSTANCEOF: ("str",),
+    NEWARRAY: ("str",),
+    ARRAYLENGTH: (),
+    BALOAD: (),
+    BASTORE: (),
+    IALOAD: (),
+    IASTORE: (),
+    DALOAD: (),
+    DASTORE: (),
+    AALOAD: (),
+    AASTORE: (),
+    RETURN: (),
+    IRETURN: (),
+    DRETURN: (),
+    ARETURN: (),
+    ATHROW: (),
+    MONITORENTER: (),
+    MONITOREXIT: (),
+}
+
+BRANCH_OPCODES = frozenset(
+    op for op, shape in OPERAND_SHAPES.items() if shape == ("target",)
+)
+
+# Opcodes after which control never falls through to the next instruction.
+TERMINAL_OPCODES = frozenset({GOTO, RETURN, IRETURN, DRETURN, ARETURN, ATHROW})
+
+CONDITIONAL_BRANCHES = BRANCH_OPCODES - {GOTO}

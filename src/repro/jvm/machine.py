@@ -1,0 +1,245 @@
+"""The VM facade: one object owning heap, scheduler, loaders and profile.
+
+Typical embedding::
+
+    vm = VM(profile="sunvm")
+    loader = vm.new_loader("domain-A", resolver=MapResolver({...}))
+    rtclass = loader.load("demo/Main")
+    result = vm.call_static(rtclass, "main", "()I")
+"""
+
+from __future__ import annotations
+
+from .corelib import core_classfiles
+from .errors import JThrowable, VMError
+from .heap import Heap
+from .interp import Interpreter
+from .loader import ClassLoader, MapResolver
+from .natives import NativeRegistry, install_core_natives
+from .profiles import get_profile
+from .runtime import make_array_class
+from .threads import Scheduler
+from .values import (
+    OBJECT,
+    STRING,
+    THROWABLE,
+    JObject,
+    parse_method_descriptor,
+)
+
+_PRIMITIVE_ELEMENTS = ("I", "B", "D", "Z")
+
+
+class VM:
+    """One MiniJVM instance."""
+
+    def __init__(self, profile="sunvm", verify=True, intern_weak=False,
+                 quantum=None):
+        self.profile = get_profile(profile)
+        self.heap = Heap()
+        self.natives = NativeRegistry()
+        install_core_natives(self.natives)
+        self.monitors = self.profile.make_monitor_manager()
+        self.dispatcher = self.profile.make_dispatcher()
+        self.scheduler = Scheduler(
+            self,
+            quantum=quantum or self.profile.quantum,
+            thread_lookup=self.profile.thread_lookup,
+        )
+        self.interpreter = Interpreter(self)
+        self.intern_weak = intern_weak
+        self.interned = {}
+        self.pinned = set()  # host-held GC roots
+        self.loaders = []
+        self.output = []  # (domain_tag, text) records from System.println
+        self.on_output = None
+        self._array_classes = {}
+        self._arg_counts = {}
+        self._lazy_classes = {}
+        boot_resolver = MapResolver(
+            {cf.name: cf for cf in core_classfiles()}
+        )
+        self.boot_loader = ClassLoader(
+            self, "<boot>", resolver=boot_resolver, verify=verify
+        )
+        self.loaders.append(self.boot_loader)
+
+    # -- well-known classes (lazy: bootstrap order safe) ---------------------
+    def _well_known(self, name):
+        rtclass = self._lazy_classes.get(name)
+        if rtclass is None:
+            rtclass = self._lazy_classes[name] = self.boot_loader.load(name)
+        return rtclass
+
+    @property
+    def object_class(self):
+        return self._well_known(OBJECT)
+
+    @property
+    def string_class(self):
+        return self._well_known(STRING)
+
+    @property
+    def throwable_class(self):
+        return self._well_known(THROWABLE)
+
+    # -- loaders -----------------------------------------------------------
+    def new_loader(self, name, resolver=None, parent="boot", verify=True):
+        """Create a loader whose parent defaults to the boot loader."""
+        if parent == "boot":
+            parent = self.boot_loader
+        loader = ClassLoader(self, name, resolver=resolver, parent=parent,
+                             verify=verify)
+        self.loaders.append(loader)
+        return loader
+
+    # -- array classes --------------------------------------------------------
+    def array_class_for_descriptor(self, desc, loader):
+        """Runtime class for an array descriptor like ``[I`` or ``[Lx/Y;``."""
+        element_desc = desc[1:]
+        if element_desc in _PRIMITIVE_ELEMENTS:
+            key = "[" + ("I" if element_desc == "Z" else element_desc)
+            cached = self._array_classes.get(key)
+            if cached is None:
+                cached = make_array_class(
+                    element_desc, None, self.object_class, self.boot_loader
+                )
+                self._array_classes[key] = cached
+            return cached
+        if element_desc.startswith("["):
+            element_class = self.array_class_for_descriptor(element_desc, loader)
+        elif element_desc.startswith("L") and element_desc.endswith(";"):
+            element_class = loader.load(element_desc[1:-1])
+        else:
+            raise VMError(f"bad array descriptor {desc!r}")
+        cached = self._array_classes.get(element_class)
+        if cached is None:
+            cached = make_array_class(
+                None, element_class, self.object_class, element_class.loader
+            )
+            self._array_classes[element_class] = cached
+        return cached
+
+    # -- strings ---------------------------------------------------------------
+    def new_string(self, text, owner="<system>"):
+        jstring = JObject(self.string_class, [], native=text)
+        return self.heap.adopt(jstring, owner, 16 + len(text))
+
+    def intern(self, text):
+        jstring = self.interned.get(text)
+        if jstring is None:
+            jstring = self.new_string(text, owner="<interned>")
+            self.interned[text] = jstring
+        return jstring
+
+    def text_of(self, jstring):
+        """Host string for a guest String reference."""
+        if jstring is None:
+            return None
+        value = jstring.native
+        return value if isinstance(value, str) else ""
+
+    # -- throwables -------------------------------------------------------------
+    def make_throwable(self, class_name, message=None, owner="<system>"):
+        rtclass = self.boot_loader.load(class_name)
+        jobject = self.heap.new_object(rtclass, owner=owner)
+        jobject.native = message
+        if message is not None:
+            found = rtclass.find_field("message")
+            if found is not None:
+                _, slot, _ = found
+                jobject.fields[slot] = self.new_string(message, owner=owner)
+        return jobject
+
+    # -- misc ---------------------------------------------------------------------
+    def arg_count(self, desc):
+        count = self._arg_counts.get(desc)
+        if count is None:
+            count = len(parse_method_descriptor(desc)[0])
+            self._arg_counts[desc] = count
+        return count
+
+    def emit_output(self, domain_tag, text):
+        self.output.append((domain_tag, text))
+        if self.on_output is not None:
+            self.on_output(domain_tag, text)
+
+    # -- synchronous call helpers ----------------------------------------------------
+    def _call_native_direct(self, owner, method, args, domain_tag):
+        """Invoke a non-blocking native method without spawning a thread."""
+        from .interp import NATIVE_BLOCKED, GuestUnwind
+        from .threads import ThreadContext
+
+        binding = owner.native_bindings.get(method.key) or self.natives.lookup(
+            owner, method
+        )
+        if binding is None:
+            raise VMError(
+                f"unbound native {owner.name}.{method.name}{method.desc}"
+            )
+        context = ThreadContext(f"native:{method.name}", domain_tag)
+        try:
+            result = binding(self, context, list(args))
+        except GuestUnwind as unwind:
+            raise JThrowable(unwind.jobject) from None
+        if result is NATIVE_BLOCKED:
+            raise VMError(
+                f"native {owner.name}.{method.name} blocks; call it from "
+                "guest code instead"
+            )
+        return result
+
+    def call_static(self, rtclass, name, desc, args=(), domain_tag="<system>",
+                    max_steps=10_000_000):
+        """Run a static method to completion on a fresh guest thread."""
+        found = rtclass.find_declared(name, desc)
+        if found is None or not found[1].is_static:
+            raise VMError(f"no static method {rtclass.name}.{name}{desc}")
+        owner, method = found
+        if method.is_native:
+            return self._call_native_direct(owner, method, args, domain_tag)
+        thread = self.scheduler.spawn(
+            owner, method, list(args),
+            name=f"call:{name}", domain_tag=domain_tag,
+        )
+        return self.scheduler.run_thread(thread, max_steps=max_steps)
+
+    def call_virtual(self, receiver, name, desc, args=(),
+                     domain_tag="<system>", max_steps=10_000_000):
+        """Run a virtual method to completion on a fresh guest thread."""
+        index = receiver.jclass.vindex.get((name, desc))
+        if index is None:
+            raise VMError(
+                f"no virtual method {receiver.jclass.name}.{name}{desc}"
+            )
+        owner, method = receiver.jclass.vtable[index]
+        full_args = [receiver, *args]
+        if method.is_native:
+            return self._call_native_direct(owner, method, full_args,
+                                            domain_tag)
+        thread = self.scheduler.spawn(
+            owner, method, full_args,
+            name=f"call:{name}", domain_tag=domain_tag,
+        )
+        return self.scheduler.run_thread(thread, max_steps=max_steps)
+
+    def construct(self, rtclass, desc="()V", args=(), domain_tag="<system>",
+                  max_steps=1_000_000):
+        """Allocate and run a constructor; returns the new object."""
+        found = rtclass.find_declared("<init>", desc)
+        if found is None:
+            raise VMError(f"no constructor {rtclass.name}.<init>{desc}")
+        owner, method = found
+        jobject = self.heap.new_object(rtclass, owner=domain_tag)
+        thread = self.scheduler.spawn(
+            owner, method, [jobject, *args],
+            name="construct", domain_tag=domain_tag,
+        )
+        self.scheduler.run_thread(thread, max_steps=max_steps)
+        return jobject
+
+    def collect(self):
+        """Run a full mark-sweep collection; returns statistics."""
+        from .gc import collect
+
+        return collect(self)

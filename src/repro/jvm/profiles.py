@@ -1,0 +1,75 @@
+"""VM cost profiles.
+
+The paper measures the same J-Kernel on two commercial VMs whose primitive
+operations have very different costs (Table 1):
+
+=======================  =======  =======
+operation (µs)           MS-VM    Sun-VM
+=======================  =======  =======
+regular invocation        0.04     0.03
+interface invocation      0.54     0.05
+thread info lookup        0.55     0.29
+acquire/release lock      0.20     1.91
+J-Kernel LRMI             2.22     5.41
+=======================  =======  =======
+
+A profile bundles implementation strategies that reproduce those *shapes*:
+
+* ``msvm`` — linear interface dispatch (expensive interface calls), thin
+  locks (cheap), hashed current-thread lookup (expensive);
+* ``sunvm`` — cached itable dispatch (cheap interface calls), heavyweight
+  registry monitors (expensive), cached current-thread pointer (cheap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .dispatch import make_dispatcher
+from .monitors import HeavyMonitorManager, ThinLockManager
+
+
+@dataclass(frozen=True)
+class VMProfile:
+    """Implementation strategy selection for one VM instance."""
+
+    name: str
+    interface_dispatch: str  # "linear" | "cached"
+    monitor_impl: str  # "thin" | "heavy"
+    thread_lookup: str  # "hashed" | "cached"
+    quantum: int = 64
+
+    def make_dispatcher(self):
+        return make_dispatcher(self.interface_dispatch)
+
+    def make_monitor_manager(self):
+        if self.monitor_impl == "thin":
+            return ThinLockManager()
+        if self.monitor_impl == "heavy":
+            return HeavyMonitorManager()
+        raise ValueError(f"unknown monitor strategy {self.monitor_impl!r}")
+
+
+MSVM = VMProfile(
+    name="msvm", interface_dispatch="linear", monitor_impl="thin",
+    thread_lookup="hashed",
+)
+
+SUNVM = VMProfile(
+    name="sunvm", interface_dispatch="cached", monitor_impl="heavy",
+    thread_lookup="cached",
+)
+
+PROFILES = {"msvm": MSVM, "sunvm": SUNVM}
+
+
+def get_profile(profile):
+    """Accept a profile object or a profile name."""
+    if isinstance(profile, VMProfile):
+        return profile
+    found = PROFILES.get(profile)
+    if found is None:
+        raise ValueError(
+            f"unknown profile {profile!r}; available: {sorted(PROFILES)}"
+        )
+    return found

@@ -1,0 +1,148 @@
+"""Value model and type descriptors for the MiniJVM.
+
+Descriptors follow JVM syntax:
+
+* ``I`` — 32-bit signed int (``Z`` boolean and ``B`` byte are views of it)
+* ``D`` — double
+* ``V`` — void (method returns only)
+* ``Lpkg/Name;`` — reference to class ``pkg/Name``
+* ``[I``, ``[B``, ``[D``, ``[Lpkg/Name;`` — arrays
+
+At run time ints are Python ints wrapped to 32 bits, doubles are Python
+floats, and references are :class:`JObject` / :class:`JArray` instances or
+``None`` (null).  Reference unforgeability is structural: no instruction
+converts an int to a reference, so guest code can only obtain references
+through allocation, loads and calls.
+"""
+
+from __future__ import annotations
+
+OBJECT = "java/lang/Object"
+STRING = "java/lang/String"
+THROWABLE = "java/lang/Throwable"
+
+_INT_KINDS = frozenset("IZB")
+
+
+def i32(value):
+    """Wrap an int to 32-bit two's-complement, as JVM int arithmetic does."""
+    value &= 0xFFFFFFFF
+    if value >= 0x80000000:
+        value -= 0x100000000
+    return value
+
+
+def i8(value):
+    """Wrap an int to 8-bit two's-complement (byte-array element storage)."""
+    value &= 0xFF
+    if value >= 0x80:
+        value -= 0x100
+    return value
+
+
+def is_reference_descriptor(desc):
+    return desc.startswith("L") or desc.startswith("[")
+
+
+def class_name_of_descriptor(desc):
+    """Class name for an ``L...;`` descriptor, else ``None``."""
+    if desc.startswith("L") and desc.endswith(";"):
+        return desc[1:-1]
+    return None
+
+
+def descriptor_of_class(name):
+    return f"L{name};"
+
+
+def verification_kind(desc):
+    """Collapse a field descriptor to a verifier kind: 'I', 'D' or 'A'."""
+    if desc in _INT_KINDS:
+        return "I"
+    if desc == "D":
+        return "D"
+    if is_reference_descriptor(desc):
+        return "A"
+    raise ValueError(f"bad field descriptor: {desc!r}")
+
+
+def default_value(desc):
+    """Zero value used to initialize fields and array elements."""
+    kind = verification_kind(desc)
+    if kind == "I":
+        return 0
+    if kind == "D":
+        return 0.0
+    return None
+
+
+def parse_field_descriptor(desc, offset=0):
+    """Parse one field descriptor starting at ``offset``.
+
+    Returns ``(descriptor, next_offset)``.
+    """
+    ch = desc[offset]
+    if ch in "IDZB":
+        return ch, offset + 1
+    if ch == "L":
+        end = desc.index(";", offset)
+        return desc[offset : end + 1], end + 1
+    if ch == "[":
+        element, end = parse_field_descriptor(desc, offset + 1)
+        return "[" + element, end
+    raise ValueError(f"bad descriptor at {offset} in {desc!r}")
+
+
+def parse_method_descriptor(desc):
+    """Parse ``(args)ret`` into ``(list_of_arg_descriptors, return_descriptor)``."""
+    if not desc.startswith("("):
+        raise ValueError(f"bad method descriptor: {desc!r}")
+    args = []
+    offset = 1
+    while desc[offset] != ")":
+        arg, offset = parse_field_descriptor(desc, offset)
+        args.append(arg)
+    offset += 1
+    ret = desc[offset:]
+    if ret != "V":
+        ret, end = parse_field_descriptor(ret)
+        if offset + len(ret) != len(desc) and end != len(desc) - offset:
+            raise ValueError(f"trailing junk in descriptor: {desc!r}")
+    return args, ret
+
+
+class JObject:
+    """A guest heap object: a class pointer plus one slot per instance field.
+
+    ``native`` carries host-side payload for native-backed classes (strings,
+    host handles); guest bytecode can never read it directly.
+    ``lockword`` backs the thin-lock monitor implementation.
+    """
+
+    __slots__ = ("jclass", "fields", "native", "lockword", "__weakref__")
+
+    def __init__(self, jclass, fields, native=None):
+        self.jclass = jclass
+        self.fields = fields
+        self.native = native
+        self.lockword = None
+
+    def __repr__(self):
+        return f"<JObject {self.jclass.name} at {id(self):#x}>"
+
+
+class JArray:
+    """A guest array: an array class pointer plus a Python list of elements."""
+
+    __slots__ = ("jclass", "elems", "lockword", "__weakref__")
+
+    def __init__(self, jclass, elems):
+        self.jclass = jclass
+        self.elems = elems
+        self.lockword = None
+
+    def __len__(self):
+        return len(self.elems)
+
+    def __repr__(self):
+        return f"<JArray {self.jclass.name}[{len(self.elems)}] at {id(self):#x}>"

@@ -1,0 +1,771 @@
+"""Dataflow bytecode verifier.
+
+This module is the enforcement point for the paper's central premise:
+*"the type system and the linker in a safe language restrict what operations
+a particular piece of code is allowed to perform on which memory locations"*
+(§2).  Untrusted classfiles pass through here before any instruction runs.
+
+The verifier performs a standard abstract interpretation over types:
+
+* verification types are ``'I'``, ``'D'``, ``'null'``, ``'TOP'`` (unusable)
+  and ``('ref', RuntimeClass)``;
+* frames (locals + operand stack) are merged at control-flow joins, with
+  least-upper-bound over the class hierarchy for references;
+* every instruction's operand types, local indices, stack bounds, branch
+  targets, member resolutions and access rights are checked.
+
+Interface assignability is deferred to run time (``INVOKEINTERFACE`` and
+``CHECKCAST`` re-check), matching JVM practice.  Member access obeys the
+static access control of §2: ``private`` members are usable only by the
+declaring class, and resolution happens through the verifying class's own
+loader namespace — so a class hidden from a domain simply fails to resolve.
+"""
+
+from __future__ import annotations
+
+from .classfile import CONSTRUCTOR_NAME
+from .errors import ClassNotFoundError, VerifyError
+from .instructions import (
+    BRANCH_OPCODES,
+    CONDITIONAL_BRANCHES,
+    TERMINAL_OPCODES,
+)
+from .values import parse_method_descriptor, verification_kind
+
+TOP = "TOP"
+NULL = "null"
+
+
+def _is_ref(vtype):
+    return vtype == NULL or (isinstance(vtype, tuple) and vtype[0] == "ref")
+
+
+def _ref(rtclass):
+    return ("ref", rtclass)
+
+
+class _MethodVerifier:
+    def __init__(self, vm, rtclass, method):
+        self.vm = vm
+        self.rtclass = rtclass
+        self.method = method
+        self.code = method.code
+        self.pc = 0
+
+    # -- entry point ------------------------------------------------------
+    def verify(self):
+        method = self.method
+        if not self.code:
+            self.fail("empty code")
+        args, self.return_desc = parse_method_descriptor(method.desc)
+        locals_init = []
+        if not method.is_static:
+            locals_init.append(_ref(self.rtclass))
+        for desc in args:
+            locals_init.append(self.type_of_descriptor(desc))
+        if len(locals_init) > method.max_locals:
+            self.fail("max_locals smaller than argument count")
+        locals_init += [TOP] * (method.max_locals - len(locals_init))
+
+        self.handlers_by_pc = self._index_handlers()
+        self.states = {0: (tuple(locals_init), ())}
+        worklist = [0]
+        while worklist:
+            pc = worklist.pop()
+            self.pc = pc
+            frame = self.states[pc]
+            for successor, state in self.simulate(pc, frame):
+                if self.merge_into(successor, state):
+                    worklist.append(successor)
+
+    def _index_handlers(self):
+        table = {}
+        for handler in self.method.handlers:
+            catch_class = self.vm.throwable_class
+            if handler.catch_type is not None:
+                catch_class = self.resolve_class(handler.catch_type)
+                if not catch_class.is_assignable_to(self.vm.throwable_class):
+                    self.fail(
+                        f"catch type {handler.catch_type} is not a Throwable"
+                    )
+            for pc in range(handler.start_pc, handler.end_pc):
+                table.setdefault(pc, []).append((handler.handler_pc, catch_class))
+        return table
+
+    # -- diagnostics -------------------------------------------------------
+    def fail(self, message):
+        raise VerifyError(
+            message,
+            class_name=self.rtclass.name,
+            method=self.method.name,
+            pc=self.pc,
+        )
+
+    # -- type helpers ----------------------------------------------------------
+    def resolve_class(self, name):
+        """Resolve a class or array-descriptor operand via our loader."""
+        try:
+            if name.startswith("["):
+                return self.vm.array_class_for_descriptor(name, self.rtclass.loader)
+            return self.rtclass.loader.load(name)
+        except ClassNotFoundError as exc:
+            self.fail(f"unresolvable class {name}: {exc}")
+
+    def type_of_descriptor(self, desc):
+        kind = verification_kind(desc)
+        if kind == "I":
+            return "I"
+        if kind == "D":
+            return "D"
+        if desc.startswith("["):
+            return _ref(self.vm.array_class_for_descriptor(desc, self.rtclass.loader))
+        return _ref(self.resolve_class(desc[1:-1]))
+
+    def check_assignable(self, actual, desc_or_type, what):
+        """Check that ``actual`` may be used where ``desc_or_type`` is needed."""
+        if isinstance(desc_or_type, str) and desc_or_type not in ("I", "D"):
+            expected = self.type_of_descriptor(desc_or_type)
+        else:
+            expected = desc_or_type
+        if expected == "I":
+            if actual != "I":
+                self.fail(f"{what}: expected int, found {self.show(actual)}")
+            return
+        if expected == "D":
+            if actual != "D":
+                self.fail(f"{what}: expected double, found {self.show(actual)}")
+            return
+        # Reference expected.
+        if actual == NULL:
+            return
+        if not _is_ref(actual):
+            self.fail(f"{what}: expected reference, found {self.show(actual)}")
+        target = expected[1]
+        if target.is_interface:
+            return  # deferred to run time, as in the JVM
+        if not actual[1].is_assignable_to(target):
+            self.fail(
+                f"{what}: {actual[1].name} is not assignable to {target.name}"
+            )
+
+    def show(self, vtype):
+        if isinstance(vtype, tuple):
+            return vtype[1].name
+        return str(vtype)
+
+    def lub(self, type_a, type_b):
+        if type_a == type_b:
+            return type_a
+        if type_a == NULL and _is_ref(type_b):
+            return type_b
+        if type_b == NULL and _is_ref(type_a):
+            return type_a
+        if _is_ref(type_a) and _is_ref(type_b):
+            return _ref(self._common_super(type_a[1], type_b[1]))
+        return None
+
+    def _common_super(self, class_a, class_b):
+        object_class = self.vm.object_class
+        if class_a.is_interface or class_b.is_interface:
+            return object_class
+        ancestors = set()
+        cursor = class_a
+        while cursor is not None:
+            ancestors.add(cursor)
+            cursor = cursor.superclass
+        cursor = class_b
+        while cursor is not None:
+            if cursor in ancestors:
+                return cursor
+            cursor = cursor.superclass
+        return object_class
+
+    # -- state merging -----------------------------------------------------
+    def merge_into(self, pc, state):
+        """Merge ``state`` into pc's recorded state; return True if changed."""
+        if pc >= len(self.code):
+            self.fail("control flows past end of code")
+        recorded = self.states.get(pc)
+        if recorded is None:
+            self.states[pc] = state
+            return True
+        old_locals, old_stack = recorded
+        new_locals, new_stack = state
+        if len(old_stack) != len(new_stack):
+            self.fail(f"inconsistent stack depth at merge target pc={pc}")
+        merged_stack = []
+        for type_a, type_b in zip(old_stack, new_stack):
+            merged = self.lub(type_a, type_b)
+            if merged is None:
+                self.fail(f"incompatible stack types at merge target pc={pc}")
+            merged_stack.append(merged)
+        merged_locals = []
+        for type_a, type_b in zip(old_locals, new_locals):
+            merged = self.lub(type_a, type_b)
+            merged_locals.append(TOP if merged is None else merged)
+        merged_state = (tuple(merged_locals), tuple(merged_stack))
+        if merged_state == recorded:
+            return False
+        self.states[pc] = merged_state
+        return True
+
+    # -- simulation ---------------------------------------------------------
+    def simulate(self, pc, frame):
+        """Execute one instruction abstractly.
+
+        Returns a list of ``(successor_pc, state)`` pairs, including
+        exception-handler edges.
+        """
+        locals_, stack = list(frame[0]), list(frame[1])
+        instr = self.code[pc]
+        opcode = instr[0]
+
+        handler = getattr(self, "_op_" + opcode, None)
+        if handler is None:
+            self.fail(f"unverifiable opcode {opcode}")
+        explicit_successors = handler(instr, locals_, stack)
+
+        if len(stack) > self.method.max_stack:
+            self.fail("operand stack overflow (max_stack exceeded)")
+
+        successors = []
+        state = (tuple(locals_), tuple(stack))
+        if explicit_successors is None:
+            # Order matters: GOTO is both a branch and terminal — its
+            # target must be followed even though it never falls through.
+            if opcode in CONDITIONAL_BRANCHES:
+                explicit = [instr[1], pc + 1]
+            elif opcode in BRANCH_OPCODES:
+                explicit = [instr[1]]
+            elif opcode in TERMINAL_OPCODES:
+                explicit = []
+            else:
+                explicit = [pc + 1]
+        else:
+            explicit = explicit_successors
+        for successor in explicit:
+            successors.append((successor, state))
+
+        # Exception edges: the handler sees this pc's *entry* locals and a
+        # stack holding only the thrown exception.
+        for handler_pc, catch_class in self.handlers_by_pc.get(pc, ()):
+            successors.append(
+                (handler_pc, (frame[0], (_ref(catch_class),)))
+            )
+        return successors
+
+    # -- stack primitives ------------------------------------------------------
+    def pop(self, stack, expect=None, what="operand"):
+        if not stack:
+            self.fail(f"stack underflow reading {what}")
+        value = stack.pop()
+        if expect == "I" and value != "I":
+            self.fail(f"{what}: expected int, found {self.show(value)}")
+        if expect == "D" and value != "D":
+            self.fail(f"{what}: expected double, found {self.show(value)}")
+        if expect == "A" and not _is_ref(value):
+            self.fail(f"{what}: expected reference, found {self.show(value)}")
+        return value
+
+    def load_local(self, locals_, index, expect, opcode):
+        if index >= len(locals_):
+            self.fail(f"{opcode}: local index {index} out of range")
+        value = locals_[index]
+        if expect == "I" and value != "I":
+            self.fail(f"{opcode}: local {index} holds {self.show(value)}")
+        if expect == "D" and value != "D":
+            self.fail(f"{opcode}: local {index} holds {self.show(value)}")
+        if expect == "A" and not _is_ref(value):
+            self.fail(f"{opcode}: local {index} holds {self.show(value)}")
+        return value
+
+    def store_local(self, locals_, index, value, opcode):
+        if index >= len(locals_):
+            self.fail(f"{opcode}: local index {index} out of range")
+        locals_[index] = value
+
+    # -- constants --------------------------------------------------------------
+    def _op_nop(self, instr, locals_, stack):
+        return None
+
+    def _op_iconst(self, instr, locals_, stack):
+        stack.append("I")
+        return None
+
+    def _op_dconst(self, instr, locals_, stack):
+        stack.append("D")
+        return None
+
+    def _op_ldc_str(self, instr, locals_, stack):
+        stack.append(_ref(self.vm.string_class))
+        return None
+
+    def _op_aconst_null(self, instr, locals_, stack):
+        stack.append(NULL)
+        return None
+
+    # -- locals ----------------------------------------------------------------
+    def _op_iload(self, instr, locals_, stack):
+        self.load_local(locals_, instr[1], "I", "iload")
+        stack.append("I")
+        return None
+
+    def _op_dload(self, instr, locals_, stack):
+        self.load_local(locals_, instr[1], "D", "dload")
+        stack.append("D")
+        return None
+
+    def _op_aload(self, instr, locals_, stack):
+        stack.append(self.load_local(locals_, instr[1], "A", "aload"))
+        return None
+
+    def _op_istore(self, instr, locals_, stack):
+        self.pop(stack, "I", "istore")
+        self.store_local(locals_, instr[1], "I", "istore")
+        return None
+
+    def _op_dstore(self, instr, locals_, stack):
+        self.pop(stack, "D", "dstore")
+        self.store_local(locals_, instr[1], "D", "dstore")
+        return None
+
+    def _op_astore(self, instr, locals_, stack):
+        value = self.pop(stack, "A", "astore")
+        self.store_local(locals_, instr[1], value, "astore")
+        return None
+
+    def _op_iinc(self, instr, locals_, stack):
+        self.load_local(locals_, instr[1], "I", "iinc")
+        return None
+
+    # -- stack ops -------------------------------------------------------------
+    def _op_pop(self, instr, locals_, stack):
+        self.pop(stack)
+        return None
+
+    def _op_dup(self, instr, locals_, stack):
+        value = self.pop(stack)
+        stack.append(value)
+        stack.append(value)
+        return None
+
+    def _op_dup_x1(self, instr, locals_, stack):
+        top = self.pop(stack)
+        under = self.pop(stack)
+        stack += [top, under, top]
+        return None
+
+    def _op_swap(self, instr, locals_, stack):
+        top = self.pop(stack)
+        under = self.pop(stack)
+        stack += [top, under]
+        return None
+
+    # -- arithmetic ---------------------------------------------------------------
+    def _binary_int(self, instr, locals_, stack):
+        self.pop(stack, "I", instr[0])
+        self.pop(stack, "I", instr[0])
+        stack.append("I")
+        return None
+
+    _op_iadd = _binary_int
+    _op_isub = _binary_int
+    _op_imul = _binary_int
+    _op_idiv = _binary_int
+    _op_irem = _binary_int
+    _op_ishl = _binary_int
+    _op_ishr = _binary_int
+    _op_iand = _binary_int
+    _op_ior = _binary_int
+    _op_ixor = _binary_int
+
+    def _op_ineg(self, instr, locals_, stack):
+        self.pop(stack, "I", "ineg")
+        stack.append("I")
+        return None
+
+    def _binary_double(self, instr, locals_, stack):
+        self.pop(stack, "D", instr[0])
+        self.pop(stack, "D", instr[0])
+        stack.append("D")
+        return None
+
+    _op_dadd = _binary_double
+    _op_dsub = _binary_double
+    _op_dmul = _binary_double
+    _op_ddiv = _binary_double
+
+    def _op_dneg(self, instr, locals_, stack):
+        self.pop(stack, "D", "dneg")
+        stack.append("D")
+        return None
+
+    def _op_dcmp(self, instr, locals_, stack):
+        self.pop(stack, "D", "dcmp")
+        self.pop(stack, "D", "dcmp")
+        stack.append("I")
+        return None
+
+    def _op_i2d(self, instr, locals_, stack):
+        self.pop(stack, "I", "i2d")
+        stack.append("D")
+        return None
+
+    def _op_d2i(self, instr, locals_, stack):
+        self.pop(stack, "D", "d2i")
+        stack.append("I")
+        return None
+
+    # -- branches ----------------------------------------------------------------
+    def _op_goto(self, instr, locals_, stack):
+        return None
+
+    def _if_int(self, instr, locals_, stack):
+        self.pop(stack, "I", instr[0])
+        return None
+
+    _op_ifeq = _if_int
+    _op_ifne = _if_int
+    _op_iflt = _if_int
+    _op_ifle = _if_int
+    _op_ifgt = _if_int
+    _op_ifge = _if_int
+
+    def _if_icmp(self, instr, locals_, stack):
+        self.pop(stack, "I", instr[0])
+        self.pop(stack, "I", instr[0])
+        return None
+
+    _op_if_icmpeq = _if_icmp
+    _op_if_icmpne = _if_icmp
+    _op_if_icmplt = _if_icmp
+    _op_if_icmple = _if_icmp
+    _op_if_icmpgt = _if_icmp
+    _op_if_icmpge = _if_icmp
+
+    def _if_acmp(self, instr, locals_, stack):
+        self.pop(stack, "A", instr[0])
+        self.pop(stack, "A", instr[0])
+        return None
+
+    _op_if_acmpeq = _if_acmp
+    _op_if_acmpne = _if_acmp
+
+    def _if_null(self, instr, locals_, stack):
+        self.pop(stack, "A", instr[0])
+        return None
+
+    _op_ifnull = _if_null
+    _op_ifnonnull = _if_null
+
+    # -- objects -------------------------------------------------------------------
+    def _op_new(self, instr, locals_, stack):
+        rtclass = self.resolve_class(instr[1])
+        if rtclass.is_interface or rtclass.is_array:
+            self.fail(f"new of non-instantiable {instr[1]}")
+        if rtclass.classfile is not None and _is_abstract_class(rtclass):
+            self.fail(f"new of abstract class {instr[1]}")
+        stack.append(_ref(rtclass))
+        return None
+
+    def _resolve_field_access(self, instr, want_static):
+        owner_class = self.resolve_class(instr[1])
+        field_name = instr[2]
+        if want_static:
+            found = owner_class.find_static(field_name)
+        else:
+            found = owner_class.find_field(field_name)
+        if found is None:
+            other = (
+                owner_class.find_field(field_name)
+                if want_static
+                else owner_class.find_static(field_name)
+            )
+            if other is not None:
+                self.fail(
+                    f"static/instance mismatch for {instr[1]}.{field_name}"
+                )
+            self.fail(f"no such field {instr[1]}.{field_name}")
+        declaring, slot, field_def = found
+        if field_def.is_private and declaring is not self.rtclass:
+            self.fail(
+                f"illegal access to private field "
+                f"{declaring.name}.{field_name} from {self.rtclass.name}"
+            )
+        return declaring, slot, field_def
+
+    def _op_getfield(self, instr, locals_, stack):
+        declaring, _, field_def = self._resolve_field_access(instr, False)
+        receiver = self.pop(stack, "A", "getfield receiver")
+        self.check_assignable(receiver, f"L{instr[1]};", "getfield receiver")
+        stack.append(self.type_of_descriptor(field_def.desc))
+        return None
+
+    def _op_putfield(self, instr, locals_, stack):
+        declaring, _, field_def = self._resolve_field_access(instr, False)
+        if field_def.flags & 0x0010 and declaring is not self.rtclass:  # ACC_FINAL
+            self.fail(
+                f"assignment to final field {declaring.name}.{field_def.name}"
+            )
+        value = self.pop(stack, None, "putfield value")
+        receiver = self.pop(stack, "A", "putfield receiver")
+        self.check_assignable(receiver, f"L{instr[1]};", "putfield receiver")
+        self.check_assignable(value, field_def.desc, "putfield value")
+        return None
+
+    def _op_getstatic(self, instr, locals_, stack):
+        _, _, field_def = self._resolve_field_access(instr, True)
+        stack.append(self.type_of_descriptor(field_def.desc))
+        return None
+
+    def _op_putstatic(self, instr, locals_, stack):
+        declaring, _, field_def = self._resolve_field_access(instr, True)
+        if field_def.flags & 0x0010 and declaring is not self.rtclass:
+            self.fail(
+                f"assignment to final field {declaring.name}.{field_def.name}"
+            )
+        value = self.pop(stack, None, "putstatic value")
+        self.check_assignable(value, field_def.desc, "putstatic value")
+        return None
+
+    def _check_args(self, stack, desc, what):
+        args, ret = parse_method_descriptor(desc)
+        for arg_desc in reversed(args):
+            value = self.pop(stack, None, f"{what} argument")
+            self.check_assignable(value, arg_desc, f"{what} argument")
+        return ret
+
+    def _push_return(self, stack, ret):
+        if ret != "V":
+            stack.append(self.type_of_descriptor(ret))
+
+    def _op_invokevirtual(self, instr, locals_, stack):
+        owner_class = self.resolve_class(instr[1])
+        if owner_class.is_interface:
+            self.fail(f"invokevirtual on interface {instr[1]}")
+        name, desc = instr[2], instr[3]
+        if owner_class.vtable_index(name, desc) is None:
+            found = owner_class.find_declared(name, desc)
+            if found is not None:
+                self.fail(
+                    f"invokevirtual on non-virtual method {instr[1]}.{name} "
+                    "(use invokespecial/invokestatic)"
+                )
+            self.fail(f"no such method {instr[1]}.{name}{desc}")
+        ret = self._check_args(stack, desc, "invokevirtual")
+        receiver = self.pop(stack, "A", "invokevirtual receiver")
+        self.check_assignable(receiver, f"L{instr[1]};", "invokevirtual receiver")
+        self._push_return(stack, ret)
+        return None
+
+    def _op_invokeinterface(self, instr, locals_, stack):
+        owner_class = self.resolve_class(instr[1])
+        if not owner_class.is_interface:
+            self.fail(f"invokeinterface on class {instr[1]}")
+        name, desc = instr[2], instr[3]
+        if owner_class.find_interface_method(name, desc) is None:
+            self.fail(f"no such interface method {instr[1]}.{name}{desc}")
+        ret = self._check_args(stack, desc, "invokeinterface")
+        self.pop(stack, "A", "invokeinterface receiver")
+        self._push_return(stack, ret)
+        return None
+
+    def _op_invokestatic(self, instr, locals_, stack):
+        owner_class = self.resolve_class(instr[1])
+        name, desc = instr[2], instr[3]
+        found = owner_class.find_declared(name, desc)
+        if found is None or not found[1].is_static:
+            self.fail(f"no such static method {instr[1]}.{name}{desc}")
+        declaring, method_def = found
+        if method_def.is_private and declaring is not self.rtclass:
+            self.fail(
+                f"illegal access to private method {declaring.name}.{name}"
+            )
+        ret = self._check_args(stack, desc, "invokestatic")
+        self._push_return(stack, ret)
+        return None
+
+    def _op_invokespecial(self, instr, locals_, stack):
+        owner_class = self.resolve_class(instr[1])
+        name, desc = instr[2], instr[3]
+        found = owner_class.find_declared(name, desc)
+        if found is None or found[1].is_static:
+            self.fail(f"no such method {instr[1]}.{name}{desc}")
+        declaring, method_def = found
+        if method_def.is_private and declaring is not self.rtclass:
+            self.fail(
+                f"illegal access to private method {declaring.name}.{name}"
+            )
+        if (
+            name != CONSTRUCTOR_NAME
+            and not method_def.is_private
+            and not self.rtclass.is_assignable_to(owner_class)
+        ):
+            self.fail(
+                "invokespecial outside constructor/private/super context"
+            )
+        ret = self._check_args(stack, desc, "invokespecial")
+        receiver = self.pop(stack, "A", "invokespecial receiver")
+        self.check_assignable(receiver, f"L{instr[1]};", "invokespecial receiver")
+        self._push_return(stack, ret)
+        return None
+
+    def _op_checkcast(self, instr, locals_, stack):
+        target = self.resolve_class(instr[1])
+        self.pop(stack, "A", "checkcast")
+        stack.append(_ref(target))
+        return None
+
+    def _op_instanceof(self, instr, locals_, stack):
+        self.resolve_class(instr[1])
+        self.pop(stack, "A", "instanceof")
+        stack.append("I")
+        return None
+
+    # -- arrays -----------------------------------------------------------------
+    def _op_newarray(self, instr, locals_, stack):
+        array_class = self.vm.array_class_for_descriptor(
+            "[" + instr[1], self.rtclass.loader
+        )
+        self.pop(stack, "I", "newarray length")
+        stack.append(_ref(array_class))
+        return None
+
+    def _op_arraylength(self, instr, locals_, stack):
+        value = self.pop(stack, "A", "arraylength")
+        self._require_array(value, None, "arraylength")
+        stack.append("I")
+        return None
+
+    def _require_array(self, value, element_kinds, what):
+        if value == NULL:
+            return None
+        rtclass = value[1]
+        if not rtclass.is_array:
+            self.fail(f"{what}: {rtclass.name} is not an array")
+        if element_kinds is not None and rtclass.array_element not in element_kinds:
+            self.fail(
+                f"{what}: wrong element type {rtclass.array_element}"
+            )
+        return rtclass
+
+    def _array_load(self, stack, element_kinds, result, what):
+        self.pop(stack, "I", f"{what} index")
+        array = self.pop(stack, "A", f"{what} array")
+        rtclass = self._require_array(array, element_kinds, what)
+        if result == "ELEM":
+            if rtclass is None or rtclass.element_class is None:
+                stack.append(_ref(self.vm.object_class))
+            else:
+                stack.append(_ref(rtclass.element_class))
+        else:
+            stack.append(result)
+
+    def _array_store(self, stack, element_kinds, value_kind, what):
+        value = self.pop(stack, None, f"{what} value")
+        if value_kind == "I" and value != "I":
+            self.fail(f"{what}: storing non-int")
+        if value_kind == "D" and value != "D":
+            self.fail(f"{what}: storing non-double")
+        if value_kind == "A" and not _is_ref(value):
+            self.fail(f"{what}: storing non-reference")
+        self.pop(stack, "I", f"{what} index")
+        array = self.pop(stack, "A", f"{what} array")
+        self._require_array(array, element_kinds, what)
+
+    def _op_baload(self, instr, locals_, stack):
+        self._array_load(stack, ("B",), "I", "baload")
+        return None
+
+    def _op_bastore(self, instr, locals_, stack):
+        self._array_store(stack, ("B",), "I", "bastore")
+        return None
+
+    def _op_iaload(self, instr, locals_, stack):
+        self._array_load(stack, ("I",), "I", "iaload")
+        return None
+
+    def _op_iastore(self, instr, locals_, stack):
+        self._array_store(stack, ("I",), "I", "iastore")
+        return None
+
+    def _op_daload(self, instr, locals_, stack):
+        self._array_load(stack, ("D",), "D", "daload")
+        return None
+
+    def _op_dastore(self, instr, locals_, stack):
+        self._array_store(stack, ("D",), "D", "dastore")
+        return None
+
+    def _op_aaload(self, instr, locals_, stack):
+        self.pop(stack, "I", "aaload index")
+        array = self.pop(stack, "A", "aaload array")
+        if array == NULL:
+            stack.append(NULL)
+            return None
+        rtclass = array[1]
+        if not rtclass.is_array or rtclass.element_class is None:
+            self.fail(f"aaload on non-reference array {rtclass.name}")
+        stack.append(_ref(rtclass.element_class))
+        return None
+
+    def _op_aastore(self, instr, locals_, stack):
+        self._array_store(stack, None, "A", "aastore")
+        return None
+
+    # -- returns / throw / monitors ------------------------------------------------
+    def _op_return(self, instr, locals_, stack):
+        if self.return_desc != "V":
+            self.fail("return in non-void method")
+        return None
+
+    def _op_ireturn(self, instr, locals_, stack):
+        if self.return_desc not in ("I", "Z", "B"):
+            self.fail("ireturn in non-int method")
+        self.pop(stack, "I", "ireturn")
+        return None
+
+    def _op_dreturn(self, instr, locals_, stack):
+        if self.return_desc != "D":
+            self.fail("dreturn in non-double method")
+        self.pop(stack, "D", "dreturn")
+        return None
+
+    def _op_areturn(self, instr, locals_, stack):
+        if self.return_desc == "V" or self.return_desc in ("I", "D", "Z", "B"):
+            self.fail("areturn in non-reference method")
+        value = self.pop(stack, "A", "areturn")
+        self.check_assignable(value, self.return_desc, "areturn")
+        return None
+
+    def _op_athrow(self, instr, locals_, stack):
+        value = self.pop(stack, "A", "athrow")
+        if value != NULL and not value[1].is_assignable_to(self.vm.throwable_class):
+            self.fail(f"athrow of non-throwable {value[1].name}")
+        return None
+
+    def _op_monitorenter(self, instr, locals_, stack):
+        self.pop(stack, "A", "monitorenter")
+        return None
+
+    def _op_monitorexit(self, instr, locals_, stack):
+        self.pop(stack, "A", "monitorexit")
+        return None
+
+
+def _is_abstract_class(rtclass):
+    from .classfile import ACC_ABSTRACT
+
+    return bool(rtclass.classfile.flags & ACC_ABSTRACT)
+
+
+def verify_method(vm, rtclass, method):
+    if method.is_native or method.is_abstract:
+        return
+    _MethodVerifier(vm, rtclass, method).verify()
+
+
+def verify_class(vm, rtclass):
+    """Verify every concrete method declared by ``rtclass``."""
+    for method in rtclass.declared.values():
+        verify_method(vm, rtclass, method)

@@ -1,0 +1,45 @@
+"""The CS314 toolchain: the Jr language compiler, the MiniJVM text
+assembler, the linker, and their servlet wrappers (paper §4)."""
+
+from .asmtext import AsmError, assemble_many, assemble_text
+from .codegen import JrCompileError, compile_program, compile_source
+from .lexer import JrSyntaxError, tokenize
+from .linker import DEFAULT_PROVIDED, LinkedImage, Linker, LinkError, link
+from .parser import parse
+from .servlets import (
+    AssemblerServlet,
+    CompilerServlet,
+    JrAssembler,
+    JrCompiler,
+    JrLinker,
+    JrRunner,
+    PipelineServlet,
+    classfile_to_portable,
+    portable_to_classfile,
+)
+
+__all__ = [
+    "AsmError",
+    "AssemblerServlet",
+    "CompilerServlet",
+    "DEFAULT_PROVIDED",
+    "JrAssembler",
+    "JrCompileError",
+    "JrCompiler",
+    "JrLinker",
+    "JrRunner",
+    "JrSyntaxError",
+    "LinkError",
+    "LinkedImage",
+    "Linker",
+    "PipelineServlet",
+    "assemble_many",
+    "assemble_text",
+    "classfile_to_portable",
+    "compile_program",
+    "compile_source",
+    "link",
+    "parse",
+    "portable_to_classfile",
+    "tokenize",
+]

@@ -1,0 +1,227 @@
+"""Text assembler: ``.class``/``.method`` assembly text -> ClassFile.
+
+The CS314 "assembler" component.  Format::
+
+    .class jr/fib
+    .field counter I static        # optional fields
+    .method fib (I)I static
+        iload 0
+        iconst 2
+        if_icmplt L0
+        ...
+    L0:
+        iconst 1
+        ireturn
+    .end
+
+Branch targets are named labels (``Lx:`` lines, forward references fine);
+operands are integers, floats, names, or double-quoted strings (for
+``ldc_str``).  Comments start with ``#`` or ``;``.
+"""
+
+from __future__ import annotations
+
+from repro.jvm.asm import ClassAssembler
+from repro.jvm.classfile import ACC_PRIVATE, ACC_PUBLIC, ACC_STATIC
+from repro.jvm.instructions import BRANCH_OPCODES, OPERAND_SHAPES
+
+
+class AsmError(Exception):
+    def __init__(self, message, line_number):
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+def _flags(words, line_number):
+    flags = ACC_PUBLIC
+    for word in words:
+        if word == "static":
+            flags |= ACC_STATIC
+        elif word == "private":
+            flags = (flags & ~ACC_PUBLIC) | ACC_PRIVATE
+        elif word == "public":
+            flags |= ACC_PUBLIC
+        else:
+            raise AsmError(f"unknown modifier {word!r}", line_number)
+    return flags
+
+
+def _split_operands(text, line_number):
+    """Split an operand string, honouring double-quoted strings."""
+    operands = []
+    index = 0
+    length = len(text)
+    while index < length:
+        ch = text[index]
+        if ch in " \t":
+            index += 1
+            continue
+        if ch == '"':
+            end = text.find('"', index + 1)
+            if end < 0:
+                raise AsmError("unterminated string", line_number)
+            operands.append(("str", text[index + 1:end]))
+            index = end + 1
+            continue
+        end = index
+        while end < length and text[end] not in " \t":
+            end += 1
+        operands.append(("word", text[index:end]))
+        index = end
+    return operands
+
+
+def _strip_comment(line):
+    """Drop ``#`` comments anywhere and ``;`` comments only at a token
+    boundary — ``;`` is also the class-descriptor terminator."""
+    line = line.split("#", 1)[0]
+    for index, ch in enumerate(line):
+        if ch == ";" and (index == 0 or line[index - 1] in " \t"):
+            return line[:index]
+    return line
+
+
+class _MethodState:
+    def __init__(self, assembler):
+        self.assembler = assembler
+        self.labels = {}  # name -> Label (bound or forward)
+        self.bound = set()
+
+    def label_for(self, name):
+        label = self.labels.get(name)
+        if label is None:
+            label = self.labels[name] = self.assembler.label(name)
+        return label
+
+    def bind(self, name, line_number):
+        if name in self.bound:
+            raise AsmError(f"label {name!r} defined twice", line_number)
+        self.bound.add(name)
+        self.assembler.mark(self.label_for(name))
+
+    def finish(self, line_number):
+        unbound = sorted(set(self.labels) - self.bound)
+        if unbound:
+            raise AsmError(f"undefined labels: {', '.join(unbound)}",
+                           line_number)
+
+    def convert(self, op_kind, raw, line_number):
+        kind, text = raw
+        if kind == "str":
+            return text
+        if op_kind == "target":
+            return self.label_for(text)
+        if op_kind in ("int", "index"):
+            try:
+                return int(text, 0)
+            except ValueError:
+                raise AsmError(f"expected integer, found {text!r}",
+                               line_number) from None
+        if op_kind == "float":
+            return float(text)
+        return text  # unquoted name for a "str"-kind operand
+
+
+def assemble_many(source):
+    """Assemble a file that may contain several ``.class`` units."""
+    classfiles = []
+    assembler = None
+    state = None
+    for line_number, raw_line in enumerate(source.splitlines(), start=1):
+        line = _strip_comment(raw_line).strip()
+        if not line:
+            continue
+        if line.startswith(".class"):
+            if state is not None:
+                raise AsmError(".class inside .method", line_number)
+            if assembler is not None:
+                classfiles.append(assembler.build())
+            words = line.split()
+            if len(words) < 2:
+                raise AsmError(".class needs a name", line_number)
+            name = words[1]
+            super_name = "java/lang/Object"
+            interfaces = ()
+            rest = words[2:]
+            while rest:
+                if rest[0] == "extends" and len(rest) >= 2:
+                    super_name = rest[1]
+                    rest = rest[2:]
+                elif rest[0] == "implements" and len(rest) >= 2:
+                    interfaces = tuple(rest[1].split(","))
+                    rest = rest[2:]
+                else:
+                    raise AsmError(f"bad .class clause {rest[0]!r}",
+                                   line_number)
+            assembler = ClassAssembler(name, super_name=super_name,
+                                       interfaces=interfaces,
+                                       source="<asm>")
+            continue
+        if assembler is None:
+            raise AsmError("directive before .class", line_number)
+        if line.startswith(".field"):
+            if state is not None:
+                raise AsmError(".field inside .method", line_number)
+            words = line.split()
+            if len(words) < 3:
+                raise AsmError(".field needs name and descriptor",
+                               line_number)
+            assembler.field(words[1], words[2],
+                            _flags(words[3:], line_number))
+            continue
+        if line.startswith(".method"):
+            if state is not None:
+                raise AsmError("nested .method", line_number)
+            words = line.split()
+            if len(words) < 3:
+                raise AsmError(".method needs name and descriptor",
+                               line_number)
+            method = assembler.method(words[1], words[2],
+                                      _flags(words[3:], line_number))
+            state = _MethodState(method)
+            continue
+        if line == ".end":
+            if state is None:
+                raise AsmError(".end outside method", line_number)
+            state.finish(line_number)
+            state = None
+            continue
+        if state is None:
+            raise AsmError(f"instruction outside .method: {line!r}",
+                           line_number)
+        if line.endswith(":") and " " not in line:
+            state.bind(line[:-1], line_number)
+            continue
+        words = line.split(None, 1)
+        opcode = words[0]
+        shape = OPERAND_SHAPES.get(opcode)
+        if shape is None:
+            raise AsmError(f"unknown opcode {opcode!r}", line_number)
+        raw_operands = (
+            _split_operands(words[1], line_number) if len(words) > 1 else []
+        )
+        if len(raw_operands) != len(shape):
+            raise AsmError(
+                f"{opcode} expects {len(shape)} operands, got "
+                f"{len(raw_operands)}", line_number,
+            )
+        operands = [
+            state.convert(kind, raw, line_number)
+            for kind, raw in zip(shape, raw_operands)
+        ]
+        state.assembler.emit(opcode, *operands)
+    if state is not None:
+        raise AsmError("missing .end", 0)
+    if assembler is not None:
+        classfiles.append(assembler.build())
+    return classfiles
+
+
+def assemble_text(source):
+    """Assemble one ``.class`` unit; returns a ClassFile."""
+    classes = assemble_many(source)
+    if len(classes) != 1:
+        raise AsmError(
+            f"expected exactly one .class, found {len(classes)}", 0
+        )
+    return classes[0]

@@ -1,0 +1,115 @@
+"""AST for the Jr language (the CS314 course language).
+
+Jr is a deliberately small integer language — the shape of homework
+compilers: functions over 32-bit ints, arithmetic, comparisons, ``if``/
+``while``, ``print`` and calls (including cross-module ``file.fn(...)``
+calls, which the linker resolves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Program:
+    functions: tuple
+    module: str = "main"
+
+
+@dataclass(frozen=True)
+class Function:
+    name: str
+    params: tuple
+    body: tuple
+    line: int = 0
+
+
+# -- statements ---------------------------------------------------------
+
+@dataclass(frozen=True)
+class VarDecl:
+    name: str
+    value: "Expr"
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Assign:
+    name: str
+    value: "Expr"
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class If:
+    condition: "Expr"
+    then_body: tuple
+    else_body: tuple = ()
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class While:
+    condition: "Expr"
+    body: tuple
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Return:
+    value: "Expr | None" = None
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Print:
+    value: "Expr"
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ExprStmt:
+    value: "Expr"
+    line: int = 0
+
+
+# -- expressions -----------------------------------------------------------
+
+@dataclass(frozen=True)
+class IntLiteral:
+    value: int
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Name:
+    name: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Unary:
+    op: str  # '-' | '!'
+    operand: "Expr"
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Binary:
+    op: str  # + - * / % == != < <= > >= && ||
+    left: "Expr"
+    right: "Expr"
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Call:
+    module: str | None  # None = same module
+    name: str
+    args: tuple
+    line: int = 0
+
+
+Expr = (IntLiteral, Name, Unary, Binary, Call)
+Stmt = (VarDecl, Assign, If, While, Return, Print, ExprStmt)

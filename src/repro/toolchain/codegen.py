@@ -1,0 +1,221 @@
+"""Jr AST -> MiniJVM assembly text.
+
+Each Jr module compiles to one class ``jr/<module>``; every function
+becomes a public static method ``(I...I)I``.  ``print`` lowers to
+``System.printInt``; cross-module calls lower to ``invokestatic`` on the
+target module class (resolved by the linker).
+"""
+
+from __future__ import annotations
+
+from . import astnodes as ast
+from .lexer import JrSyntaxError
+
+
+class JrCompileError(Exception):
+    def __init__(self, message, line=0):
+        super().__init__(f"line {line}: {message}" if line else message)
+        self.line = line
+
+
+def module_class(module):
+    return f"jr/{module}"
+
+
+class _FunctionCompiler:
+    def __init__(self, program, function):
+        self.program = program
+        self.function = function
+        self.lines = []
+        self.locals = {name: index for index, name in
+                       enumerate(function.params)}
+        self.next_label = 0
+        self.known = {f.name: len(f.params) for f in program.functions}
+
+    def emit(self, *parts):
+        self.lines.append("    " + " ".join(str(p) for p in parts))
+
+    def label(self):
+        name = f"L{self.next_label}"
+        self.next_label += 1
+        return name
+
+    def mark(self, name):
+        self.lines.append(f"{name}:")
+
+    def slot(self, name, line, declare=False):
+        if declare:
+            if name in self.locals:
+                raise JrCompileError(f"variable {name!r} already declared",
+                                     line)
+            self.locals[name] = len(self.locals)
+        index = self.locals.get(name)
+        if index is None:
+            raise JrCompileError(f"undeclared variable {name!r}", line)
+        return index
+
+    # -- statements ------------------------------------------------------
+    def compile_body(self, body):
+        for statement in body:
+            self.statement(statement)
+
+    def statement(self, node):
+        if isinstance(node, ast.VarDecl):
+            self.expression(node.value)
+            self.emit("istore", self.slot(node.name, node.line,
+                                          declare=True))
+        elif isinstance(node, ast.Assign):
+            self.expression(node.value)
+            self.emit("istore", self.slot(node.name, node.line))
+        elif isinstance(node, ast.If):
+            else_label = self.label()
+            end_label = self.label()
+            self.expression(node.condition)
+            self.emit("ifeq", else_label)
+            self.compile_body(node.then_body)
+            self.emit("goto", end_label)
+            self.mark(else_label)
+            self.compile_body(node.else_body)
+            self.mark(end_label)
+        elif isinstance(node, ast.While):
+            top = self.label()
+            end = self.label()
+            self.mark(top)
+            self.expression(node.condition)
+            self.emit("ifeq", end)
+            self.compile_body(node.body)
+            self.emit("goto", top)
+            self.mark(end)
+        elif isinstance(node, ast.Return):
+            if node.value is None:
+                self.emit("iconst", 0)
+            else:
+                self.expression(node.value)
+            self.emit("ireturn")
+        elif isinstance(node, ast.Print):
+            self.expression(node.value)
+            self.emit("invokestatic", "java/lang/System", "printInt", "(I)V")
+        elif isinstance(node, ast.ExprStmt):
+            self.expression(node.value)
+            self.emit("pop")
+        else:  # pragma: no cover
+            raise JrCompileError(f"unknown statement {node!r}")
+
+    # -- expressions -----------------------------------------------------------
+    _COMPARE = {
+        "==": "if_icmpeq", "!=": "if_icmpne", "<": "if_icmplt",
+        "<=": "if_icmple", ">": "if_icmpgt", ">=": "if_icmpge",
+    }
+    _ARITH = {"+": "iadd", "-": "isub", "*": "imul", "/": "idiv",
+              "%": "irem"}
+
+    def expression(self, node):
+        if isinstance(node, ast.IntLiteral):
+            self.emit("iconst", node.value)
+        elif isinstance(node, ast.Name):
+            self.emit("iload", self.slot(node.name, node.line))
+        elif isinstance(node, ast.Unary):
+            self.expression(node.operand)
+            if node.op == "-":
+                self.emit("ineg")
+            else:  # '!' : 0 -> 1, nonzero -> 0
+                true_label = self.label()
+                end = self.label()
+                self.emit("ifeq", true_label)
+                self.emit("iconst", 0)
+                self.emit("goto", end)
+                self.mark(true_label)
+                self.emit("iconst", 1)
+                self.mark(end)
+        elif isinstance(node, ast.Binary):
+            self.binary(node)
+        elif isinstance(node, ast.Call):
+            self.call(node)
+        else:  # pragma: no cover
+            raise JrCompileError(f"unknown expression {node!r}")
+
+    def binary(self, node):
+        if node.op in self._ARITH:
+            self.expression(node.left)
+            self.expression(node.right)
+            self.emit(self._ARITH[node.op])
+            return
+        if node.op in self._COMPARE:
+            true_label = self.label()
+            end = self.label()
+            self.expression(node.left)
+            self.expression(node.right)
+            self.emit(self._COMPARE[node.op], true_label)
+            self.emit("iconst", 0)
+            self.emit("goto", end)
+            self.mark(true_label)
+            self.emit("iconst", 1)
+            self.mark(end)
+            return
+        if node.op in ("&&", "||"):
+            # short-circuit: a && b, a || b, producing 0/1
+            end = self.label()
+            short = self.label()
+            self.expression(node.left)
+            if node.op == "&&":
+                self.emit("ifeq", short)  # left false -> 0
+            else:
+                self.emit("ifne", short)  # left true -> 1
+            self.expression(node.right)
+            other = self.label()
+            self.emit("ifeq", other)
+            self.emit("iconst", 1)
+            self.emit("goto", end)
+            self.mark(other)
+            self.emit("iconst", 0)
+            self.emit("goto", end)
+            self.mark(short)
+            self.emit("iconst", 0 if node.op == "&&" else 1)
+            self.mark(end)
+            return
+        raise JrCompileError(f"unknown operator {node.op!r}", node.line)
+
+    def call(self, node):
+        if node.module is None:
+            arity = self.known.get(node.name)
+            if arity is None:
+                raise JrCompileError(f"unknown function {node.name!r}",
+                                     node.line)
+            if arity != len(node.args):
+                raise JrCompileError(
+                    f"{node.name} expects {arity} args, got "
+                    f"{len(node.args)}", node.line,
+                )
+            target = module_class(self.program.module)
+        else:
+            target = module_class(node.module)
+        for arg in node.args:
+            self.expression(arg)
+        descriptor = "(" + "I" * len(node.args) + ")I"
+        self.emit("invokestatic", target, node.name, descriptor)
+
+    def compile(self):
+        header = (
+            f".method {self.function.name} "
+            f"({'I' * len(self.function.params)})I static"
+        )
+        self.compile_body(self.function.body)
+        # implicit `return 0` for functions that fall off the end
+        self.emit("iconst", 0)
+        self.emit("ireturn")
+        return [header, *self.lines, ".end"]
+
+
+def compile_program(program):
+    """Compile a parsed Program to assembly text."""
+    lines = [f".class {module_class(program.module)}"]
+    for function in program.functions:
+        lines.extend(_FunctionCompiler(program, function).compile())
+    return "\n".join(lines) + "\n"
+
+
+def compile_source(source, module="main"):
+    """Front door: Jr source -> assembly text."""
+    from .parser import parse
+
+    return compile_program(parse(source, module=module))

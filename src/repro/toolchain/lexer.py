@@ -1,0 +1,73 @@
+"""Tokenizer for the Jr language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KEYWORDS = frozenset(
+    {"func", "var", "if", "else", "while", "return", "print"}
+)
+
+_TWO_CHAR = ("==", "!=", "<=", ">=", "&&", "||")
+_ONE_CHAR = "+-*/%<>=!(){},;."
+
+
+class JrSyntaxError(Exception):
+    def __init__(self, message, line):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'int' | 'name' | 'kw' | 'op' | 'eof'
+    text: str
+    line: int
+
+
+def tokenize(source):
+    tokens = []
+    line = 1
+    index = 0
+    length = len(source)
+    while index < length:
+        ch = source[index]
+        if ch == "\n":
+            line += 1
+            index += 1
+            continue
+        if ch in " \t\r":
+            index += 1
+            continue
+        if ch == "#" or source.startswith("//", index):
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+        if ch.isdigit():
+            start = index
+            while index < length and source[index].isdigit():
+                index += 1
+            tokens.append(Token("int", source[start:index], line))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = index
+            while index < length and (
+                source[index].isalnum() or source[index] == "_"
+            ):
+                index += 1
+            text = source[start:index]
+            kind = "kw" if text in KEYWORDS else "name"
+            tokens.append(Token(kind, text, line))
+            continue
+        two = source[index:index + 2]
+        if two in _TWO_CHAR:
+            tokens.append(Token("op", two, line))
+            index += 2
+            continue
+        if ch in _ONE_CHAR:
+            tokens.append(Token("op", ch, line))
+            index += 1
+            continue
+        raise JrSyntaxError(f"unexpected character {ch!r}", line)
+    tokens.append(Token("eof", "", line))
+    return tokens

@@ -1,0 +1,207 @@
+"""The CS314 linker: resolve symbolic references across object modules.
+
+Input: a set of classfiles (from the assembler) plus the names the runtime
+environment provides (``java/lang/*`` by default).  The linker walks every
+symbolic reference — superclasses, interfaces, field/method descriptors and
+every instruction operand — and reports undefined classes and members
+before anything is loaded into a VM.  Output: a :class:`LinkedImage` whose
+classfiles can be handed to a loader together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.jvm.instructions import (
+    CHECKCAST,
+    GETFIELD,
+    GETSTATIC,
+    INSTANCEOF,
+    INVOKEINTERFACE,
+    INVOKESPECIAL,
+    INVOKESTATIC,
+    INVOKEVIRTUAL,
+    NEW,
+    PUTFIELD,
+    PUTSTATIC,
+)
+from repro.jvm.values import parse_method_descriptor
+
+DEFAULT_PROVIDED = (
+    "java/lang/Object",
+    "java/lang/String",
+    "java/lang/StringBuilder",
+    "java/lang/System",
+    "java/lang/Thread",
+    "java/lang/Throwable",
+)
+
+
+class LinkError(Exception):
+    def __init__(self, undefined):
+        self.undefined = sorted(undefined)
+        super().__init__(
+            "undefined symbols: " + ", ".join(self.undefined)
+        )
+
+
+@dataclass
+class LinkedImage:
+    classfiles: tuple
+    entry_points: dict = field(default_factory=dict)
+
+    def load_into(self, loader):
+        """Define all linked classes in a loader (or a VMDomain)."""
+        if hasattr(loader, "define_all"):
+            return loader.define_all(list(self.classfiles))
+        return loader.define(list(self.classfiles))
+
+
+_FIELD_OPS = frozenset({GETFIELD, PUTFIELD, GETSTATIC, PUTSTATIC})
+_METHOD_OPS = frozenset(
+    {INVOKEVIRTUAL, INVOKEINTERFACE, INVOKESTATIC, INVOKESPECIAL}
+)
+_TYPE_OPS = frozenset({NEW, CHECKCAST, INSTANCEOF})
+
+
+def _named_classes_of_descriptor(desc):
+    names = []
+    if desc.startswith("("):
+        args, ret = parse_method_descriptor(desc)
+        parts = [*args, ret]
+    else:
+        parts = [desc]
+    for part in parts:
+        while part.startswith("["):
+            part = part[1:]
+        if part.startswith("L") and part.endswith(";"):
+            names.append(part[1:-1])
+    return names
+
+
+def _corelib_members():
+    """Exact member knowledge for the environment-provided core classes,
+    derived from the same classfiles the VM bootstraps from."""
+    from repro.jvm.corelib import core_classfiles
+
+    known = {}
+    for cf in core_classfiles():
+        known[cf.name] = {
+            "methods": {m.key for m in cf.methods},
+            "fields": {f.name for f in cf.fields},
+            "super": cf.super_name,
+        }
+    return known
+
+
+class Linker:
+    def __init__(self, provided=DEFAULT_PROVIDED, provided_prefixes=("jk/",)):
+        self.provided = set(provided)
+        self.provided_prefixes = tuple(provided_prefixes)
+        self.known_members = _corelib_members()
+
+    def _is_provided(self, name):
+        if name in self.provided or name in self.known_members:
+            return True
+        return any(name.startswith(p) for p in self.provided_prefixes)
+
+    def link(self, classfiles):
+        """Check all cross-references; returns a LinkedImage or raises
+        :class:`LinkError` listing every undefined symbol."""
+        by_name = {cf.name: cf for cf in classfiles}
+        undefined = set()
+
+        def check_class(name):
+            if name in by_name or self._is_provided(name):
+                return True
+            undefined.add(name)
+            return False
+
+        def find_method(class_name, method_name, desc):
+            cursor = class_name
+            while cursor is not None:
+                if cursor in by_name:
+                    cf = by_name[cursor]
+                    if cf.method(method_name, desc) is not None:
+                        return True
+                    for iface in cf.interfaces:
+                        if iface in by_name and by_name[iface].method(
+                            method_name, desc
+                        ):
+                            return True
+                    cursor = cf.super_name
+                elif cursor in self.known_members:
+                    known = self.known_members[cursor]
+                    if (method_name, desc) in known["methods"]:
+                        return True
+                    cursor = known["super"]
+                elif self._is_provided(cursor):
+                    return True  # opaque provided class: trust it
+                else:
+                    return False  # missing class; already reported
+            return False
+
+        def find_field(class_name, field_name):
+            cursor = class_name
+            while cursor is not None:
+                if cursor in by_name:
+                    cf = by_name[cursor]
+                    if any(f.name == field_name for f in cf.fields):
+                        return True
+                    cursor = cf.super_name
+                elif cursor in self.known_members:
+                    known = self.known_members[cursor]
+                    if field_name in known["fields"]:
+                        return True
+                    cursor = known["super"]
+                elif self._is_provided(cursor):
+                    return True
+                else:
+                    return False
+            return False
+
+        for cf in classfiles:
+            if cf.super_name is not None:
+                check_class(cf.super_name)
+            for iface in cf.interfaces:
+                check_class(iface)
+            for field_def in cf.fields:
+                for name in _named_classes_of_descriptor(field_def.desc):
+                    check_class(name)
+            for method in cf.methods:
+                for name in _named_classes_of_descriptor(method.desc):
+                    check_class(name)
+                for instr in method.code:
+                    opcode = instr[0]
+                    if opcode in _TYPE_OPS:
+                        target = instr[1]
+                        if not target.startswith("["):
+                            check_class(target)
+                    elif opcode in _FIELD_OPS:
+                        if check_class(instr[1]) and not self._is_provided(
+                            instr[1]
+                        ):
+                            if not find_field(instr[1], instr[2]):
+                                undefined.add(f"{instr[1]}.{instr[2]}")
+                    elif opcode in _METHOD_OPS:
+                        for name in _named_classes_of_descriptor(instr[3]):
+                            check_class(name)
+                        if check_class(instr[1]) and not self._is_provided(
+                            instr[1]
+                        ):
+                            if not find_method(instr[1], instr[2], instr[3]):
+                                undefined.add(
+                                    f"{instr[1]}.{instr[2]}{instr[3]}"
+                                )
+        if undefined:
+            raise LinkError(undefined)
+        entry_points = {}
+        for cf in classfiles:
+            for method in cf.methods:
+                if method.is_static and method.name == "main":
+                    entry_points[cf.name] = (method.name, method.desc)
+        return LinkedImage(tuple(classfiles), entry_points)
+
+
+def link(classfiles, provided=DEFAULT_PROVIDED):
+    return Linker(provided=provided).link(classfiles)

@@ -1,0 +1,221 @@
+"""Recursive-descent parser for Jr."""
+
+from __future__ import annotations
+
+from . import astnodes as ast
+from .lexer import JrSyntaxError, tokenize
+
+
+class Parser:
+    def __init__(self, tokens, module="main"):
+        self.tokens = tokens
+        self.index = 0
+        self.module = module
+
+    # -- token plumbing ----------------------------------------------------
+    @property
+    def current(self):
+        return self.tokens[self.index]
+
+    def advance(self):
+        token = self.tokens[self.index]
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def check(self, kind, text=None):
+        token = self.current
+        return token.kind == kind and (text is None or token.text == text)
+
+    def accept(self, kind, text=None):
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind, text=None):
+        token = self.accept(kind, text)
+        if token is None:
+            want = text or kind
+            raise JrSyntaxError(
+                f"expected {want!r}, found {self.current.text!r}",
+                self.current.line,
+            )
+        return token
+
+    # -- grammar --------------------------------------------------------------
+    def parse_program(self):
+        functions = []
+        while not self.check("eof"):
+            functions.append(self.parse_function())
+        seen = set()
+        for function in functions:
+            if function.name in seen:
+                raise JrSyntaxError(
+                    f"duplicate function {function.name!r}", function.line
+                )
+            seen.add(function.name)
+        return ast.Program(tuple(functions), module=self.module)
+
+    def parse_function(self):
+        start = self.expect("kw", "func")
+        name = self.expect("name").text
+        self.expect("op", "(")
+        params = []
+        if not self.check("op", ")"):
+            params.append(self.expect("name").text)
+            while self.accept("op", ","):
+                params.append(self.expect("name").text)
+        self.expect("op", ")")
+        if len(set(params)) != len(params):
+            raise JrSyntaxError(f"duplicate parameter in {name}", start.line)
+        body = self.parse_block()
+        return ast.Function(name, tuple(params), body, line=start.line)
+
+    def parse_block(self):
+        self.expect("op", "{")
+        statements = []
+        while not self.check("op", "}"):
+            statements.append(self.parse_statement())
+        self.expect("op", "}")
+        return tuple(statements)
+
+    def parse_statement(self):
+        token = self.current
+        if self.accept("kw", "var"):
+            name = self.expect("name").text
+            self.expect("op", "=")
+            value = self.parse_expression()
+            self.expect("op", ";")
+            return ast.VarDecl(name, value, line=token.line)
+        if self.accept("kw", "if"):
+            self.expect("op", "(")
+            condition = self.parse_expression()
+            self.expect("op", ")")
+            then_body = self.parse_block()
+            else_body = ()
+            if self.accept("kw", "else"):
+                if self.check("kw", "if"):
+                    else_body = (self.parse_statement(),)
+                else:
+                    else_body = self.parse_block()
+            return ast.If(condition, then_body, else_body, line=token.line)
+        if self.accept("kw", "while"):
+            self.expect("op", "(")
+            condition = self.parse_expression()
+            self.expect("op", ")")
+            body = self.parse_block()
+            return ast.While(condition, body, line=token.line)
+        if self.accept("kw", "return"):
+            value = None
+            if not self.check("op", ";"):
+                value = self.parse_expression()
+            self.expect("op", ";")
+            return ast.Return(value, line=token.line)
+        if self.accept("kw", "print"):
+            value = self.parse_expression()
+            self.expect("op", ";")
+            return ast.Print(value, line=token.line)
+        if (
+            self.check("name")
+            and self.tokens[self.index + 1].kind == "op"
+            and self.tokens[self.index + 1].text == "="
+        ):
+            name = self.advance().text
+            self.advance()  # '='
+            value = self.parse_expression()
+            self.expect("op", ";")
+            return ast.Assign(name, value, line=token.line)
+        value = self.parse_expression()
+        self.expect("op", ";")
+        return ast.ExprStmt(value, line=token.line)
+
+    # expression precedence: || < && < comparison < additive < term < unary
+    def parse_expression(self):
+        return self.parse_or()
+
+    def parse_or(self):
+        left = self.parse_and()
+        while self.check("op", "||"):
+            line = self.advance().line
+            left = ast.Binary("||", left, self.parse_and(), line=line)
+        return left
+
+    def parse_and(self):
+        left = self.parse_comparison()
+        while self.check("op", "&&"):
+            line = self.advance().line
+            left = ast.Binary("&&", left, self.parse_comparison(), line=line)
+        return left
+
+    def parse_comparison(self):
+        left = self.parse_additive()
+        while self.current.kind == "op" and self.current.text in (
+            "==", "!=", "<", "<=", ">", ">=",
+        ):
+            op = self.advance()
+            left = ast.Binary(op.text, left, self.parse_additive(),
+                              line=op.line)
+        return left
+
+    def parse_additive(self):
+        left = self.parse_term()
+        while self.current.kind == "op" and self.current.text in "+-":
+            op = self.advance()
+            left = ast.Binary(op.text, left, self.parse_term(), line=op.line)
+        return left
+
+    def parse_term(self):
+        left = self.parse_unary()
+        while self.current.kind == "op" and self.current.text in "*/%":
+            op = self.advance()
+            left = ast.Binary(op.text, left, self.parse_unary(), line=op.line)
+        return left
+
+    def parse_unary(self):
+        if self.check("op", "-"):
+            token = self.advance()
+            return ast.Unary("-", self.parse_unary(), line=token.line)
+        if self.check("op", "!"):
+            token = self.advance()
+            return ast.Unary("!", self.parse_unary(), line=token.line)
+        return self.parse_primary()
+
+    def parse_primary(self):
+        token = self.current
+        if token.kind == "int":
+            self.advance()
+            value = int(token.text)
+            if value > 2**31 - 1:
+                raise JrSyntaxError("integer literal out of range",
+                                    token.line)
+            return ast.IntLiteral(value, line=token.line)
+        if self.accept("op", "("):
+            inner = self.parse_expression()
+            self.expect("op", ")")
+            return inner
+        if token.kind == "name":
+            self.advance()
+            if self.accept("op", "."):
+                member = self.expect("name").text
+                args = self.parse_args(token.line)
+                return ast.Call(token.text, member, args, line=token.line)
+            if self.check("op", "("):
+                args = self.parse_args(token.line)
+                return ast.Call(None, token.text, args, line=token.line)
+            return ast.Name(token.text, line=token.line)
+        raise JrSyntaxError(f"unexpected token {token.text!r}", token.line)
+
+    def parse_args(self, line):
+        self.expect("op", "(")
+        args = []
+        if not self.check("op", ")"):
+            args.append(self.parse_expression())
+            while self.accept("op", ","):
+                args.append(self.parse_expression())
+        self.expect("op", ")")
+        return tuple(args)
+
+
+def parse(source, module="main"):
+    """Parse Jr source text into a Program."""
+    return Parser(tokenize(source), module=module).parse_program()

@@ -1,0 +1,199 @@
+"""The CS314 course servlets (paper §4).
+
+"The course staff wrote compiler, assembler, and linker components in
+Java, which students used for course homeworks and projects … implemented
+the components as servlets running in an extensible web server."
+
+Each component is a servlet suitable for one J-Kernel domain.  They
+communicate in portable form (text and plain dicts), so requests and
+results cross domains under the LRMI calling convention.  A crash or
+replacement of one component does not disturb the others: exactly the
+failure-isolation story that motivated the J-Kernel.
+"""
+
+from __future__ import annotations
+
+from repro.jvm import VM, MapResolver
+from repro.jvm.classfile import ClassFile, ExceptionHandler, FieldDef, MethodDef
+from repro.web.servlet import Servlet, ServletResponse, error_response
+
+from .asmtext import AsmError, assemble_many
+from .codegen import JrCompileError, compile_source
+from .lexer import JrSyntaxError
+from .linker import LinkError, Linker
+
+
+# -- portable classfile form (crosses domains as plain data) -----------------
+
+def classfile_to_portable(cf):
+    return {
+        "name": cf.name,
+        "super_name": cf.super_name,
+        "interfaces": list(cf.interfaces),
+        "flags": cf.flags,
+        "fields": [[f.name, f.desc, f.flags] for f in cf.fields],
+        "methods": [
+            {
+                "name": m.name,
+                "desc": m.desc,
+                "flags": m.flags,
+                "max_stack": m.max_stack,
+                "max_locals": m.max_locals,
+                "code": [list(instr) for instr in m.code],
+                "handlers": [
+                    [h.start_pc, h.end_pc, h.handler_pc, h.catch_type]
+                    for h in m.handlers
+                ],
+            }
+            for m in cf.methods
+        ],
+    }
+
+
+def portable_to_classfile(data):
+    return ClassFile(
+        name=data["name"],
+        super_name=data["super_name"],
+        interfaces=tuple(data["interfaces"]),
+        flags=data["flags"],
+        fields=tuple(FieldDef(*f) for f in data["fields"]),
+        methods=tuple(
+            MethodDef(
+                name=m["name"],
+                desc=m["desc"],
+                flags=m["flags"],
+                max_stack=m["max_stack"],
+                max_locals=m["max_locals"],
+                code=tuple(tuple(instr) for instr in m["code"]),
+                handlers=tuple(
+                    ExceptionHandler(*h) for h in m["handlers"]
+                ),
+            )
+            for m in data["methods"]
+        ),
+        source="<linked>",
+    )
+
+
+# -- the components, as plain services --------------------------------------
+
+class JrCompiler:
+    """Jr source -> assembly text."""
+
+    def compile(self, source, module="main"):
+        return compile_source(source, module=module)
+
+
+class JrAssembler:
+    """Assembly text -> portable classfiles."""
+
+    def assemble(self, asm_text):
+        return [classfile_to_portable(cf) for cf in assemble_many(asm_text)]
+
+
+class JrLinker:
+    """Portable classfiles -> link-checked portable image."""
+
+    def link(self, portable_classfiles):
+        classfiles = [portable_to_classfile(d) for d in portable_classfiles]
+        image = Linker().link(classfiles)
+        return {
+            "classes": [classfile_to_portable(cf) for cf in image.classfiles],
+            "entry_points": dict(image.entry_points),
+        }
+
+
+class JrRunner:
+    """Load a linked image into a fresh MiniJVM and run ``module.main``."""
+
+    def run(self, linked_image, entry_class, args=(), profile="sunvm",
+            max_steps=5_000_000):
+        vm = VM(profile=profile)
+        classfiles = [
+            portable_to_classfile(d) for d in linked_image["classes"]
+        ]
+        loader = vm.new_loader(
+            "jr-program",
+            resolver=MapResolver({cf.name: cf for cf in classfiles}),
+        )
+        for cf in classfiles:
+            loader.load(cf.name)
+        entry = linked_image["entry_points"].get(entry_class)
+        if entry is None:
+            raise LinkError([f"{entry_class}.main"])
+        result = vm.call_static(
+            loader.load(entry_class), entry[0], entry[1], list(args),
+            max_steps=max_steps,
+        )
+        printed = [text for _, text in vm.output]
+        return {"result": result, "output": printed}
+
+
+# -- servlet wrappers (one J-Kernel domain each) ------------------------------
+
+class CompilerServlet(Servlet):
+    """POST Jr source, receive assembly text."""
+
+    def __init__(self):
+        self._compiler = JrCompiler()
+
+    def service(self, request):
+        module = request.headers.get("x-module", "main")
+        try:
+            asm_text = self._compiler.compile(
+                request.body.decode("utf-8"), module=module
+            )
+        except (JrSyntaxError, JrCompileError) as exc:
+            return error_response(400, f"compile error: {exc}")
+        return ServletResponse(200, {"Content-Type": "text/x-asm"},
+                               asm_text.encode("utf-8"))
+
+
+class AssemblerServlet(Servlet):
+    """POST assembly text, receive a portable classfile report."""
+
+    def __init__(self):
+        self._assembler = JrAssembler()
+
+    def service(self, request):
+        try:
+            portables = self._assembler.assemble(
+                request.body.decode("utf-8")
+            )
+        except Exception as exc:  # AsmError, ClassFormatError
+            return error_response(400, f"assemble error: {exc}")
+        names = ",".join(d["name"] for d in portables)
+        return ServletResponse(
+            200, {"Content-Type": "text/plain", "X-Classes": names},
+            repr(portables).encode("utf-8"),
+        )
+
+
+class PipelineServlet(Servlet):
+    """One-shot: POST Jr source, runs compile->assemble->link->execute."""
+
+    def __init__(self, profile="sunvm"):
+        self._compiler = JrCompiler()
+        self._assembler = JrAssembler()
+        self._linker = JrLinker()
+        self._runner = JrRunner()
+        self._profile = profile
+
+    def service(self, request):
+        module = request.headers.get("x-module", "main")
+        try:
+            asm_text = self._compiler.compile(
+                request.body.decode("utf-8"), module=module
+            )
+            portables = self._assembler.assemble(asm_text)
+            image = self._linker.link(portables)
+            outcome = self._runner.run(
+                image, f"jr/{module}", profile=self._profile
+            )
+        except (JrSyntaxError, JrCompileError, AsmError, LinkError) as exc:
+            return error_response(400, f"{type(exc).__name__}: {exc}")
+        body = "\n".join(
+            [*outcome["output"], f"=> {outcome['result']}"]
+        )
+        return ServletResponse(200, {"Content-Type": "text/plain"},
+                               body.encode("utf-8"))

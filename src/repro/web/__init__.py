@@ -1,0 +1,47 @@
+"""The extensible HTTP server stack (paper §4, Table 5)."""
+
+from .client import fetch_once, measure_throughput
+from .http import (
+    HttpError,
+    Request,
+    Response,
+    format_request,
+    format_response,
+    read_request,
+    read_response,
+)
+from .httpd import DocumentStore, NativeHttpServer
+from .isapi import IsapiBridge
+from .jkweb import JKernelWebServer, ServletRegistration, SystemServlet
+from .jws import JWSServer
+from .servlet import (
+    Servlet,
+    ServletRequest,
+    ServletResponse,
+    error_response,
+    text_response,
+)
+
+__all__ = [
+    "DocumentStore",
+    "HttpError",
+    "IsapiBridge",
+    "JKernelWebServer",
+    "JWSServer",
+    "NativeHttpServer",
+    "Request",
+    "Response",
+    "Servlet",
+    "ServletRegistration",
+    "ServletRequest",
+    "ServletResponse",
+    "SystemServlet",
+    "error_response",
+    "fetch_once",
+    "format_request",
+    "format_response",
+    "measure_throughput",
+    "read_request",
+    "read_response",
+    "text_response",
+]

@@ -1,0 +1,67 @@
+"""Benchmark client: concurrent keep-alive request generators (the "eight
+multithreaded clients repeatedly request the same document" workload of
+Table 5)."""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+from .http import format_request, read_response
+
+
+def fetch_once(host, port, path):
+    """One GET on a fresh connection; returns the Response."""
+    with socket.create_connection((host, port), timeout=5.0) as conn:
+        conn.sendall(format_request("GET", path, keep_alive=False))
+        reader = conn.makefile("rb")
+        response = read_response(reader)
+        reader.close()
+        return response
+
+
+def _client_worker(host, port, path, count, results, index):
+    completed = 0
+    try:
+        with socket.create_connection((host, port), timeout=10.0) as conn:
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            reader = conn.makefile("rb")
+            request = format_request("GET", path, keep_alive=True)
+            for _ in range(count):
+                conn.sendall(request)
+                response = read_response(reader)
+                if response is None or response.status != 200:
+                    break
+                completed += 1
+            reader.close()
+    except OSError:
+        pass
+    results[index] = completed
+
+
+def measure_throughput(host, port, path, clients=8, requests_per_client=50,
+                       warmup=5):
+    """Pages/second with ``clients`` concurrent keep-alive connections."""
+    if warmup:
+        warm_results = [0]
+        _client_worker(host, port, path, warmup, warm_results, 0)
+    results = [0] * clients
+    threads = [
+        threading.Thread(
+            target=_client_worker,
+            args=(host, port, path, requests_per_client, results, index),
+            daemon=True,
+        )
+        for index in range(clients)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    total = sum(results)
+    if elapsed <= 0 or total == 0:
+        return 0.0
+    return total / elapsed

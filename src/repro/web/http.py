@@ -1,0 +1,125 @@
+"""Minimal HTTP/1.0 (+keep-alive) parsing and formatting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+CRLF = b"\r\n"
+
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    pass
+
+
+@dataclass
+class Request:
+    method: str
+    path: str
+    version: str = "HTTP/1.0"
+    headers: dict = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self):
+        connection = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.1":
+            return connection != "close"
+        return connection == "keep-alive"
+
+
+@dataclass
+class Response:
+    status: int = 200
+    headers: dict = field(default_factory=dict)
+    body: bytes = b""
+
+
+def read_request(reader):
+    """Parse one request from a buffered binary reader; None at EOF."""
+    line = reader.readline(8192)
+    if not line:
+        return None
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) == 2:
+        method, path = parts
+        version = "HTTP/1.0"
+    elif len(parts) == 3:
+        method, path, version = parts
+    else:
+        raise HttpError(f"malformed request line: {line!r}")
+    headers = {}
+    while True:
+        line = reader.readline(8192)
+        if not line:
+            raise HttpError("EOF in headers")
+        line = line.strip()
+        if not line:
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    length = int(headers.get("content-length", "0") or "0")
+    if length:
+        body = reader.read(length)
+        if len(body) != length:
+            raise HttpError("EOF in body")
+    return Request(method.upper(), path, version, headers, body)
+
+
+def format_response(response, keep_alive=False):
+    reason = REASONS.get(response.status, "Unknown")
+    lines = [f"HTTP/1.0 {response.status} {reason}"]
+    headers = dict(response.headers)
+    headers.setdefault("Content-Length", str(len(response.body)))
+    headers.setdefault(
+        "Connection", "keep-alive" if keep_alive else "close"
+    )
+    for name, value in headers.items():
+        lines.append(f"{name}: {value}")
+    head = "\r\n".join(lines).encode("latin-1") + CRLF + CRLF
+    return head + response.body
+
+
+def format_request(method, path, headers=None, body=b"",
+                   keep_alive=True):
+    lines = [f"{method} {path} HTTP/1.0"]
+    header_map = dict(headers or {})
+    if keep_alive:
+        header_map.setdefault("Connection", "keep-alive")
+    if body:
+        header_map.setdefault("Content-Length", str(len(body)))
+    for name, value in header_map.items():
+        lines.append(f"{name}: {value}")
+    return "\r\n".join(lines).encode("latin-1") + CRLF + CRLF + body
+
+
+def read_response(reader):
+    """Parse one response from a buffered binary reader; None at EOF."""
+    line = reader.readline(8192)
+    if not line:
+        return None
+    parts = line.decode("latin-1").strip().split(None, 2)
+    if len(parts) < 2:
+        raise HttpError(f"malformed status line: {line!r}")
+    status = int(parts[1])
+    headers = {}
+    while True:
+        line = reader.readline(8192)
+        if not line:
+            raise HttpError("EOF in headers")
+        line = line.strip()
+        if not line:
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    body = reader.read(length) if length else b""
+    return Response(status, headers, body)

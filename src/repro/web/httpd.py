@@ -1,0 +1,166 @@
+"""The native HTTP server (the IIS analogue of §4 / Table 5).
+
+A thread-per-connection server with an in-memory document store (the NT
+file-cache analogue) and an in-process *extension* hook: handlers
+registered under URL prefixes intercept matching requests — exactly the
+role ISAPI extensions play for IIS.  The J-Kernel attaches through such an
+extension (``repro.web.isapi``).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from .http import HttpError, Request, Response, format_response, read_request
+
+
+class DocumentStore:
+    """In-memory documents served on the fast path."""
+
+    def __init__(self):
+        self._documents = {}
+
+    def put(self, path, body, content_type="text/html"):
+        if isinstance(body, str):
+            body = body.encode("utf-8")
+        self._documents[path] = (body, content_type)
+        return self
+
+    def get(self, path):
+        return self._documents.get(path)
+
+    def paths(self):
+        return sorted(self._documents)
+
+
+class NativeHttpServer:
+    """Threaded HTTP server: documents + prefix-registered extensions."""
+
+    def __init__(self, host="127.0.0.1", port=0):
+        self.host = host
+        self.port = port
+        self.documents = DocumentStore()
+        self._extensions = []  # (prefix, handler) sorted longest-first
+        self._listener = None
+        self._accept_thread = None
+        self._running = False
+        self._connections = set()
+        self._lock = threading.Lock()
+        self.requests_served = 0
+
+    # -- configuration ----------------------------------------------------
+    def add_extension(self, prefix, handler):
+        """Register an in-process extension for a URL prefix.
+
+        ``handler(request) -> Response`` runs on the connection's thread —
+        the same thread IIS hands an ISAPI extension (§4: "it allows the
+        Java code to run in the same thread as IIS uses to invoke the
+        bridge").
+        """
+        self._extensions.append((prefix, handler))
+        self._extensions.sort(key=lambda entry: -len(entry[0]))
+        return self
+
+    def remove_extension(self, prefix):
+        self._extensions = [
+            entry for entry in self._extensions if entry[0] != prefix
+        ]
+
+    # -- request processing (transport-independent) -----------------------------
+    def process(self, request):
+        """Handle one request; usable directly for in-process benchmarks."""
+        self.requests_served += 1
+        for prefix, handler in self._extensions:
+            if request.path.startswith(prefix):
+                try:
+                    return handler(request)
+                except Exception as exc:
+                    return Response(
+                        500, {"Content-Type": "text/plain"},
+                        f"extension error: {exc!r}".encode("utf-8"),
+                    )
+        document = self.documents.get(request.path)
+        if document is None:
+            return Response(404, {"Content-Type": "text/plain"},
+                            b"not found")
+        body, content_type = document
+        return Response(200, {"Content-Type": content_type}, body)
+
+    # -- socket plumbing ----------------------------------------------------------
+    def start(self):
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((self.host, self.port))
+        self.port = self._listener.getsockname()[1]
+        self._listener.listen(64)
+        self._running = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="httpd-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def _accept_loop(self):
+        while self._running:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                break
+            with self._lock:
+                self._connections.add(conn)
+            worker = threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            )
+            worker.start()
+
+    def _serve_connection(self, conn):
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        reader = conn.makefile("rb")
+        try:
+            while self._running:
+                try:
+                    request = read_request(reader)
+                except HttpError:
+                    conn.sendall(format_response(
+                        Response(400, {}, b"bad request")
+                    ))
+                    return
+                if request is None:
+                    return
+                response = self.process(request)
+                keep = request.keep_alive
+                conn.sendall(format_response(response, keep_alive=keep))
+                if not keep:
+                    return
+        except OSError:
+            pass
+        finally:
+            reader.close()
+            conn.close()
+            with self._lock:
+                self._connections.discard(conn)
+
+    def stop(self):
+        self._running = False
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._lock:
+            connections = list(self._connections)
+        for conn in connections:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(1.0)
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb):
+        self.stop()
+        return False

@@ -1,0 +1,201 @@
+"""The extensible J-Kernel web server (paper §4).
+
+"The HTTP system servlet forwards each request to the appropriate user
+servlet, each of which runs in its own J-Kernel domain."
+
+Structure::
+
+    NativeHttpServer ──(extension hook)── IsapiBridge
+        └── LRMI #1 ──> SystemServlet   (domain "http-system")
+                └── LRMI #2 ──> user servlet (one domain per servlet)
+
+Servlets are installed, replaced and terminated at run time without
+restarting the server — the failure-isolation story the CS314 servlets
+motivated: a crashing servlet produces a 500 for its own URLs and nothing
+else, and replacing a servlet terminates its domain (revoking its
+capabilities) before the replacement goes live.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core import (
+    Capability,
+    Domain,
+    RemoteException,
+    RevokedException,
+)
+
+from .httpd import NativeHttpServer
+from .isapi import IsapiBridge
+from .servlet import Servlet, ServletResponse, error_response
+
+
+class SystemServlet(Servlet):
+    """Routes requests to user-servlet capabilities by URL prefix."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._routes = []  # (prefix, capability) longest prefix first
+
+    # -- admin (host-side API, not reachable through capabilities) --------------
+    def add_route(self, prefix, capability):
+        with self._lock:
+            self._routes = [
+                entry for entry in self._routes if entry[0] != prefix
+            ]
+            self._routes.append((prefix, capability))
+            self._routes.sort(key=lambda entry: -len(entry[0]))
+
+    def remove_route(self, prefix):
+        with self._lock:
+            removed = [c for p, c in self._routes if p == prefix]
+            self._routes = [
+                entry for entry in self._routes if entry[0] != prefix
+            ]
+        return removed[0] if removed else None
+
+    def routes(self):
+        with self._lock:
+            return [prefix for prefix, _ in self._routes]
+
+    # -- the remote method ---------------------------------------------------------
+    def service(self, request):
+        with self._lock:
+            routes = list(self._routes)
+        for prefix, capability in routes:
+            if request.path.startswith(prefix):
+                try:
+                    return capability.service(request)
+                except RevokedException:
+                    return error_response(
+                        503, f"servlet for {prefix} was terminated"
+                    )
+                except RemoteException as exc:
+                    return error_response(500, f"servlet failed: {exc}")
+                except Exception as exc:
+                    return error_response(500, f"servlet error: {exc!r}")
+        return error_response(404, f"no servlet for {request.path}")
+
+
+class ServletRegistration:
+    """Book-keeping for one installed servlet."""
+
+    def __init__(self, prefix, domain, capability):
+        self.prefix = prefix
+        self.domain = domain
+        self.capability = capability
+
+
+class JKernelWebServer:
+    """IIS + ISAPI bridge + system servlet + per-servlet domains."""
+
+    def __init__(self, server=None, mount="/servlet"):
+        self.server = server or NativeHttpServer()
+        self.mount = mount
+        self.system_domain = Domain("http-system")
+        self._system = SystemServlet()
+        self.system_capability = self.system_domain.run(
+            lambda: Capability.create(self._system, label="system-servlet")
+        )
+        self.bridge = IsapiBridge(self.system_capability, strip_prefix=mount)
+        self.server.add_extension(mount, self.bridge.handle)
+        self._registrations = {}
+        self._lock = threading.Lock()
+
+    # -- servlet lifecycle --------------------------------------------------
+    def install_servlet(self, prefix, servlet_factory, domain_name=None,
+                        copy="auto"):
+        """Create a domain, instantiate the servlet inside it, route it."""
+        name = domain_name or f"servlet{prefix.replace('/', '-')}"
+        domain = Domain(name)
+
+        def build():
+            servlet = servlet_factory()
+            if not isinstance(servlet, Servlet):
+                raise TypeError(
+                    f"{type(servlet).__name__} does not implement Servlet"
+                )
+            return Capability.create(servlet, copy=copy, label=name)
+
+        capability = domain.run(build)
+        registration = ServletRegistration(prefix, domain, capability)
+        with self._lock:
+            old = self._registrations.get(prefix)
+            self._registrations[prefix] = registration
+        self._system.add_route(prefix, capability)
+        if old is not None:
+            old.domain.terminate()
+        return registration
+
+    def install_source(self, prefix, source, servlet_class_name="servlet",
+                       domain_name=None, grants=None):
+        """Upload servlet *source code* into a fresh domain (the paper's
+        "users … dynamically extend the functionality of the server by
+        uploading Java programs").
+
+        The source runs in the domain's restricted namespace and must
+        define ``servlet_class_name`` (a Servlet subclass or factory).
+        """
+        name = domain_name or f"servlet{prefix.replace('/', '-')}"
+        domain = Domain(name)
+        resolver = domain.resolver
+        resolver.grant("Servlet", Servlet)
+        resolver.grant("ServletResponse", ServletResponse)
+        for grant_name, value in (grants or {}).items():
+            resolver.grant(grant_name, value)
+        module = domain.load_module(f"upload:{prefix}", source)
+        factory = getattr(module, servlet_class_name)
+
+        def build():
+            servlet = factory()
+            return Capability.create(servlet, label=name)
+
+        capability = domain.run(build)
+        registration = ServletRegistration(prefix, domain, capability)
+        with self._lock:
+            old = self._registrations.get(prefix)
+            self._registrations[prefix] = registration
+        self._system.add_route(prefix, capability)
+        if old is not None:
+            old.domain.terminate()
+        return registration
+
+    def replace_servlet(self, prefix, servlet_factory, domain_name=None):
+        """Hot-replace: the old domain terminates, the new one takes over
+        without restarting the server (the chart-component story of §1)."""
+        return self.install_servlet(prefix, servlet_factory,
+                                    domain_name=domain_name)
+
+    def terminate_servlet(self, prefix):
+        """Kill a servlet: unroute it and terminate its domain."""
+        with self._lock:
+            registration = self._registrations.pop(prefix, None)
+        self._system.remove_route(prefix)
+        if registration is not None:
+            registration.domain.terminate()
+        return registration
+
+    def registrations(self):
+        with self._lock:
+            return dict(self._registrations)
+
+    # -- server control ----------------------------------------------------------
+    def start(self):
+        self.server.start()
+        return self
+
+    def stop(self):
+        self.server.stop()
+        with self._lock:
+            registrations = list(self._registrations.values())
+        for registration in registrations:
+            registration.domain.terminate()
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb):
+        self.stop()
+        return False

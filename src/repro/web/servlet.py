@@ -1,0 +1,63 @@
+"""The servlet API (paper §4).
+
+Servlets customize HTTP request processing for a subset of the server's
+URL space; each user servlet runs in its own protection domain and is
+reached through a capability.  ``ServletRequest``/``ServletResponse`` are
+registered both as fast-copy and serializable classes, so they can cross
+domain boundaries under either copy mechanism.
+"""
+
+from __future__ import annotations
+
+from repro.core import Remote, fast_copy, serializable
+
+
+@fast_copy(fields=("method", "path", "headers", "body"))
+@serializable(fields=("method", "path", "headers", "body"))
+class ServletRequest:
+    """One HTTP request as seen by a servlet."""
+
+    def __init__(self, method, path, headers=None, body=b""):
+        self.method = method
+        self.path = path
+        self.headers = dict(headers or {})
+        self.body = body
+
+    def __repr__(self):
+        return f"<ServletRequest {self.method} {self.path}>"
+
+
+@fast_copy(fields=("status", "headers", "body"))
+@serializable(fields=("status", "headers", "body"))
+class ServletResponse:
+    """One HTTP response produced by a servlet."""
+
+    def __init__(self, status=200, headers=None, body=b""):
+        self.status = status
+        self.headers = dict(headers or {})
+        self.body = body
+
+    def __repr__(self):
+        return f"<ServletResponse {self.status} ({len(self.body)} bytes)>"
+
+
+class Servlet(Remote):
+    """The remote interface every servlet implements."""
+
+    def service(self, request):
+        """Handle one request; returns a ServletResponse."""
+
+
+def text_response(text, status=200, content_type="text/plain"):
+    return ServletResponse(
+        status,
+        {"Content-Type": content_type},
+        text.encode("utf-8") if isinstance(text, str) else text,
+    )
+
+
+def error_response(status, message=""):
+    return ServletResponse(
+        status, {"Content-Type": "text/plain"},
+        (message or f"error {status}").encode("utf-8"),
+    )

@@ -1,0 +1,33 @@
+"""Test-wide fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import reset_repository
+
+
+@pytest.fixture()
+def repository():
+    """A fresh global repository for tests that bind names."""
+    return reset_repository()
+
+
+@pytest.fixture(params=["msvm", "sunvm"])
+def profile(request):
+    """Parametrize a test over both VM cost profiles."""
+    return request.param
+
+
+@pytest.fixture()
+def vm(profile):
+    from tests.support import fresh_vm
+
+    return fresh_vm(profile=profile)
+
+
+@pytest.fixture()
+def sun_vm():
+    from tests.support import fresh_vm
+
+    return fresh_vm(profile="sunvm")

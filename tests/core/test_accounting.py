@@ -1,0 +1,90 @@
+"""Per-domain resource accounting."""
+
+import pytest
+
+from repro.core import Capability, Domain, Remote, get_accountant, serializable
+from repro.core.accounting import Accountant, install, uninstall
+
+
+class Sink(Remote):
+    def take(self, value): ...
+
+
+class SinkImpl(Sink):
+    def take(self, value):
+        return 0
+
+
+@serializable
+class Blob:
+    def __init__(self, data):
+        self.data = data
+
+
+@pytest.fixture()
+def accountant():
+    accountant = Accountant()
+    install(accountant)
+    yield accountant
+    uninstall()
+
+
+class TestAccounts:
+    def test_fresh_account_zeroed(self, accountant):
+        account = accountant.account(Domain("acct0"))
+        assert account.snapshot() == {
+            "bytes_copied_in": 0,
+            "copy_operations": 0,
+            "allocations": 0,
+            "allocated_bytes": 0,
+        }
+
+    def test_charge_allocation(self, accountant):
+        domain = Domain("acct1")
+        accountant.charge_allocation(128, domain=domain)
+        accountant.charge_allocation(64, domain=domain)
+        account = accountant.account(domain)
+        assert account.allocations == 2
+        assert account.allocated_bytes == 192
+
+    def test_lrmi_copies_charged_to_callee(self, accountant):
+        server = Domain("acct-server")
+        cap = server.run(lambda: Capability.create(SinkImpl(),
+                                                   copy="serial"))
+        cap.take(Blob(b"x" * 100))
+        account = accountant.account(server)
+        assert account.copy_operations >= 1
+        assert account.bytes_copied_in > 100
+
+    def test_bigger_payload_bigger_charge(self, accountant):
+        server = Domain("acct-server2")
+        cap = server.run(lambda: Capability.create(SinkImpl(),
+                                                   copy="serial"))
+        cap.take(Blob(b"x" * 10))
+        small = accountant.account(server).bytes_copied_in
+        cap.take(Blob(b"x" * 1000))
+        big = accountant.account(server).bytes_copied_in - small
+        assert big > small
+
+    def test_release_domain_closes_account(self, accountant):
+        domain = Domain("acct2")
+        accountant.charge_allocation(10, domain=domain)
+        released = accountant.release_domain(domain)
+        assert released.allocated_bytes == 10
+        assert accountant.account(domain).allocated_bytes == 0
+
+    def test_report_lists_all_domains(self, accountant):
+        accountant.charge_allocation(1, domain=Domain("acct-a"))
+        accountant.charge_allocation(2, domain=Domain("acct-b"))
+        report = accountant.report()
+        assert "acct-a" in report
+        assert "acct-b" in report
+
+    def test_default_accountant_exists(self):
+        assert get_accountant() is get_accountant()
+
+    def test_charges_outside_domains_dropped(self, accountant):
+        accountant.charge_copy(100, domain=None)
+        # no current domain on this thread and none passed: silently
+        # dropped rather than mis-charged
+        assert accountant.report() == {}

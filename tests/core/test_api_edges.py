@@ -1,0 +1,176 @@
+"""Edge cases across the public API surface."""
+
+import pytest
+
+from repro.core import (
+    Capability,
+    Domain,
+    NotSerializableError,
+    Remote,
+    RemoteException,
+    fast_copy,
+    serializable,
+)
+
+
+class Kw(Remote):
+    def combine(self, a, b=10, *rest, **named): ...
+
+
+class KwImpl(Kw):
+    def combine(self, a, b=10, *rest, **named):
+        return a + b + sum(rest) + sum(named.values())
+
+
+class TestKeywordAndVarargs:
+    def test_kwargs_cross_domains(self):
+        cap = Capability.create(KwImpl(), domain=Domain("kw"))
+        assert cap.combine(1) == 11
+        assert cap.combine(1, 2) == 3
+        assert cap.combine(1, 2, 3, 4) == 10
+        assert cap.combine(1, b=2, extra=5) == 8
+
+    def test_kwargs_are_copied(self):
+        class Taker(Remote):
+            def take(self, **named): ...
+
+        class TakerImpl(Taker):
+            def __init__(self):
+                self.seen = None
+
+            def take(self, **named):
+                self.seen = named["data"]
+                return True
+
+        impl = TakerImpl()
+        cap = Capability.create(impl, domain=Domain("kw2"))
+        payload = [1, 2, 3]
+        cap.take(data=payload)
+        assert impl.seen == payload
+        assert impl.seen is not payload
+
+
+class TestCopyModes:
+    def test_per_capability_copy_mode(self):
+        @fast_copy
+        @serializable
+        class Both:
+            def __init__(self, values):
+                self.values = values
+
+        seen = []
+
+        class Sink(Remote):
+            def take(self, value): ...
+
+        class SinkImpl(Sink):
+            def take(self, value):
+                seen.append(value)
+                return True
+
+        domain = Domain("modes")
+        impl = SinkImpl()
+        for mode in ("auto", "serial", "fast"):
+            cap = domain.run(lambda: Capability.create(impl, copy=mode))
+            original = Both([1, 2])
+            cap.take(original)
+            assert seen[-1] is not original
+            assert seen[-1].values == [1, 2]
+
+    def test_invalid_copy_mode_rejected(self):
+        class I(Remote):
+            def f(self): ...
+
+        class Impl(I):
+            def f(self):
+                return 1
+
+        with pytest.raises(ValueError):
+            Capability.create(Impl(), domain=Domain("bad-mode"),
+                              copy="quantum")
+
+
+class TestInheritanceShapes:
+    def test_implementation_subclass_reuses_interfaces(self):
+        class Base(Remote):
+            def f(self): ...
+
+        class Impl(Base):
+            def f(self):
+                return "base"
+
+        class SubImpl(Impl):
+            def f(self):
+                return "sub"
+
+        domain = Domain("inherit")
+        cap = domain.run(lambda: Capability.create(SubImpl()))
+        assert cap.f() == "sub"
+        assert isinstance(cap, Base)
+
+    def test_diamond_interfaces(self):
+        class A(Remote):
+            def fa(self): ...
+
+        class B(Remote):
+            def fb(self): ...
+
+        class AB(A, B):
+            def fa(self):
+                return 1
+
+            def fb(self):
+                return 2
+
+        cap = Capability.create(AB(), domain=Domain("diamond"))
+        assert cap.fa() == 1
+        assert cap.fb() == 2
+        assert isinstance(cap, A) and isinstance(cap, B)
+
+
+class TestReturnPaths:
+    def test_none_return_crosses(self):
+        class V(Remote):
+            def void(self): ...
+
+        class VImpl(V):
+            def void(self):
+                return None
+
+        cap = Capability.create(VImpl(), domain=Domain("void"))
+        assert cap.void() is None
+
+    def test_generator_return_rejected(self):
+        class G(Remote):
+            def gen(self): ...
+
+        class GImpl(G):
+            def gen(self):
+                return (x for x in range(3))  # not copyable
+
+        cap = Capability.create(GImpl(), domain=Domain("gen"))
+        with pytest.raises((RemoteException, NotSerializableError)):
+            cap.gen()
+
+    def test_capability_returned_by_reference(self):
+        class Maker(Remote):
+            def make(self): ...
+
+        class Leaf(Remote):
+            def leaf(self): ...
+
+        class LeafImpl(Leaf):
+            def leaf(self):
+                return "leaf"
+
+        class MakerImpl(Maker):
+            def make(self):
+                return Capability.create(LeafImpl())
+
+        maker_domain = Domain("maker")
+        maker = maker_domain.run(lambda: Capability.create(MakerImpl()))
+        leaf_cap = maker.make()
+        assert isinstance(leaf_cap, Capability)
+        assert leaf_cap.leaf() == "leaf"
+        # created inside the callee's segment -> owned by the callee domain
+        assert leaf_cap.creator is maker_domain

@@ -1,0 +1,233 @@
+"""The LRMI calling convention (paper §3): capabilities by reference,
+everything else deep-copied, applied recursively."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Capability,
+    Domain,
+    NotSerializableError,
+    Remote,
+    RemoteException,
+    fast_copy,
+    serializable,
+    transfer,
+    transfer_args,
+    transfer_exception,
+)
+
+
+class Ping(Remote):
+    def ping(self): ...
+
+
+class PingImpl(Ping):
+    def ping(self):
+        return "pong"
+
+
+@pytest.fixture()
+def cap():
+    return Capability.create(PingImpl(), domain=Domain("conv"))
+
+
+@fast_copy
+@serializable
+class Holder:
+    def __init__(self, inner):
+        self.inner = inner
+
+
+class TestPrimitivesPassThrough:
+    @pytest.mark.parametrize("value", [
+        None, True, 0, 17, -3, 2.5, "text", b"bytes", complex(1, 2),
+    ])
+    def test_identity(self, value):
+        assert transfer(value) is value
+
+
+class TestCapabilitiesByReference:
+    def test_top_level(self, cap):
+        assert transfer(cap) is cap
+
+    def test_nested_in_container(self, cap):
+        copied = transfer([cap, 1])
+        assert copied[0] is cap
+        assert copied is not None
+
+    def test_nested_in_object_field(self, cap):
+        copied = transfer(Holder(cap))
+        assert copied.inner is cap
+
+    def test_deeply_nested(self, cap):
+        copied = transfer({"a": [Holder([cap])]})
+        assert copied["a"][0].inner[0] is cap
+
+
+class TestDeepCopy:
+    def test_containers_copied(self):
+        original = [1, [2, 3]]
+        copied = transfer(original)
+        assert copied == original
+        assert copied is not original
+        assert copied[1] is not original[1]
+
+    def test_objects_copied_recursively(self):
+        original = Holder(Holder([1]))
+        copied = transfer(original)
+        assert copied is not original
+        assert copied.inner is not original.inner
+        assert copied.inner.inner == [1]
+        copied.inner.inner.append(2)
+        assert original.inner.inner == [1]
+
+    def test_unregistered_rejected(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(NotSerializableError):
+            transfer(Opaque())
+
+    def test_domain_object_cannot_cross(self):
+        with pytest.raises(NotSerializableError):
+            transfer(Domain("leaky"))
+
+
+class TestModes:
+    def test_serial_mode_ignores_fastcopy_registration(self):
+        value = Holder([1])
+        copied = transfer(value, mode="serial")
+        assert copied.inner == [1]
+        assert copied is not value
+
+    def test_fast_mode_structural_containers(self):
+        value = [bytearray(b"x"), {1: [2]}]
+        copied = transfer(value, mode="fast")
+        assert copied[0] == bytearray(b"x")
+        assert copied[1] == {1: [2]}
+        copied[1][1].append(3)
+        assert value[1][1] == [2]
+
+    def test_fast_mode_cycles(self):
+        value = []
+        value.append(value)
+        copied = transfer(value, mode="fast")
+        assert copied[0] is copied
+
+    def test_bad_mode_rejected(self):
+        from repro.core.convention import check_mode
+
+        with pytest.raises(ValueError):
+            check_mode("teleport")
+
+
+class TestArgsAndExceptions:
+    def test_transfer_args(self, cap):
+        args, kwargs = transfer_args((1, [2], cap), {"k": [3]})
+        assert args[0] == 1
+        assert args[1] == [2]
+        assert args[2] is cap
+        assert kwargs["k"] == [3]
+
+    def test_remote_exceptions_pass_through(self):
+        exc = RemoteException("already kernel-level")
+        assert transfer_exception(exc) is exc
+
+    def test_copyable_exception_copied(self):
+        exc = ValueError("detail")
+        copied = transfer_exception(exc)
+        assert isinstance(copied, ValueError)
+        assert copied is not exc
+
+    def test_uncopyable_exception_wrapped(self):
+        class WeirdError(Exception):
+            def __init__(self, handle):
+                self.handle = handle
+                super().__init__("weird")
+
+            def __reduce__(self):
+                raise TypeError
+
+        # give it an unserializable payload and no registration by
+        # breaking the args contract
+        weird = WeirdError(object())
+        weird.args = (object(),)
+        copied = transfer_exception(weird)
+        assert isinstance(copied, Exception)
+
+
+class TestToctou:
+    """The §2 TOCTOU attack: mutate a byte buffer after the callee
+    validated it.  The calling convention defeats it: the callee works on
+    a private copy."""
+
+    def test_buffer_mutation_after_call_invisible(self):
+        observed = {}
+
+        class Loader(Remote):
+            def submit(self, code): ...
+
+        class LoaderImpl(Loader):
+            def submit(self, code):
+                observed["at_call"] = bytes(code)
+                observed["buffer"] = code
+                return True
+
+        cap = Capability.create(LoaderImpl(), domain=Domain("toctou"))
+        buffer = bytearray(b"GOOD CODE")
+        cap.submit(buffer)
+        buffer[:] = b"EVIL CODE"  # attacker overwrites after validation
+        assert observed["buffer"] == bytearray(b"GOOD CODE")
+        assert observed["at_call"] == b"GOOD CODE"
+
+
+_payloads = st.recursive(
+    st.integers() | st.text(max_size=8) | st.none() | st.binary(max_size=8),
+    lambda children: st.lists(children, max_size=3)
+    | st.dictionaries(st.text(max_size=4), children, max_size=3)
+    | st.builds(Holder, children),
+    max_leaves=12,
+)
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(_payloads)
+    def test_copy_structurally_equal_and_disjoint(self, value):
+        copied = transfer(value)
+        assert _equal(copied, value)
+        _assert_disjoint_mutables(copied, value)
+
+    @settings(max_examples=40, deadline=None)
+    @given(_payloads)
+    def test_double_transfer_stable(self, value):
+        once = transfer(value)
+        twice = transfer(once)
+        assert _equal(once, twice)
+
+
+def _equal(a, b):
+    if isinstance(a, Holder) and isinstance(b, Holder):
+        return _equal(a.inner, b.inner)
+    if isinstance(a, list) and isinstance(b, list):
+        return len(a) == len(b) and all(_equal(x, y) for x, y in zip(a, b))
+    if isinstance(a, dict) and isinstance(b, dict):
+        return a.keys() == b.keys() and all(
+            _equal(a[k], b[k]) for k in a
+        )
+    return a == b
+
+
+def _assert_disjoint_mutables(a, b):
+    if isinstance(a, (list, dict, Holder)):
+        assert a is not b
+    if isinstance(a, Holder):
+        _assert_disjoint_mutables(a.inner, b.inner)
+    elif isinstance(a, list):
+        for x, y in zip(a, b):
+            _assert_disjoint_mutables(x, y)
+    elif isinstance(a, dict):
+        for key in a:
+            _assert_disjoint_mutables(a[key], b[key])

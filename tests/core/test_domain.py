@@ -1,0 +1,165 @@
+"""Domains: identity, execution contexts, termination semantics."""
+
+import time
+
+import pytest
+
+from repro.core import (
+    Capability,
+    Domain,
+    DomainError,
+    DomainTerminatedException,
+    Remote,
+    RevokedException,
+    current_domain,
+)
+
+
+class Echo(Remote):
+    def echo(self, value): ...
+    def whoami(self): ...
+
+
+class EchoImpl(Echo):
+    def echo(self, value):
+        return value
+
+    def whoami(self):
+        return Domain.current().name
+
+
+class TestCurrentDomain:
+    def test_outside_any_domain_is_system(self):
+        assert Domain.current() is Domain.system()
+
+    def test_run_switches_domain(self):
+        domain = Domain("d1")
+        assert domain.run(Domain.current) is domain
+
+    def test_context_manager(self):
+        domain = Domain("d2")
+        with domain.context():
+            assert current_domain() is domain
+        assert current_domain() is None or current_domain() is not domain
+
+    def test_callee_executes_in_its_own_domain(self):
+        server = Domain("server-domain")
+        cap = server.run(lambda: Capability.create(EchoImpl()))
+        assert cap.whoami() == "server-domain"
+
+    def test_nested_contexts_restore(self):
+        outer = Domain("outer")
+        inner = Domain("inner")
+        with outer.context():
+            with inner.context():
+                assert Domain.current() is inner
+            assert Domain.current() is outer
+
+
+class TestPerDomainOutput:
+    def test_println_is_per_domain(self):
+        a = Domain("out-a")
+        b = Domain("out-b")
+        a.println("from a")
+        b.println("from b")
+        assert a.output == ["from a"]
+        assert b.output == ["from b"]
+
+
+class TestTermination:
+    def test_terminate_revokes_all_capabilities(self):
+        domain = Domain("doomed")
+        caps = [domain.run(lambda: Capability.create(EchoImpl()))
+                for _ in range(4)]
+        domain.terminate()
+        assert domain.terminated
+        for cap in caps:
+            assert cap.revoked
+            with pytest.raises(RevokedException):
+                cap.echo(1)
+
+    def test_terminated_error_names_domain(self):
+        domain = Domain("named-dead")
+        cap = domain.run(lambda: Capability.create(EchoImpl()))
+        domain.terminate()
+        with pytest.raises(DomainTerminatedException, match="named-dead"):
+            cap.echo(1)
+
+    def test_terminate_idempotent(self):
+        domain = Domain("twice")
+        domain.terminate()
+        domain.terminate()
+        assert domain.terminated
+
+    def test_no_new_capabilities_after_termination(self):
+        domain = Domain("dead-create")
+        domain.terminate()
+        with pytest.raises((DomainError, DomainTerminatedException)):
+            domain.run(lambda: Capability.create(EchoImpl()))
+
+    def test_no_entry_into_terminated_domain(self):
+        domain = Domain("dead-enter")
+        domain.terminate()
+        with pytest.raises(DomainTerminatedException):
+            with domain.context():
+                pass
+
+    def test_failure_propagates_to_clients_not_crashes_them(self):
+        """Paper: 'the server's failure is … propagated correctly to the
+        clients' — clients see exceptions, not corruption."""
+        server = Domain("failing-server")
+        cap = server.run(lambda: Capability.create(EchoImpl()))
+        assert cap.echo(1) == 1
+        server.terminate()
+        survived = 0
+        for _ in range(3):
+            try:
+                cap.echo(2)
+            except DomainTerminatedException:
+                survived += 1
+        assert survived == 3
+
+    def test_spawned_thread_dies_at_checkpoint(self):
+        from repro.core import checkpoint
+
+        domain = Domain("threaded")
+        progress = []
+
+        def worker():
+            while True:
+                progress.append(1)
+                checkpoint()
+                time.sleep(0.001)
+
+        thread = domain.spawn(worker)
+        deadline = time.monotonic() + 2.0
+        while not progress and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert progress
+        domain.terminate()
+        thread.join(2.0)
+        assert not thread.is_alive()
+
+    def test_spawn_after_termination_rejected(self):
+        domain = Domain("no-spawn")
+        domain.terminate()
+        with pytest.raises(DomainError):
+            domain.spawn(lambda: None)
+
+
+class TestLoadedCode:
+    def test_load_module_runs_in_domain(self):
+        domain = Domain("loader")
+        module = domain.load_module("hello", "x = 40 + 2\n")
+        assert module.x == 42
+
+    def test_loaded_module_recorded(self):
+        domain = Domain("loader2")
+        domain.load_module("m", "y = 1\n")
+        assert domain.lookup_loaded("m").y == 1
+
+    def test_load_into_terminated_rejected(self):
+        domain = Domain("loader3")
+        domain.terminate()
+        with pytest.raises(DomainError):
+            domain.load_module("m", "pass")

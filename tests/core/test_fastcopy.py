@@ -1,0 +1,146 @@
+"""Generated fast-copy: specialization, cycle handling, equivalence with
+the serializer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    NotSerializableError,
+    fast_copy,
+    fast_copy_value,
+    serializable,
+    transfer,
+)
+from repro.core.fastcopy import DEFAULT_REGISTRY, FastCopyRegistry
+
+
+def plain_transfer(value, memo):
+    return transfer(value, memo=memo)
+
+
+@fast_copy
+@serializable
+class Box:
+    def __init__(self, value):
+        self.value = value
+
+    def __eq__(self, other):
+        return isinstance(other, Box) and other.value == self.value
+
+
+@fast_copy(cyclic=True, fields=("name", "next"))
+class Link:
+    def __init__(self, name, next_link=None):
+        self.name = name
+        self.next = next_link
+
+
+class TestGeneration:
+    def test_copier_is_generated_code(self):
+        info = DEFAULT_REGISTRY.lookup(Box)
+        assert info is not None
+        assert "def _fastcopy_Box" in info.source
+        assert "new.value = transfer(obj.value, memo)" in info.source \
+            or "for key, value in state.items()" in info.source
+
+    def test_explicit_fields_specialized(self):
+        info = DEFAULT_REGISTRY.lookup(Link)
+        assert "new.name" in info.source
+        assert "new.next" in info.source
+
+    def test_cyclic_flag_adds_memo_lookup(self):
+        info = DEFAULT_REGISTRY.lookup(Link)
+        assert "memo.get(id(obj))" in info.source
+        non_cyclic = DEFAULT_REGISTRY.lookup(Box)
+        assert "memo.get(id(obj))" not in non_cyclic.source
+
+
+class TestCopying:
+    def test_basic_copy(self):
+        original = Box(42)
+        copy = fast_copy_value(original, plain_transfer)
+        assert copy == original
+        assert copy is not original
+
+    def test_nested_fastcopy_objects(self):
+        original = Box(Box(7))
+        copy = fast_copy_value(original, plain_transfer)
+        assert copy.value.value == 7
+        assert copy.value is not original.value
+
+    def test_mutation_isolation(self):
+        original = Box([1, 2, 3])
+        copy = fast_copy_value(original, plain_transfer)
+        copy.value.append(4)
+        assert original.value == [1, 2, 3]
+
+    def test_cycle_with_memo(self):
+        head = Link("a")
+        head.next = Link("b", head)  # cycle
+        copy = fast_copy_value(head, plain_transfer)
+        assert copy.name == "a"
+        assert copy.next.name == "b"
+        assert copy.next.next is copy
+
+    def test_dag_sharing_preserved_with_memo(self):
+        shared = Link("shared")
+        left = Link("left", shared)
+        right = Link("right", shared)
+        root = Link("root", None)
+        root.next = left
+        left.next = shared
+        # copy a structure where 'shared' is reachable twice
+        pair = [left, right]
+        memo = {}
+        copied_left = fast_copy_value(left, plain_transfer, memo=memo)
+        copied_right = fast_copy_value(right, plain_transfer, memo=memo)
+        assert copied_left.next is copied_right.next
+
+    def test_unregistered_rejected(self):
+        class Unknown:
+            pass
+
+        with pytest.raises(NotSerializableError, match="not a fast-copy"):
+            fast_copy_value(Unknown(), plain_transfer)
+
+    def test_custom_registry(self):
+        registry = FastCopyRegistry()
+
+        class Local:
+            def __init__(self, v):
+                self.v = v
+
+        registry.register(Local)
+        copy = fast_copy_value(Local(5), plain_transfer, registry=registry)
+        assert copy.v == 5
+
+
+class TestEquivalenceWithSerialization:
+    """Property: for values both mechanisms accept, fast-copy and the
+    serializer must produce structurally identical results."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.recursive(
+        st.integers() | st.text(max_size=10) | st.none()
+        | st.binary(max_size=10),
+        lambda children: st.lists(children, max_size=3)
+        | st.builds(Box, children),
+        max_leaves=10,
+    ))
+    def test_same_result(self, value):
+        from repro.core import copy_via_serialization
+
+        fast = transfer(value, mode="fast")
+        slow = copy_via_serialization(value)
+        assert _structurally_equal(fast, slow)
+
+
+def _structurally_equal(a, b):
+    if isinstance(a, Box) and isinstance(b, Box):
+        return _structurally_equal(a.value, b.value)
+    if isinstance(a, list) and isinstance(b, list):
+        return len(a) == len(b) and all(
+            _structurally_equal(x, y) for x, y in zip(a, b)
+        )
+    return a == b

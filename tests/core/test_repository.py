@@ -1,0 +1,141 @@
+"""The system-wide capability repository."""
+
+import pytest
+
+from repro.core import (
+    Capability,
+    Domain,
+    DomainError,
+    NameAlreadyBoundError,
+    NameNotBoundError,
+    Remote,
+    Repository,
+    RevokedException,
+)
+
+
+class Svc(Remote):
+    def hit(self): ...
+
+
+class SvcImpl(Svc):
+    def hit(self):
+        return "hit"
+
+
+@pytest.fixture()
+def repo():
+    return Repository()
+
+
+@pytest.fixture()
+def server():
+    return Domain("repo-server")
+
+
+@pytest.fixture()
+def cap(server):
+    return server.run(lambda: Capability.create(SvcImpl()))
+
+
+class TestBinding:
+    def test_bind_lookup(self, repo, server, cap):
+        repo.bind("svc", cap, domain=server)
+        assert repo.lookup("svc") is cap
+        assert repo.lookup("svc").hit() == "hit"
+
+    def test_double_bind_rejected(self, repo, server, cap):
+        repo.bind("svc", cap, domain=server)
+        with pytest.raises(NameAlreadyBoundError):
+            repo.bind("svc", cap, domain=server)
+
+    def test_lookup_missing_rejected(self, repo):
+        with pytest.raises(NameNotBoundError):
+            repo.lookup("ghost")
+
+    def test_only_capabilities_bindable(self, repo, server):
+        with pytest.raises(TypeError):
+            repo.bind("bad", SvcImpl(), domain=server)
+        with pytest.raises(TypeError):
+            repo.bind("bad", [1, 2], domain=server)
+
+    def test_names_sorted(self, repo, server, cap):
+        repo.bind("b", cap, domain=server)
+        repo.bind("a", cap, domain=server)
+        assert repo.names() == ["a", "b"]
+
+    def test_binder_recorded(self, repo, server, cap):
+        repo.bind("svc", cap, domain=server)
+        assert repo.binder_of("svc") is server
+
+
+class TestOwnership:
+    def test_unbind_by_binder(self, repo, server, cap):
+        repo.bind("svc", cap, domain=server)
+        repo.unbind("svc", domain=server)
+        with pytest.raises(NameNotBoundError):
+            repo.lookup("svc")
+
+    def test_unbind_by_other_domain_rejected(self, repo, server, cap):
+        repo.bind("svc", cap, domain=server)
+        intruder = Domain("intruder")
+        with pytest.raises(DomainError):
+            repo.unbind("svc", domain=intruder)
+        assert repo.lookup("svc") is cap
+
+    def test_rebind_by_binder(self, repo, server, cap):
+        repo.bind("svc", cap, domain=server)
+        replacement = server.run(lambda: Capability.create(SvcImpl()))
+        repo.rebind("svc", replacement, domain=server)
+        assert repo.lookup("svc") is replacement
+
+    def test_rebind_by_other_rejected(self, repo, server, cap):
+        repo.bind("svc", cap, domain=server)
+        intruder = Domain("intruder2")
+        other_cap = intruder.run(lambda: Capability.create(SvcImpl()))
+        with pytest.raises(DomainError):
+            repo.rebind("svc", other_cap, domain=intruder)
+
+    def test_rebind_unbound_name_binds(self, repo, server, cap):
+        repo.rebind("fresh", cap, domain=server)
+        assert repo.lookup("fresh") is cap
+
+
+class TestFailurePropagation:
+    def test_lookup_of_revoked_capability_succeeds_use_fails(
+        self, repo, server, cap
+    ):
+        repo.bind("svc", cap, domain=server)
+        cap.revoke()
+        found = repo.lookup("svc")  # lookup still works...
+        with pytest.raises(RevokedException):
+            found.hit()  # ...the use reports the failure
+
+    def test_sweep_revoked(self, repo, server, cap):
+        repo.bind("svc", cap, domain=server)
+        other = server.run(lambda: Capability.create(SvcImpl()))
+        repo.bind("other", other, domain=server)
+        cap.revoke()
+        assert repo.sweep_revoked() == 1
+        assert repo.names() == ["other"]
+
+    def test_termination_then_sweep(self, repo, server, cap):
+        repo.bind("svc", cap, domain=server)
+        server.terminate()
+        assert repo.sweep_revoked() == 1
+        assert repo.names() == []
+
+
+class TestGlobalRepository:
+    def test_domain_get_repository(self, repository):
+        assert Domain.get_repository() is repository
+
+    def test_paper_usage_pattern(self, repository):
+        """Domain 1 binds, Domain 2 looks up and invokes (paper §3.1)."""
+        domain1 = Domain("Domain1")
+        target = SvcImpl()
+        cap = domain1.run(lambda: Capability.create(target))
+        Domain.get_repository().bind("Domain1ReadFile", cap, domain=domain1)
+
+        found = Domain.get_repository().lookup("Domain1ReadFile")
+        assert found.hit() == "hit"

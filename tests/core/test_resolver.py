@@ -1,0 +1,112 @@
+"""Per-domain restricted namespaces for loaded code."""
+
+import pytest
+
+from repro.core import Domain, SAFE_BUILTINS
+
+
+class TestRestrictedNamespace:
+    def test_safe_builtins_available(self):
+        domain = Domain("res1")
+        module = domain.load_module(
+            "m",
+            "values = sorted([3, 1, 2])\n"
+            "total = sum(values)\n"
+            "kind = type(total).__name__\n",
+        )
+        assert module.values == [1, 2, 3]
+        assert module.total == 6
+        assert module.kind == "int"
+
+    def test_open_absent(self):
+        domain = Domain("res2")
+        with pytest.raises(NameError):
+            domain.load_module("m", "open('/etc/passwd')\n")
+
+    def test_import_absent(self):
+        domain = Domain("res3")
+        with pytest.raises(ImportError):
+            domain.load_module("m", "import os\n")
+
+    def test_eval_exec_absent(self):
+        domain = Domain("res4")
+        with pytest.raises(NameError):
+            domain.load_module("m", "eval('1+1')\n")
+        with pytest.raises(NameError):
+            domain.load_module("m2", "exec('x = 1')\n")
+
+    def test_dunder_import_absent(self):
+        domain = Domain("res5")
+        with pytest.raises((NameError, ImportError, KeyError)):
+            domain.load_module("m", "__import__('os')\n")
+
+    def test_safe_builtins_is_readonly_mapping(self):
+        with pytest.raises(TypeError):
+            SAFE_BUILTINS["open"] = open
+
+
+class TestGrants:
+    def test_granted_names_visible(self):
+        domain = Domain("res6")
+        domain.resolver.grant("MAGIC", 99)
+        module = domain.load_module("m", "x = MAGIC + 1\n")
+        assert module.x == 100
+
+    def test_ungranted_names_invisible(self):
+        domain_a = Domain("res7a")
+        domain_b = Domain("res7b")
+        domain_a.resolver.grant("SECRET", "a-only")
+        domain_a.load_module("m", "got = SECRET\n")
+        with pytest.raises(NameError):
+            domain_b.load_module("m", "got = SECRET\n")
+
+    def test_deny_removes_grant(self):
+        domain = Domain("res8")
+        domain.resolver.grant("TEMP", 1)
+        domain.resolver.deny("TEMP")
+        with pytest.raises(NameError):
+            domain.load_module("m", "x = TEMP\n")
+
+    def test_grant_many_and_listing(self):
+        domain = Domain("res9")
+        domain.resolver.grant_many({"A": 1, "B": 2})
+        assert domain.resolver.granted_names() == ["A", "B"]
+        assert domain.resolver.granted("A") == 1
+
+
+class TestPerDomainSystem:
+    def test_println_goes_to_domain_output(self):
+        domain = Domain("res10")
+        domain.load_module("m", "println('hello from inside')\n")
+        assert domain.output == ["hello from inside"]
+
+    def test_println_isolated_between_domains(self):
+        domain_a = Domain("res11a")
+        domain_b = Domain("res11b")
+        domain_a.load_module("m", "println('a')\n")
+        domain_b.load_module("m", "println('b')\n")
+        assert domain_a.output == ["a"]
+        assert domain_b.output == ["b"]
+
+    def test_module_name_and_domain_visible(self):
+        domain = Domain("res12")
+        module = domain.load_module("mod", "name = __name__\nd = __domain__\n")
+        assert module.name == "mod"
+        assert module.d == "res12"
+
+    def test_code_runs_inside_domain_context(self):
+        from repro.core import Capability, Remote
+
+        class WhoAmI(Remote):
+            def who(self): ...
+
+        class WhoAmIImpl(WhoAmI):
+            def who(self):
+                return Domain.current().name
+
+        server = Domain("res13-server")
+        cap = server.run(lambda: Capability.create(WhoAmIImpl()))
+        client = Domain("res13-client")
+        client.resolver.grant("service", cap)
+        module = client.load_module("m", "result = service.who()\n")
+        assert module.result == "res13-server"

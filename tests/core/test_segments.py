@@ -1,0 +1,200 @@
+"""Thread segments: the interposed thread API and cross-domain thread
+protection (paper §3.1, "Threads")."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import (
+    Capability,
+    Domain,
+    Remote,
+    RemoteException,
+    SegmentStoppedException,
+    checkpoint,
+    current_handle,
+    current_segment,
+)
+from repro.core.segments import ThreadSegment, pop, push
+
+
+class TestSegmentBasics:
+    def test_push_pop(self):
+        domain = Domain("seg")
+        segment = push(domain)
+        assert current_segment() is segment
+        assert segment.domain is domain
+        pop()
+        assert current_segment() is not segment
+
+    def test_handles_name_one_segment(self):
+        domain = Domain("seg2")
+        with domain.context():
+            handle = current_handle()
+            assert handle.domain_name == "seg2"
+            assert handle.alive
+
+    def test_no_segment_no_handle(self):
+        with pytest.raises(RuntimeError):
+            current_handle()
+
+    def test_stop_raises_at_checkpoint(self):
+        domain = Domain("seg3")
+        with pytest.raises(SegmentStoppedException):
+            with domain.context():
+                current_handle().stop()
+                checkpoint()
+
+    def test_priority_clamped(self):
+        segment = ThreadSegment(Domain("seg4"))
+        from repro.core.segments import SegmentHandle
+
+        handle = SegmentHandle(segment)
+        handle.set_priority(42)
+        assert handle.priority == 10
+        handle.set_priority(-1)
+        assert handle.priority == 1
+
+
+class Service(Remote):
+    def attack_caller(self): ...
+    def suicide(self): ...
+    def leak_handle(self): ...
+    def fine(self): ...
+
+
+class ServiceImpl(Service):
+    def __init__(self):
+        self.leaked = None
+
+    def attack_caller(self):
+        # A malicious callee can only reach its OWN segment handle; there
+        # is no API to reach the caller's segment.
+        handle = current_handle()
+        assert handle.domain_name != "caller"
+        return handle.domain_name
+
+    def suicide(self):
+        current_handle().stop()
+        checkpoint()
+        return "unreachable"
+
+    def leak_handle(self):
+        self.leaked = current_handle()
+        return True
+
+    def fine(self):
+        return "ok"
+
+
+class TestCrossDomainThreadProtection:
+    def setup_method(self):
+        self.server = Domain("server")
+        self.caller = Domain("caller")
+        self.cap = self.server.run(
+            lambda: Capability.create(ServiceImpl())
+        )
+
+    def test_callee_segment_is_callee_domain(self):
+        result = self.caller.run(self.cap.attack_caller)
+        assert result == "server"
+
+    def test_callee_suicide_becomes_remote_exception(self):
+        """A callee stopping its own segment must not kill the caller."""
+        with pytest.raises(RemoteException):
+            self.caller.run(self.cap.suicide)
+        # caller still alive and usable:
+        assert self.caller.run(self.cap.fine) == "ok"
+
+    def test_leaked_handle_is_dead_after_return(self):
+        """Paper: the callee may stash its Thread object, but after the
+        call returns, acting on it cannot touch the caller."""
+        impl = ServiceImpl()
+        cap = self.server.run(lambda: Capability.create(impl))
+        self.caller.run(cap.leak_handle)
+        leaked = impl.leaked
+        assert leaked is not None
+        assert not leaked.alive  # segment died when the call returned
+        leaked.stop()  # harmless: the segment is gone
+        assert self.caller.run(cap.fine) == "ok"
+
+    def test_caller_stop_fires_on_return_from_callee(self):
+        """If the caller's segment is stopped while it waits in a callee,
+        the stop is delivered when control returns to the caller side."""
+        caller_handle = {}
+
+        def run_caller():
+            caller_handle["h"] = current_handle()
+            result = self.cap.fine()
+            checkpoint()  # stop delivered here
+            return result
+
+        with pytest.raises(SegmentStoppedException):
+            with self.caller.context():
+                caller_handle["h"] = current_handle()
+                caller_handle["h"].stop()
+                self.cap.fine()  # LRMI boundary checkpoints the caller seg
+
+    def test_suspend_resume_roundtrip(self):
+        domain = Domain("suspender")
+        stages = []
+
+        def worker():
+            handle = current_handle()
+            stages.append(("handle", handle))
+            while True:
+                checkpoint()
+                stages.append("tick")
+                time.sleep(0.002)
+
+        thread = domain.spawn(worker)
+        deadline = time.monotonic() + 2.0
+        while len(stages) < 3 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        handle = stages[0][1]
+        handle.suspend()
+        time.sleep(0.05)
+        count_suspended = len(stages)
+        time.sleep(0.1)
+        # no progress while suspended (allow one in-flight tick)
+        assert len(stages) <= count_suspended + 1
+        handle.resume()
+        time.sleep(0.1)
+        assert len(stages) > count_suspended + 1
+        handle.stop()
+        thread.join(2.0)
+        assert not thread.is_alive()
+
+    def test_stop_wakes_suspended_segment(self):
+        """Termination must kill suspended segments too, not hang them."""
+        domain = Domain("susp-kill")
+
+        def worker():
+            handle = current_handle()
+            handle.suspend()
+            checkpoint()  # blocks here until resumed or stopped
+
+        thread = domain.spawn(worker)
+        time.sleep(0.05)
+        domain.terminate()
+        thread.join(2.0)
+        assert not thread.is_alive()
+
+
+class TestSegmentsAcrossRealThreads:
+    def test_segments_are_thread_local(self):
+        domain_a = Domain("tl-a")
+        domain_b = Domain("tl-b")
+        seen = {}
+
+        def in_thread():
+            with domain_b.context():
+                seen["thread"] = Domain.current().name
+
+        with domain_a.context():
+            worker = threading.Thread(target=in_thread)
+            worker.start()
+            worker.join()
+            seen["main"] = Domain.current().name
+        assert seen == {"main": "tl-a", "thread": "tl-b"}

@@ -1,0 +1,237 @@
+"""The from-scratch serializer: round trips, cycles, registration rules."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    NotSerializableError,
+    SerialRegistry,
+    copy_via_serialization,
+    dumps,
+    loads,
+    serializable,
+)
+from repro.core.serial import class_fields
+
+
+def roundtrip(value, **kwargs):
+    return loads(dumps(value, **kwargs), **kwargs)
+
+
+class TestPrimitives:
+    @pytest.mark.parametrize("value", [
+        None, True, False, 0, 1, -1, 2**40, -(2**40), 2**100, -(2**100),
+        0.0, -1.5, 3.14159, float("inf"),
+        "", "hello", "üñïçödé ✓", b"", b"bytes\x00\xff",
+    ])
+    def test_roundtrip(self, value):
+        assert roundtrip(value) == value
+
+    def test_nan_roundtrip(self):
+        result = roundtrip(float("nan"))
+        assert result != result
+
+    def test_bool_is_not_int(self):
+        assert roundtrip(True) is True
+        assert roundtrip(1) == 1
+        assert not isinstance(roundtrip(1), bool)
+
+
+class TestContainers:
+    def test_list(self):
+        assert roundtrip([1, "a", None, [2, 3]]) == [1, "a", None, [2, 3]]
+
+    def test_tuple_type_preserved(self):
+        assert roundtrip((1, 2)) == (1, 2)
+        assert isinstance(roundtrip((1, 2)), tuple)
+
+    def test_dict(self):
+        assert roundtrip({"a": 1, 2: [3]}) == {"a": 1, 2: [3]}
+
+    def test_sets(self):
+        assert roundtrip({1, 2, 3}) == {1, 2, 3}
+        assert roundtrip(frozenset({1, 2})) == frozenset({1, 2})
+        assert isinstance(roundtrip(frozenset({1})), frozenset)
+
+    def test_bytearray(self):
+        value = bytearray(b"mutable")
+        copy = roundtrip(value)
+        assert copy == value
+        assert copy is not value
+
+    def test_copy_is_deep(self):
+        inner = [1, 2]
+        copy = roundtrip([inner, inner])
+        copy[0].append(3)
+        assert inner == [1, 2]
+
+    def test_shared_substructure_preserved(self):
+        inner = [1]
+        copy = roundtrip([inner, inner])
+        assert copy[0] is copy[1]
+
+    def test_cycles(self):
+        value = []
+        value.append(value)
+        copy = roundtrip(value)
+        assert copy[0] is copy
+
+    def test_dict_cycle(self):
+        value = {}
+        value["self"] = value
+        copy = roundtrip(value)
+        assert copy["self"] is copy
+
+
+@serializable
+class Point:
+    def __init__(self, x, y):
+        self.x = x
+        self.y = y
+
+    def __eq__(self, other):
+        return isinstance(other, Point) and (self.x, self.y) == (
+            other.x, other.y
+        )
+
+
+class TestObjects:
+    def test_registered_class_roundtrip(self):
+        assert roundtrip(Point(1, 2)) == Point(1, 2)
+
+    def test_unregistered_class_rejected(self):
+        class Hidden:
+            pass
+
+        with pytest.raises(NotSerializableError, match="not registered"):
+            dumps(Hidden())
+
+    def test_object_cycle(self):
+        a = Point(1, 2)
+        a.x = a
+        copy = roundtrip(a)
+        assert copy.x is copy
+
+    def test_exception_roundtrip(self):
+        exc = ValueError("broken", 42)
+        copy = roundtrip(exc)
+        assert isinstance(copy, ValueError)
+        assert copy.args == ("broken", 42)
+
+    def test_unregistered_exception_falls_back_to_ancestor(self):
+        class CustomError(ValueError):
+            pass
+
+        copy = roundtrip(CustomError("detail"))
+        assert isinstance(copy, ValueError)
+        assert copy.args == ("detail",)
+
+    def test_capability_outside_lrmi_rejected(self):
+        from repro.core import Capability, Domain, Remote
+
+        class I(Remote):
+            def f(self): ...
+
+        class Impl(I):
+            def f(self):
+                return 1
+
+        cap = Capability.create(Impl(), domain=Domain("serial-test"))
+        with pytest.raises(NotSerializableError, match="outside an LRMI"):
+            dumps(cap)
+
+    def test_capability_table_passthrough(self):
+        from repro.core import Capability, Domain, Remote
+
+        class I(Remote):
+            def f(self): ...
+
+        class Impl(I):
+            def f(self):
+                return 1
+
+        cap = Capability.create(Impl(), domain=Domain("serial-test2"))
+        table = []
+        copy = copy_via_serialization({"cap": cap, "n": 1},
+                                      capability_table=table)
+        assert copy["cap"] is cap  # by reference through the side table
+        assert copy["n"] == 1
+
+
+class TestRegistry:
+    def test_custom_registry_isolated(self):
+        registry = SerialRegistry()
+
+        class Local:
+            def __init__(self, v):
+                self.v = v
+
+        registry.register(Local)
+        copy = roundtrip(Local(9), registry=registry)
+        assert copy.v == 9
+        with pytest.raises(NotSerializableError):
+            dumps(Local(9))  # default registry does not know it
+
+    def test_class_fields_from_slots(self):
+        class Slotted:
+            __slots__ = ("a", "b")
+
+        assert class_fields(Slotted) == ("a", "b")
+
+    def test_class_fields_from_dataclass(self):
+        import dataclasses
+
+        @dataclasses.dataclass
+        class Data:
+            x: int
+            y: str
+
+        assert class_fields(Data) == ("x", "y")
+
+    def test_explicit_fields_win(self):
+        class Any:
+            pass
+
+        assert class_fields(Any, explicit=["only"]) == ("only",)
+
+    def test_truncated_stream_rejected(self):
+        data = dumps([1, 2, 3])
+        with pytest.raises(NotSerializableError, match="truncated"):
+            loads(data[:-2])
+
+    def test_trailing_bytes_rejected(self):
+        data = dumps(7)
+        with pytest.raises(NotSerializableError, match="trailing"):
+            loads(data + b"\x00")
+
+
+_json_like = st.recursive(
+    st.none() | st.booleans()
+    | st.integers(min_value=-(2**70), max_value=2**70)
+    | st.floats(allow_nan=False) | st.text(max_size=20)
+    | st.binary(max_size=20),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=5), children, max_size=4),
+    max_leaves=20,
+)
+
+
+class TestProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(_json_like)
+    def test_roundtrip_identity(self, value):
+        assert roundtrip(value) == value
+
+    @settings(max_examples=40, deadline=None)
+    @given(_json_like)
+    def test_deterministic_encoding(self, value):
+        assert dumps(value) == dumps(value)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(), max_size=8))
+    def test_copy_never_aliases_mutables(self, value):
+        copy = roundtrip(value)
+        assert copy == value
+        if value:
+            assert copy is not value

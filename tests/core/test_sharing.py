@@ -1,0 +1,161 @@
+"""Shared-class rules: no static state, transitive consistency."""
+
+import pytest
+
+from repro.core import (
+    Domain,
+    SharingError,
+    check_no_static_state,
+    references,
+    share_class,
+)
+
+
+class CleanMessage:
+    """No static state: shareable."""
+
+    VERSION = 3  # immutable constant: allowed
+    NAMES = ("a", "b")  # immutable tuple: allowed
+
+    def __init__(self, text):
+        self.text = text
+
+    def shout(self):
+        return self.text.upper()
+
+    @property
+    def size(self):
+        return len(self.text)
+
+    @staticmethod
+    def helper():
+        return 1
+
+    @classmethod
+    def make(cls):
+        return cls("")
+
+
+class LeakyRegistry:
+    """Mutable class attribute: the covert channel the rule forbids."""
+
+    instances = []
+
+    def __init__(self):
+        LeakyRegistry.instances.append(self)
+
+
+class TestStaticStateCheck:
+    def test_clean_class_passes(self):
+        assert check_no_static_state(CleanMessage) is CleanMessage
+
+    def test_mutable_list_rejected(self):
+        with pytest.raises(SharingError, match="mutable static state"):
+            check_no_static_state(LeakyRegistry)
+
+    def test_mutable_dict_rejected(self):
+        class WithDict:
+            cache = {}
+
+        with pytest.raises(SharingError):
+            check_no_static_state(WithDict)
+
+    def test_mutable_set_rejected(self):
+        class WithSet:
+            seen = set()
+
+        with pytest.raises(SharingError):
+            check_no_static_state(WithSet)
+
+    def test_nested_mutable_in_tuple_rejected(self):
+        class Sneaky:
+            config = (1, [2])  # tuple hiding a list
+
+        with pytest.raises(SharingError):
+            check_no_static_state(Sneaky)
+
+    def test_slots_and_annotations_allowed(self):
+        class Slotted:
+            __slots__ = ("x",)
+            limit: int = 10
+
+        assert check_no_static_state(Slotted) is Slotted
+
+
+class TestSharedClass:
+    def test_share_and_install(self):
+        shared = share_class(CleanMessage)
+        domain = Domain("sharee")
+        installed = shared.install(domain)
+        assert "CleanMessage" in installed
+        module = domain.load_module(
+            "uses", "msg = CleanMessage('hi')\nresult = msg.shout()\n"
+        )
+        assert module.result == "HI"
+
+    def test_leaky_class_cannot_be_shared(self):
+        with pytest.raises(SharingError):
+            share_class(LeakyRegistry)
+
+    def test_referenced_classes_install_together(self):
+        class Part:
+            def __init__(self):
+                self.n = 1
+
+        @references(Part)
+        class Whole:
+            def make_part(self):
+                return Part()
+
+        shared = share_class(Whole)
+        assert Part in shared.referenced
+        domain = Domain("sharee2")
+        installed = shared.install(domain)
+        assert set(installed) == {"Whole", "Part"}
+        module = domain.load_module(
+            "uses", "w = Whole()\nn = w.make_part().n\n"
+        )
+        assert module.n == 1
+
+    def test_leaky_referenced_class_rejected(self):
+        @references(LeakyRegistry)
+        class Carrier:
+            pass
+
+        with pytest.raises(SharingError):
+            share_class(Carrier)
+
+    def test_transitive_references(self):
+        class Inner:
+            pass
+
+        @references(Inner)
+        class Middle:
+            pass
+
+        shared = share_class(CleanMessage, referenced=[Middle])
+        assert Inner in shared.referenced
+        assert Middle in shared.referenced
+
+    def test_conflicting_install_rejected(self):
+        """A domain cannot bind one name to two different classes —
+        the consistency rule."""
+        class Thing:
+            pass
+
+        first = Thing
+
+        class Thing:  # noqa: F811 - deliberate redefinition
+            pass
+
+        second = Thing
+        domain = Domain("conflict")
+        share_class(first).install(domain)
+        with pytest.raises(SharingError, match="different class"):
+            share_class(second).install(domain)
+
+    def test_reinstalling_same_class_ok(self):
+        domain = Domain("idempotent")
+        shared = share_class(CleanMessage)
+        shared.install(domain)
+        shared.install(domain)  # no error

@@ -1,0 +1,193 @@
+"""End-to-end scenarios straight from the paper's narrative, plus the
+example scripts as executable documentation."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core import (
+    Capability,
+    Domain,
+    Remote,
+    RemoteException,
+    RevokedException,
+    get_repository,
+)
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+class TestPaperWalkthrough:
+    """§3.1: create, publish, look up, invoke, revoke, terminate."""
+
+    def test_full_lifecycle(self, repository):
+        class ReadFile(Remote):
+            def read_byte(self): ...
+
+        class ReadFileImpl(ReadFile):
+            def read_byte(self):
+                return 7
+
+        domain1 = Domain("walkthrough-1")
+        cap = domain1.run(lambda: Capability.create(ReadFileImpl()))
+        get_repository().bind("walkthrough", cap, domain=domain1)
+
+        found = get_repository().lookup("walkthrough")
+        assert found.read_byte() == 7
+        cap.revoke()
+        with pytest.raises(RevokedException):
+            found.read_byte()
+        domain1.terminate()
+
+
+class TestMutuallySuspiciousDomains:
+    """Two components that do not trust each other communicate only
+    through capabilities; neither can reach the other's internals."""
+
+    def test_bidirectional_capabilities(self):
+        class Offer(Remote):
+            def propose(self, amount): ...
+
+        class Buyer(Offer):
+            def __init__(self):
+                self.history = []
+                self.wallet = 100  # internal state, never shared
+
+            def propose(self, amount):
+                self.history.append(amount)
+                return amount <= self.wallet
+
+        class Seller(Offer):
+            def __init__(self):
+                self.minimum = 40
+
+            def propose(self, amount):
+                return amount >= self.minimum
+
+        buyer_domain = Domain("buyer")
+        seller_domain = Domain("seller")
+        buyer_impl = Buyer()
+        buyer_cap = buyer_domain.run(lambda: Capability.create(buyer_impl))
+        seller_cap = seller_domain.run(lambda: Capability.create(Seller()))
+
+        # negotiate through capabilities only
+        assert seller_cap.propose(50)
+        assert buyer_cap.propose(50)
+        assert not seller_cap.propose(10)
+
+        # the seller's view of the buyer exposes no wallet
+        assert not hasattr(buyer_cap, "wallet")
+        # termination of the seller cannot strand the buyer
+        seller_domain.terminate()
+        with pytest.raises(RemoteException):
+            seller_cap.propose(60)
+        assert buyer_cap.propose(10)  # buyer still fine
+
+
+class TestServerClientGarbage:
+    """§2 'Domain Termination': a dead server's objects must not live on
+    in its clients, and revocation prevents cross-domain garbage
+    retention."""
+
+    def test_client_cannot_retain_server_memory(self):
+        import gc
+        import weakref
+
+        class Big(Remote):
+            def poke(self): ...
+
+        class BigImpl(Big):
+            def __init__(self):
+                self.payload = bytearray(1024)
+
+            def poke(self):
+                return len(self.payload)
+
+        server = Domain("big-server")
+        target = BigImpl()
+        cap = server.run(lambda: Capability.create(target))
+        ref = weakref.ref(target)
+        del target
+        assert cap.poke() == 1024
+        server.terminate()  # revokes, severing the stub->target edge
+        gc.collect()
+        assert ref() is None  # client holding `cap` does not pin it
+
+
+class TestExamplesRun:
+    """Every example script runs to completion (they print as they go)."""
+
+    @pytest.mark.parametrize("script", [
+        "quickstart.py",
+        "file_server.py",
+        "extensible_web_server.py",
+        "cs314_pipeline.py",
+    ])
+    def test_example(self, script, capsys, repository):
+        path = EXAMPLES / script
+        assert path.exists(), f"missing example {script}"
+        saved_argv = sys.argv
+        sys.argv = [str(path)]
+        try:
+            runpy.run_path(str(path), run_name="__main__")
+        finally:
+            sys.argv = saved_argv
+        out = capsys.readouterr().out
+        assert out  # examples narrate their steps
+
+
+class TestVmLevelHostileCode:
+    """Hostile-bytecode scenarios enforced by the MiniJVM path."""
+
+    def test_forged_reference_rejected_before_running(self):
+        from repro.jvm import ClassAssembler, MapResolver, VerifyError, VM
+
+        vm = VM()
+        ca = ClassAssembler("evil/Forge")
+        with ca.method("forge", "(I)Ljava/lang/Object;", 0x0009) as m:
+            m.emit("iload", 0)
+            m.emit("areturn")
+        loader = vm.new_loader(
+            "evil", resolver=MapResolver({"evil/Forge": ca.build()})
+        )
+        with pytest.raises(VerifyError):
+            loader.load("evil/Forge")
+
+    def test_private_capability_field_unreachable_from_guest(self):
+        """Guest bytecode cannot read a stub's private target field —
+        the unforgeability of VM-level capabilities."""
+        from repro.jkvm import JKernelVM
+        from repro.jvm import ClassAssembler, VerifyError, interface
+
+        kernel = JKernelVM()
+        server = kernel.new_domain("srv")
+        iface = interface("s/I", [("f", "()I")], extends=("jk/Remote",))
+        impl = ClassAssembler("s/Impl", interfaces=("s/I", "jk/Remote"))
+        with impl.method("<init>", "()V") as m:
+            m.emit("aload", 0)
+            m.emit("invokespecial", "java/lang/Object", "<init>", "()V")
+            m.emit("return")
+        with impl.method("f", "()I") as m:
+            m.emit("iconst", 1)
+            m.emit("ireturn")
+        server.define([iface, impl.build()])
+        target = kernel.vm.construct(server.load("s/Impl"),
+                                     domain_tag=server.tag)
+        stub = server.create_capability(target)
+
+        # attacker code in another domain tries GETFIELD on the stub
+        client = kernel.new_domain("attacker")
+        client.share_from(server, "s/I")
+        client.loader.share(stub.jclass)  # even with the class visible...
+        thief = ClassAssembler("a/Thief")
+        stub_class_name = stub.jclass.name
+        with thief.method(
+            "steal", f"(L{stub_class_name};)Ljava/lang/Object;", 0x0009
+        ) as m:
+            m.emit("aload", 0)
+            m.emit("getfield", stub_class_name, "target")
+            m.emit("areturn")
+        with pytest.raises(VerifyError, match="private"):
+            client.define([thief.build()])

@@ -1,0 +1,208 @@
+"""Assembler: labels, stack computation, structural checks."""
+
+import pytest
+
+from repro.jvm import ClassAssembler, ClassFormatError, interface
+from repro.jvm.asm import Label, stack_effect
+from repro.jvm.classfile import ACC_INTERFACE, check_classfile
+from repro.jvm.instructions import (
+    ALOAD,
+    GOTO,
+    IADD,
+    ICONST,
+    IF_ICMPGE,
+    ILOAD,
+    INVOKESTATIC,
+    IRETURN,
+    ISTORE,
+    POP,
+    RETURN,
+)
+from tests.support import PUBLIC_STATIC
+
+
+def build_add():
+    ca = ClassAssembler("t/Add")
+    with ca.method("add", "(II)I", PUBLIC_STATIC) as m:
+        m.emit(ILOAD, 0)
+        m.emit(ILOAD, 1)
+        m.emit(IADD)
+        m.emit(IRETURN)
+    return ca.build()
+
+
+class TestStackEffects:
+    def test_simple(self):
+        assert stack_effect(("iconst", 1)) == (0, 1)
+        assert stack_effect(("iadd",)) == (2, 1)
+        assert stack_effect(("pop",)) == (1, 0)
+
+    def test_invokes_use_descriptor(self):
+        assert stack_effect(("invokestatic", "c", "m", "(II)I")) == (2, 1)
+        assert stack_effect(("invokevirtual", "c", "m", "(I)V")) == (2, 0)
+        assert stack_effect(("invokeinterface", "c", "m", "()I")) == (1, 1)
+
+
+class TestMaxStackComputation:
+    def test_simple_add(self):
+        cf = build_add()
+        method = cf.method("add", "(II)I")
+        assert method.max_stack == 2
+        assert method.max_locals == 2
+
+    def test_deeper_expression(self):
+        ca = ClassAssembler("t/Deep")
+        with ca.method("f", "()I", PUBLIC_STATIC) as m:
+            for value in range(5):
+                m.emit(ICONST, value)
+            for _ in range(4):
+                m.emit(IADD)
+            m.emit(IRETURN)
+        method = ca.build().method("f", "()I")
+        assert method.max_stack == 5
+
+    def test_locals_from_stores(self):
+        ca = ClassAssembler("t/Locals")
+        with ca.method("f", "()V", PUBLIC_STATIC) as m:
+            m.emit(ICONST, 1)
+            m.emit(ISTORE, 7)
+            m.emit(RETURN)
+        assert ca.build().method("f", "()V").max_locals == 8
+
+    def test_underflow_rejected(self):
+        ca = ClassAssembler("t/Under")
+        with ca.method("f", "()V", PUBLIC_STATIC) as m:
+            m.emit(POP)
+            m.emit(RETURN)
+        with pytest.raises(ClassFormatError, match="underflow"):
+            ca.build()
+
+    def test_inconsistent_merge_rejected(self):
+        ca = ClassAssembler("t/Merge")
+        with ca.method("f", "(I)V", PUBLIC_STATIC) as m:
+            target = m.label()
+            m.emit(ILOAD, 0)
+            m.emit("ifeq", target)
+            m.emit(ICONST, 1)  # depth 1 on fallthrough
+            m.mark(target)  # depth 0 from branch
+            m.emit(RETURN)
+        with pytest.raises(ClassFormatError, match="inconsistent"):
+            ca.build()
+
+    def test_fall_off_end_rejected(self):
+        ca = ClassAssembler("t/Fall")
+        with ca.method("f", "()V", PUBLIC_STATIC) as m:
+            m.emit(ICONST, 1)
+            m.emit(POP)
+        with pytest.raises(ClassFormatError, match="past end"):
+            ca.build()
+
+
+class TestLabels:
+    def test_forward_reference(self):
+        ca = ClassAssembler("t/Fwd")
+        with ca.method("f", "(I)I", PUBLIC_STATIC) as m:
+            done = m.label("done")
+            m.emit(ILOAD, 0)
+            m.emit("ifeq", done)
+            m.emit(ICONST, 1)
+            m.emit(IRETURN)
+            m.mark(done)
+            m.emit(ICONST, 0)
+            m.emit(IRETURN)
+        cf = ca.build()
+        code = cf.method("f", "(I)I").code
+        assert code[1] == ("ifeq", 4)
+
+    def test_unbound_label_rejected(self):
+        ca = ClassAssembler("t/Unbound")
+        with ca.method("f", "()V", PUBLIC_STATIC) as m:
+            dangling = Label("nowhere")
+            m.emit(GOTO, dangling)
+        with pytest.raises(ClassFormatError, match="unbound"):
+            ca.build()
+
+    def test_double_bind_rejected(self):
+        ca = ClassAssembler("t/Twice")
+        m = ca.method("f", "()V", PUBLIC_STATIC)
+        label = m.here()
+        with pytest.raises(ClassFormatError, match="twice"):
+            m.mark(label)
+
+
+class TestStructuralChecks:
+    def test_duplicate_method_rejected(self):
+        ca = ClassAssembler("t/Dup")
+        for _ in range(2):
+            with ca.method("f", "()V", PUBLIC_STATIC) as m:
+                m.emit(RETURN)
+        with pytest.raises(ClassFormatError, match="duplicate method"):
+            ca.build()
+
+    def test_duplicate_field_rejected(self):
+        ca = ClassAssembler("t/DupF")
+        ca.field("x", "I")
+        ca.field("x", "D")
+        with ca.method("f", "()V", PUBLIC_STATIC) as m:
+            m.emit(RETURN)
+        with pytest.raises(ClassFormatError, match="duplicate field"):
+            ca.build()
+
+    def test_unknown_opcode_rejected(self):
+        ca = ClassAssembler("t/BadOp")
+        m = ca.method("f", "()V", PUBLIC_STATIC)
+        with pytest.raises(ClassFormatError, match="unknown opcode"):
+            m.emit("launch_missiles")
+
+    def test_bad_operand_count_rejected(self):
+        from repro.jvm.classfile import ClassFile, MethodDef
+
+        bad = ClassFile(
+            name="t/BadArity",
+            methods=(
+                MethodDef("f", "()V", PUBLIC_STATIC, 1, 0,
+                          (("iconst",), ("return",))),
+            ),
+        )
+        with pytest.raises(ClassFormatError, match="expects 1 operands"):
+            check_classfile(bad)
+
+    def test_branch_target_out_of_range_rejected(self):
+        from repro.jvm.classfile import ClassFile, MethodDef
+
+        bad = ClassFile(
+            name="t/BadTarget",
+            methods=(
+                MethodDef("f", "()V", PUBLIC_STATIC, 1, 0,
+                          (("goto", 99), ("return",))),
+            ),
+        )
+        with pytest.raises(ClassFormatError, match="target out of range"):
+            check_classfile(bad)
+
+    def test_interface_helper(self):
+        cf = interface("t/IFace", [("f", "()I"), ("g", "(I)V")])
+        assert cf.is_interface
+        assert cf.flags & ACC_INTERFACE
+        assert len(cf.methods) == 2
+        assert all(m.is_abstract for m in cf.methods)
+
+    def test_interface_with_concrete_method_rejected(self):
+        ca = ClassAssembler("t/BadIface", flags=ACC_INTERFACE | 0x0001)
+        with ca.method("f", "()V", PUBLIC_STATIC) as m:
+            m.emit(RETURN)
+        with pytest.raises(ClassFormatError):
+            ca.build()
+
+    def test_native_with_code_rejected(self):
+        from repro.jvm.classfile import ACC_NATIVE, ClassFile, MethodDef
+
+        bad = ClassFile(
+            name="t/NativeCode",
+            methods=(
+                MethodDef("f", "()V", PUBLIC_STATIC | ACC_NATIVE, 0, 0,
+                          (("return",),)),
+            ),
+        )
+        with pytest.raises(ClassFormatError, match="has code"):
+            check_classfile(bad)

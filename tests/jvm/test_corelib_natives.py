@@ -1,0 +1,225 @@
+"""Core library natives: String, StringBuilder, System."""
+
+import pytest
+
+from repro.jvm import JThrowable
+from repro.jvm.instructions import (
+    ALOAD,
+    ARETURN,
+    DUP,
+    ICONST,
+    ILOAD,
+    INVOKESPECIAL,
+    INVOKESTATIC,
+    INVOKEVIRTUAL,
+    IRETURN,
+    LDC_STR,
+    NEW,
+    RETURN,
+)
+from tests.support import PUBLIC_STATIC, assemble, fresh_vm, load_classes
+
+
+@pytest.fixture(scope="module")
+def svm():
+    return fresh_vm()
+
+
+def jstr(vm, text):
+    return vm.new_string(text)
+
+
+class TestStringNatives:
+    def test_length_and_charat(self, svm):
+        s = jstr(svm, "hello")
+        assert svm.call_virtual(s, "length", "()I") == 5
+        assert svm.call_virtual(s, "charAt", "(I)I", [1]) == ord("e")
+
+    def test_charat_bounds(self, svm):
+        s = jstr(svm, "ab")
+        with pytest.raises(JThrowable, match="IndexOutOfBounds"):
+            svm.call_virtual(s, "charAt", "(I)I", [5])
+
+    def test_concat_substring(self, svm):
+        a = jstr(svm, "foo")
+        b = jstr(svm, "bar")
+        joined = svm.call_virtual(
+            a, "concat", "(Ljava/lang/String;)Ljava/lang/String;", [b]
+        )
+        assert svm.text_of(joined) == "foobar"
+        part = svm.call_virtual(joined, "substring",
+                                "(II)Ljava/lang/String;", [1, 4])
+        assert svm.text_of(part) == "oob"
+
+    def test_substring_bounds(self, svm):
+        with pytest.raises(JThrowable):
+            svm.call_virtual(jstr(svm, "x"), "substring",
+                             "(II)Ljava/lang/String;", [0, 5])
+
+    def test_equals_and_startswith(self, svm):
+        a = jstr(svm, "same")
+        b = jstr(svm, "same")
+        assert a is not b
+        assert svm.call_virtual(
+            a, "equalsString", "(Ljava/lang/String;)Z", [b]
+        ) == 1
+        assert svm.call_virtual(
+            a, "startsWith", "(Ljava/lang/String;)Z", [jstr(svm, "sa")]
+        ) == 1
+        assert svm.call_virtual(
+            a, "startsWith", "(Ljava/lang/String;)Z", [jstr(svm, "am")]
+        ) == 0
+
+    def test_hash_is_javas(self, svm):
+        # Java's "Aa".hashCode() == 2112
+        assert svm.call_virtual(jstr(svm, "Aa"), "hashCode", "()I") == 2112
+
+    def test_get_bytes_roundtrip(self, svm):
+        s = jstr(svm, "héllo")
+        data = svm.call_virtual(s, "getBytes", "()[B")
+        back = svm.call_static(
+            svm.string_class, "fromBytes", "([B)Ljava/lang/String;", [data]
+        )
+        assert svm.text_of(back) == "héllo"
+
+    def test_value_of_int(self, svm):
+        result = svm.call_static(
+            svm.string_class, "valueOfInt", "(I)Ljava/lang/String;", [-42]
+        )
+        assert svm.text_of(result) == "-42"
+
+    def test_intern_same_identity(self, svm):
+        a = svm.call_virtual(jstr(svm, "pool"), "intern",
+                             "()Ljava/lang/String;")
+        b = svm.call_virtual(jstr(svm, "pool"), "intern",
+                             "()Ljava/lang/String;")
+        assert a is b
+
+    def test_strings_immutable_across_lrmi(self, svm):
+        # interned literal from bytecode is the same object
+        def build(ca):
+            with ca.method("lit", "()Ljava/lang/String;",
+                           PUBLIC_STATIC) as m:
+                m.emit(LDC_STR, "constant")
+                m.emit(ARETURN)
+
+        loader = load_classes(svm, [assemble("n/Lit", build)], "natives1")
+        first = svm.call_static(loader.load("n/Lit"), "lit",
+                                "()Ljava/lang/String;", [])
+        second = svm.call_static(loader.load("n/Lit"), "lit",
+                                 "()Ljava/lang/String;", [])
+        assert first is second
+
+
+class TestStringBuilder:
+    def test_build_in_guest_code(self, svm):
+        def build(ca):
+            with ca.method("make", "(I)Ljava/lang/String;",
+                           PUBLIC_STATIC) as m:
+                m.emit(NEW, "java/lang/StringBuilder")
+                m.emit(DUP)
+                m.emit(INVOKESPECIAL, "java/lang/StringBuilder", "<init>",
+                       "()V")
+                m.emit(LDC_STR, "n=")
+                m.emit(INVOKEVIRTUAL, "java/lang/StringBuilder", "append",
+                       "(Ljava/lang/String;)Ljava/lang/StringBuilder;")
+                m.emit(ILOAD, 0)
+                m.emit(INVOKEVIRTUAL, "java/lang/StringBuilder",
+                       "appendInt", "(I)Ljava/lang/StringBuilder;")
+                m.emit(INVOKEVIRTUAL, "java/lang/StringBuilder",
+                       "toString", "()Ljava/lang/String;")
+                m.emit(ARETURN)
+
+        loader = load_classes(svm, [assemble("n/SB", build)], "natives2")
+        result = svm.call_static(loader.load("n/SB"), "make",
+                                 "(I)Ljava/lang/String;", [7])
+        assert svm.text_of(result) == "n=7"
+
+
+class TestSystemNatives:
+    def test_println_routes_to_domain_tag(self, svm):
+        def build(ca):
+            with ca.method("say", "()V", PUBLIC_STATIC) as m:
+                m.emit(LDC_STR, "spoken")
+                m.emit(INVOKESTATIC, "java/lang/System", "println",
+                       "(Ljava/lang/String;)V")
+                m.emit(RETURN)
+
+        loader = load_classes(svm, [assemble("n/Say", build)], "natives3")
+        svm.call_static(loader.load("n/Say"), "say", "()V", [],
+                        domain_tag="loudmouth")
+        assert ("loudmouth", "spoken") in svm.output
+
+    def test_arraycopy(self, svm):
+        array_class = svm.array_class_for_descriptor("[I", svm.boot_loader)
+        src = svm.heap.new_array(array_class, 5)
+        src.elems[:] = [1, 2, 3, 4, 5]
+        dest = svm.heap.new_array(array_class, 5)
+        system = svm.boot_loader.load("java/lang/System")
+        svm.call_static(
+            system, "arraycopy",
+            "(Ljava/lang/Object;ILjava/lang/Object;II)V",
+            [src, 1, dest, 0, 3],
+        )
+        assert dest.elems == [2, 3, 4, 0, 0]
+
+    def test_arraycopy_bounds(self, svm):
+        array_class = svm.array_class_for_descriptor("[I", svm.boot_loader)
+        src = svm.heap.new_array(array_class, 2)
+        system = svm.boot_loader.load("java/lang/System")
+        with pytest.raises(JThrowable, match="IndexOutOfBounds"):
+            svm.call_static(
+                system, "arraycopy",
+                "(Ljava/lang/Object;ILjava/lang/Object;II)V",
+                [src, 0, src, 1, 5],
+            )
+
+    def test_arraycopy_type_mismatch(self, svm):
+        ints = svm.heap.new_array(
+            svm.array_class_for_descriptor("[I", svm.boot_loader), 2
+        )
+        doubles = svm.heap.new_array(
+            svm.array_class_for_descriptor("[D", svm.boot_loader), 2
+        )
+        system = svm.boot_loader.load("java/lang/System")
+        with pytest.raises(JThrowable, match="ArrayStore"):
+            svm.call_static(
+                system, "arraycopy",
+                "(Ljava/lang/Object;ILjava/lang/Object;II)V",
+                [ints, 0, doubles, 0, 2],
+            )
+
+    def test_identity_hash_stable(self, svm):
+        obj = svm.heap.new_object(svm.object_class)
+        system = svm.boot_loader.load("java/lang/System")
+        first = svm.call_static(system, "identityHashCode",
+                                "(Ljava/lang/Object;)I", [obj])
+        second = svm.call_static(system, "identityHashCode",
+                                 "(Ljava/lang/Object;)I", [obj])
+        assert first == second
+        assert svm.call_static(system, "identityHashCode",
+                               "(Ljava/lang/Object;)I", [None]) == 0
+
+    def test_nano_time_advances(self, svm):
+        system = svm.boot_loader.load("java/lang/System")
+        first = svm.call_static(system, "nanoTime", "()D", [])
+        second = svm.call_static(system, "nanoTime", "()D", [])
+        assert second >= first
+
+
+class TestObjectNatives:
+    def test_identity_equals_and_hash(self, svm):
+        a = svm.heap.new_object(svm.object_class)
+        b = svm.heap.new_object(svm.object_class)
+        assert svm.call_virtual(a, "equals",
+                                "(Ljava/lang/Object;)Z", [a]) == 1
+        assert svm.call_virtual(a, "equals",
+                                "(Ljava/lang/Object;)Z", [b]) == 0
+        assert svm.call_virtual(a, "hashCode", "()I") == \
+            svm.call_virtual(a, "hashCode", "()I")
+
+    def test_to_string_mentions_class(self, svm):
+        obj = svm.heap.new_object(svm.object_class)
+        text = svm.text_of(svm.call_virtual(obj, "toString",
+                                            "()Ljava/lang/String;"))
+        assert "java/lang/Object" in text

@@ -1,0 +1,107 @@
+"""Interface dispatch strategies: both must agree semantically."""
+
+import pytest
+
+from repro.jvm import interface
+from repro.jvm.dispatch import (
+    CachedInterfaceDispatch,
+    DispatchError,
+    LinearInterfaceDispatch,
+    make_dispatcher,
+)
+from repro.jvm.instructions import ALOAD, ICONST, INVOKEINTERFACE, IRETURN
+from tests.support import PUBLIC_STATIC, assemble, fresh_vm, load_classes
+
+
+def _world(profile):
+    vm = fresh_vm(profile=profile)
+    base = interface("d/IBase", [("base", "()I")])
+    extended = interface("d/IExt", [("ext", "()I")], extends=("d/IBase",))
+
+    def build(ca):
+        with ca.method("base", "()I") as m:
+            m.emit(ICONST, 10)
+            m.emit(IRETURN)
+        with ca.method("ext", "()I") as m:
+            m.emit(ICONST, 20)
+            m.emit(IRETURN)
+
+    impl = assemble("d/Impl", build, interfaces=("d/IExt",))
+
+    def caller_build(ca):
+        with ca.method("callBase", "(Ld/IBase;)I", PUBLIC_STATIC) as m:
+            m.emit(ALOAD, 0)
+            m.emit(INVOKEINTERFACE, "d/IBase", "base", "()I")
+            m.emit(IRETURN)
+        with ca.method("callExt", "(Ld/IExt;)I", PUBLIC_STATIC) as m:
+            m.emit(ALOAD, 0)
+            m.emit(INVOKEINTERFACE, "d/IExt", "ext", "()I")
+            m.emit(IRETURN)
+        with ca.method("callInherited", "(Ld/IExt;)I", PUBLIC_STATIC) as m:
+            m.emit(ALOAD, 0)
+            m.emit(INVOKEINTERFACE, "d/IExt", "base", "()I")
+            m.emit(IRETURN)
+
+    caller = assemble("d/Caller", caller_build)
+    loader = load_classes(vm, [base, extended, impl, caller], "dispatch")
+    return vm, loader
+
+
+class TestStrategies:
+    def test_factory(self):
+        assert isinstance(make_dispatcher("linear"), LinearInterfaceDispatch)
+        assert isinstance(make_dispatcher("cached"), CachedInterfaceDispatch)
+        with pytest.raises(ValueError):
+            make_dispatcher("magic")
+
+    @pytest.mark.parametrize("profile", ["msvm", "sunvm"])
+    def test_direct_interface_call(self, profile):
+        vm, loader = _world(profile)
+        impl = vm.construct(loader.load("d/Impl"))
+        caller = loader.load("d/Caller")
+        assert vm.call_static(caller, "callBase", "(Ld/IBase;)I",
+                              [impl]) == 10
+        assert vm.call_static(caller, "callExt", "(Ld/IExt;)I",
+                              [impl]) == 20
+
+    @pytest.mark.parametrize("profile", ["msvm", "sunvm"])
+    def test_inherited_interface_method(self, profile):
+        """Calling IBase.base through an IExt reference."""
+        vm, loader = _world(profile)
+        impl = vm.construct(loader.load("d/Impl"))
+        caller = loader.load("d/Caller")
+        assert vm.call_static(caller, "callInherited", "(Ld/IExt;)I",
+                              [impl]) == 10
+
+    def test_runtime_check_rejects_non_implementor(self):
+        vm, loader = _world("sunvm")
+        iface = loader.load("d/IBase")
+        stranger_class = vm.object_class
+        dispatcher = make_dispatcher("cached")
+        with pytest.raises(DispatchError, match="does not implement"):
+            dispatcher.lookup(stranger_class, iface, "base", "()I")
+        dispatcher = make_dispatcher("linear")
+        with pytest.raises(DispatchError, match="does not implement"):
+            dispatcher.lookup(stranger_class, iface, "base", "()I")
+
+    def test_strategies_agree(self):
+        vm, loader = _world("sunvm")
+        impl_class = loader.load("d/Impl")
+        iface = loader.load("d/IExt")
+        linear = make_dispatcher("linear")
+        cached = make_dispatcher("cached")
+        for key in (("ext", "()I"), ("base", "()I")):
+            assert (
+                linear.lookup(impl_class, iface, *key)
+                == cached.lookup(impl_class, iface, *key)
+            )
+
+    def test_itable_cached_once(self):
+        vm, loader = _world("sunvm")
+        impl_class = loader.load("d/Impl")
+        iface = loader.load("d/IExt")
+        cached = make_dispatcher("cached")
+        cached.lookup(impl_class, iface, "ext", "()I")
+        table_first = impl_class.itables[iface]
+        cached.lookup(impl_class, iface, "base", "()I")
+        assert impl_class.itables[iface] is table_first

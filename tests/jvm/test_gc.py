@@ -1,0 +1,209 @@
+"""Garbage collection, heap accounting, and the revocation/termination
+memory story (paper §3: revoking "makes the target object eligible for
+garbage collection, regardless of how many other domains hold a reference
+to the capability")."""
+
+import pytest
+
+from tests.support import assemble, fresh_vm, load_classes
+
+
+class TestHeapAccounting:
+    def test_allocation_charged_to_owner(self, sun_vm):
+        vm = sun_vm
+        before = vm.heap.stats("tenant").allocated_objects
+        obj = vm.heap.new_object(vm.object_class, owner="tenant")
+        stats = vm.heap.stats("tenant")
+        assert stats.allocated_objects == before + 1
+        assert stats.live_objects >= 1
+        assert vm.heap.owner_of(obj) == "tenant"
+
+    def test_array_bytes_scale_with_length(self, sun_vm):
+        vm = sun_vm
+        array_class = vm.array_class_for_descriptor("[B", vm.boot_loader)
+        vm.heap.new_array(array_class, 1000, owner="big")
+        vm.heap.new_array(array_class, 10, owner="small")
+        assert vm.heap.stats("big").live_bytes > vm.heap.stats(
+            "small"
+        ).live_bytes
+
+    def test_free_updates_live_not_allocated(self, sun_vm):
+        vm = sun_vm
+        obj = vm.heap.new_object(vm.object_class, owner="x")
+        allocated = vm.heap.stats("x").allocated_objects
+        vm.heap.free(obj)
+        assert vm.heap.stats("x").allocated_objects == allocated
+        assert vm.heap.stats("x").live_objects == 0
+
+
+class TestCollection:
+    def test_unreachable_objects_collected(self, sun_vm):
+        vm = sun_vm
+        for _ in range(10):
+            vm.heap.new_object(vm.object_class, owner="garbage")
+        stats = vm.collect()
+        assert stats["collected"] >= 10
+        assert vm.heap.stats("garbage").live_objects == 0
+
+    def test_pinned_objects_survive(self, sun_vm):
+        vm = sun_vm
+        obj = vm.heap.new_object(vm.object_class, owner="pinned")
+        vm.pinned.add(obj)
+        vm.collect()
+        assert vm.heap.contains(obj)
+        vm.pinned.discard(obj)
+        vm.collect()
+        assert not vm.heap.contains(obj)
+
+    def test_static_fields_are_roots(self, sun_vm):
+        vm = sun_vm
+        from repro.jvm.classfile import ACC_PUBLIC, ACC_STATIC
+
+        holder_cf = assemble(
+            "g/Holder", None,
+            fields=[("kept", "Ljava/lang/Object;",
+                     ACC_PUBLIC | ACC_STATIC)],
+        )
+        loader = load_classes(vm, [holder_cf], "gc")
+        holder = loader.load("g/Holder")
+        obj = vm.heap.new_object(vm.object_class, owner="static")
+        holder.static_slots[holder.static_index["kept"]] = obj
+        vm.collect()
+        assert vm.heap.contains(obj)
+        holder.static_slots[holder.static_index["kept"]] = None
+        vm.collect()
+        assert not vm.heap.contains(obj)
+
+    def test_object_graph_traversed(self, sun_vm):
+        vm = sun_vm
+        node_cf = assemble("g/Node", None,
+                           fields=[("next", "Lg/Node;")])
+        loader = load_classes(vm, [node_cf], "gc2")
+        node_class = loader.load("g/Node")
+        head = vm.heap.new_object(node_class, owner="chain")
+        cursor = head
+        tail_objects = []
+        for _ in range(5):
+            nxt = vm.heap.new_object(node_class, owner="chain")
+            cursor.fields[node_class.field_slots["next"]] = nxt
+            tail_objects.append(nxt)
+            cursor = nxt
+        vm.pinned.add(head)
+        vm.collect()
+        assert all(vm.heap.contains(obj) for obj in tail_objects)
+        # cut the chain after the head: the tail becomes garbage
+        head.fields[node_class.field_slots["next"]] = None
+        vm.collect()
+        assert not any(vm.heap.contains(obj) for obj in tail_objects)
+
+    def test_cyclic_garbage_collected(self, sun_vm):
+        vm = sun_vm
+        node_cf = assemble("g/Cyc", None, fields=[("next", "Lg/Cyc;")])
+        loader = load_classes(vm, [node_cf], "gc3")
+        node_class = loader.load("g/Cyc")
+        a = vm.heap.new_object(node_class, owner="cycle")
+        b = vm.heap.new_object(node_class, owner="cycle")
+        a.fields[node_class.field_slots["next"]] = b
+        b.fields[node_class.field_slots["next"]] = a
+        vm.collect()
+        assert not vm.heap.contains(a)
+        assert not vm.heap.contains(b)
+
+    def test_thread_frames_are_roots(self, sun_vm):
+        vm = sun_vm
+        from repro.jvm.instructions import (
+            ALOAD,
+            ASTORE,
+            GOTO,
+            ICONST,
+            INVOKESTATIC,
+            NEW,
+            RETURN,
+        )
+
+        def build(ca):
+            with ca.method("run", "()V") as m:
+                m.emit(NEW, "g/Held")
+                m.emit(ASTORE, 1)
+                loop = m.here()
+                m.emit(INVOKESTATIC, "java/lang/Thread", "yield", "()V")
+                m.emit(GOTO, loop.pc)
+
+        held_cf = assemble("g/Held", None)
+        runner_cf = assemble("g/Runner", build,
+                             super_name="java/lang/Thread")
+        loader = load_classes(vm, [held_cf, runner_cf], "gc4")
+        runner = vm.construct(loader.load("g/Runner"))
+        vm.call_virtual(runner, "start", "()V")
+        vm.scheduler.run_for(100)  # NEW executed, thread spinning
+        held_class = loader.load("g/Held")
+        live = [
+            obj for obj in vm.heap.live_objects()
+            if getattr(obj, "jclass", None) is held_class
+        ]
+        assert len(live) == 1
+        vm.collect()
+        assert vm.heap.contains(live[0])  # rooted in the live frame
+        vm.call_virtual(runner, "stop", "()V")
+        vm.scheduler.run()  # thread dies, frame gone
+        runner.native.uncaught = None  # drop the ThreadDeath root
+        vm.collect()
+        assert not vm.heap.contains(live[0])
+
+
+class TestInternLeak:
+    """The String.intern shared-leak example from paper §2, and its
+    weak-reference fix."""
+
+    def _intern_many(self, vm, count):
+        from repro.jvm.instructions import (
+            GOTO,
+            ICONST,
+            IF_ICMPGE,
+            IINC,
+            ILOAD,
+            INVOKESTATIC,
+            INVOKEVIRTUAL,
+            ISTORE,
+            POP,
+            RETURN,
+        )
+
+        def build(ca):
+            with ca.method("leak", "(I)V", 0x0009) as m:
+                m.emit(ICONST, 0)
+                m.emit(ISTORE, 1)
+                loop = m.here()
+                m.emit(ILOAD, 1)
+                m.emit(ILOAD, 0)
+                done = m.label()
+                m.emit(IF_ICMPGE, done)
+                m.emit(ILOAD, 1)
+                m.emit(INVOKESTATIC, "java/lang/String", "valueOfInt",
+                       "(I)Ljava/lang/String;")
+                m.emit(INVOKEVIRTUAL, "java/lang/String", "intern",
+                       "()Ljava/lang/String;")
+                m.emit(POP)
+                m.emit(IINC, 1, 1)
+                m.emit(GOTO, loop.pc)
+                m.mark(done)
+                m.emit(RETURN)
+
+        cf = assemble("g/Intern", build)
+        loader = load_classes(vm, [cf], "gcintern")
+        vm.call_static(loader.load("g/Intern"), "leak", "(I)V", [count])
+
+    def test_strong_intern_table_leaks(self):
+        vm = fresh_vm(intern_weak=False)
+        before = len(vm.interned)
+        self._intern_many(vm, 50)
+        vm.collect()
+        # nothing references those strings, yet they stay: the leak
+        assert len(vm.interned) >= before + 50
+
+    def test_weak_intern_table_reclaims(self):
+        vm = fresh_vm(intern_weak=True)
+        self._intern_many(vm, 50)
+        before = len(vm.interned)
+        vm.collect()
+        assert len(vm.interned) < before

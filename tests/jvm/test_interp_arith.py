@@ -1,0 +1,201 @@
+"""Interpreter arithmetic semantics, including a hypothesis cross-check
+against reference JVM semantics computed in Python."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.jvm import JThrowable, i32
+from repro.jvm.instructions import (
+    D2I,
+    DADD,
+    DCMP,
+    DCONST,
+    DDIV,
+    DLOAD,
+    DMUL,
+    DNEG,
+    DRETURN,
+    DSUB,
+    I2D,
+    IADD,
+    IAND,
+    ICONST,
+    IDIV,
+    ILOAD,
+    IMUL,
+    INEG,
+    IOR,
+    IREM,
+    IRETURN,
+    ISHL,
+    ISHR,
+    ISUB,
+    IXOR,
+)
+from tests.support import PUBLIC_STATIC, assemble, fresh_vm, load_classes
+
+_INT_OPS = {
+    "iadd": (IADD, lambda a, b: i32(a + b)),
+    "isub": (ISUB, lambda a, b: i32(a - b)),
+    "imul": (IMUL, lambda a, b: i32(a * b)),
+    "iand": (IAND, lambda a, b: i32(a & b)),
+    "ior": (IOR, lambda a, b: i32(a | b)),
+    "ixor": (IXOR, lambda a, b: i32(a ^ b)),
+    "ishl": (ISHL, lambda a, b: i32(a << (b & 31))),
+    "ishr": (ISHR, lambda a, b: i32(a >> (b & 31))),
+}
+
+
+def _java_div(a, b):
+    quotient = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        quotient = -quotient
+    return i32(quotient)
+
+
+def _java_rem(a, b):
+    return i32(a - _java_div(a, b) * b)
+
+
+@pytest.fixture(scope="module")
+def arith_vm():
+    vm = fresh_vm()
+
+    def build(ca):
+        for name, (opcode, _) in _INT_OPS.items():
+            with ca.method(name, "(II)I", PUBLIC_STATIC) as m:
+                m.emit(ILOAD, 0)
+                m.emit(ILOAD, 1)
+                m.emit(opcode)
+                m.emit(IRETURN)
+        for name, opcode in (("idiv", IDIV), ("irem", IREM)):
+            with ca.method(name, "(II)I", PUBLIC_STATIC) as m:
+                m.emit(ILOAD, 0)
+                m.emit(ILOAD, 1)
+                m.emit(opcode)
+                m.emit(IRETURN)
+        with ca.method("ineg", "(I)I", PUBLIC_STATIC) as m:
+            m.emit(ILOAD, 0)
+            m.emit(INEG)
+            m.emit(IRETURN)
+        for name, opcode in (("dadd", DADD), ("dsub", DSUB),
+                             ("dmul", DMUL), ("ddiv", DDIV)):
+            with ca.method(name, "(DD)D", PUBLIC_STATIC) as m:
+                m.emit(DLOAD, 0)
+                m.emit(DLOAD, 1)
+                m.emit(opcode)
+                m.emit(DRETURN)
+        with ca.method("dneg", "(D)D", PUBLIC_STATIC) as m:
+            m.emit(DLOAD, 0)
+            m.emit(DNEG)
+            m.emit(DRETURN)
+        with ca.method("dcmp", "(DD)I", PUBLIC_STATIC) as m:
+            m.emit(DLOAD, 0)
+            m.emit(DLOAD, 1)
+            m.emit(DCMP)
+            m.emit(IRETURN)
+        with ca.method("i2d", "(I)D", PUBLIC_STATIC) as m:
+            m.emit(ILOAD, 0)
+            m.emit(I2D)
+            m.emit(DRETURN)
+        with ca.method("d2i", "(D)I", PUBLIC_STATIC) as m:
+            m.emit(DLOAD, 0)
+            m.emit(D2I)
+            m.emit(IRETURN)
+
+    loader = load_classes(vm, [assemble("a/Arith", build)], "arith")
+    return vm, loader.load("a/Arith")
+
+
+def call(arith_vm, name, desc, args):
+    vm, rtclass = arith_vm
+    return vm.call_static(rtclass, name, desc, args)
+
+
+_int32 = st.integers(min_value=-2147483648, max_value=2147483647)
+
+
+class TestIntOps:
+    def test_examples(self, arith_vm):
+        assert call(arith_vm, "iadd", "(II)I", [2, 3]) == 5
+        assert call(arith_vm, "imul", "(II)I", [-4, 3]) == -12
+        assert call(arith_vm, "ishl", "(II)I", [1, 33]) == 2  # shift masked
+        assert call(arith_vm, "ineg", "(I)I", [-2147483648]) == -2147483648
+
+    def test_overflow_wraps(self, arith_vm):
+        assert call(arith_vm, "iadd", "(II)I",
+                    [2147483647, 1]) == -2147483648
+        assert call(arith_vm, "imul", "(II)I", [65536, 65536]) == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(op=st.sampled_from(sorted(_INT_OPS)), a=_int32, b=_int32)
+    def test_matches_reference_semantics(self, arith_vm, op, a, b):
+        _, reference = _INT_OPS[op]
+        assert call(arith_vm, op, "(II)I", [a, b]) == reference(a, b)
+
+    def test_division_truncates_toward_zero(self, arith_vm):
+        assert call(arith_vm, "idiv", "(II)I", [7, 2]) == 3
+        assert call(arith_vm, "idiv", "(II)I", [-7, 2]) == -3
+        assert call(arith_vm, "idiv", "(II)I", [7, -2]) == -3
+        assert call(arith_vm, "irem", "(II)I", [-7, 2]) == -1
+        assert call(arith_vm, "irem", "(II)I", [7, -2]) == 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(a=_int32, b=_int32.filter(lambda v: v != 0))
+    def test_div_rem_identity(self, arith_vm, a, b):
+        quotient = call(arith_vm, "idiv", "(II)I", [a, b])
+        remainder = call(arith_vm, "irem", "(II)I", [a, b])
+        assert i32(quotient * b + remainder) == i32(a)
+
+    def test_division_by_zero_throws(self, arith_vm):
+        with pytest.raises(JThrowable) as info:
+            call(arith_vm, "idiv", "(II)I", [1, 0])
+        assert "ArithmeticException" in str(info.value)
+
+    def test_remainder_by_zero_throws(self, arith_vm):
+        with pytest.raises(JThrowable):
+            call(arith_vm, "irem", "(II)I", [1, 0])
+
+
+class TestDoubleOps:
+    def test_examples(self, arith_vm):
+        assert call(arith_vm, "dadd", "(DD)D", [1.5, 2.25]) == 3.75
+        assert call(arith_vm, "dneg", "(D)D", [2.0]) == -2.0
+
+    def test_division_by_zero_is_infinite(self, arith_vm):
+        assert call(arith_vm, "ddiv", "(DD)D", [1.0, 0.0]) == float("inf")
+        assert call(arith_vm, "ddiv", "(DD)D", [-1.0, 0.0]) == float("-inf")
+
+    def test_zero_over_zero_is_nan(self, arith_vm):
+        result = call(arith_vm, "ddiv", "(DD)D", [0.0, 0.0])
+        assert result != result
+
+    def test_dcmp(self, arith_vm):
+        assert call(arith_vm, "dcmp", "(DD)I", [1.0, 2.0]) == -1
+        assert call(arith_vm, "dcmp", "(DD)I", [2.0, 1.0]) == 1
+        assert call(arith_vm, "dcmp", "(DD)I", [2.0, 2.0]) == 0
+        assert call(arith_vm, "dcmp", "(DD)I",
+                    [float("nan"), 1.0]) == -1
+
+
+class TestConversions:
+    def test_i2d(self, arith_vm):
+        assert call(arith_vm, "i2d", "(I)D", [7]) == 7.0
+
+    def test_d2i_truncates(self, arith_vm):
+        assert call(arith_vm, "d2i", "(D)I", [3.99]) == 3
+        assert call(arith_vm, "d2i", "(D)I", [-3.99]) == -3
+
+    def test_d2i_saturates(self, arith_vm):
+        assert call(arith_vm, "d2i", "(D)I", [1e18]) == 2147483647
+        assert call(arith_vm, "d2i", "(D)I", [-1e18]) == -2147483648
+
+    def test_d2i_nan_is_zero(self, arith_vm):
+        assert call(arith_vm, "d2i", "(D)I", [float("nan")]) == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(value=_int32)
+    def test_i2d_d2i_roundtrip(self, arith_vm, value):
+        as_double = call(arith_vm, "i2d", "(I)D", [value])
+        assert call(arith_vm, "d2i", "(D)I", [as_double]) == value

@@ -1,0 +1,347 @@
+"""Interpreter object semantics: fields, arrays, dispatch, casts,
+exceptions, null checks."""
+
+import pytest
+
+from repro.jvm import JThrowable, interface
+from repro.jvm.instructions import (
+    AALOAD,
+    AASTORE,
+    ACONST_NULL,
+    ALOAD,
+    ARETURN,
+    ARRAYLENGTH,
+    ASTORE,
+    ATHROW,
+    BALOAD,
+    BASTORE,
+    CHECKCAST,
+    DUP,
+    GETFIELD,
+    GOTO,
+    IALOAD,
+    IASTORE,
+    ICONST,
+    ILOAD,
+    INSTANCEOF,
+    INVOKEINTERFACE,
+    INVOKESPECIAL,
+    INVOKESTATIC,
+    INVOKEVIRTUAL,
+    IRETURN,
+    ISTORE,
+    LDC_STR,
+    NEW,
+    NEWARRAY,
+    POP,
+    PUTFIELD,
+    RETURN,
+)
+from tests.support import (
+    PUBLIC_STATIC,
+    assemble,
+    emit_default_constructor,
+    fresh_vm,
+    load_classes,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    """A small class hierarchy: Animal <- Dog implements a/Speaks."""
+    vm = fresh_vm()
+    speaks = interface("a/Speaks", [("legs", "()I")])
+
+    def animal_build(ca):
+        with ca.method("legs", "()I") as m:
+            m.emit(ICONST, 4)
+            m.emit(IRETURN)
+        with ca.method("describe", "()I") as m:
+            m.emit(ALOAD, 0)
+            m.emit(INVOKEVIRTUAL, "a/Animal", "legs", "()I")
+            m.emit(ICONST, 100)
+            m.emit("iadd")
+            m.emit(IRETURN)
+
+    animal = assemble("a/Animal", animal_build, interfaces=("a/Speaks",))
+
+    def dog_build(ca):
+        with ca.method("legs", "()I") as m:  # override
+            m.emit(ICONST, 3)
+            m.emit(IRETURN)
+
+    dog = assemble("a/Dog", dog_build, super_name="a/Animal")
+
+    def helpers_build(ca):
+        with ca.method("describeAnimal", "(La/Animal;)I",
+                       PUBLIC_STATIC) as m:
+            m.emit(ALOAD, 0)
+            m.emit(INVOKEVIRTUAL, "a/Animal", "describe", "()I")
+            m.emit(IRETURN)
+        with ca.method("legsViaInterface", "(La/Speaks;)I",
+                       PUBLIC_STATIC) as m:
+            m.emit(ALOAD, 0)
+            m.emit(INVOKEINTERFACE, "a/Speaks", "legs", "()I")
+            m.emit(IRETURN)
+        with ca.method("isDog", "(Ljava/lang/Object;)I", PUBLIC_STATIC) as m:
+            m.emit(ALOAD, 0)
+            m.emit(INSTANCEOF, "a/Dog")
+            m.emit(IRETURN)
+        with ca.method("castToDog", "(Ljava/lang/Object;)La/Dog;",
+                       PUBLIC_STATIC) as m:
+            m.emit(ALOAD, 0)
+            m.emit(CHECKCAST, "a/Dog")
+            m.emit(ARETURN)
+        with ca.method("sumArray", "([I)I", PUBLIC_STATIC) as m:
+            m.emit(ICONST, 0)
+            m.emit(ISTORE, 1)
+            m.emit(ICONST, 0)
+            m.emit(ISTORE, 2)
+            loop = m.here()
+            m.emit(ILOAD, 2)
+            m.emit(ALOAD, 0)
+            m.emit(ARRAYLENGTH)
+            done = m.label()
+            m.emit("if_icmpge", done)
+            m.emit(ILOAD, 1)
+            m.emit(ALOAD, 0)
+            m.emit(ILOAD, 2)
+            m.emit(IALOAD)
+            m.emit("iadd")
+            m.emit(ISTORE, 1)
+            m.emit("iinc", 2, 1)
+            m.emit(GOTO, loop.pc)
+            m.mark(done)
+            m.emit(ILOAD, 1)
+            m.emit(IRETURN)
+        with ca.method("makeBytes", "(I)[B", PUBLIC_STATIC) as m:
+            m.emit(ILOAD, 0)
+            m.emit(NEWARRAY, "B")
+            m.emit(ARETURN)
+        with ca.method("byteAt", "([BI)I", PUBLIC_STATIC) as m:
+            m.emit(ALOAD, 0)
+            m.emit(ILOAD, 1)
+            m.emit(BALOAD)
+            m.emit(IRETURN)
+        with ca.method("putByte", "([BII)V", PUBLIC_STATIC) as m:
+            m.emit(ALOAD, 0)
+            m.emit(ILOAD, 1)
+            m.emit(ILOAD, 2)
+            m.emit(BASTORE)
+            m.emit(RETURN)
+        with ca.method("storeRef", "([La/Animal;La/Animal;)V",
+                       PUBLIC_STATIC) as m:
+            m.emit(ALOAD, 0)
+            m.emit(ICONST, 0)
+            m.emit(ALOAD, 1)
+            m.emit(AASTORE)
+            m.emit(RETURN)
+        with ca.method("npeField", "(La/Counter;)I", PUBLIC_STATIC) as m:
+            m.emit(ALOAD, 0)
+            m.emit(GETFIELD, "a/Counter", "count")
+            m.emit(IRETURN)
+        with ca.method("throwAndCatch", "()I", PUBLIC_STATIC) as m:
+            start = m.here()
+            m.emit(NEW, "java/lang/IllegalStateException")
+            m.emit(DUP)
+            m.emit(LDC_STR, "boom")
+            m.emit(INVOKESPECIAL, "java/lang/IllegalStateException",
+                   "<init>", "(Ljava/lang/String;)V")
+            m.emit(ATHROW)
+            end = m.here()
+            handler = m.here()
+            m.emit(POP)
+            m.emit(ICONST, 77)
+            m.emit(IRETURN)
+            m.handler(start, end, handler,
+                      "java/lang/IllegalStateException")
+        with ca.method("uncaught", "()V", PUBLIC_STATIC) as m:
+            m.emit(NEW, "java/lang/IllegalStateException")
+            m.emit(DUP)
+            m.emit(INVOKESPECIAL, "java/lang/IllegalStateException",
+                   "<init>", "()V")
+            m.emit(ATHROW)
+        with ca.method("handlerSubtyping", "()I", PUBLIC_STATIC) as m:
+            start = m.here()
+            m.emit(ICONST, 1)
+            m.emit(ICONST, 0)
+            m.emit("idiv")
+            m.emit(IRETURN)
+            end = m.here()
+            handler = m.here()  # catches RuntimeException, a supertype
+            m.emit(POP)
+            m.emit(ICONST, 55)
+            m.emit(IRETURN)
+            m.handler(start, end, handler, "java/lang/RuntimeException")
+
+    counter = assemble("a/Counter", None, fields=[("count", "I")])
+    helpers = assemble("a/Helpers", helpers_build)
+    loader = load_classes(vm, [speaks, animal, dog, counter, helpers],
+                          "world")
+    return vm, loader
+
+
+def _load(world, name):
+    return world[1].load(name)
+
+
+class TestDispatch:
+    def test_virtual_dispatch_uses_runtime_type(self, world):
+        vm, _ = world
+        helpers = _load(world, "a/Helpers")
+        animal = vm.construct(_load(world, "a/Animal"))
+        dog = vm.construct(_load(world, "a/Dog"))
+        assert vm.call_static(helpers, "describeAnimal", "(La/Animal;)I",
+                              [animal]) == 104
+        # Dog overrides legs(); describe() is inherited from Animal.
+        assert vm.call_static(helpers, "describeAnimal", "(La/Animal;)I",
+                              [dog]) == 103
+
+    def test_interface_dispatch(self, world):
+        vm, _ = world
+        helpers = _load(world, "a/Helpers")
+        dog = vm.construct(_load(world, "a/Dog"))
+        assert vm.call_static(helpers, "legsViaInterface", "(La/Speaks;)I",
+                              [dog]) == 3
+
+    def test_null_receiver_throws_npe(self, world):
+        vm, _ = world
+        helpers = _load(world, "a/Helpers")
+        with pytest.raises(JThrowable) as info:
+            vm.call_static(helpers, "describeAnimal", "(La/Animal;)I",
+                           [None])
+        assert "NullPointerException" in str(info.value)
+
+
+class TestCasts:
+    def test_instanceof(self, world):
+        vm, _ = world
+        helpers = _load(world, "a/Helpers")
+        dog = vm.construct(_load(world, "a/Dog"))
+        animal = vm.construct(_load(world, "a/Animal"))
+        assert vm.call_static(helpers, "isDog", "(Ljava/lang/Object;)I",
+                              [dog]) == 1
+        assert vm.call_static(helpers, "isDog", "(Ljava/lang/Object;)I",
+                              [animal]) == 0
+        assert vm.call_static(helpers, "isDog", "(Ljava/lang/Object;)I",
+                              [None]) == 0
+
+    def test_good_cast(self, world):
+        vm, _ = world
+        helpers = _load(world, "a/Helpers")
+        dog = vm.construct(_load(world, "a/Dog"))
+        assert vm.call_static(
+            helpers, "castToDog", "(Ljava/lang/Object;)La/Dog;", [dog]
+        ) is dog
+
+    def test_bad_cast_throws(self, world):
+        vm, _ = world
+        helpers = _load(world, "a/Helpers")
+        animal = vm.construct(_load(world, "a/Animal"))
+        with pytest.raises(JThrowable) as info:
+            vm.call_static(helpers, "castToDog",
+                           "(Ljava/lang/Object;)La/Dog;", [animal])
+        assert "ClassCastException" in str(info.value)
+
+    def test_null_cast_passes(self, world):
+        vm, _ = world
+        helpers = _load(world, "a/Helpers")
+        assert vm.call_static(
+            helpers, "castToDog", "(Ljava/lang/Object;)La/Dog;", [None]
+        ) is None
+
+
+class TestArrays:
+    def test_sum(self, world):
+        vm, _ = world
+        helpers = _load(world, "a/Helpers")
+        array_class = vm.array_class_for_descriptor("[I", vm.boot_loader)
+        array = vm.heap.new_array(array_class, 5)
+        array.elems[:] = [1, 2, 3, 4, 5]
+        assert vm.call_static(helpers, "sumArray", "([I)I", [array]) == 15
+
+    def test_new_array_zeroed(self, world):
+        vm, _ = world
+        helpers = _load(world, "a/Helpers")
+        result = vm.call_static(helpers, "makeBytes", "(I)[B", [4])
+        assert result.elems == [0, 0, 0, 0]
+
+    def test_negative_size_throws(self, world):
+        vm, _ = world
+        helpers = _load(world, "a/Helpers")
+        with pytest.raises(JThrowable) as info:
+            vm.call_static(helpers, "makeBytes", "(I)[B", [-1])
+        assert "NegativeArraySizeException" in str(info.value)
+
+    def test_bounds_check(self, world):
+        vm, _ = world
+        helpers = _load(world, "a/Helpers")
+        array = vm.call_static(helpers, "makeBytes", "(I)[B", [2])
+        with pytest.raises(JThrowable) as info:
+            vm.call_static(helpers, "byteAt", "([BI)I", [array, 5])
+        assert "ArrayIndexOutOfBounds" in str(info.value)
+        with pytest.raises(JThrowable):
+            vm.call_static(helpers, "byteAt", "([BI)I", [array, -1])
+
+    def test_byte_store_wraps_to_signed(self, world):
+        vm, _ = world
+        helpers = _load(world, "a/Helpers")
+        array = vm.call_static(helpers, "makeBytes", "(I)[B", [1])
+        vm.call_static(helpers, "putByte", "([BII)V", [array, 0, 200])
+        assert array.elems[0] == 200 - 256
+
+    def test_array_store_check(self, world):
+        vm, _ = world
+        helpers = _load(world, "a/Helpers")
+        dog_class = _load(world, "a/Dog")
+        dog_array_class = vm.array_class_for_descriptor(
+            "[La/Dog;", world[1]
+        )
+        dogs = vm.heap.new_array(dog_array_class, 1)
+        animal = vm.construct(_load(world, "a/Animal"))
+        # storing an Animal into Dog[] through an Animal[]-typed view
+        with pytest.raises(JThrowable) as info:
+            vm.call_static(helpers, "storeRef",
+                           "([La/Animal;La/Animal;)V", [dogs, animal])
+        assert "ArrayStoreException" in str(info.value)
+        # storing a Dog is fine
+        dog = vm.construct(dog_class)
+        vm.call_static(helpers, "storeRef", "([La/Animal;La/Animal;)V",
+                       [dogs, dog])
+        assert dogs.elems[0] is dog
+
+
+class TestExceptions:
+    def test_catch_by_exact_type(self, world):
+        vm, _ = world
+        helpers = _load(world, "a/Helpers")
+        assert vm.call_static(helpers, "throwAndCatch", "()I", []) == 77
+
+    def test_catch_by_supertype(self, world):
+        vm, _ = world
+        helpers = _load(world, "a/Helpers")
+        assert vm.call_static(helpers, "handlerSubtyping", "()I", []) == 55
+
+    def test_uncaught_reaches_host(self, world):
+        vm, _ = world
+        helpers = _load(world, "a/Helpers")
+        with pytest.raises(JThrowable) as info:
+            vm.call_static(helpers, "uncaught", "()V", [])
+        assert "IllegalStateException" in str(info.value)
+
+    def test_null_field_access_throws(self, world):
+        vm, _ = world
+        helpers = _load(world, "a/Helpers")
+        with pytest.raises(JThrowable) as info:
+            vm.call_static(helpers, "npeField", "(La/Counter;)I", [None])
+        assert "NullPointerException" in str(info.value)
+
+    def test_exception_object_carries_message(self, world):
+        vm, _ = world
+        helpers = _load(world, "a/Helpers")
+        try:
+            vm.call_static(helpers, "uncaught", "()V", [])
+        except JThrowable as exc:
+            message = vm.call_virtual(exc.jobject, "getMessage",
+                                      "()Ljava/lang/String;")
+            assert message is None  # no-arg constructor

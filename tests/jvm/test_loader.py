@@ -1,0 +1,271 @@
+"""Class loaders and namespaces: the protection-domain foundation.
+
+"The multiple namespaces ensure that the same variable, procedure, or type
+names can refer to different instances in different domains" (paper §1).
+"""
+
+import pytest
+
+from repro.jvm import (
+    ChainResolver,
+    ClassNotFoundError,
+    DenyResolver,
+    LinkageError,
+    MapResolver,
+    interface,
+)
+from repro.jvm.instructions import (
+    ALOAD,
+    GETSTATIC,
+    ICONST,
+    INVOKESTATIC,
+    IRETURN,
+    PUTSTATIC,
+    RETURN,
+)
+from tests.support import PUBLIC_STATIC, assemble, fresh_vm
+
+
+def const_class(name, value):
+    def build(ca):
+        with ca.method("value", "()I", PUBLIC_STATIC) as m:
+            m.emit(ICONST, value)
+            m.emit(IRETURN)
+
+    return assemble(name, build)
+
+
+class TestNamespaces:
+    def test_same_name_different_classes(self):
+        vm = fresh_vm()
+        loader_a = vm.new_loader(
+            "A", resolver=MapResolver({"x/C": const_class("x/C", 1)})
+        )
+        loader_b = vm.new_loader(
+            "B", resolver=MapResolver({"x/C": const_class("x/C", 2)})
+        )
+        class_a = loader_a.load("x/C")
+        class_b = loader_b.load("x/C")
+        assert class_a is not class_b
+        assert vm.call_static(class_a, "value", "()I") == 1
+        assert vm.call_static(class_b, "value", "()I") == 2
+
+    def test_same_name_classes_are_incompatible_types(self):
+        vm = fresh_vm()
+        loader_a = vm.new_loader(
+            "A", resolver=MapResolver({"x/C": const_class("x/C", 1)})
+        )
+        loader_b = vm.new_loader(
+            "B", resolver=MapResolver({"x/C": const_class("x/C", 2)})
+        )
+        class_a = loader_a.load("x/C")
+        class_b = loader_b.load("x/C")
+        assert not class_a.is_assignable_to(class_b)
+        assert not class_b.is_assignable_to(class_a)
+
+    def test_unresolvable_name_raises(self):
+        vm = fresh_vm()
+        loader = vm.new_loader("A", resolver=MapResolver({}))
+        with pytest.raises(ClassNotFoundError):
+            loader.load("no/Such")
+
+    def test_parent_delegation_for_system_classes(self):
+        vm = fresh_vm()
+        loader = vm.new_loader("A", resolver=MapResolver({}))
+        string_class = loader.load("java/lang/String")
+        assert string_class is vm.string_class
+
+    def test_recursive_loading_of_referenced_classes(self):
+        vm = fresh_vm()
+
+        def build(ca):
+            with ca.method("make", "()Lx/Other;", PUBLIC_STATIC) as m:
+                m.emit("new", "x/Other")
+                m.emit("areturn")
+
+        main = assemble("x/Main", build)
+        other = assemble("x/Other", None)
+        loader = vm.new_loader(
+            "A", resolver=MapResolver({main.name: main, other.name: other})
+        )
+        loader.load("x/Main")
+        # verifying Main resolved Other through the same loader
+        assert loader.loaded("x/Other") is not None
+
+    def test_cyclic_inheritance_rejected(self):
+        vm = fresh_vm()
+        a = assemble("x/A", None, super_name="x/B", constructor=False)
+        b = assemble("x/B", None, super_name="x/A", constructor=False)
+        loader = vm.new_loader(
+            "A", resolver=MapResolver({"x/A": a, "x/B": b})
+        )
+        with pytest.raises(LinkageError, match="cyclic"):
+            loader.load("x/A")
+
+    def test_duplicate_definition_rejected(self):
+        vm = fresh_vm()
+        loader = vm.new_loader("A", resolver=MapResolver({}))
+        loader.define(const_class("x/C", 1))
+        with pytest.raises(LinkageError, match="already defined"):
+            loader.define(const_class("x/C", 2))
+
+    def test_resolver_name_mismatch_rejected(self):
+        vm = fresh_vm()
+        loader = vm.new_loader(
+            "A", resolver=MapResolver({"x/Wanted": const_class("x/Bad", 0)})
+        )
+        with pytest.raises(LinkageError, match="requested name"):
+            loader.load("x/Wanted")
+
+
+class TestSharing:
+    def test_shared_class_has_same_identity(self):
+        vm = fresh_vm()
+        loader_a = vm.new_loader(
+            "A", resolver=MapResolver({"x/C": const_class("x/C", 7)})
+        )
+        shared = loader_a.load("x/C")
+        loader_b = vm.new_loader("B", resolver=MapResolver({"x/C": shared}))
+        assert loader_b.load("x/C") is shared
+
+    def test_shared_statics_visible_to_both(self):
+        vm = fresh_vm()
+
+        def build(ca):
+            with ca.method("set", "(I)V", PUBLIC_STATIC) as m:
+                m.emit("iload", 0)
+                m.emit(PUTSTATIC, "x/Shared", "value")
+                m.emit(RETURN)
+            with ca.method("get", "()I", PUBLIC_STATIC) as m:
+                m.emit(GETSTATIC, "x/Shared", "value")
+                m.emit(IRETURN)
+
+        shared_cf = assemble("x/Shared", build,
+                             fields=[("value", "I", PUBLIC_STATIC)])
+        loader_a = vm.new_loader(
+            "A", resolver=MapResolver({"x/Shared": shared_cf})
+        )
+        shared = loader_a.load("x/Shared")
+        loader_b = vm.new_loader("B", resolver=MapResolver({}))
+        loader_b.share(shared)
+        vm.call_static(shared, "set", "(I)V", [41])
+        # This is exactly the covert channel the J-Kernel's no-static-fields
+        # rule for shared classes exists to forbid (see repro.jkvm).
+        assert vm.call_static(loader_b.load("x/Shared"), "get", "()I") == 41
+
+    def test_conflicting_share_rejected(self):
+        vm = fresh_vm()
+        loader_a = vm.new_loader(
+            "A", resolver=MapResolver({"x/C": const_class("x/C", 1)})
+        )
+        loader_b = vm.new_loader(
+            "B", resolver=MapResolver({"x/C": const_class("x/C", 2)})
+        )
+        class_b = loader_b.load("x/C")
+        with pytest.raises(LinkageError, match="different class"):
+            loader_b.share(loader_a.load("x/C"))
+
+
+class TestHiding:
+    def test_deny_resolver_hides_system_class(self):
+        vm = fresh_vm()
+        loader = vm.new_loader(
+            "restricted",
+            resolver=ChainResolver(DenyResolver({"java/lang/Thread"})),
+        )
+        with pytest.raises(ClassNotFoundError, match="hidden"):
+            loader.load("java/lang/Thread")
+        # other system classes still visible
+        assert loader.load("java/lang/String") is vm.string_class
+
+    def test_hidden_class_makes_user_code_unverifiable(self):
+        vm = fresh_vm()
+
+        def build(ca):
+            with ca.method("spawn", "()V", PUBLIC_STATIC) as m:
+                m.emit("new", "java/lang/Thread")
+                m.emit("pop")
+                m.emit(RETURN)
+
+        user = assemble("x/User", build)
+        loader = vm.new_loader(
+            "restricted",
+            resolver=ChainResolver(
+                DenyResolver({"java/lang/Thread"}),
+                MapResolver({user.name: user}),
+            ),
+        )
+        from repro.jvm import VerifyError
+
+        with pytest.raises((VerifyError, ClassNotFoundError)):
+            loader.load("x/User")
+
+    def test_interposition_replaces_hidden_class(self):
+        """Hide the system Thread, supply a safe one under the same name —
+        the paper's interposition move."""
+        vm = fresh_vm()
+
+        def build(ca):
+            with ca.method("currentThread", "()I", PUBLIC_STATIC) as m:
+                m.emit(ICONST, -1)  # inert replacement
+                m.emit(IRETURN)
+
+        safe_thread = assemble("java/lang/Thread", build)
+        loader = vm.new_loader(
+            "restricted",
+            resolver=MapResolver({"java/lang/Thread": safe_thread}),
+        )
+        replacement = loader.load("java/lang/Thread")
+        assert replacement is not vm.boot_loader.load("java/lang/Thread")
+        assert vm.call_static(replacement, "currentThread", "()I") == -1
+
+
+class TestLoaderConstraints:
+    def _interface_pair(self, vm):
+        """Interface I with method f(Lx/P;)V, implemented across loaders."""
+        param = assemble("x/P", None)
+        iface_cf = interface("x/I", [("f", "(Lx/P;)V")])
+
+        def impl_build(ca):
+            with ca.method("f", "(Lx/P;)V") as m:
+                m.emit(RETURN)
+
+        impl = assemble("x/Impl", impl_build, interfaces=("x/I",))
+        return param, iface_cf, impl
+
+    def test_consistent_resolution_links(self):
+        vm = fresh_vm()
+        param, iface_cf, impl = self._interface_pair(vm)
+        loader_a = vm.new_loader(
+            "A", resolver=MapResolver({
+                param.name: param, iface_cf.name: iface_cf,
+            })
+        )
+        shared_iface = loader_a.load("x/I")
+        shared_param = loader_a.load("x/P")
+        loader_b = vm.new_loader(
+            "B", resolver=MapResolver({
+                "x/I": shared_iface, "x/P": shared_param, impl.name: impl,
+            })
+        )
+        loader_b.load("x/Impl")  # same x/P both sides: fine
+
+    def test_divergent_resolution_rejected(self):
+        """Implementing a shared interface while resolving a signature class
+        differently is the classic cross-loader type hole; link must fail."""
+        vm = fresh_vm()
+        param, iface_cf, impl = self._interface_pair(vm)
+        loader_a = vm.new_loader(
+            "A", resolver=MapResolver({
+                param.name: param, iface_cf.name: iface_cf,
+            })
+        )
+        shared_iface = loader_a.load("x/I")
+        own_param = assemble("x/P", None)  # a different x/P!
+        loader_b = vm.new_loader(
+            "B", resolver=MapResolver({
+                "x/I": shared_iface, "x/P": own_param, impl.name: impl,
+            })
+        )
+        with pytest.raises(LinkageError, match="loader constraint"):
+            loader_b.load("x/Impl")

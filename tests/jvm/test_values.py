@@ -1,0 +1,138 @@
+"""Value model: descriptors and integer wrapping."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.jvm.values import (
+    class_name_of_descriptor,
+    default_value,
+    descriptor_of_class,
+    i8,
+    i32,
+    is_reference_descriptor,
+    parse_field_descriptor,
+    parse_method_descriptor,
+    verification_kind,
+)
+
+
+class TestInt32Wrapping:
+    def test_identity_in_range(self):
+        assert i32(0) == 0
+        assert i32(2147483647) == 2147483647
+        assert i32(-2147483648) == -2147483648
+
+    def test_positive_overflow_wraps_negative(self):
+        assert i32(2147483648) == -2147483648
+        assert i32(2147483649) == -2147483647
+
+    def test_negative_overflow_wraps_positive(self):
+        assert i32(-2147483649) == 2147483647
+
+    def test_large_multiplication_wraps(self):
+        assert i32(65536 * 65536) == 0
+
+    @given(st.integers())
+    def test_always_in_range(self, value):
+        wrapped = i32(value)
+        assert -2147483648 <= wrapped <= 2147483647
+
+    @given(st.integers(), st.integers())
+    def test_addition_homomorphic_mod_2_32(self, a, b):
+        assert i32(i32(a) + i32(b)) == i32(a + b)
+
+    @given(st.integers())
+    def test_idempotent(self, value):
+        assert i32(i32(value)) == i32(value)
+
+
+class TestInt8Wrapping:
+    def test_in_range(self):
+        assert i8(127) == 127
+        assert i8(-128) == -128
+
+    def test_wraps(self):
+        assert i8(128) == -128
+        assert i8(255) == -1
+        assert i8(256) == 0
+
+    @given(st.integers())
+    def test_always_in_range(self, value):
+        assert -128 <= i8(value) <= 127
+
+
+class TestFieldDescriptors:
+    def test_primitives(self):
+        assert parse_field_descriptor("I") == ("I", 1)
+        assert parse_field_descriptor("D") == ("D", 1)
+        assert parse_field_descriptor("Z") == ("Z", 1)
+        assert parse_field_descriptor("B") == ("B", 1)
+
+    def test_class(self):
+        desc, end = parse_field_descriptor("Ljava/lang/String;")
+        assert desc == "Ljava/lang/String;"
+        assert end == len(desc)
+
+    def test_arrays(self):
+        assert parse_field_descriptor("[I")[0] == "[I"
+        assert parse_field_descriptor("[[B")[0] == "[[B"
+        assert parse_field_descriptor("[Lx/Y;")[0] == "[Lx/Y;"
+
+    def test_offset(self):
+        desc, end = parse_field_descriptor("(I[B)V", offset=1)
+        assert desc == "I"
+        assert end == 2
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_field_descriptor("Q")
+
+    def test_reference_predicate(self):
+        assert is_reference_descriptor("Lx/Y;")
+        assert is_reference_descriptor("[I")
+        assert not is_reference_descriptor("I")
+
+    def test_class_name_extraction(self):
+        assert class_name_of_descriptor("Lx/Y;") == "x/Y"
+        assert class_name_of_descriptor("[I") is None
+        assert descriptor_of_class("x/Y") == "Lx/Y;"
+
+
+class TestMethodDescriptors:
+    def test_nullary_void(self):
+        assert parse_method_descriptor("()V") == ([], "V")
+
+    def test_mixed_args(self):
+        args, ret = parse_method_descriptor("(I[BLjava/lang/String;D)I")
+        assert args == ["I", "[B", "Ljava/lang/String;", "D"]
+        assert ret == "I"
+
+    def test_reference_return(self):
+        args, ret = parse_method_descriptor("()[B")
+        assert args == []
+        assert ret == "[B"
+
+    def test_rejects_missing_parens(self):
+        with pytest.raises(ValueError):
+            parse_method_descriptor("IV")
+
+
+class TestVerificationKinds:
+    def test_boolean_and_byte_are_ints(self):
+        assert verification_kind("Z") == "I"
+        assert verification_kind("B") == "I"
+        assert verification_kind("I") == "I"
+
+    def test_double(self):
+        assert verification_kind("D") == "D"
+
+    def test_references(self):
+        assert verification_kind("Lx/Y;") == "A"
+        assert verification_kind("[I") == "A"
+
+    def test_defaults(self):
+        assert default_value("I") == 0
+        assert default_value("D") == 0.0
+        assert default_value("Lx/Y;") is None
+        assert default_value("[B") is None

@@ -1,0 +1,397 @@
+"""The bytecode verifier: the type-safety enforcement point.
+
+Covers acceptance of well-typed code, rejection of each class of type
+error, static access control (paper §2), and namespace-based resolution
+failures (selective class sharing)."""
+
+import pytest
+
+from repro.jvm import (
+    ClassAssembler,
+    ClassNotFoundError,
+    MapResolver,
+    VerifyError,
+    interface,
+)
+from repro.jvm.classfile import ACC_FINAL, ACC_PRIVATE, ACC_PUBLIC
+from repro.jvm.instructions import (
+    ACONST_NULL,
+    ALOAD,
+    ARETURN,
+    ASTORE,
+    ATHROW,
+    BALOAD,
+    CHECKCAST,
+    DCONST,
+    DUP,
+    GETFIELD,
+    GOTO,
+    IADD,
+    ICONST,
+    IFEQ,
+    ILOAD,
+    INVOKESPECIAL,
+    INVOKESTATIC,
+    INVOKEVIRTUAL,
+    IRETURN,
+    ISTORE,
+    NEW,
+    NEWARRAY,
+    POP,
+    PUTFIELD,
+    RETURN,
+    SWAP,
+)
+from tests.support import PUBLIC_STATIC, assemble, fresh_vm, load_classes
+
+
+def define_one(vm, classfile, loader_name="v"):
+    loader = vm.new_loader(
+        loader_name, resolver=MapResolver({classfile.name: classfile})
+    )
+    return loader.load(classfile.name)
+
+
+@pytest.fixture()
+def svm():
+    return fresh_vm()
+
+
+class TestAcceptance:
+    def test_arith_and_branches(self, svm):
+        def build(ca):
+            with ca.method("f", "(I)I", PUBLIC_STATIC) as m:
+                done = m.label()
+                m.emit(ILOAD, 0)
+                m.emit(IFEQ, done)
+                m.emit(ILOAD, 0)
+                m.emit(ICONST, 1)
+                m.emit(IADD)
+                m.emit(IRETURN)
+                m.mark(done)
+                m.emit(ICONST, 0)
+                m.emit(IRETURN)
+
+        define_one(svm, assemble("v/Ok", build))
+
+    def test_object_cycle(self, svm):
+        def build(ca):
+            with ca.method("mk", "()Lv/Node;", PUBLIC_STATIC) as m:
+                m.emit(NEW, "v/Node")
+                m.emit(DUP)
+                m.emit(DUP)
+                m.emit(PUTFIELD, "v/Node", "next")
+                m.emit(ARETURN)
+
+        define_one(
+            svm,
+            assemble("v/Node", build, fields=[("next", "Lv/Node;")]),
+        )
+
+    def test_null_merges_with_reference(self, svm):
+        def build(ca):
+            with ca.method("f", "(I)Ljava/lang/Object;", PUBLIC_STATIC) as m:
+                use = m.label()
+                m.emit(ILOAD, 0)
+                m.emit(IFEQ, use)
+                m.emit(ACONST_NULL)
+                m.emit(ARETURN)
+                m.mark(use)
+                m.emit(NEW, "v/M")
+                m.emit(ARETURN)
+
+        define_one(svm, assemble("v/M", build))
+
+    def test_exception_handler_frame(self, svm):
+        def build(ca):
+            with ca.method("f", "()I", PUBLIC_STATIC) as m:
+                start = m.here()
+                m.emit(ICONST, 1)
+                m.emit(ICONST, 0)
+                m.emit("idiv")
+                m.emit(IRETURN)
+                end = m.here()
+                handler = m.here()
+                m.emit(POP)
+                m.emit(ICONST, -1)
+                m.emit(IRETURN)
+                m.handler(start, end, handler,
+                          "java/lang/ArithmeticException")
+
+        define_one(svm, assemble("v/H", build))
+
+
+class TestTypeErrors:
+    def _reject(self, svm, classfile, pattern):
+        with pytest.raises(VerifyError, match=pattern):
+            define_one(svm, classfile)
+
+    def test_int_where_ref_expected(self, svm):
+        def build(ca):
+            with ca.method("f", "()V", PUBLIC_STATIC) as m:
+                m.emit(ICONST, 42)
+                m.emit(ASTORE, 0)
+                m.emit(RETURN)
+
+        self._reject(svm, assemble("v/IntRef", build), "astore")
+
+    def test_ref_arithmetic_rejected(self, svm):
+        def build(ca):
+            with ca.method("f", "()I", PUBLIC_STATIC) as m:
+                m.emit(NEW, "v/RefMath")
+                m.emit(ICONST, 1)
+                m.emit(IADD)
+                m.emit(IRETURN)
+
+        self._reject(svm, assemble("v/RefMath", build), "expected int")
+
+    def test_forging_reference_from_int_impossible(self, svm):
+        # There is no int->ref instruction; the closest forgery attempt is
+        # storing an int then loading it as a reference.
+        def build(ca):
+            with ca.method("f", "()Ljava/lang/Object;", PUBLIC_STATIC) as m:
+                m.emit(ICONST, 0xDEAD)
+                m.emit(ISTORE, 0)
+                m.emit(ALOAD, 0)
+                m.emit(ARETURN)
+
+        self._reject(svm, assemble("v/Forge", build), "aload")
+
+    def test_uninitialized_local_rejected(self, svm):
+        def build(ca):
+            with ca.method("f", "()I", PUBLIC_STATIC) as m:
+                m.emit(ILOAD, 3)
+                m.emit(IRETURN)
+
+        self._reject(svm, assemble("v/Uninit", build), "local")
+
+    def test_double_int_confusion_rejected(self, svm):
+        def build(ca):
+            with ca.method("f", "()I", PUBLIC_STATIC) as m:
+                m.emit(DCONST, 1.5)
+                m.emit(IRETURN)
+
+        self._reject(svm, assemble("v/DblInt", build), "ireturn")
+
+    def test_wrong_return_kind_rejected(self, svm):
+        def build(ca):
+            with ca.method("f", "()V", PUBLIC_STATIC) as m:
+                m.emit(ICONST, 1)
+                m.emit(IRETURN)
+
+        self._reject(svm, assemble("v/RetKind", build), "ireturn")
+
+    def test_stack_overflow_of_declared_max_rejected(self, svm):
+        from repro.jvm.classfile import ClassFile, MethodDef
+
+        bad = ClassFile(
+            name="v/MaxStack",
+            methods=(
+                MethodDef("f", "()V", PUBLIC_STATIC, max_stack=1,
+                          max_locals=0,
+                          code=(("iconst", 1), ("iconst", 2), ("pop",),
+                                ("pop",), ("return",))),
+            ),
+        )
+        loader = fresh_vm().new_loader("v", resolver=MapResolver({}))
+        with pytest.raises(VerifyError, match="overflow"):
+            loader.define(bad)
+
+    def test_athrow_non_throwable_rejected(self, svm):
+        def build(ca):
+            with ca.method("f", "()V", PUBLIC_STATIC) as m:
+                m.emit(NEW, "v/Throw")
+                m.emit(ATHROW)
+
+        self._reject(svm, assemble("v/Throw", build), "non-throwable")
+
+    def test_bad_argument_type_rejected(self, svm):
+        def build(ca):
+            with ca.method("callee", "(Ljava/lang/String;)V",
+                           PUBLIC_STATIC) as m:
+                m.emit(RETURN)
+            with ca.method("caller", "()V", PUBLIC_STATIC) as m:
+                m.emit(NEW, "v/Args")
+                m.emit(INVOKESTATIC, "v/Args", "callee",
+                       "(Ljava/lang/String;)V")
+                m.emit(RETURN)
+
+        self._reject(svm, assemble("v/Args", build), "argument")
+
+    def test_handler_frame_holds_exception_not_int(self, svm):
+        # The handler entry frame is [exception-ref]; returning it as an
+        # int must be rejected by the verifier.
+        def build(ca):
+            with ca.method("f", "()I", PUBLIC_STATIC) as m:
+                start = m.here()
+                m.emit(ICONST, 1)
+                m.emit(IRETURN)
+                end = m.here()
+                handler = m.here()
+                m.emit(IRETURN)  # stack holds a Throwable, not an int
+                m.handler(start, end, handler, None)
+
+        self._reject(svm, assemble("v/HandType", build), "ireturn")
+
+    def test_baload_on_int_array_rejected(self, svm):
+        def build(ca):
+            with ca.method("f", "()I", PUBLIC_STATIC) as m:
+                m.emit(ICONST, 4)
+                m.emit(NEWARRAY, "I")
+                m.emit(ICONST, 0)
+                m.emit(BALOAD)
+                m.emit(IRETURN)
+
+        self._reject(svm, assemble("v/ArrKind", build), "element type")
+
+
+class TestAccessControl:
+    def _classes(self):
+        holder = assemble(
+            "v/Holder", None,
+            fields=[("secret", "I", ACC_PRIVATE), ("open", "I", ACC_PUBLIC)],
+        )
+
+        def build_self_access(ca):
+            with ca.method("touch", "(Lv/Holder;)I", PUBLIC_STATIC) as m:
+                m.emit(ALOAD, 0)
+                m.emit(GETFIELD, "v/Holder", "secret")
+                m.emit(IRETURN)
+
+        return holder, build_self_access
+
+    def test_private_field_inaccessible_across_classes(self, svm):
+        holder, build = self._classes()
+        snoop = assemble("v/Snoop", build)
+        loader = svm.new_loader(
+            "v", resolver=MapResolver({holder.name: holder,
+                                       snoop.name: snoop})
+        )
+        loader.load("v/Holder")
+        with pytest.raises(VerifyError, match="private field"):
+            loader.load("v/Snoop")
+
+    def test_private_field_accessible_within_class(self, svm):
+        def build(ca):
+            with ca.method("touch", "(Lv/Own;)I", PUBLIC_STATIC) as m:
+                m.emit(ALOAD, 0)
+                m.emit(GETFIELD, "v/Own", "mine")
+                m.emit(IRETURN)
+
+        define_one(
+            svm,
+            assemble("v/Own", build, fields=[("mine", "I", ACC_PRIVATE)]),
+        )
+
+    def test_public_field_accessible_across_classes(self, svm):
+        holder, _ = self._classes()
+
+        def build(ca):
+            with ca.method("touch", "(Lv/Holder;)I", PUBLIC_STATIC) as m:
+                m.emit(ALOAD, 0)
+                m.emit(GETFIELD, "v/Holder", "open")
+                m.emit(IRETURN)
+
+        reader = assemble("v/Reader", build)
+        loader = svm.new_loader(
+            "v", resolver=MapResolver({holder.name: holder,
+                                       reader.name: reader})
+        )
+        loader.load("v/Reader")
+
+    def test_private_method_rejected_across_classes(self, svm):
+        def build_owner(ca):
+            with ca.method("hidden", "()I", ACC_PRIVATE | 0x0008) as m:
+                m.emit(ICONST, 5)
+                m.emit(IRETURN)
+
+        owner = assemble("v/MOwner", build_owner)
+
+        def build_caller(ca):
+            with ca.method("call", "()I", PUBLIC_STATIC) as m:
+                m.emit(INVOKESTATIC, "v/MOwner", "hidden", "()I")
+                m.emit(IRETURN)
+
+        caller = assemble("v/MCaller", build_caller)
+        loader = svm.new_loader(
+            "v", resolver=MapResolver({owner.name: owner,
+                                       caller.name: caller})
+        )
+        with pytest.raises(VerifyError, match="private method"):
+            loader.load("v/MCaller")
+
+    def test_final_field_assignment_outside_declarer_rejected(self, svm):
+        holder = assemble(
+            "v/FHolder", None,
+            fields=[("constant", "I", ACC_PUBLIC | ACC_FINAL)],
+        )
+
+        def build(ca):
+            with ca.method("clobber", "(Lv/FHolder;)V", PUBLIC_STATIC) as m:
+                m.emit(ALOAD, 0)
+                m.emit(ICONST, 9)
+                m.emit(PUTFIELD, "v/FHolder", "constant")
+                m.emit(RETURN)
+
+        writer = assemble("v/FWriter", build)
+        loader = svm.new_loader(
+            "v", resolver=MapResolver({holder.name: holder,
+                                       writer.name: writer})
+        )
+        with pytest.raises(VerifyError, match="final"):
+            loader.load("v/FWriter")
+
+    def test_missing_field_rejected(self, svm):
+        def build(ca):
+            with ca.method("f", "(Lv/Ghost;)I", PUBLIC_STATIC) as m:
+                m.emit(ALOAD, 0)
+                m.emit(GETFIELD, "v/Ghost", "nothing")
+                m.emit(IRETURN)
+
+        self._reject_missing(svm, assemble("v/Ghost", build))
+
+    def _reject_missing(self, svm, classfile):
+        with pytest.raises(VerifyError, match="no such field"):
+            define_one(svm, classfile)
+
+
+class TestNamespaceEnforcement:
+    def test_hidden_class_unresolvable(self, svm):
+        def build(ca):
+            with ca.method("f", "()V", PUBLIC_STATIC) as m:
+                m.emit(NEW, "v/Hidden")
+                m.emit(POP)
+                m.emit(RETURN)
+
+        classfile = assemble("v/User", build)
+        with pytest.raises(VerifyError, match="unresolvable"):
+            define_one(svm, classfile)
+
+    def test_virtual_call_on_interface_rejected(self, svm):
+        iface_cf = interface("v/I", [("f", "()V")])
+
+        def build(ca):
+            with ca.method("g", "(Lv/I;)V", PUBLIC_STATIC) as m:
+                m.emit(ALOAD, 0)
+                m.emit(INVOKEVIRTUAL, "v/I", "f", "()V")
+                m.emit(RETURN)
+
+        caller = assemble("v/VirtIface", build)
+        loader = svm.new_loader(
+            "v", resolver=MapResolver({iface_cf.name: iface_cf,
+                                       caller.name: caller})
+        )
+        with pytest.raises(VerifyError, match="invokevirtual on interface"):
+            loader.load("v/VirtIface")
+
+    def test_checkcast_to_hidden_class_rejected(self, svm):
+        def build(ca):
+            with ca.method("f", "(Ljava/lang/Object;)V",
+                           PUBLIC_STATIC) as m:
+                m.emit(ALOAD, 0)
+                m.emit(CHECKCAST, "other/Secret")
+                m.emit(POP)
+                m.emit(RETURN)
+
+        with pytest.raises(VerifyError, match="unresolvable"):
+            define_one(svm, assemble("v/Caster", build))

@@ -1,0 +1,235 @@
+"""The text assembler and the linker."""
+
+import pytest
+
+from repro.jvm import VM, MapResolver
+from repro.toolchain import (
+    AsmError,
+    LinkError,
+    Linker,
+    assemble_many,
+    assemble_text,
+    classfile_to_portable,
+    link,
+    portable_to_classfile,
+)
+
+GOOD = """
+.class t/Math
+.method double (I)I static
+    iload 0
+    iconst 2
+    imul
+    ireturn
+.end
+.method countdown (I)I static
+    iload 0
+L0:
+    dup
+    ifle L1
+    iconst 1
+    isub
+    goto L0
+L1:
+    ireturn
+.end
+"""
+
+
+def run_static(classfiles, class_name, method, desc, args):
+    vm = VM()
+    loader = vm.new_loader(
+        "asm", resolver=MapResolver({cf.name: cf for cf in classfiles})
+    )
+    return vm.call_static(loader.load(class_name), method, desc, args)
+
+
+class TestAssembler:
+    def test_assemble_and_run(self):
+        cf = assemble_text(GOOD)
+        assert cf.name == "t/Math"
+        assert run_static([cf], "t/Math", "double", "(I)I", [21]) == 42
+
+    def test_forward_and_backward_labels(self):
+        cf = assemble_text(GOOD)
+        assert run_static([cf], "t/Math", "countdown", "(I)I", [5]) == 0
+
+    def test_comments_and_blank_lines(self):
+        source = """
+        .class t/C
+        # full line comment
+        .method f ()I static   ; trailing comment
+            iconst 7  # another
+            ireturn
+        .end
+        """
+        cf = assemble_text(source)
+        assert run_static([cf], "t/C", "f", "()I", []) == 7
+
+    def test_string_operand(self):
+        source = """
+        .class t/S
+        .method greet ()Ljava/lang/String; static
+            ldc_str "hello world"
+            areturn
+        .end
+        """
+        cf = assemble_text(source)
+        vm = VM()
+        loader = vm.new_loader("asm", resolver=MapResolver({cf.name: cf}))
+        result = vm.call_static(loader.load("t/S"), "greet",
+                                "()Ljava/lang/String;", [])
+        assert vm.text_of(result) == "hello world"
+
+    def test_fields_and_modifiers(self):
+        source = """
+        .class t/F
+        .field open I
+        .field hidden I private
+        .field shared I static
+        .method f ()I static
+            iconst 0
+            ireturn
+        .end
+        """
+        cf = assemble_text(source)
+        assert len(cf.fields) == 3
+        assert cf.fields[1].is_private
+        assert cf.fields[2].is_static
+
+    def test_multiple_classes(self):
+        source = GOOD + "\n.class t/Other\n.method g ()I static\n" \
+            "    iconst 1\n    ireturn\n.end\n"
+        classfiles = assemble_many(source)
+        assert [cf.name for cf in classfiles] == ["t/Math", "t/Other"]
+
+    def test_undefined_label_rejected(self):
+        source = """
+        .class t/Bad
+        .method f ()I static
+            goto NOWHERE
+        .end
+        """
+        with pytest.raises(AsmError, match="undefined label"):
+            assemble_text(source)
+
+    def test_unknown_opcode_rejected(self):
+        source = ".class t/Bad\n.method f ()V static\n    explode\n.end\n"
+        with pytest.raises(AsmError, match="unknown opcode"):
+            assemble_text(source)
+
+    def test_wrong_operand_count_rejected(self):
+        source = ".class t/Bad\n.method f ()V static\n    iconst\n.end\n"
+        with pytest.raises(AsmError, match="expects 1 operands"):
+            assemble_text(source)
+
+    def test_missing_end_rejected(self):
+        source = ".class t/Bad\n.method f ()V static\n    return\n"
+        with pytest.raises(AsmError, match="missing .end"):
+            assemble_text(source)
+
+    def test_label_defined_twice_rejected(self):
+        source = (
+            ".class t/Bad\n.method f ()V static\nL0:\nL0:\n    return\n.end\n"
+        )
+        with pytest.raises(AsmError, match="defined twice"):
+            assemble_text(source)
+
+    def test_class_extends_and_implements(self):
+        source = (
+            ".class t/Sub extends java/lang/Throwable\n"
+            ".method f ()I static\n    iconst 0\n    ireturn\n.end\n"
+        )
+        cf = assemble_text(source)
+        assert cf.super_name == "java/lang/Throwable"
+
+
+class TestLinker:
+    def _modules(self):
+        lib = assemble_text(
+            ".class t/Lib\n.method helper (I)I static\n"
+            "    iload 0\n    iconst 1\n    iadd\n    ireturn\n.end\n"
+        )
+        app = assemble_text(
+            ".class t/App\n.method main ()I static\n"
+            "    iconst 41\n"
+            "    invokestatic t/Lib helper (I)I\n"
+            "    ireturn\n.end\n"
+        )
+        return lib, app
+
+    def test_link_success_and_entry_points(self):
+        lib, app = self._modules()
+        image = link([lib, app])
+        assert image.entry_points == {"t/App": ("main", "()I")}
+        assert run_static(list(image.classfiles), "t/App", "main",
+                          "()I", []) == 42
+
+    def test_missing_module_detected(self):
+        _, app = self._modules()
+        with pytest.raises(LinkError, match="t/Lib"):
+            link([app])
+
+    def test_missing_method_detected(self):
+        lib, _ = self._modules()
+        app = assemble_text(
+            ".class t/App\n.method main ()I static\n"
+            "    iconst 1\n"
+            "    invokestatic t/Lib missing (I)I\n"
+            "    ireturn\n.end\n"
+        )
+        with pytest.raises(LinkError, match="t/Lib.missing"):
+            link([lib, app])
+
+    def test_missing_field_detected(self):
+        holder = assemble_text(
+            ".class t/H\n.field real I static\n"
+            ".method f ()I static\n    iconst 0\n    ireturn\n.end\n"
+        )
+        user = assemble_text(
+            ".class t/U\n.method f ()I static\n"
+            "    getstatic t/H fake\n    ireturn\n.end\n"
+        )
+        with pytest.raises(LinkError, match="t/H.fake"):
+            link([holder, user])
+
+    def test_environment_classes_provided(self):
+        app = assemble_text(
+            ".class t/Sys\n.method f ()V static\n"
+            "    iconst 7\n"
+            "    invokestatic java/lang/System printInt (I)V\n"
+            "    return\n.end\n"
+        )
+        link([app])  # java/lang/* provided by default
+
+    def test_all_undefined_symbols_reported(self):
+        app = assemble_text(
+            ".class t/Multi\n.method f ()V static\n"
+            "    iconst 0\n"
+            "    invokestatic t/A fa ()V\n"
+            "    invokestatic t/B fb ()V\n"
+            "    pop\n    return\n.end\n"
+        )
+        # note: invokestatic ()V pushes nothing; fix stack: use two calls
+        with pytest.raises(LinkError) as info:
+            link([app])
+        assert "t/A" in str(info.value)
+        assert "t/B" in str(info.value)
+
+
+class TestPortableForm:
+    def test_roundtrip(self):
+        original = assemble_text(GOOD)
+        portable = classfile_to_portable(original)
+        rebuilt = portable_to_classfile(portable)
+        assert rebuilt.name == original.name
+        assert rebuilt.methods[0].code == original.methods[0].code
+        assert run_static([rebuilt], "t/Math", "double", "(I)I", [10]) == 20
+
+    def test_portable_is_plain_data(self):
+        from repro.core import dumps, loads
+
+        portable = classfile_to_portable(assemble_text(GOOD))
+        # crosses domains via the serializer: plain dicts/lists/ints/strs
+        copy = loads(dumps(portable))
+        assert copy == portable

@@ -1,0 +1,202 @@
+"""The Jr language: lexer, parser, codegen, execution semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.toolchain import (
+    JrAssembler,
+    JrCompileError,
+    JrCompiler,
+    JrLinker,
+    JrRunner,
+    JrSyntaxError,
+    compile_source,
+    parse,
+    tokenize,
+)
+
+
+def run_jr(source, module="main", args=()):
+    """Compile, assemble, link and execute; returns (result, output)."""
+    asm = JrCompiler().compile(source, module=module)
+    image = JrLinker().link(JrAssembler().assemble(asm))
+    outcome = JrRunner().run(image, f"jr/{module}", args=args)
+    return outcome["result"], outcome["output"]
+
+
+class TestLexer:
+    def test_tokens(self):
+        kinds = [t.kind for t in tokenize("func f(x) { return x + 1; }")]
+        assert kinds == ["kw", "name", "op", "name", "op", "op", "kw",
+                         "name", "op", "int", "op", "op", "eof"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("# comment\n// another\n42")
+        assert [t.text for t in tokens[:-1]] == ["42"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("1\n2\n3")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 3]
+
+    def test_bad_character(self):
+        with pytest.raises(JrSyntaxError, match="unexpected character"):
+            tokenize("func $")
+
+
+class TestParser:
+    def test_function_shape(self):
+        program = parse("func add(a, b) { return a + b; }")
+        assert len(program.functions) == 1
+        function = program.functions[0]
+        assert function.name == "add"
+        assert function.params == ("a", "b")
+
+    def test_precedence(self):
+        program = parse("func f() { return 1 + 2 * 3 < 7 && 1; }")
+        # parses without error; semantics checked in execution tests
+        assert program.functions[0].name == "f"
+
+    def test_duplicate_function_rejected(self):
+        with pytest.raises(JrSyntaxError, match="duplicate function"):
+            parse("func f() { return 0; } func f() { return 1; }")
+
+    def test_duplicate_param_rejected(self):
+        with pytest.raises(JrSyntaxError, match="duplicate parameter"):
+            parse("func f(a, a) { return 0; }")
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(JrSyntaxError):
+            parse("func f() { return 1 }")
+
+    def test_else_if_chain(self):
+        source = """
+        func sign(x) {
+            if (x > 0) { return 1; }
+            else if (x < 0) { return -1; }
+            else { return 0; }
+        }
+        func main() { return sign(-5); }
+        """
+        result, _ = run_jr(source)
+        assert result == -1
+
+
+class TestExecution:
+    def test_arithmetic(self):
+        result, _ = run_jr("func main() { return (2 + 3) * 4 - 6 / 2; }")
+        assert result == 17
+
+    def test_variables_and_while(self):
+        source = """
+        func main() {
+            var total = 0;
+            var i = 1;
+            while (i <= 100) { total = total + i; i = i + 1; }
+            return total;
+        }
+        """
+        assert run_jr(source)[0] == 5050
+
+    def test_recursion(self):
+        source = """
+        func fact(n) { if (n <= 1) { return 1; } return n * fact(n - 1); }
+        func main() { return fact(10); }
+        """
+        assert run_jr(source)[0] == 3628800
+
+    def test_print_output(self):
+        _, output = run_jr(
+            "func main() { print 1; print 2 + 3; return 0; }"
+        )
+        assert output == ["1", "5"]
+
+    def test_logical_short_circuit(self):
+        source = """
+        func boom() { return 1 / 0; }
+        func main() {
+            if (0 && boom()) { return 1; }
+            if (1 || boom()) { return 42; }
+            return 2;
+        }
+        """
+        assert run_jr(source)[0] == 42
+
+    def test_not_operator(self):
+        assert run_jr("func main() { return !0 + !5; }")[0] == 1
+
+    def test_unary_minus(self):
+        assert run_jr("func main() { return -(3 + 4); }")[0] == -7
+
+    def test_fall_off_end_returns_zero(self):
+        assert run_jr("func main() { var x = 1; }")[0] == 0
+
+    def test_args_passed(self):
+        source = "func main(a, b) { return a * 100 + b; }"
+        assert run_jr(source, args=(4, 2))[0] == 402
+
+    def test_comparison_operators(self):
+        source = """
+        func main() {
+            return (1 < 2) + (2 <= 2) + (3 > 2) + (2 >= 3)
+                 + (1 == 1) + (1 != 1);
+        }
+        """
+        assert run_jr(source)[0] == 4
+
+    def test_modulo(self):
+        assert run_jr("func main() { return 17 % 5; }")[0] == 2
+
+    def test_division_by_zero_is_guest_exception(self):
+        from repro.jvm.errors import JThrowable
+
+        with pytest.raises(JThrowable, match="ArithmeticException"):
+            run_jr("func main() { return 1 / 0; }")
+
+
+class TestCompileErrors:
+    def test_undeclared_variable(self):
+        with pytest.raises(JrCompileError, match="undeclared"):
+            compile_source("func main() { return ghost; }")
+
+    def test_double_declaration(self):
+        with pytest.raises(JrCompileError, match="already declared"):
+            compile_source("func main() { var x = 1; var x = 2; }")
+
+    def test_unknown_function(self):
+        with pytest.raises(JrCompileError, match="unknown function"):
+            compile_source("func main() { return nothing(); }")
+
+    def test_wrong_arity(self):
+        with pytest.raises(JrCompileError, match="expects 1 args"):
+            compile_source(
+                "func f(x) { return x; } func main() { return f(1, 2); }"
+            )
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=-1000, max_value=1000),
+           st.integers(min_value=-1000, max_value=1000))
+    def test_arithmetic_matches_python(self, a, b):
+        source = f"func main() {{ return ({a}) + ({b}) * 2; }}"
+        assert run_jr(source)[0] == a + b * 2
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=20))
+    def test_iterative_equals_recursive(self, n):
+        source = f"""
+        func fib_rec(n) {{
+            if (n < 2) {{ return n; }}
+            return fib_rec(n - 1) + fib_rec(n - 2);
+        }}
+        func fib_iter(n) {{
+            var a = 0; var b = 1; var i = 0;
+            while (i < n) {{ var t = a + b; a = b; b = t; i = i + 1; }}
+            return a;
+        }}
+        func main() {{
+            return (fib_rec({n}) == fib_iter({n}));
+        }}
+        """
+        assert run_jr(source)[0] == 1

@@ -1,0 +1,101 @@
+"""HTTP parsing and formatting."""
+
+import io
+
+import pytest
+
+from repro.web import (
+    HttpError,
+    Request,
+    Response,
+    format_request,
+    format_response,
+    read_request,
+    read_response,
+)
+from repro.web.http import read_request as _read
+
+
+def _reader(data):
+    return io.BufferedReader(io.BytesIO(data))
+
+
+class TestRequestParsing:
+    def test_simple_get(self):
+        request = read_request(_reader(b"GET /x HTTP/1.0\r\n\r\n"))
+        assert request.method == "GET"
+        assert request.path == "/x"
+        assert request.version == "HTTP/1.0"
+        assert request.body == b""
+
+    def test_headers_lowercased(self):
+        request = read_request(_reader(
+            b"GET / HTTP/1.0\r\nContent-Type: text/plain\r\nX-Thing: 1\r\n"
+            b"\r\n"
+        ))
+        assert request.headers["content-type"] == "text/plain"
+        assert request.headers["x-thing"] == "1"
+
+    def test_body_by_content_length(self):
+        request = read_request(_reader(
+            b"POST /u HTTP/1.0\r\nContent-Length: 5\r\n\r\nhello"
+        ))
+        assert request.method == "POST"
+        assert request.body == b"hello"
+
+    def test_eof_returns_none(self):
+        assert read_request(_reader(b"")) is None
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(HttpError):
+            read_request(_reader(b"NONSENSE\r\n\r\n"))
+
+    def test_truncated_body_rejected(self):
+        with pytest.raises(HttpError):
+            read_request(_reader(
+                b"POST / HTTP/1.0\r\nContent-Length: 10\r\n\r\nabc"
+            ))
+
+    def test_keep_alive_flags(self):
+        http10 = read_request(_reader(
+            b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"
+        ))
+        assert http10.keep_alive
+        http10_close = read_request(_reader(b"GET / HTTP/1.0\r\n\r\n"))
+        assert not http10_close.keep_alive
+        http11 = read_request(_reader(b"GET / HTTP/1.1\r\n\r\n"))
+        assert http11.keep_alive
+
+    def test_two_word_request_line(self):
+        request = read_request(_reader(b"GET /legacy\r\n\r\n"))
+        assert request.path == "/legacy"
+
+
+class TestFormatting:
+    def test_response_roundtrip(self):
+        wire = format_response(
+            Response(200, {"Content-Type": "text/plain"}, b"body")
+        )
+        response = read_response(_reader(wire))
+        assert response.status == 200
+        assert response.body == b"body"
+        assert response.headers["content-type"] == "text/plain"
+        assert response.headers["content-length"] == "4"
+
+    def test_request_roundtrip(self):
+        wire = format_request("POST", "/path", {"X-A": "1"}, b"data")
+        request = read_request(_reader(wire))
+        assert request.method == "POST"
+        assert request.path == "/path"
+        assert request.headers["x-a"] == "1"
+        assert request.body == b"data"
+
+    def test_unknown_status_reason(self):
+        wire = format_response(Response(299, {}, b""))
+        assert b"299" in wire
+
+    def test_connection_header_reflects_keep_alive(self):
+        keep = format_response(Response(200, {}, b""), keep_alive=True)
+        close = format_response(Response(200, {}, b""), keep_alive=False)
+        assert b"keep-alive" in keep
+        assert b"close" in close

@@ -1,0 +1,231 @@
+"""The three servers: native (IIS), J-Kernel-extended, and interpreted JWS.
+
+Includes the §4 protection stories: servlet crash isolation, hot
+replacement, termination, and source upload.
+"""
+
+import pytest
+
+from repro.core import Domain
+from repro.web import (
+    JKernelWebServer,
+    JWSServer,
+    NativeHttpServer,
+    Request,
+    Servlet,
+    ServletRequest,
+    ServletResponse,
+    fetch_once,
+    measure_throughput,
+    text_response,
+)
+
+
+class HelloServlet(Servlet):
+    def service(self, request):
+        return text_response(f"hello {request.path}")
+
+
+class CrashServlet(Servlet):
+    def service(self, request):
+        raise RuntimeError("chart component failure")
+
+
+class CounterServlet(Servlet):
+    def __init__(self):
+        self.count = 0
+
+    def service(self, request):
+        self.count += 1
+        return text_response(str(self.count))
+
+
+@pytest.fixture()
+def iis():
+    server = NativeHttpServer()
+    server.documents.put("/index", b"<html>home</html>")
+    server.documents.put("/data", b"payload")
+    server.start()
+    yield server
+    server.stop()
+
+
+class TestNativeServer:
+    def test_serves_documents(self, iis):
+        response = fetch_once("127.0.0.1", iis.port, "/index")
+        assert response.status == 200
+        assert response.body == b"<html>home</html>"
+
+    def test_404_for_missing(self, iis):
+        assert fetch_once("127.0.0.1", iis.port, "/ghost").status == 404
+
+    def test_keep_alive_connection_reuse(self, iis):
+        tput = measure_throughput("127.0.0.1", iis.port, "/data",
+                                  clients=2, requests_per_client=10,
+                                  warmup=2)
+        assert tput > 0
+
+    def test_process_directly(self, iis):
+        response = iis.process(Request("GET", "/data"))
+        assert response.status == 200
+        assert response.body == b"payload"
+
+    def test_extension_hook_intercepts(self, iis):
+        def handler(request):
+            from repro.web import Response
+
+            return Response(200, {}, b"from extension")
+
+        iis.add_extension("/ext", handler)
+        assert iis.process(Request("GET", "/ext/abc")).body == \
+            b"from extension"
+        assert iis.process(Request("GET", "/data")).body == b"payload"
+
+    def test_extension_error_becomes_500(self, iis):
+        def handler(request):
+            raise ValueError("extension exploded")
+
+        iis.add_extension("/bad", handler)
+        assert iis.process(Request("GET", "/bad/x")).status == 500
+
+    def test_longest_prefix_wins(self, iis):
+        from repro.web import Response
+
+        iis.add_extension("/a", lambda r: Response(200, {}, b"short"))
+        iis.add_extension("/a/b", lambda r: Response(200, {}, b"long"))
+        assert iis.process(Request("GET", "/a/b/c")).body == b"long"
+        assert iis.process(Request("GET", "/a/x")).body == b"short"
+
+
+@pytest.fixture()
+def jk(iis):
+    server = JKernelWebServer(server=iis, mount="/servlet")
+    yield server
+    for prefix in list(server.registrations()):
+        server.terminate_servlet(prefix)
+
+
+class TestJKernelWebServer:
+    def test_servlet_roundtrip(self, iis, jk):
+        jk.install_servlet("/hello", HelloServlet)
+        response = fetch_once("127.0.0.1", iis.port, "/servlet/hello/x")
+        assert response.status == 200
+        assert response.body == b"hello /hello/x"
+
+    def test_servlet_runs_in_own_domain(self, iis, jk):
+        class WhoServlet(Servlet):
+            def service(self, request):
+                return text_response(Domain.current().name)
+
+        jk.install_servlet("/who", WhoServlet, domain_name="who-domain")
+        response = fetch_once("127.0.0.1", iis.port, "/servlet/who")
+        assert response.body == b"who-domain"
+
+    def test_missing_servlet_404(self, iis, jk):
+        assert fetch_once("127.0.0.1", iis.port,
+                          "/servlet/nothing").status == 404
+
+    def test_crash_isolated_to_servlet(self, iis, jk):
+        """The §1 story: the chart component fails, the word processor
+        keeps running."""
+        jk.install_servlet("/chart", CrashServlet)
+        jk.install_servlet("/doc", HelloServlet)
+        crash = fetch_once("127.0.0.1", iis.port, "/servlet/chart")
+        assert crash.status == 500
+        ok = fetch_once("127.0.0.1", iis.port, "/servlet/doc")
+        assert ok.status == 200
+        # the native document path is untouched too
+        assert fetch_once("127.0.0.1", iis.port, "/index").status == 200
+
+    def test_hot_replacement(self, iis, jk):
+        registration = jk.install_servlet("/svc", CrashServlet)
+        assert fetch_once("127.0.0.1", iis.port,
+                          "/servlet/svc").status == 500
+        jk.replace_servlet("/svc", HelloServlet)
+        assert fetch_once("127.0.0.1", iis.port,
+                          "/servlet/svc").status == 200
+        assert registration.domain.terminated  # old domain torn down
+
+    def test_terminate_servlet(self, iis, jk):
+        registration = jk.install_servlet("/temp", HelloServlet)
+        assert fetch_once("127.0.0.1", iis.port,
+                          "/servlet/temp").status == 200
+        jk.terminate_servlet("/temp")
+        assert registration.domain.terminated
+        assert registration.capability.revoked
+        assert fetch_once("127.0.0.1", iis.port,
+                          "/servlet/temp").status == 404
+
+    def test_stale_route_after_external_termination_is_503(self, iis, jk):
+        registration = jk.install_servlet("/stale", HelloServlet)
+        registration.domain.terminate()  # domain dies, route remains
+        response = fetch_once("127.0.0.1", iis.port, "/servlet/stale")
+        assert response.status == 503
+
+    def test_source_upload(self, iis, jk):
+        source = (
+            "class UploadedServlet(Servlet):\n"
+            "    def service(self, request):\n"
+            "        println('served ' + request.path)\n"
+            "        return ServletResponse(200, {}, b'uploaded!')\n"
+            "servlet = UploadedServlet\n"
+        )
+        registration = jk.install_source("/up", source)
+        response = fetch_once("127.0.0.1", iis.port, "/servlet/up")
+        assert response.body == b"uploaded!"
+        assert registration.domain.output == ["served /up"]
+
+    def test_uploaded_source_cannot_open_files(self, iis, jk):
+        source = (
+            "class EvilServlet(Servlet):\n"
+            "    def service(self, request):\n"
+            "        open('/etc/passwd')\n"
+            "        return ServletResponse(200, {}, b'got it')\n"
+            "servlet = EvilServlet\n"
+        )
+        jk.install_source("/evil", source)
+        response = fetch_once("127.0.0.1", iis.port, "/servlet/evil")
+        assert response.status == 500  # NameError, isolated
+
+    def test_servlet_state_persists_across_requests(self, iis, jk):
+        jk.install_servlet("/count", CounterServlet)
+        bodies = [
+            fetch_once("127.0.0.1", iis.port, "/servlet/count").body
+            for _ in range(3)
+        ]
+        assert bodies == [b"1", b"2", b"3"]
+
+
+class TestJWS:
+    @pytest.fixture()
+    def jws(self):
+        server = JWSServer({"/a": b"alpha", "/bb": b"beta-doc"})
+        server.start()
+        yield server
+        server.stop()
+
+    def test_serves_documents_interpreted(self, jws):
+        response = fetch_once("127.0.0.1", jws.port, "/a")
+        assert response.status == 200
+        assert response.body == b"alpha"
+        response = fetch_once("127.0.0.1", jws.port, "/bb")
+        assert response.body == b"beta-doc"
+
+    def test_404_path(self, jws):
+        assert fetch_once("127.0.0.1", jws.port, "/zz").status == 404
+
+    def test_handle_bytes_direct(self, jws):
+        raw = b"GET /a HTTP/1.0\r\n\r\n"
+        response = jws.handle_bytes(raw)
+        assert response.startswith(b"HTTP/1.0 200")
+        assert response.endswith(b"alpha")
+
+    def test_malformed_request_400(self, jws):
+        assert jws.handle_bytes(b"NONSENSE\r\n\r\n").startswith(
+            b"HTTP/1.0 400"
+        )
+
+    def test_counts_requests(self, jws):
+        before = jws.requests_served
+        jws.handle_bytes(b"GET /a HTTP/1.0\r\n\r\n")
+        assert jws.requests_served == before + 1
