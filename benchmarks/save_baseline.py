@@ -1,0 +1,99 @@
+"""Write a BENCH_lrmi.json perf snapshot so future PRs can track the
+LRMI fast-path trajectory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/save_baseline.py [output.json]
+
+Measures the hosted-core hot paths (the numbers the ablation suite's
+shape assertions ride on) and a couple of context costs:
+
+* null LRMI µs (hosted Capability call, the compiled-stub fast path),
+* 3-argument LRMI µs (argument-dispatch cost included),
+* fast-copy vs serializer µs for the canonical 100-byte Table 4 payload,
+* host double thread switch µs (what each LRMI would cost without
+  thread segments).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.bench.timer import measure
+from repro.bench.workloads import Chunk, Table3Fixture, Table4Fixture
+from repro.core import Capability, Domain, Remote, transfer
+
+
+class _Null(Remote):
+    def nop(self): ...
+    def add3(self, a, b, c): ...
+
+
+class _NullImpl(_Null):
+    def nop(self):
+        return None
+
+    def add3(self, a, b, c):
+        return a + b + c
+
+
+def collect(min_time=0.1):
+    domain = Domain("baseline")
+    cap = domain.run(lambda: Capability.create(_NullImpl()))
+    cap.nop()  # warm the stub's bound-method cache
+
+    null_lrmi = measure(cap.nop, min_time=min_time).us_per_op
+    lrmi3 = measure(lambda: cap.add3(1, 2, 3), min_time=min_time).us_per_op
+
+    payload = Chunk.of_size(100)
+    serial_copy = measure(
+        lambda: transfer(payload, mode="serial"), min_time=min_time
+    ).us_per_op
+    fast_copy = measure(
+        lambda: transfer(payload, mode="fast"), min_time=min_time
+    ).us_per_op
+
+    table4 = Table4Fixture()
+    lrmi_serial_100 = table4.copy_us("1 x 100 bytes", "serial")
+    lrmi_fast_100 = table4.copy_us("1 x 100 bytes", "fast")
+
+    double_switch = Table3Fixture.host_double_switch_us(2000)
+
+    return {
+        "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "units": "microseconds per operation",
+        "null_lrmi_us": round(null_lrmi, 3),
+        "lrmi_3_int_args_us": round(lrmi3, 3),
+        "transfer_serial_100B_us": round(serial_copy, 3),
+        "transfer_fastcopy_100B_us": round(fast_copy, 3),
+        "lrmi_serial_100B_us": round(lrmi_serial_100, 3),
+        "lrmi_fastcopy_100B_us": round(lrmi_fast_100, 3),
+        "host_double_thread_switch_us": round(double_switch, 3),
+        "shape": {
+            "double_switch_over_null_lrmi": round(double_switch / null_lrmi, 1),
+            "serial_over_fastcopy_100B": round(
+                lrmi_serial_100 / max(lrmi_fast_100, 1e-9), 2
+            ),
+        },
+    }
+
+
+def main(argv):
+    output = Path(argv[1]) if len(argv) > 1 else (
+        Path(__file__).resolve().parent.parent / "BENCH_lrmi.json"
+    )
+    snapshot = collect()
+    output.write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(json.dumps(snapshot, indent=2))
+    print(f"\nwrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -49,6 +49,12 @@ class Accountant:
         self._accounts = {}
 
     def account(self, domain):
+        # Fast path: racy read of the accounts dict (a single C-level
+        # lookup, safe under the GIL); the lock is only taken to create a
+        # missing account exactly once.
+        found = self._accounts.get(domain.name)
+        if found is not None:
+            return found
         with self._lock:
             found = self._accounts.get(domain.name)
             if found is None:

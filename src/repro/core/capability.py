@@ -7,21 +7,26 @@ capability throw an exception, ensuring the correct propagation of
 failure."
 
 ``Capability.create(target)`` returns an instance of a generated stub
-class implementing the target's remote interfaces; the stub's methods call
-:func:`lrmi_invoke`, which performs, in order:
+class implementing the target's remote interfaces; each stub method is
+specialized compiled code (see :mod:`repro.core.stubs`) performing, in
+order:
 
-1. revocation / termination check,
-2. segment switch into the callee domain (checkpoint + two lock pairs),
+1. termination / revocation check,
+2. segment switch into the callee domain (pooled; caller checkpoint),
 3. deep copy of non-capability arguments (capabilities by reference),
-4. the target invocation,
+4. the target invocation through a bound method cached on the stub at
+   first call,
 5. segment restore,
 6. deep copy of the result (or of the callee's exception) back into the
    caller.
 
-``revoke()`` nulls the stub's internal target pointer, making the target
-eligible for collection "regardless of how many other domains hold a
-reference to the capability" — revoking prevents domains from holding on
-to each other's garbage.
+``revoke()`` nulls the stub's internal target pointer *and* drops the
+cached bound methods, making the target eligible for collection
+"regardless of how many other domains hold a reference to the capability"
+— revoking prevents domains from holding on to each other's garbage.
+
+:func:`lrmi_invoke` is the generic (``*args/**kwargs``) trampoline used by
+stub methods whose signatures cannot be specialized.
 """
 
 from __future__ import annotations
@@ -68,20 +73,29 @@ class Capability:
             raise DomainError(
                 f"cannot create capability in terminated domain {domain.name}"
             )
-        check_mode(copy)
         stub_cls = stub_class_for(type(target))
         stub = object.__new__(stub_cls)
         stub._target = target
         stub._domain = domain
-        stub._copy_mode = copy
+        stub._copy_mode = check_mode(copy)
         stub._label = label or type(target).__name__
         domain._register_capability(stub)
         return stub
 
     # -- revocation ----------------------------------------------------------
     def revoke(self):
-        """Sever the stub from its target; all further uses throw."""
+        """Sever the stub from its target; all further uses throw.
+
+        Also drops the bound methods cached by the compiled stub fast
+        path, so the target is not pinned through a stale cache.
+        """
         self._target = None
+        state = self.__dict__
+        # list(dict) is one C-level copy, safe against a concurrent
+        # first-call _bind_method inserting a cache entry mid-revoke.
+        for key in list(state):
+            if key.startswith("_jkb_"):
+                state.pop(key, None)
 
     @property
     def revoked(self):
@@ -104,21 +118,52 @@ class Capability:
         )
 
 
+# -- compiled-stub support (referenced from generated stub source) -----------
+
+def _raise_terminated(capability, domain):
+    raise DomainTerminatedException(
+        f"{capability._label}: domain {domain.name!r} terminated"
+    )
+
+
+def _raise_revoked(capability):
+    raise RevokedException(f"{capability._label}: capability revoked")
+
+
+def _bind_method(capability, method_name, target):
+    """Resolve and cache the bound target method on the stub instance.
+
+    The cache entry (``_jkb_<name>``) is dropped by :meth:`Capability.revoke`;
+    the compiled stub re-checks ``_target`` before consulting the cache, so
+    a revoked capability can never reach a stale binding.
+    """
+    bound = getattr(target, method_name)
+    key = "_jkb_" + method_name
+    setattr(capability, key, bound)
+    if capability._target is None:
+        # Revocation raced this first call: whichever order the cache
+        # insert and revoke's sweep landed in, end with no cache entry so
+        # the target stays collectible.
+        capability.__dict__.pop(key, None)
+    return bound
+
+
 def lrmi_invoke(capability, method_name, args, kwargs):
-    """Execute one cross-domain call through a capability stub."""
-    target = capability._target
+    """Execute one cross-domain call through a capability stub (generic
+    trampoline for non-specializable signatures)."""
     domain = capability._domain
     if domain.terminated:
         raise DomainTerminatedException(
             f"{capability._label}: domain {domain.name!r} terminated"
         )
+    target = capability._target
     if target is None:
         raise RevokedException(f"{capability._label}: capability revoked")
 
     mode = capability._copy_mode
-    domain.stats["lrmi_calls_in"] = domain.stats.get("lrmi_calls_in", 0) + 1
+    domain._lrmi_calls_in += 1
 
-    segments.push(domain)
+    stack, segment = segments._enter(domain)
     result = None
     pending = None
     try:
@@ -130,7 +175,7 @@ def lrmi_invoke(capability, method_name, args, kwargs):
         except BaseException as exc:  # copied/re-raised after segment pop
             pending = exc
     finally:
-        segments.pop()
+        segments._exit(stack, segment)
 
     if pending is not None:
         if not isinstance(pending, Exception):

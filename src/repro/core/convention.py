@@ -18,6 +18,17 @@ Mechanism selection per value (paper §3.1):
   serializer (byte-array round trip), unless ``mode="fast"`` forces the
   direct structural path;
 * anything else — :class:`NotSerializableError`.
+
+Dispatch
+--------
+
+The common case (``mode="auto"``, default registries) is served by a
+type-indexed dispatch table: ``_DISPATCH[type] -> handler(value, memo)``.
+Handlers are installed once — at module import for immutables and
+containers, at class-registration time for ``@fast_copy``/``@serializable``
+classes, and lazily for capability stub classes — so a transfer is one
+dict probe instead of an isinstance chain, and fast-copy fields recurse
+through a module-level function instead of a closure rebuilt per call.
 """
 
 from __future__ import annotations
@@ -36,18 +47,115 @@ MODE_AUTO = "auto"
 MODE_SERIAL = "serial"
 MODE_FAST = "fast"
 
-_MODES = frozenset({MODE_AUTO, MODE_SERIAL, MODE_FAST})
+# Maps each accepted mode to its canonical (identity-comparable) constant.
+_MODES = {MODE_AUTO: MODE_AUTO, MODE_SERIAL: MODE_SERIAL,
+          MODE_FAST: MODE_FAST}
 
 
 def check_mode(mode):
-    if mode not in _MODES:
-        raise ValueError(f"unknown copy mode {mode!r}; one of {sorted(_MODES)}")
-    return mode
+    canonical = _MODES.get(mode)
+    if canonical is None:
+        raise ValueError(
+            f"unknown copy mode {mode!r}; one of {sorted(_MODES)}"
+        )
+    return canonical
+
+
+# -- the auto-mode dispatch table ---------------------------------------------
+#
+# Only consulted when mode is "auto" and both registries are the process
+# defaults; every other combination takes the general path below.
+
+_DISPATCH = {}
+
+
+def _identity(value, memo):
+    return value
+
+
+def _serial_copy(value, memo):
+    # Serialization tracks shared/cyclic structure internally; the transfer
+    # memo (a fast-copy concern) does not cross into the byte stream.
+    return _serial.copy_via_serialization(value, None)
+
+
+for _t in _IMMUTABLE_TYPES:
+    _DISPATCH[_t] = _identity
+for _t in _CONTAINER_TYPES:
+    _DISPATCH[_t] = _serial_copy
+del _t
+
+
+def _auto_field_transfer(value, memo):
+    """Field recursion for auto-mode fast-copy: replaces the per-call
+    ``field_transfer`` closure the old transfer() allocated."""
+    handler = _DISPATCH.get(type(value))
+    if handler is not None:
+        return handler(value, memo)
+    return transfer(value, MODE_AUTO, memo)
+
+
+def _install_fastcopy_handler(info):
+    """Dispatch entry for one registered fast-copy class (default
+    registry).  Overwrites any serializer entry: auto mode prefers the
+    generated copy code, exactly as the general path does."""
+    copier = info.copier
+    if info.cyclic:
+        def handler(value, memo):
+            if memo is None:
+                memo = {}
+            return copier(value, memo, _auto_field_transfer)
+    else:
+        def handler(value, memo):
+            return copier(value, memo, _auto_field_transfer)
+    _DISPATCH[info.cls] = handler
+
+
+def _install_serial_handler(cls):
+    """Dispatch entry for one ``@serializable`` class (default registry).
+    Skipped when the class is also fast-copy registered — fast copy wins
+    in auto mode regardless of registration order."""
+    if not _fastcopy.DEFAULT_REGISTRY.knows(cls):
+        _DISPATCH[cls] = _serial_copy
+
+
+def register_reference_type(cls):
+    """Mark a type as crossing by reference (capability stub classes)."""
+    _DISPATCH[cls] = _identity
+
+
+def unregister_reference_type(cls):
+    """Forget a by-reference type (stub-cache clearing)."""
+    if _DISPATCH.get(cls) is _identity:
+        del _DISPATCH[cls]
+
+
+# Registration hooks: the default registries notify the dispatch table.
+_fastcopy.DEFAULT_REGISTRY._on_register = _install_fastcopy_handler
+_serial.DEFAULT_REGISTRY._on_register = _install_serial_handler
+def _replay_default_registrations():
+    for descriptor in list(_serial.DEFAULT_REGISTRY._by_class.values()):
+        _install_serial_handler(descriptor.cls)
+    for info in list(_fastcopy.DEFAULT_REGISTRY._by_class.values()):
+        _install_fastcopy_handler(info)
+
+
+_replay_default_registrations()
 
 
 def transfer(value, mode=MODE_AUTO, memo=None,
              serial_registry=None, fastcopy_registry=None):
     """Copy one value across a domain boundary per the calling convention."""
+    if mode == MODE_AUTO and serial_registry is None \
+            and fastcopy_registry is None:
+        handler = _DISPATCH.get(type(value))
+        if handler is not None:
+            return handler(value, memo)
+    return _transfer_general(value, mode, memo, serial_registry,
+                             fastcopy_registry)
+
+
+def _transfer_general(value, mode, memo, serial_registry, fastcopy_registry):
     value_type = type(value)
     if value_type in _IMMUTABLE_TYPES:
         return value
@@ -55,6 +163,8 @@ def transfer(value, mode=MODE_AUTO, memo=None,
     from .capability import Capability
 
     if isinstance(value, Capability):
+        # Teach the dispatch table this stub class for next time.
+        _DISPATCH.setdefault(value_type, _identity)
         return value
 
     fc_registry = fastcopy_registry or _fastcopy.DEFAULT_REGISTRY
@@ -127,7 +237,19 @@ def _structural_copy(value, mode, memo, serial_registry, fastcopy_registry):
 
 def transfer_args(args, kwargs=None, mode=MODE_AUTO,
                   serial_registry=None, fastcopy_registry=None):
-    """Apply the calling convention to a full argument list."""
+    """Apply the calling convention to a full argument list.
+
+    All-immutable argument tuples are returned as-is: the tuple and every
+    element are unshareable-state-free, so no copy is observable.
+    """
+    if mode == MODE_AUTO and serial_registry is None \
+            and fastcopy_registry is None:
+        for arg in args:
+            if type(arg) not in _IMMUTABLE_TYPES:
+                break
+        else:
+            if not kwargs:
+                return args, {}
     copied_args = tuple(
         transfer(arg, mode=mode, serial_registry=serial_registry,
                  fastcopy_registry=fastcopy_registry)

@@ -36,10 +36,15 @@ class Domain:
     def __init__(self, name):
         self.name = name
         self.terminated = False
-        self.stats = {}
+        # LRMI calls received: a plain counter bumped on the hot path
+        # (no dict round-trip per call); surfaced through ``stats``.
+        self._lrmi_calls_in = 0
+        self._stats = {}
         self._lock = threading.Lock()
         self._capabilities = weakref.WeakSet()
-        self._segments = set()
+        # segment -> incarnation state list, pinned at registration so
+        # terminate() can never stop a later reuse of a pooled segment
+        self._segments = {}
         self._threads = []
         self._namespace = {}
         self._modules = {}
@@ -49,6 +54,21 @@ class Domain:
     def __repr__(self):
         state = "terminated" if self.terminated else "live"
         return f"<Domain {self.name!r} ({state})>"
+
+    @property
+    def stats(self):
+        """Mapping view of this domain's counters.
+
+        Kept as a mapping for existing readers; the hot-path counters
+        themselves live in plain attributes (``_lrmi_calls_in``).
+        """
+        snapshot = dict(self._stats)
+        snapshot["lrmi_calls_in"] = self._lrmi_calls_in
+        return snapshot
+
+    def record_stat(self, key, value):
+        """Store an auxiliary (off-hot-path) counter in ``stats``."""
+        self._stats[key] = value
 
     # -- the system domain ------------------------------------------------
     @classmethod
@@ -82,18 +102,10 @@ class Domain:
         with self._lock:
             return [cap for cap in self._capabilities if not cap.revoked]
 
-    # -- segment bookkeeping -------------------------------------------------------
-    def _register_segment(self, segment):
-        if self.terminated:
-            raise DomainTerminatedException(
-                f"domain {self.name!r} has terminated"
-            )
-        with self._lock:
-            self._segments.add(segment)
-
-    def _unregister_segment(self, segment):
-        with self._lock:
-            self._segments.discard(segment)
+    # Segment bookkeeping happens in repro.core.segments._enter/_exit,
+    # which mutate ``_segments`` directly with GIL-atomic dict ops plus a
+    # terminated re-check (see _enter) instead of taking ``_lock`` on the
+    # LRMI hot path.
 
     # -- execution inside the domain ----------------------------------------------
     @contextmanager
@@ -178,14 +190,14 @@ class Domain:
                 return
             self.terminated = True
             live_capabilities = list(self._capabilities)
-            live_segments = list(self._segments)
+            live_segments = list(self._segments.items())
         for capability in live_capabilities:
             capability.revoke()
         reason = DomainTerminatedException(
             f"domain {self.name!r} has terminated"
         )
-        for segment in live_segments:
-            segment.stop(reason)
+        for segment, state in live_segments:
+            segments.deliver_stop(segment, state, reason)
 
     def join_threads(self, timeout=2.0):
         """Wait for this domain's spawned threads (test/shutdown helper)."""

@@ -34,6 +34,10 @@ class FastCopyInfo:
 
 
 class FastCopyRegistry:
+    #: Set by ``repro.core.convention`` on the default registry so new
+    #: registrations land in the auto-mode dispatch table.
+    _on_register = None
+
     def __init__(self):
         self._by_class = {}
 
@@ -42,6 +46,8 @@ class FastCopyRegistry:
         copier, source = _generate_copier(cls, resolved, cyclic)
         info = FastCopyInfo(cls, resolved, cyclic, copier, source)
         self._by_class[cls] = info
+        if self._on_register is not None:
+            self._on_register(info)
         return info
 
     def lookup(self, cls):

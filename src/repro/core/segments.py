@@ -11,126 +11,201 @@ LRMI pushes a fresh segment bound to the callee domain and pops it on
 return.  No thread switch happens — only segment bookkeeping, which is why
 cross-domain calls stay fast (Table 3 shows what real switches would cost).
 
-A segment switch performs, as in the paper: a current-segment lookup
-("thread info lookup") and two lock acquire/release pairs (caller segment,
-callee segment).  ``stop``/``suspend``/``resume``/``set_priority`` act on a
-:class:`SegmentHandle`, which names exactly one segment — a handle leaked
-to another domain cannot reach any other segment of the thread.
+Segment pooling
+---------------
+
+Allocating a ``threading.Event`` per cross-domain call dominated the null
+LRMI cost, so segments are pooled per host thread: ``push()`` takes a
+retired segment from the thread's free list and re-arms it, ``pop()``
+retires it back.  One pooled :class:`ThreadSegment` object therefore hosts
+many *incarnations* over its lifetime.  Each incarnation is identified by
+a fresh ``state`` list ``[stop_exc, suspended, alive]``: a
+:class:`SegmentHandle` captures the state list current at handle-creation
+time, so a handle leaked out of one call goes inert the moment that
+incarnation retires — it can never stop or suspend a later reuse of the
+same pooled object.  ``stop``/``suspend``/``resume``/``set_priority`` act
+on a handle, which names exactly one incarnation of one segment.
 """
 
 from __future__ import annotations
 
+import itertools
 import threading
 
 from .errors import DomainTerminatedException, SegmentStoppedException
 
 _tls = threading.local()
 
+#: Retired segments kept per thread; nested LRMIs deeper than this
+#: fall back to allocating (and the excess is dropped on pop).
+_POOL_MAX = 32
+
+_next_segment_id = itertools.count(1).__next__
+
+# state list slots (one list per incarnation; see module docstring)
+_STOP = 0
+_SUSPENDED = 1
+_ALIVE = 2
+
 
 class ThreadSegment:
-    """One side of a cross-domain call on one host thread."""
+    """One side of a cross-domain call on one host thread.
 
-    _next_id = 1
+    ``state`` is the incarnation record ``[stop_exc, suspended, alive]``;
+    it is replaced wholesale when a pooled segment is re-armed, which is
+    what invalidates stale handles.
+    """
 
     __slots__ = (
         "segment_id",
         "domain",
-        "lock",
-        "alive",
+        "state",
         "priority",
-        "_stop_exc",
         "_resume_event",
     )
 
     def __init__(self, domain):
-        self.segment_id = ThreadSegment._next_id
-        ThreadSegment._next_id += 1
+        self.segment_id = _next_segment_id()
         self.domain = domain
-        self.lock = threading.Lock()
-        self.alive = True
+        self.state = [None, False, True]
         self.priority = 5
-        self._stop_exc = None
         self._resume_event = threading.Event()
         self._resume_event.set()  # not suspended
 
-    # -- state changes (via handles) ------------------------------------------
+    # -- state changes --------------------------------------------------------
+    # These operate on whatever incarnation is current at call time: they
+    # are for *self*-operations by code running inside the segment.  Never
+    # hold a ThreadSegment across an LRMI return and call them later — the
+    # pooled object may be running someone else's incarnation by then; a
+    # cross-domain reference must go through SegmentHandle (stale-safe) or
+    # deliver_stop (incarnation-pinned).
     def stop(self, exc=None):
-        self._stop_exc = exc or SegmentStoppedException(
+        self.state[_STOP] = exc or SegmentStoppedException(
             f"segment {self.segment_id} stopped"
         )
         self._resume_event.set()  # a stopped segment must not sleep forever
 
     def suspend(self):
+        self.state[_SUSPENDED] = True
         self._resume_event.clear()
 
     def resume(self):
+        self.state[_SUSPENDED] = False
         self._resume_event.set()
 
     @property
+    def alive(self):
+        return self.state[_ALIVE]
+
+    @property
     def suspended(self):
-        return not self._resume_event.is_set()
+        return self.state[_SUSPENDED]
 
     @property
     def stop_pending(self):
-        return self._stop_exc is not None
+        return self.state[_STOP] is not None
 
     # -- cooperative safepoint ----------------------------------------------------
     def checkpoint(self):
         """Apply pending stop/suspend.  Called at LRMI boundaries and by
         domain code that wants to be promptly stoppable."""
+        state = self.state
+        if state[_STOP] is None and not state[_SUSPENDED]:
+            return
+        self._checkpoint_slow(state)
+
+    def _checkpoint_slow(self, state):
+        # The event is a wakeup hint, not the source of truth: the loop
+        # re-reads this incarnation's state list every tick, so a stale
+        # handle poking the shared event causes at most a spurious wakeup.
+        # A stray set while still suspended is re-armed (cleared) before
+        # waiting again — otherwise one leaked-handle poke would turn the
+        # timed wait into a busy spin.
+        event = self._resume_event
         while True:
-            exc = self._stop_exc
+            exc = state[_STOP]
             if exc is not None:
                 raise exc
-            if self._resume_event.is_set():
+            if not state[_SUSPENDED]:
                 return
-            self._resume_event.wait(0.02)
+            if event.is_set():
+                event.clear()
+                continue  # re-read the flags a racing resume/stop just set
+            event.wait(0.02)
 
 
 class SegmentHandle:
-    """The interposed ``Thread`` object: names one segment only.
+    """The interposed ``Thread`` object: names one segment incarnation.
 
     The real J-Kernel hides ``java.lang.Thread`` and substitutes a class
     with the same interface acting on the local segment; this handle is the
     hosted analogue.  It is safe to hand to other domains: the most it can
-    do is affect the one segment it names.
+    do is affect the one segment incarnation it names, and it goes inert
+    when that incarnation retires (even though the pooled segment object
+    itself lives on).
     """
 
-    __slots__ = ("_segment",)
+    __slots__ = ("_segment", "_state", "_domain_name")
 
     def __init__(self, segment):
         self._segment = segment
+        self._state = segment.state
+        self._domain_name = segment.domain.name
+
+    def _live(self):
+        # Stale handles write only to their own retired state list, which
+        # nothing reads any more — reuse of the segment is unaffected.
+        return self._state[_ALIVE] and self._state is self._segment.state
 
     def stop(self, exc=None):
-        self._segment.stop(exc)
+        state = self._state
+        state[_STOP] = exc or SegmentStoppedException(
+            f"segment {self._segment.segment_id} stopped"
+        )
+        if self._live():
+            self._segment._resume_event.set()
 
     def suspend(self):
-        self._segment.suspend()
+        self._state[_SUSPENDED] = True
+        if self._live():
+            self._segment._resume_event.clear()
 
     def resume(self):
-        self._segment.resume()
+        self._state[_SUSPENDED] = False
+        if self._live():
+            self._segment._resume_event.set()
 
     def set_priority(self, priority):
-        self._segment.priority = max(1, min(10, int(priority)))
+        if self._live():
+            self._segment.priority = max(1, min(10, int(priority)))
 
     @property
     def priority(self):
-        return self._segment.priority
+        return self._segment.priority if self._live() else 5
 
     @property
     def alive(self):
-        return self._segment.alive
+        return self._state[_ALIVE]
 
     @property
     def domain_name(self):
-        return self._segment.domain.name
+        return self._domain_name
 
 
 def _stack():
-    stack = getattr(_tls, "stack", None)
-    if stack is None:
+    try:
+        return _tls.stack
+    except AttributeError:
         stack = _tls.stack = []
-    return stack
+        return stack
+
+
+def _pool():
+    try:
+        return _tls.pool
+    except AttributeError:
+        pool = _tls.pool = []
+        return pool
 
 
 def current_segment():
@@ -159,40 +234,107 @@ def checkpoint():
         segment.checkpoint()
 
 
-def push(domain):
-    """Enter a segment for ``domain`` (the callee side of an LRMI).
+def _enter(domain):
+    """Pooled segment push: the LRMI fast-path entry.
 
-    Performs the caller-segment checkpoint, the two lock pairs, and
-    registers the new segment with the callee domain.
+    Performs the caller-segment checkpoint, re-arms a pooled segment (or
+    allocates on a cold pool) and registers it with the callee domain.
+    Returns ``(stack, segment)`` so the matching :func:`_exit` needs no
+    thread-local lookups.
     """
+    try:
+        stack = _tls.stack
+    except AttributeError:
+        stack = _tls.stack = []
+    if stack:
+        caller = stack[-1]
+        state = caller.state
+        if state[0] is not None or state[1]:
+            caller.checkpoint()
     if domain.terminated:
         raise DomainTerminatedException(
             f"domain {domain.name!r} has terminated"
         )
-    stack = _stack()
-    caller = stack[-1] if stack else None
-    if caller is not None:
-        caller.checkpoint()
-        caller.lock.acquire()  # lock pair 1: caller segment
-        caller.lock.release()
-    segment = ThreadSegment(domain)
-    segment.lock.acquire()  # lock pair 2: callee segment
     try:
-        domain._register_segment(segment)
-    finally:
-        segment.lock.release()
+        pool = _tls.pool
+    except AttributeError:
+        pool = _tls.pool = []
+    if pool:
+        segment = pool.pop()
+        segment.domain = domain
+        segment.state = [None, False, True]  # fresh incarnation
+        segment.priority = 5
+    else:
+        segment = ThreadSegment(domain)
+    # Registration makes the segment reachable from Domain.terminate().
+    # The mapping pins the *incarnation* (segment -> state list), so a
+    # terminate() that snapshots it can only ever stop the incarnation
+    # that was registered — never a later reuse of the pooled object.
+    # The dict mutations are single C-level ops (atomic under the GIL);
+    # the re-check below closes the race with a concurrent terminate():
+    # either the terminator saw our segment in its snapshot and stopped
+    # it, or we see the flag it set first and back out.
+    registered = domain._segments
+    registered[segment] = segment.state
+    if domain.terminated:
+        registered.pop(segment, None)
+        _retire(segment, pool)
+        raise DomainTerminatedException(
+            f"domain {domain.name!r} has terminated"
+        )
     stack.append(segment)
-    return segment
+    return stack, segment
+
+
+def _exit(stack, segment):
+    """Pooled segment pop: retires the top segment and re-applies the
+    caller's pending state (which may raise, as in the eager pop)."""
+    del stack[-1]
+    domain = segment.domain
+    if domain is not None:
+        domain._segments.pop(segment, None)
+    try:
+        pool = _tls.pool
+    except AttributeError:
+        pool = _tls.pool = []
+    _retire(segment, pool)
+    if stack:
+        caller = stack[-1]
+        state = caller.state
+        if state[0] is not None or state[1]:
+            caller.checkpoint()
+
+
+def _retire(segment, pool):
+    """End the current incarnation and return the segment to the pool."""
+    state = segment.state
+    state[_ALIVE] = False
+    if state[_SUSPENDED]:
+        segment._resume_event.set()
+    segment.domain = None
+    if len(pool) < _POOL_MAX:
+        pool.append(segment)
+
+
+def deliver_stop(segment, state, exc):
+    """Stop one *pinned* incarnation of a segment (Domain.terminate).
+
+    ``state`` is the incarnation captured at registration time: if the
+    pooled segment has since been re-armed for another domain, the write
+    lands in the retired state list and the reuse is unaffected.
+    """
+    state[_STOP] = exc
+    segment._resume_event.set()
+
+
+def push(domain):
+    """Enter a segment for ``domain`` (the callee side of an LRMI)."""
+    return _enter(domain)[1]
 
 
 def pop():
     """Leave the callee segment; re-applies the caller's pending state."""
     stack = _stack()
-    segment = stack.pop()
-    with segment.lock:
-        segment.alive = False
-        segment.domain._unregister_segment(segment)
-    caller = stack[-1] if stack else None
-    if caller is not None:
-        caller.checkpoint()
+    segment = stack[-1]
+    _exit(stack, segment)
     return segment

@@ -65,10 +65,21 @@ def class_fields(cls, explicit=None):
     return tuple(slots) or None
 
 
-class ClassDescriptor:
-    """Registration record for one serializable class."""
+def _length_prefixed(text):
+    encoded = text.encode("utf-8")
+    return _PACK_U32.pack(len(encoded)) + encoded
 
-    __slots__ = ("cls", "name", "fields", "is_exception")
+
+class ClassDescriptor:
+    """Registration record for one serializable class.
+
+    Wire names and field names are encoded once, at registration: the
+    writer appends the pre-built length-prefixed bytes instead of
+    re-encoding each name on every serialized copy.
+    """
+
+    __slots__ = ("cls", "name", "fields", "is_exception", "encoded_name",
+                 "encoded_fields")
 
     def __init__(self, cls, name, fields):
         self.cls = cls
@@ -77,6 +88,13 @@ class ClassDescriptor:
         self.is_exception = isinstance(cls, type) and issubclass(
             cls, BaseException
         )
+        self.encoded_name = _length_prefixed(name)
+        if fields is None:
+            self.encoded_fields = None
+        else:
+            self.encoded_fields = tuple(
+                (field, _length_prefixed(field)) for field in fields
+            )
 
 
 class SerialRegistry:
@@ -85,6 +103,10 @@ class SerialRegistry:
     In J-Kernel terms this is the set of *shared classes* both domains can
     see: a value can only cross if both sides agree on the class.
     """
+
+    #: Set by ``repro.core.convention`` on the default registry so new
+    #: registrations land in the auto-mode dispatch table.
+    _on_register = None
 
     def __init__(self):
         self._by_class = {}
@@ -95,6 +117,8 @@ class SerialRegistry:
         descriptor = ClassDescriptor(cls, wire_name, class_fields(cls, fields))
         self._by_class[cls] = descriptor
         self._by_name[wire_name] = descriptor
+        if self._on_register is not None:
+            self._on_register(cls)
         return cls
 
     def lookup_class(self, cls):
@@ -181,45 +205,55 @@ class ObjectWriter:
 
     # -- main dispatch ---------------------------------------------------------
     def write(self, value):
+        # Hot loop: one bound-attribute load for the buffer, tag byte and
+        # payload appended back to back, recursion through a localized
+        # bound method.
+        buffer = self._buffer
         if value is None:
-            self._tag(_T_NULL)
+            buffer.append(_T_NULL)
             return
         if value is True:
-            self._tag(_T_TRUE)
+            buffer.append(_T_TRUE)
             return
         if value is False:
-            self._tag(_T_FALSE)
+            buffer.append(_T_FALSE)
             return
         value_type = type(value)
         if value_type is int:
             if _INT64_MIN <= value <= _INT64_MAX:
-                self._tag(_T_INT64)
-                self._buffer += _PACK_I64.pack(value)
+                buffer.append(_T_INT64)
+                buffer += _PACK_I64.pack(value)
             else:
-                self._tag(_T_BIGINT)
                 encoded = value.to_bytes(
                     (value.bit_length() + 8) // 8, "big", signed=True
                 )
-                self._raw(encoded)
+                buffer.append(_T_BIGINT)
+                buffer += _PACK_U32.pack(len(encoded))
+                buffer += encoded
             return
         if value_type is float:
-            self._tag(_T_FLOAT)
-            self._buffer += _PACK_F64.pack(value)
+            buffer.append(_T_FLOAT)
+            buffer += _PACK_F64.pack(value)
             return
         if value_type is str:
-            self._tag(_T_STR)
-            self._raw(value.encode("utf-8"))
+            encoded = value.encode("utf-8")
+            buffer.append(_T_STR)
+            buffer += _PACK_U32.pack(len(encoded))
+            buffer += encoded
             return
         if value_type is bytes:
-            self._tag(_T_BYTES)
-            self._raw(value)
+            buffer.append(_T_BYTES)
+            buffer += _PACK_U32.pack(len(value))
+            buffer += value
             return
         if self._write_backref(value):
             return
+        memo = self._memo
         if value_type is bytearray:
-            self._memo[id(value)] = len(self._memo)
-            self._tag(_T_BYTEARRAY)
-            self._raw(bytes(value))
+            memo[id(value)] = len(memo)
+            buffer.append(_T_BYTEARRAY)
+            buffer += _PACK_U32.pack(len(value))
+            buffer += value
             return
         if value_type is list:
             self._write_sequence(_T_LIST, value)
@@ -234,12 +268,13 @@ class ObjectWriter:
             self._write_sequence(_T_FROZENSET, sorted(value, key=_sort_key))
             return
         if value_type is dict:
-            self._memo[id(value)] = len(self._memo)
-            self._tag(_T_DICT)
-            self._u32(len(value))
+            memo[id(value)] = len(memo)
+            buffer.append(_T_DICT)
+            buffer += _PACK_U32.pack(len(value))
+            write = self.write
             for key, item in value.items():
-                self.write(key)
-                self.write(item)
+                write(key)
+                write(item)
             return
         if self._write_capref(value):
             return
@@ -254,11 +289,14 @@ class ObjectWriter:
         return True
 
     def _write_sequence(self, tag, items):
-        self._memo[id(items)] = len(self._memo)
-        self._tag(tag)
-        self._u32(len(items))
+        memo = self._memo
+        memo[id(items)] = len(memo)
+        buffer = self._buffer
+        buffer.append(tag)
+        buffer += _PACK_U32.pack(len(items))
+        write = self.write
         for item in items:
-            self.write(item)
+            write(item)
 
     def _write_capref(self, value):
         from .capability import Capability
@@ -284,25 +322,29 @@ class ObjectWriter:
                     f"{type(value).__qualname__} is not registered as "
                     "serializable (use @serializable or @fast_copy)"
                 )
-        self._memo[id(value)] = len(self._memo)
+        memo = self._memo
+        memo[id(value)] = len(memo)
+        buffer = self._buffer
         if descriptor.is_exception:
-            self._tag(_T_EXCEPTION)
-            self._raw(descriptor.name.encode("utf-8"))
+            buffer.append(_T_EXCEPTION)
+            buffer += descriptor.encoded_name
             self.write(tuple(value.args))
             return
-        self._tag(_T_OBJECT)
-        self._raw(descriptor.name.encode("utf-8"))
-        if descriptor.fields is not None:
-            self._u32(len(descriptor.fields))
-            for field in descriptor.fields:
-                self._raw(field.encode("utf-8"))
-                self.write(getattr(value, field))
+        buffer.append(_T_OBJECT)
+        buffer += descriptor.encoded_name
+        write = self.write
+        encoded_fields = descriptor.encoded_fields
+        if encoded_fields is not None:
+            buffer += _PACK_U32.pack(len(encoded_fields))
+            for field, encoded in encoded_fields:
+                buffer += encoded
+                write(getattr(value, field))
         else:
             state = vars(value)
-            self._u32(len(state))
+            buffer += _PACK_U32.pack(len(state))
             for field in sorted(state):
-                self._raw(field.encode("utf-8"))
-                self.write(state[field])
+                buffer += _length_prefixed(field)
+                write(state[field])
 
     def _exception_fallback(self, value):
         # Walk up the exception hierarchy for a registered ancestor, so an
@@ -347,23 +389,51 @@ class ObjectReader:
 
     # -- main dispatch -----------------------------------------------------------
     def read(self):
-        tag = self._take(1)[0]
+        # Hot loop: the tag byte and fixed-size payloads are decoded with
+        # a locally tracked offset (one attribute write on exit) instead
+        # of per-chunk _take() calls.
+        data = self._data
+        size = len(data)
+        offset = self._offset
+        if offset >= size:
+            raise NotSerializableError("truncated stream")
+        tag = data[offset]
+        offset += 1
         if tag == _T_NULL:
+            self._offset = offset
             return None
         if tag == _T_TRUE:
+            self._offset = offset
             return True
         if tag == _T_FALSE:
+            self._offset = offset
             return False
         if tag == _T_INT64:
-            return _PACK_I64.unpack(self._take(8))[0]
+            end = offset + 8
+            if end > size:
+                raise NotSerializableError("truncated stream")
+            self._offset = end
+            return _PACK_I64.unpack(data[offset:end])[0]
+        if tag == _T_STR or tag == _T_BYTES:
+            end = offset + 4
+            if end > size:
+                raise NotSerializableError("truncated stream")
+            length = _PACK_U32.unpack(data[offset:end])[0]
+            offset, end = end, end + length
+            if end > size:
+                raise NotSerializableError("truncated stream")
+            self._offset = end
+            chunk = bytes(data[offset:end])
+            return chunk.decode("utf-8") if tag == _T_STR else chunk
+        if tag == _T_FLOAT:
+            end = offset + 8
+            if end > size:
+                raise NotSerializableError("truncated stream")
+            self._offset = end
+            return _PACK_F64.unpack(data[offset:end])[0]
+        self._offset = offset
         if tag == _T_BIGINT:
             return int.from_bytes(self._raw(), "big", signed=True)
-        if tag == _T_FLOAT:
-            return _PACK_F64.unpack(self._take(8))[0]
-        if tag == _T_STR:
-            return self._raw().decode("utf-8")
-        if tag == _T_BYTES:
-            return self._raw()
         if tag == _T_BYTEARRAY:
             value = bytearray(self._raw())
             self._memo.append(value)
@@ -379,9 +449,10 @@ class ObjectReader:
         if tag == _T_DICT:
             value = {}
             self._memo.append(value)
+            read = self.read
             for _ in range(self._u32()):
-                key = self.read()
-                value[key] = self.read()
+                key = read()
+                value[key] = read()
             return value
         if tag == _T_BACKREF:
             return self._memo[self._u32()]
@@ -395,15 +466,18 @@ class ObjectReader:
 
     def _read_sequence(self, factory):
         placeholder = []
-        self._memo.append(placeholder)
-        slot = len(self._memo) - 1
+        memo = self._memo
+        memo.append(placeholder)
+        slot = len(memo) - 1
         count = self._u32()
+        read = self.read
+        append = placeholder.append
         for _ in range(count):
-            placeholder.append(self.read())
+            append(read())
         if factory is list:
             return placeholder
         value = factory(placeholder)
-        self._memo[slot] = value
+        memo[slot] = value
         return value
 
     def _read_exception(self):
@@ -426,9 +500,11 @@ class ObjectReader:
             raise NotSerializableError(f"unknown class {name!r}")
         value = descriptor.cls.__new__(descriptor.cls)
         self._memo.append(value)
+        read = self.read
+        raw = self._raw
         for _ in range(self._u32()):
-            field = self._raw().decode("utf-8")
-            setattr(value, field, self.read())
+            field = raw().decode("utf-8")
+            setattr(value, field, read())
         return value
 
 

@@ -6,16 +6,73 @@ each target class.  This avoids off-line stub generators and IDL files."
 
 For each implementation class we generate (once, cached) a stub class that
 extends :class:`~repro.core.capability.Capability` and implements every
-remote interface of the target.  Each stub method is generated source code
-that funnels into the LRMI path: revocation check, segment switch, argument
-copy, target invoke, result copy, segment restore.
+remote interface of the target.
+
+Each stub method is *specialized* generated source: a method with a fixed
+positional signature (mirroring the remote interface, no ``*args``
+trampoline) that inlines the whole LRMI fast path — termination and
+revocation checks, pooled segment switch, per-argument calling-convention
+dispatch, the target invocation through a bound method cached on the stub
+instance at first call (invalidated by ``revoke()``), segment restore, and
+the result copy.  Methods whose interface signature cannot be expressed as
+plain positional parameters fall back to a generic ``*args/**kwargs``
+method funnelling into :func:`~repro.core.capability.lrmi_invoke`.
 """
 
 from __future__ import annotations
 
-from .remote import remote_interfaces, remote_methods
+import inspect
+
+from .remote import method_signature, remote_interfaces, remote_methods
 
 _cache = {}
+
+#: Specialize up to this many positional parameters; beyond it the generic
+#: trampoline is no slower in practice.
+_MAX_FAST_ARITY = 8
+
+_FAST_TEMPLATE = """\
+def {name}(self{params}):
+    _jk_domain = self._domain
+    if _jk_domain.terminated:
+        _lrmi_dead(self, _jk_domain)
+    _jk_target = self._target
+    if _jk_target is None:
+        _lrmi_revoked(self)
+    _jk_domain._lrmi_calls_in += 1
+    _jk_stack, _jk_segment = _lrmi_enter(_jk_domain)
+    _jk_mode = self._copy_mode
+    _jk_pending = None
+    _jk_result = None
+    try:
+{copy_lines}        try:
+            try:
+                _jk_fn = self._jkb_{name}
+            except AttributeError:
+                _jk_fn = _lrmi_bind(self, {name!r}, _jk_target)
+            _jk_result = _jk_fn({arglist})
+        except BaseException as _jk_exc:
+            _jk_pending = _jk_exc
+    finally:
+        _lrmi_exit(_jk_stack, _jk_segment)
+    if _jk_pending is not None:
+        if not isinstance(_jk_pending, Exception):
+            raise _jk_pending
+        raise _lrmi_wrap(_jk_pending, _jk_mode) from None
+    if _jk_result is None or type(_jk_result) in _IMMUTABLE:
+        return _jk_result
+    return _transfer(_jk_result, _jk_mode)
+"""
+
+_COPY_LINE = """\
+        if type({p}) not in _IMMUTABLE:
+            {p} = _transfer({p}, _jk_mode)
+"""
+
+_GENERIC_TEMPLATE = """\
+def {name}(self, *args, **kwargs):
+    return _lrmi(self, {name!r}, args, kwargs)
+"""
 
 
 def stub_class_for(implementation_cls):
@@ -28,19 +85,73 @@ def stub_class_for(implementation_cls):
     return stub_cls
 
 
+def _fast_parameters(declaration):
+    """The positional parameter list for a specializable method, or None
+    when the declaration needs the generic ``*args/**kwargs`` path.
+
+    Declarations with default values are not specialized: a compiled stub
+    would have to bake the *interface's* defaults into the call, silently
+    overriding an implementation whose defaults differ — the generic
+    trampoline forwards only what the caller passed, so the target's own
+    defaults keep applying.
+    """
+    parameters = method_signature(declaration)
+    if parameters is None or len(parameters) > _MAX_FAST_ARITY:
+        return None
+    for parameter in parameters:
+        if parameter.kind is not inspect.Parameter.POSITIONAL_OR_KEYWORD:
+            return None
+        if parameter.default is not inspect.Parameter.empty:
+            return None
+        name = parameter.name
+        if name == "self" or name.startswith("_jk"):
+            return None
+    return parameters
+
+
+def _method_source(name, declaration):
+    parameters = _fast_parameters(declaration)
+    if parameters is None:
+        return _GENERIC_TEMPLATE.format(name=name)
+    params = "".join(f", {parameter.name}" for parameter in parameters)
+    arglist = ", ".join(parameter.name for parameter in parameters)
+    copy_lines = "".join(
+        _COPY_LINE.format(p=parameter.name) for parameter in parameters
+    )
+    return _FAST_TEMPLATE.format(
+        name=name, params=params, arglist=arglist, copy_lines=copy_lines
+    )
+
+
 def _generate(implementation_cls):
-    from .capability import Capability, lrmi_invoke
+    from . import convention
+    from . import segments
+    from .capability import (
+        Capability,
+        _bind_method,
+        _raise_revoked,
+        _raise_terminated,
+        lrmi_invoke,
+    )
+    from .convention import transfer, transfer_exception
 
     methods = remote_methods(implementation_cls)
     interfaces = remote_interfaces(implementation_cls)
 
-    lines = []
-    for name in sorted(methods):
-        lines.append(f"def {name}(self, *args, **kwargs):")
-        lines.append(f"    return _lrmi(self, {name!r}, args, kwargs)")
-        lines.append("")
-    source = "\n".join(lines)
-    namespace = {"_lrmi": lrmi_invoke}
+    namespace = {
+        "_lrmi": lrmi_invoke,
+        "_lrmi_enter": segments._enter,
+        "_lrmi_exit": segments._exit,
+        "_lrmi_bind": _bind_method,
+        "_lrmi_dead": _raise_terminated,
+        "_lrmi_revoked": _raise_revoked,
+        "_lrmi_wrap": transfer_exception,
+        "_transfer": transfer,
+        "_IMMUTABLE": convention._IMMUTABLE_TYPES,
+    }
+    source = "\n".join(
+        _method_source(name, methods[name]) for name in sorted(methods)
+    )
     exec(
         compile(source, f"<stub {implementation_cls.__qualname__}>", "exec"),
         namespace,
@@ -59,9 +170,20 @@ def _generate(implementation_cls):
         (Capability, *interfaces),
         body,
     )
+    # Stubs cross domain boundaries by reference, never by copy.
+    convention.register_reference_type(stub_cls)
     return stub_cls
 
 
 def clear_cache():
-    """Drop generated stubs (test isolation helper)."""
+    """Drop generated stubs (test isolation helper).
+
+    Also removes the stub classes' by-reference dispatch entries so
+    superseded class objects do not stay pinned by the calling
+    convention's type table.
+    """
+    from . import convention
+
+    for stub_cls in _cache.values():
+        convention.unregister_reference_type(stub_cls)
     _cache.clear()

@@ -1,0 +1,364 @@
+"""The compiled LRMI fast path: cached bound stubs under revocation,
+segment pooling across nested/recursive/threaded calls, and stop/suspend
+delivery to pooled (reused) segments."""
+
+import gc
+import threading
+import time
+import weakref
+
+import pytest
+
+from repro.core import (
+    Capability,
+    Domain,
+    Remote,
+    RemoteException,
+    RevokedException,
+    SegmentStoppedException,
+    checkpoint,
+    current_handle,
+    current_segment,
+)
+from repro.core import segments as segments_mod
+
+
+class Probe(Remote):
+    def observe(self): ...
+    def echo(self, value): ...
+    def recurse(self, depth): ...
+    def stash_handle(self): ...
+    def suicide(self): ...
+
+
+class ProbeImpl(Probe):
+    def __init__(self):
+        self.segments_seen = []
+        self.states_seen = []
+        self.leaked_handle = None
+        self.self_cap = None
+
+    def observe(self):
+        segment = current_segment()
+        self.segments_seen.append(segment)
+        self.states_seen.append(segment.state)
+        return len(self.segments_seen)
+
+    def echo(self, value):
+        return value
+
+    def recurse(self, depth):
+        self.segments_seen.append(current_segment())
+        if depth <= 0:
+            return [seg.segment_id for seg in self.segments_seen]
+        return self.self_cap.recurse(depth - 1)
+
+    def stash_handle(self):
+        self.leaked_handle = current_handle()
+        return True
+
+    def suicide(self):
+        current_handle().stop()
+        checkpoint()
+        return "unreachable"
+
+
+@pytest.fixture()
+def domain():
+    return Domain("fastpath")
+
+
+@pytest.fixture()
+def impl():
+    return ProbeImpl()
+
+
+@pytest.fixture()
+def cap(domain, impl):
+    return domain.run(lambda: Capability.create(impl))
+
+
+class TestCachedBoundStubs:
+    def test_bound_method_cached_after_first_call(self, cap):
+        assert not any(k.startswith("_jkb_") for k in cap.__dict__)
+        cap.echo(1)
+        assert "_jkb_echo" in cap.__dict__
+
+    def test_revocation_observed_mid_loop(self, cap):
+        """A loop holding the stub (with its warm bound-method cache) sees
+        revocation on the very next call."""
+        completed = 0
+        with pytest.raises(RevokedException):
+            for index in range(100):
+                cap.echo(index)
+                completed += 1
+                if index == 41:
+                    cap.revoke()
+        assert completed == 42
+
+    def test_revoke_drops_cache_and_target(self, domain):
+        target = ProbeImpl()
+        cap = domain.run(lambda: Capability.create(target))
+        cap.echo(1)  # warm the bound-method cache
+        assert "_jkb_echo" in cap.__dict__
+        ref = weakref.ref(target)
+        del target
+        cap.revoke()
+        assert "_jkb_echo" not in cap.__dict__
+        gc.collect()
+        assert ref() is None  # cache cleared: target collectible
+
+    def test_concurrent_revoke_during_loop(self, cap):
+        """Revocation from another thread lands within the loop."""
+        stop_worker = threading.Event()
+
+        def revoker():
+            time.sleep(0.01)
+            cap.revoke()
+            stop_worker.set()
+
+        worker = threading.Thread(target=revoker)
+        worker.start()
+        with pytest.raises(RevokedException):
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                cap.echo(1)
+        worker.join()
+        assert stop_worker.is_set()
+
+
+class TestSegmentPooling:
+    def test_sequential_calls_reuse_pooled_segment(self, cap, impl):
+        cap.observe()
+        cap.observe()
+        first, second = impl.segments_seen
+        assert first is second  # same pooled ThreadSegment object
+        assert first.state is not None
+
+    def test_reused_segment_gets_fresh_incarnation(self, cap, impl):
+        cap.stash_handle()
+        stale = impl.leaked_handle
+        assert not stale.alive
+        cap.observe()
+        # the reused segment ran under a fresh state list (incarnation),
+        # which was live during the call and is not the stale handle's
+        reused_state = impl.states_seen[-1]
+        assert stale._state is not reused_state
+        assert reused_state[0] is None  # no stop leaked into the reuse
+
+    def test_nested_lrmi_uses_distinct_segments(self, domain):
+        inner_impl = ProbeImpl()
+        inner = domain.run(lambda: Capability.create(inner_impl))
+        outer_domain = Domain("fastpath-outer")
+
+        class Outer(Remote):
+            def via(self): ...
+
+        class OuterImpl(Outer):
+            def via(self):
+                mine = current_segment()
+                inner.observe()
+                # both segments are live right now: they must be distinct
+                return mine is inner_impl.segments_seen[-1]
+
+        outer = outer_domain.run(lambda: Capability.create(OuterImpl()))
+        assert outer.via() is False
+
+    def test_recursive_lrmi_stack_depth(self, domain, impl):
+        cap = domain.run(lambda: Capability.create(impl))
+        impl.self_cap = cap
+        ids = cap.recurse(5)
+        assert len(ids) == 6
+        # every recursion level held its own live segment: six distinct
+        # concurrently-live segment objects despite the pool
+        assert len(set(ids)) == 6
+
+    def test_pool_refills_after_recursion(self, domain, impl):
+        cap = domain.run(lambda: Capability.create(impl))
+        impl.self_cap = cap
+        cap.recurse(4)
+        pool = segments_mod._pool()
+        assert len(pool) >= 5  # all five nested segments retired home
+
+    def test_pools_are_per_thread(self, domain):
+        seen = {}
+
+        def worker(key):
+            impl = ProbeImpl()
+            cap = domain.run(lambda: Capability.create(impl))
+            cap.observe()
+            cap.observe()
+            seen[key] = impl.segments_seen
+
+        threads = [
+            threading.Thread(target=worker, args=(index,)) for index in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # reuse within each thread, no sharing across threads
+        assert seen[0][0] is seen[0][1]
+        assert seen[1][0] is seen[1][1]
+        assert seen[0][0] is not seen[1][0]
+
+
+class TestStopSuspendOnPooledSegments:
+    def test_stop_delivered_to_reused_segment(self, cap, impl):
+        cap.observe()  # first incarnation, retired to the pool
+        with pytest.raises(RemoteException):
+            cap.suicide()  # second incarnation reuses the pooled segment
+        # and the capability still works afterwards
+        assert cap.echo("ok") == "ok"
+
+    def test_stale_handle_cannot_stop_reuse(self, cap, impl):
+        cap.stash_handle()
+        stale = impl.leaked_handle
+        stale.stop()  # aimed at a retired incarnation
+        stale.suspend()
+        # the pooled segment is reused cleanly: no stop/suspend leaks in
+        assert cap.echo("clean") == "clean"
+        assert cap.echo("again") == "again"
+
+    def test_suspend_resume_on_reused_segment(self, domain):
+        """A worker whose root segment came from the pool still honours
+        suspend/resume/stop through fresh handles."""
+        # Prime this test's concern on the worker thread itself: the spawn
+        # below pushes a root segment from that thread's pool.
+        stages = []
+        handle_box = {}
+
+        def worker():
+            # retire one segment into this thread's pool first
+            probe = Domain("fastpath-prime")
+            with probe.context():
+                pass
+            handle_box["handle"] = current_handle()
+            while True:
+                checkpoint()
+                stages.append("tick")
+                time.sleep(0.002)
+
+        thread = domain.spawn(worker)
+        deadline = time.monotonic() + 2.0
+        while "handle" not in handle_box and time.monotonic() < deadline:
+            time.sleep(0.005)
+        handle = handle_box["handle"]
+        deadline = time.monotonic() + 2.0
+        while not stages and time.monotonic() < deadline:
+            time.sleep(0.005)
+        handle.suspend()
+        time.sleep(0.05)
+        suspended_count = len(stages)
+        time.sleep(0.1)
+        assert len(stages) <= suspended_count + 1  # no progress suspended
+        handle.resume()
+        time.sleep(0.1)
+        assert len(stages) > suspended_count + 1  # progress resumed
+        handle.stop()
+        thread.join(2.0)
+        assert not thread.is_alive()
+
+    def test_terminate_stops_pooled_reused_segment(self, domain):
+        victim = Domain("fastpath-victim")
+        entered = threading.Event()
+
+        class Spin(Remote):
+            def poke(self): ...
+            def spin(self): ...
+
+        class SpinImpl(Spin):
+            def poke(self):
+                return None
+
+            def spin(self):
+                entered.set()
+                while True:
+                    checkpoint()
+                    time.sleep(0.001)
+
+        cap = victim.run(lambda: Capability.create(SpinImpl()))
+        failures = []
+
+        def caller():
+            cap.poke()  # retires one segment into this thread's pool
+            try:
+                cap.spin()  # reuses it
+            except (RemoteException, SegmentStoppedException) as exc:
+                failures.append(exc)
+
+        thread = threading.Thread(target=caller)
+        thread.start()
+        assert entered.wait(2.0)
+        victim.terminate()
+        thread.join(2.0)
+        assert not thread.is_alive()
+        assert failures  # the spin died with a kernel exception
+
+
+class TestTerminationVsPooling:
+    def test_deliver_stop_pins_the_snapshotted_incarnation(self):
+        """A terminate() that fires after its segment retired and was
+        re-armed for another domain must not stop the reuse."""
+        from repro.core.errors import DomainTerminatedException
+        from repro.core.segments import deliver_stop, pop, push
+
+        domain_a = Domain("pin-a")
+        domain_b = Domain("pin-b")
+        segment = push(domain_a)
+        pinned_state = segment.state  # what terminate() snapshots
+        pop()  # retires into this thread's pool
+        reused = push(domain_b)
+        try:
+            assert reused is segment  # pooled object reused
+            # late delivery aimed at the old incarnation
+            deliver_stop(segment, pinned_state,
+                         DomainTerminatedException("domain 'pin-a'"))
+            # the live incarnation in domain B is untouched
+            assert segment.state[0] is None
+            checkpoint()  # does not raise
+        finally:
+            pop()
+
+    def test_terminate_after_return_does_not_poison_pool(self, domain):
+        impl = ProbeImpl()
+        cap = domain.run(lambda: Capability.create(impl))
+        cap.observe()  # segment retired into the pool
+        other = Domain("fastpath-other")
+        other_impl = ProbeImpl()
+        other_cap = other.run(lambda: Capability.create(other_impl))
+        domain.terminate()  # after the call returned: nothing to stop
+        assert other_cap.observe() == 1  # pool reuse in another domain works
+
+
+class TestFastPathSemantics:
+    def test_keyword_calling_still_works(self, cap):
+        assert cap.echo(value=7) == 7
+
+    def test_immutable_args_pass_through_uncopied(self, cap):
+        text = "immutable strings cross as-is"
+        assert cap.echo(text) is text
+
+    def test_mutable_args_still_deep_copied(self, domain):
+        captured = {}
+
+        class Sink(Remote):
+            def take(self, value): ...
+
+        class SinkImpl(Sink):
+            def take(self, value):
+                captured["value"] = value
+                return True
+
+        cap = domain.run(lambda: Capability.create(SinkImpl()))
+        payload = [1, [2]]
+        cap.take(payload)
+        assert captured["value"] == payload
+        assert captured["value"] is not payload
+        assert captured["value"][1] is not payload[1]
+
+    def test_lrmi_counter_preinitialized(self, domain, cap):
+        assert domain.stats["lrmi_calls_in"] == 0
+        cap.echo(1)
+        cap.echo(2)
+        assert domain.stats["lrmi_calls_in"] == 2
