@@ -1,16 +1,23 @@
-"""Write a BENCH_lrmi.json perf snapshot so future PRs can track the
-LRMI fast-path trajectory.
+"""Write (or check) the BENCH_lrmi.json perf snapshot so future PRs can
+track the LRMI fast-path and transfer-layer trajectory.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/save_baseline.py [output.json]
+    PYTHONPATH=src python benchmarks/save_baseline.py --check [baseline.json]
 
-Measures the hosted-core hot paths (the numbers the ablation suite's
-shape assertions ride on) and a couple of context costs:
+Default mode measures and rewrites the snapshot.  ``--check`` re-measures
+and compares against the checked-in snapshot instead: any µs metric more
+than 20% slower than its recorded value is a regression and the script
+exits nonzero (new/missing metrics are ignored, so adding metrics never
+breaks the check).
+
+Measured (hosted-core hot paths plus context costs):
 
 * null LRMI µs (hosted Capability call, the compiled-stub fast path),
 * 3-argument LRMI µs (argument-dispatch cost included),
-* fast-copy vs serializer µs for the canonical 100-byte Table 4 payload,
+* fast-copy vs serializer transfer µs for the canonical 100-byte payload,
+* all four Table 4 payload shapes through a real LRMI, per mechanism,
 * host double thread switch µs (what each LRMI would cost without
   thread segments).
 """
@@ -26,6 +33,9 @@ from pathlib import Path
 from repro.bench.timer import measure
 from repro.bench.workloads import Chunk, Table3Fixture, Table4Fixture
 from repro.core import Capability, Domain, Remote, transfer
+
+#: Allowed slowdown vs the recorded baseline before --check fails.
+REGRESSION_TOLERANCE = 0.20
 
 
 class _Null(Remote):
@@ -58,8 +68,15 @@ def collect(min_time=0.1):
     ).us_per_op
 
     table4 = Table4Fixture()
-    lrmi_serial_100 = table4.copy_us("1 x 100 bytes", "serial")
-    lrmi_fast_100 = table4.copy_us("1 x 100 bytes", "fast")
+    table4_rows = {
+        shape: {
+            "serial_us": round(table4.copy_us(shape, "serial"), 3),
+            "fastcopy_us": round(table4.copy_us(shape, "fast"), 3),
+        }
+        for shape in table4.SHAPES
+    }
+    lrmi_serial_100 = table4_rows["1 x 100 bytes"]["serial_us"]
+    lrmi_fast_100 = table4_rows["1 x 100 bytes"]["fastcopy_us"]
 
     double_switch = Table3Fixture.host_double_switch_us(2000)
 
@@ -74,6 +91,7 @@ def collect(min_time=0.1):
         "transfer_fastcopy_100B_us": round(fast_copy, 3),
         "lrmi_serial_100B_us": round(lrmi_serial_100, 3),
         "lrmi_fastcopy_100B_us": round(lrmi_fast_100, 3),
+        "table4": table4_rows,
         "host_double_thread_switch_us": round(double_switch, 3),
         "shape": {
             "double_switch_over_null_lrmi": round(double_switch / null_lrmi, 1),
@@ -84,14 +102,57 @@ def collect(min_time=0.1):
     }
 
 
-def main(argv):
-    output = Path(argv[1]) if len(argv) > 1 else (
-        Path(__file__).resolve().parent.parent / "BENCH_lrmi.json"
+def _microsecond_metrics(snapshot, prefix=""):
+    """Flatten every ``*_us`` metric to {dotted.path: value}."""
+    metrics = {}
+    for key, value in snapshot.items():
+        path = f"{prefix}{key}"
+        if isinstance(value, dict):
+            metrics.update(_microsecond_metrics(value, prefix=f"{path}."))
+        elif key.endswith("_us") and isinstance(value, (int, float)):
+            metrics[path] = value
+    return metrics
+
+
+def check(baseline_path, tolerance=REGRESSION_TOLERANCE):
+    """Compare fresh measurements to the recorded snapshot; returns the
+    list of (metric, recorded, measured) regressions."""
+    recorded = _microsecond_metrics(
+        json.loads(Path(baseline_path).read_text())
     )
+    measured = _microsecond_metrics(collect())
+    regressions = []
+    for metric, old in sorted(recorded.items()):
+        new = measured.get(metric)
+        if new is None:
+            continue  # metric dropped/renamed: not this script's problem
+        limit = old * (1.0 + tolerance)
+        marker = ""
+        if new > limit:
+            regressions.append((metric, old, new))
+            marker = "  <-- REGRESSION"
+        print(f"{metric:45s} {old:10.3f} -> {new:10.3f}{marker}")
+    return regressions
+
+
+def main(argv):
+    args = [arg for arg in argv[1:] if arg != "--check"]
+    default = Path(__file__).resolve().parent.parent / "BENCH_lrmi.json"
+    target = Path(args[0]) if args else default
+
+    if "--check" in argv[1:]:
+        regressions = check(target)
+        if regressions:
+            print(f"\n{len(regressions)} metric(s) regressed more than "
+                  f"{REGRESSION_TOLERANCE:.0%} vs {target}")
+            return 1
+        print(f"\nno regressions vs {target}")
+        return 0
+
     snapshot = collect()
-    output.write_text(json.dumps(snapshot, indent=2) + "\n")
+    target.write_text(json.dumps(snapshot, indent=2) + "\n")
     print(json.dumps(snapshot, indent=2))
-    print(f"\nwrote {output}")
+    print(f"\nwrote {target}")
     return 0
 
 

@@ -305,7 +305,7 @@ class Table3Fixture:
 # -- Table 4 payloads ---------------------------------------------------------
 
 @fast_copy(fields=("payload",))
-@serializable(fields=("payload",))
+@serializable(fields=("payload",), acyclic=True)
 class Chunk:
     """One copyable object carrying a Java-style byte array.
 
@@ -315,6 +315,11 @@ class Chunk:
     would cross via one memcpy and erase exactly the effect Table 4
     measures (see the substitution note in DESIGN.md); the bytes-payload
     variant is kept for the ablation bench.
+
+    ``acyclic=True``: a payload chunk never participates in wire-level
+    sharing, so the compiled serializer skips the back-reference memo for
+    it (the serialization-side analogue of the fast-copy non-``cyclic``
+    default).
     """
 
     def __init__(self, payload):
@@ -326,9 +331,11 @@ class Chunk:
 
 
 @fast_copy(fields=("payload",))
-@serializable(fields=("payload",))
+@serializable(fields=("payload",), acyclic=True)
 class RawChunk:
     """Ablation variant: payload is immutable Python bytes (memcpy path)."""
+
+    payload: bytes
 
     def __init__(self, payload):
         self.payload = payload

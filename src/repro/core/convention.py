@@ -14,9 +14,10 @@ Mechanism selection per value (paper §3.1):
 * immutable primitives — as-is (copying is unobservable);
 * classes registered with :func:`~repro.core.fastcopy.fast_copy` — the
   generated fast-copy code;
-* built-in containers and classes registered ``@serializable`` — the
-  serializer (byte-array round trip), unless ``mode="fast"`` forces the
-  direct structural path;
+* built-in containers — specialized structural deep copy (auto and
+  ``mode="fast"``), or the serializer when ``mode="serial"`` forces the
+  byte-array round trip;
+* classes registered ``@serializable`` — the serializer;
 * anything else — :class:`NotSerializableError`.
 
 Dispatch
@@ -29,6 +30,14 @@ containers, at class-registration time for ``@fast_copy``/``@serializable``
 classes, and lazily for capability stub classes — so a transfer is one
 dict probe instead of an isinstance chain, and fast-copy fields recurse
 through a module-level function instead of a closure rebuilt per call.
+
+Container handlers are *scan-then-copy*: a C-speed
+``frozenset.issuperset(map(type, ...))`` scan detects the homogeneous
+all-immutable case (every servlet header dict, every numeric payload
+list) and copies it with one builtin call — no per-element dispatch, no
+byte array, no memo.  Mixed containers take the per-element path, and the
+back-reference memo dict is only allocated at that point — i.e. not until
+a second reference to something mutable is actually possible.
 """
 
 from __future__ import annotations
@@ -37,11 +46,14 @@ from . import fastcopy as _fastcopy
 from . import serial as _serial
 from .errors import NotSerializableError, RemoteException
 
-_IMMUTABLE_TYPES = frozenset(
-    {int, float, bool, str, bytes, complex, type(None), range}
-)
+_IMMUTABLE_TYPES = _fastcopy.IMMUTABLE_TYPES
 
 _CONTAINER_TYPES = (list, tuple, dict, set, frozenset, bytearray)
+_EXACT_CONTAINERS = frozenset(_CONTAINER_TYPES)
+
+#: Bound C-level scan: True when every mapped type is an immutable
+#: primitive (used as ``_all_immutable(map(type, items))``).
+_all_immutable = _IMMUTABLE_TYPES.issuperset
 
 MODE_AUTO = "auto"
 MODE_SERIAL = "serial"
@@ -74,15 +86,147 @@ def _identity(value, memo):
 
 
 def _serial_copy(value, memo):
-    # Serialization tracks shared/cyclic structure internally; the transfer
-    # memo (a fast-copy concern) does not cross into the byte stream.
-    return _serial.copy_via_serialization(value, None)
+    # Serialization tracks shared/cyclic structure internally; the
+    # transfer memo does not cross into the byte stream, but the finished
+    # copy is recorded in it so the same instance referenced twice from a
+    # structurally-copied container still copies once.  (Sub-structure
+    # shared *between* two separately-serialized instances is not
+    # tracked — each @serializable instance is its own stream, exactly as
+    # fast-copy field recursion has always treated them.)
+    if memo is not None:
+        hit = memo.get(id(value))
+        if hit is not None:
+            return hit
+    copied = _serial.copy_via_serialization(value, None)
+    if memo is not None:
+        memo[id(value)] = copied
+    return copied
+
+
+def _copy_list(value, memo):
+    if memo is not None:
+        hit = memo.get(id(value))
+        if hit is not None:
+            return hit
+    if _all_immutable(map(type, value)):
+        copied = value.copy()
+        if memo is not None:
+            memo[id(value)] = copied
+        return copied
+    if memo is None:
+        memo = {}
+    copied = []
+    memo[id(value)] = copied
+    append = copied.append
+    dispatch = _DISPATCH
+    for item in value:
+        handler = dispatch.get(type(item))
+        append(handler(item, memo) if handler is not None
+               else transfer(item, MODE_AUTO, memo))
+    return copied
+
+
+def _copy_tuple(value, memo):
+    # A tuple whose elements are all immutable is itself deeply immutable:
+    # sharing it across domains is unobservable, so it passes as-is (the
+    # same early exit transfer_args applies to whole argument tuples).
+    if _all_immutable(map(type, value)):
+        return value
+    if memo is not None:
+        hit = memo.get(id(value))
+        if hit is not None:
+            return hit
+    else:
+        memo = {}
+    dispatch = _DISPATCH
+    items = []
+    append = items.append
+    for item in value:
+        handler = dispatch.get(type(item))
+        append(handler(item, memo) if handler is not None
+               else transfer(item, MODE_AUTO, memo))
+    copied = tuple(items)
+    memo[id(value)] = copied
+    return copied
+
+
+def _copy_dict(value, memo):
+    if memo is not None:
+        hit = memo.get(id(value))
+        if hit is not None:
+            return hit
+    if _all_immutable(map(type, value)) \
+            and _all_immutable(map(type, value.values())):
+        copied = value.copy()
+        if memo is not None:
+            memo[id(value)] = copied
+        return copied
+    if memo is None:
+        memo = {}
+    copied = {}
+    memo[id(value)] = copied
+    dispatch = _DISPATCH
+    for key, item in value.items():
+        handler = dispatch.get(type(key))
+        copied_key = (handler(key, memo) if handler is not None
+                      else transfer(key, MODE_AUTO, memo))
+        handler = dispatch.get(type(item))
+        copied[copied_key] = (handler(item, memo) if handler is not None
+                              else transfer(item, MODE_AUTO, memo))
+    return copied
+
+
+def _copy_set(value, memo):
+    if memo is not None:
+        hit = memo.get(id(value))
+        if hit is not None:
+            return hit
+    if _all_immutable(map(type, value)):
+        copied = value.copy()
+    else:
+        if memo is None:
+            memo = {}  # elements may share substructure
+        copied = {
+            transfer(item, MODE_AUTO, memo) for item in value
+        }
+    if memo is not None:
+        memo[id(value)] = copied
+    return copied
+
+
+def _copy_frozenset(value, memo):
+    if _all_immutable(map(type, value)):
+        return value  # deeply immutable, sharing is unobservable
+    if memo is not None:
+        hit = memo.get(id(value))
+        if hit is not None:
+            return hit
+    else:
+        memo = {}  # elements may share substructure
+    copied = frozenset(transfer(item, MODE_AUTO, memo) for item in value)
+    memo[id(value)] = copied
+    return copied
+
+
+def _copy_bytearray(value, memo):
+    if memo is not None:
+        hit = memo.get(id(value))
+        if hit is not None:
+            return hit
+    copied = bytearray(value)
+    if memo is not None:
+        memo[id(value)] = copied
+    return copied
 
 
 for _t in _IMMUTABLE_TYPES:
     _DISPATCH[_t] = _identity
-for _t in _CONTAINER_TYPES:
-    _DISPATCH[_t] = _serial_copy
+_DISPATCH[list] = _copy_list
+_DISPATCH[tuple] = _copy_tuple
+_DISPATCH[dict] = _copy_dict
+_DISPATCH[set] = _copy_set
+_DISPATCH[frozenset] = _copy_frozenset
+_DISPATCH[bytearray] = _copy_bytearray
 del _t
 
 
@@ -143,11 +287,18 @@ def _replay_default_registrations():
 _replay_default_registrations()
 
 
+#: Lazily bound ``repro.core.capability.Capability`` (import cycle guard).
+_Capability = None
+
+
 def transfer(value, mode=MODE_AUTO, memo=None,
              serial_registry=None, fastcopy_registry=None):
     """Copy one value across a domain boundary per the calling convention."""
-    if mode == MODE_AUTO and serial_registry is None \
-            and fastcopy_registry is None:
+    if serial_registry is None and fastcopy_registry is None \
+            and (mode == MODE_AUTO or mode == MODE_FAST):
+        # With the default registries, auto and forced-fast agree on
+        # every dispatch-table type (containers are structural either
+        # way), so both ride the table.
         handler = _DISPATCH.get(type(value))
         if handler is not None:
             return handler(value, memo)
@@ -160,9 +311,12 @@ def _transfer_general(value, mode, memo, serial_registry, fastcopy_registry):
     if value_type in _IMMUTABLE_TYPES:
         return value
 
-    from .capability import Capability
+    global _Capability
+    if _Capability is None:
+        from .capability import Capability
+        _Capability = Capability
 
-    if isinstance(value, Capability):
+    if isinstance(value, _Capability):
         # Teach the dispatch table this stub class for next time.
         _DISPATCH.setdefault(value_type, _identity)
         return value
@@ -182,12 +336,20 @@ def _transfer_general(value, mode, memo, serial_registry, fastcopy_registry):
 
         return info.copier(value, memo, field_transfer)
 
-    if mode == MODE_FAST and isinstance(value, _CONTAINER_TYPES):
-        return _structural_copy(
-            value, mode, memo, serial_registry, fastcopy_registry
-        )
-
     registry = serial_registry or _serial.DEFAULT_REGISTRY
+    if isinstance(value, _CONTAINER_TYPES):
+        # Forced-fast always copies containers structurally.  Auto mode
+        # also copies *subclasses* of the builtin containers structurally
+        # (they cannot ride the serializer's exact-type wire tags) unless
+        # the subclass is itself registered serializable.
+        if mode == MODE_FAST or (
+            value_type not in _EXACT_CONTAINERS
+            and not registry.knows(value_type)
+        ):
+            return _structural_copy(
+                value, mode, memo, serial_registry, fastcopy_registry
+            )
+
     if (
         isinstance(value, _CONTAINER_TYPES)
         or registry.knows(value_type)
@@ -202,35 +364,60 @@ def _transfer_general(value, mode, memo, serial_registry, fastcopy_registry):
 
 
 def _structural_copy(value, mode, memo, serial_registry, fastcopy_registry):
-    """Direct container copy used in forced-fast mode (no byte array)."""
+    """Direct container copy used in forced-fast mode (no byte array).
+
+    Only reached with non-default registries (or container subclasses):
+    the default-registry fast mode rides the dispatch-table handlers, so
+    this path stays generic per-element — correctness over scan
+    micro-optimization."""
+    value_type = type(value)
+    if value_type is tuple and _all_immutable(map(type, value)):
+        return value  # deeply immutable, sharing is unobservable
     if memo is None:
         memo = {}
-    hit = memo.get(id(value))
+        hit = None
+    else:
+        hit = memo.get(id(value))
     if hit is not None:
         return hit
+    if value_type is bytearray:
+        copied = bytearray(value)
+        memo[id(value)] = copied
+        return copied
 
     def item(element):
         return transfer(element, mode=mode, memo=memo,
                         serial_registry=serial_registry,
                         fastcopy_registry=fastcopy_registry)
 
-    value_type = type(value)
     if value_type is list:
         copied = []
         memo[id(value)] = copied
         copied.extend(item(element) for element in value)
         return copied
-    if value_type is dict:
-        copied = {}
+    if isinstance(value, dict):
+        # Dict protocol, not iteration: iterating a dict yields keys only,
+        # which would silently drop values for Counter-like subclasses.
+        try:
+            copied = value_type()
+        except Exception:
+            raise NotSerializableError(
+                f"cannot structurally copy {value_type.__qualname__}: "
+                "no zero-argument constructor"
+            ) from None
         memo[id(value)] = copied
         for key, element in value.items():
             copied[item(key)] = item(element)
         return copied
-    if value_type is bytearray:
-        copied = bytearray(value)
-        memo[id(value)] = copied
-        return copied
-    copied = value_type(item(element) for element in value)
+    try:
+        copied = value_type(item(element) for element in value)
+    except NotSerializableError:
+        raise
+    except Exception as exc:
+        raise NotSerializableError(
+            f"cannot structurally copy {value_type.__qualname__}: "
+            f"reconstruction from elements failed ({exc!r})"
+        ) from exc
     memo[id(value)] = copied
     return copied
 

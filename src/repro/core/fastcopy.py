@@ -12,22 +12,46 @@ copying, though, so by default the copy code does not use a hash table."
 Pass ``cyclic=True`` to get the memo-tracking variant; the default variant
 skips the hash table entirely (and will loop forever on a cycle, exactly as
 the paper's default would — callers choose).
+
+Field specialization: at registration the codegen splits declared fields
+into *immutable* and *transferable*.  A field annotated with an immutable
+primitive type (``int``/``float``/``bool``/``str``/``bytes``) becomes a
+direct assignment guarded by one exact type check — the ``transfer``
+callback is not consulted for it.  Unannotated fields get an inline
+immutable-type membership test before falling back to ``transfer``, so
+primitive-valued fields never pay a call either way.  A class whose fields
+are *all* annotated immutable gets a whole-object fast case: one combined
+type check, then straight field moves and an immediate return.  The
+``transfer`` callback is therefore only invoked for values that genuinely
+need the calling convention (capabilities, containers, nested objects).
 """
 
 from __future__ import annotations
 
 from .errors import NotSerializableError
-from .serial import class_fields
+from .serial import class_fields, declared_field_types
+
+#: Types whose values may cross domains uncopied: immutable primitives
+#: (copying them would be unobservable).  The calling convention
+#: (``repro.core.convention``) and the generated copiers share this set.
+IMMUTABLE_TYPES = frozenset(
+    {int, float, bool, str, bytes, complex, type(None), range}
+)
+
+_GUARDED = {int: "int", float: "float", bool: "bool", str: "str",
+            bytes: "bytes"}
 
 
 class FastCopyInfo:
     """Registration record: the generated copier plus its metadata."""
 
-    __slots__ = ("cls", "fields", "cyclic", "copier", "source")
+    __slots__ = ("cls", "fields", "field_types", "cyclic", "copier",
+                 "source")
 
-    def __init__(self, cls, fields, cyclic, copier, source):
+    def __init__(self, cls, fields, field_types, cyclic, copier, source):
         self.cls = cls
         self.fields = fields
+        self.field_types = field_types
         self.cyclic = cyclic
         self.copier = copier
         self.source = source
@@ -43,8 +67,10 @@ class FastCopyRegistry:
 
     def register(self, cls, fields=None, cyclic=False):
         resolved = class_fields(cls, fields)
-        copier, source = _generate_copier(cls, resolved, cyclic)
-        info = FastCopyInfo(cls, resolved, cyclic, copier, source)
+        field_types = declared_field_types(cls, resolved)
+        copier, source = _generate_copier(cls, resolved, field_types, cyclic)
+        info = FastCopyInfo(cls, resolved, field_types, cyclic, copier,
+                            source)
         self._by_class[cls] = info
         if self._on_register is not None:
             self._on_register(info)
@@ -77,13 +103,28 @@ def fast_copy(cls=None, *, fields=None, cyclic=False, registry=None):
     return register(cls)
 
 
-def _generate_copier(cls, fields, cyclic):
+def _field_line(field, ftype, var):
+    """One generated statement copying field ``field`` from ``{var}``."""
+    guard = _GUARDED.get(ftype)
+    if guard is not None:
+        # Annotated immutable: direct assignment behind one exact type
+        # check (the annotation is a promise, the check keeps a lying
+        # instance from leaking a shared mutable across domains).
+        return (f"    new.{field} = {var} if type({var}) is {guard} "
+                f"else transfer({var}, memo)")
+    # Exact type(), not __class__: a hostile object can spoof __class__
+    # with a property and would otherwise cross by reference.
+    return (f"    new.{field} = {var} if type({var}) in _IMMUTABLE "
+            f"else transfer({var}, memo)")
+
+
+def _generate_copier(cls, fields, field_types, cyclic):
     """Build the specialized copy function for ``cls``.
 
     The generated function has signature ``(obj, memo, transfer)`` where
     ``transfer(value, memo)`` applies the LRMI calling convention to one
     field value (capability → by reference, primitive → as-is, object →
-    recursive copy).
+    recursive copy); immutable-valued fields short-circuit it inline.
     """
     name = f"_fastcopy_{cls.__name__}"
     lines = [f"def {name}(obj, memo, transfer):"]
@@ -93,24 +134,46 @@ def _generate_copier(cls, fields, cyclic):
             "    if hit is not None:",
             "        return hit",
         ]
-    lines.append("    new = _new(_cls)")
-    if cyclic:
-        lines.append("    memo[id(obj)] = new")
     if fields is not None:
-        for field in fields:
-            lines.append(
-                f"    new.{field} = transfer(obj.{field}, memo)"
+        for index, field in enumerate(fields):
+            lines.append(f"    v{index} = obj.{field}")
+        all_immutable = fields and all(
+            field_types.get(field) in _GUARDED for field in fields
+        )
+        if all_immutable and not cyclic:
+            # Whole-object fast case: every field is annotated immutable,
+            # so one combined check covers the object and the copy is
+            # pure straight-line field moves.
+            checks = " and ".join(
+                f"type(v{index}) is {_GUARDED[field_types[field]]}"
+                for index, field in enumerate(fields)
             )
+            lines.append(f"    if {checks}:")
+            lines.append("        new = _new(_cls)")
+            for index, field in enumerate(fields):
+                lines.append(f"        new.{field} = v{index}")
+            lines.append("        return new")
+        lines.append("    new = _new(_cls)")
+        if cyclic:
+            lines.append("    memo[id(obj)] = new")
+        for index, field in enumerate(fields):
+            lines.append(_field_line(field, field_types.get(field),
+                                     f"v{index}"))
     else:
+        lines.append("    new = _new(_cls)")
+        if cyclic:
+            lines.append("    memo[id(obj)] = new")
         lines += [
             "    state = obj.__dict__",
             "    new_state = new.__dict__",
             "    for key, value in state.items():",
-            "        new_state[key] = transfer(value, memo)",
+            "        new_state[key] = value if type(value) in _IMMUTABLE"
+            " else transfer(value, memo)",
         ]
     lines.append("    return new")
     source = "\n".join(lines)
-    namespace = {"_new": object.__new__, "_cls": cls}
+    namespace = {"_new": object.__new__, "_cls": cls,
+                 "_IMMUTABLE": IMMUTABLE_TYPES}
     exec(compile(source, f"<fastcopy {cls.__qualname__}>", "exec"), namespace)
     return namespace[name], source
 

@@ -11,12 +11,37 @@ mirroring Java's ``implements Serializable`` opt-in.  Capabilities are
 never byte-encoded: during an LRMI transfer they are swapped out into a
 side table and re-inserted by reference on read (RMI's remote-reference
 semantics); outside an LRMI they are not serializable at all.
+
+Compilation strategy (mirrors the stub generator): registering a class
+*compiles* a specialized writer and reader for it.  The writer is
+straight-line generated code — class/field names are appended as
+pre-encoded byte constants, runs of contiguous ``int``/``float``-annotated
+fields collapse into a single precompiled multi-field ``struct.Struct``
+pack, and ``str``/``bytes``-annotated fields are length-prefixed inline.
+The reader verifies the constant regions with slice compares and decodes
+typed fields without the generic tag dispatch, falling back to the fully
+generic parse when the stream disagrees (e.g. it was produced by a
+different registration of the class).  Homogeneous ``int``/``float``
+lists and tuples travel as one batched tag + packed payload instead of
+per-element tag/value pairs.  Output buffers come from a per-thread pool
+and every ``dumps`` call runs on private buffer/memo state, so a nested
+``dumps`` (a capability stub invoked mid-serialization) and concurrent
+module-level ``dumps`` calls can never corrupt each other's streams.
+(Sharing one ``ObjectWriter`` *instance* across threads is not
+supported — the module-level helpers build a writer per call.)
+
+Classes registered with ``acyclic=True`` opt out of back-reference memo
+bookkeeping: their instances are never recorded in the stream memo, which
+removes per-object hash-table work but means a shared instance is written
+once per reference and a cycle through such an instance would recurse
+forever — the same contract as the fast-copy default (paper §3.1).
 """
 
 from __future__ import annotations
 
 import dataclasses
 import struct
+import threading
 
 from .errors import NotSerializableError
 
@@ -38,6 +63,10 @@ _T_OBJECT = 14
 _T_EXCEPTION = 15
 _T_BACKREF = 16
 _T_CAPREF = 17
+_T_INTLIST = 18
+_T_INTTUPLE = 19
+_T_FLOATLIST = 20
+_T_FLOATTUPLE = 21
 
 _INT64_MIN = -(2 ** 63)
 _INT64_MAX = 2 ** 63 - 1
@@ -45,6 +74,48 @@ _INT64_MAX = 2 ** 63 - 1
 _PACK_I64 = struct.Struct(">q")
 _PACK_F64 = struct.Struct(">d")
 _PACK_U32 = struct.Struct(">I")
+
+_JUST_INT = frozenset((int,))
+_JUST_FLOAT = frozenset((float,))
+
+#: Lazily bound ``repro.core.capability.Capability`` (import cycle guard).
+_Capability = None
+
+#: Precompiled ``>{n}q`` / ``>{n}d`` Structs for batched homogeneous
+#: sequences, keyed by (kind, element count).
+_BATCH_STRUCTS = {}
+
+
+def _batch_struct(kind, count):
+    key = (kind, count)
+    found = _BATCH_STRUCTS.get(key)
+    if found is None:
+        if len(_BATCH_STRUCTS) > 4096:
+            _BATCH_STRUCTS.clear()
+        found = _BATCH_STRUCTS[key] = struct.Struct(f">{count}{kind}")
+    return found
+
+
+# -- per-thread output buffer pool --------------------------------------------
+
+class _BufferPool(threading.local):
+    def __init__(self):
+        self.free = []
+
+
+_POOL = _BufferPool()
+
+
+def _acquire_buffer():
+    free = _POOL.free
+    return free.pop() if free else bytearray()
+
+
+def _release_buffer(buffer):
+    free = _POOL.free
+    if len(free) < 8:
+        del buffer[:]
+        free.append(buffer)
 
 
 def class_fields(cls, explicit=None):
@@ -65,6 +136,35 @@ def class_fields(cls, explicit=None):
     return tuple(slots) or None
 
 
+#: Annotation values (types or their spelled-out names, for modules using
+#: ``from __future__ import annotations``) the codegen specializes on.
+_PRIMITIVE_ANNOTATIONS = {
+    int: int, float: float, bool: bool, str: str, bytes: bytes,
+    "int": int, "float": float, "bool": bool, "str": str, "bytes": bytes,
+}
+
+
+def declared_field_types(cls, fields):
+    """Map each copied field to a primitive type the codegen may
+    specialize on (``int``/``float``/``bool``/``str``/``bytes``), from the
+    class's annotations; unannotated or non-primitive fields map to None.
+    """
+    if fields is None:
+        return {}
+    annotations = {}
+    for ancestor in reversed(cls.__mro__):
+        declared = ancestor.__dict__.get("__annotations__")
+        if declared:
+            annotations.update(declared)
+    types = {}
+    for field in fields:
+        try:
+            types[field] = _PRIMITIVE_ANNOTATIONS.get(annotations.get(field))
+        except TypeError:  # unhashable annotation value
+            types[field] = None
+    return types
+
+
 def _length_prefixed(text):
     encoded = text.encode("utf-8")
     return _PACK_U32.pack(len(encoded)) + encoded
@@ -73,28 +173,39 @@ def _length_prefixed(text):
 class ClassDescriptor:
     """Registration record for one serializable class.
 
-    Wire names and field names are encoded once, at registration: the
-    writer appends the pre-built length-prefixed bytes instead of
-    re-encoding each name on every serialized copy.
+    Wire names and field names are encoded once, at registration, and the
+    specialized writer/reader pair is compiled here — registering a class
+    is what makes its transfers cheap, exactly like stub generation.
     """
 
-    __slots__ = ("cls", "name", "fields", "is_exception", "encoded_name",
-                 "encoded_fields")
+    __slots__ = ("cls", "name", "fields", "is_exception", "is_capability",
+                 "encoded_name", "encoded_fields", "acyclic", "field_types",
+                 "writer", "reader", "writer_source", "reader_source")
 
-    def __init__(self, cls, name, fields):
+    def __init__(self, cls, name, fields, acyclic=False):
         self.cls = cls
         self.name = name
         self.fields = fields
+        self.acyclic = acyclic
         self.is_exception = isinstance(cls, type) and issubclass(
             cls, BaseException
         )
+        # Resolved lazily on first write (the capability module cannot be
+        # imported while this one is initializing).
+        self.is_capability = None
         self.encoded_name = _length_prefixed(name)
+        self.field_types = declared_field_types(cls, fields)
         if fields is None:
             self.encoded_fields = None
         else:
             self.encoded_fields = tuple(
                 (field, _length_prefixed(field)) for field in fields
             )
+        self.writer = self.reader = None
+        self.writer_source = self.reader_source = None
+        if fields is not None and not self.is_exception:
+            self.writer, self.writer_source = _compile_writer(self)
+            self.reader, self.reader_source = _compile_reader(self)
 
 
 class SerialRegistry:
@@ -111,12 +222,16 @@ class SerialRegistry:
     def __init__(self):
         self._by_class = {}
         self._by_name = {}
+        self._by_encoded = {}
 
-    def register(self, cls, name=None, fields=None):
+    def register(self, cls, name=None, fields=None, acyclic=False):
         wire_name = name or f"{cls.__module__}.{cls.__qualname__}"
-        descriptor = ClassDescriptor(cls, wire_name, class_fields(cls, fields))
+        descriptor = ClassDescriptor(cls, wire_name,
+                                     class_fields(cls, fields),
+                                     acyclic=acyclic)
         self._by_class[cls] = descriptor
         self._by_name[wire_name] = descriptor
+        self._by_encoded[wire_name.encode("utf-8")] = descriptor
         if self._on_register is not None:
             self._on_register(cls)
         return cls
@@ -127,6 +242,9 @@ class SerialRegistry:
     def lookup_name(self, name):
         return self._by_name.get(name)
 
+    def lookup_encoded(self, name_bytes):
+        return self._by_encoded.get(name_bytes)
+
     def knows(self, cls):
         return cls in self._by_class
 
@@ -135,11 +253,17 @@ class SerialRegistry:
 DEFAULT_REGISTRY = SerialRegistry()
 
 
-def serializable(cls=None, *, name=None, fields=None, registry=None):
-    """Class decorator: make a class copyable via serialization."""
+def serializable(cls=None, *, name=None, fields=None, registry=None,
+                 acyclic=False):
+    """Class decorator: make a class copyable via serialization.
+
+    ``acyclic=True`` declares that instances never participate in cycles
+    or wire-level sharing, letting the compiled writer/reader skip the
+    back-reference memo for them (see module docstring)."""
     def register(target):
         (registry or DEFAULT_REGISTRY).register(target, name=name,
-                                                fields=fields)
+                                                fields=fields,
+                                                acyclic=acyclic)
         return target
 
     if cls is None:
@@ -147,8 +271,10 @@ def serializable(cls=None, *, name=None, fields=None, registry=None):
     return register(cls)
 
 
-def register_class(cls, name=None, fields=None, registry=None):
-    (registry or DEFAULT_REGISTRY).register(cls, name=name, fields=fields)
+def register_class(cls, name=None, fields=None, registry=None,
+                   acyclic=False):
+    (registry or DEFAULT_REGISTRY).register(cls, name=name, fields=fields,
+                                            acyclic=acyclic)
     return cls
 
 
@@ -179,18 +305,372 @@ def _register_builtin_exceptions(registry):
 _register_builtin_exceptions(DEFAULT_REGISTRY)
 
 
-class ObjectWriter:
-    """Serializes one value graph to bytes."""
+# -- writer/reader codegen ----------------------------------------------------
 
-    def __init__(self, registry=None, capability_table=None):
+class _Source:
+    """Accumulates generated lines plus the exec namespace of constants."""
+
+    def __init__(self, namespace):
+        self.lines = []
+        self.namespace = namespace
+        self._counter = 0
+
+    def add(self, line):
+        self.lines.append(line)
+
+    def const(self, value):
+        name = f"_K{self._counter}"
+        self._counter += 1
+        self.namespace[name] = value
+        return name
+
+    def text(self):
+        return "\n".join(self.lines)
+
+
+def _numeric_runs(fields, types):
+    """Partition fields into ``("run", [f...])`` groups (>=2 contiguous
+    int/float-annotated fields, batched by one Struct) and ``("one", f)``
+    singles.  Writer and reader codegen share this so their run
+    boundaries — and therefore the wire layout — can never drift apart.
+    """
+    groups = []
+    index = 0
+    while index < len(fields):
+        if types.get(fields[index]) in (int, float):
+            end = index
+            while end < len(fields) and types.get(fields[end]) in (int, float):
+                end += 1
+            if end - index >= 2:
+                groups.append(("run", fields[index:end]))
+                index = end
+                continue
+        groups.append(("one", fields[index]))
+        index += 1
+    return groups
+
+
+def _compile_writer(descriptor):
+    """Generate the specialized writer for one explicit-fields class.
+
+    Wire-compatible with the generic ``_write_object`` path: the same
+    tag/name/value layout, with constant regions pre-encoded and runs of
+    ``int``/``float``-annotated fields packed by one multi-field Struct
+    (tag bytes and the interleaved field-name constants ride along as
+    fixed ``s`` fields of the same pack call).
+    """
+    fields = descriptor.fields
+    types = descriptor.field_types
+    namespace = {
+        "_u32": _PACK_U32.pack,
+        "_i64": _PACK_I64.pack,
+        "_f64": _PACK_F64.pack,
+        "_PackError": struct.error,
+    }
+    src = _Source(namespace)
+    src.add(f"def _write_{descriptor.cls.__name__}(w, value):")
+    src.add("    buffer = w._buffer")
+    if not descriptor.acyclic:
+        src.add("    memo = w._memo")
+        src.add("    memo[id(value)] = len(memo)")
+
+    header = (bytes([_T_OBJECT]) + descriptor.encoded_name
+              + _PACK_U32.pack(len(fields)))
+    pending = bytearray(header)
+
+    def flush():
+        nonlocal pending
+        if pending:
+            src.add(f"    buffer += {src.const(bytes(pending))}")
+            pending = bytearray()
+
+    groups = _numeric_runs(fields, types)
+    encoded = dict(descriptor.encoded_fields)
+    var = 0
+    for kind, group in groups:
+        if kind == "run":
+            names = []
+            fmt = ">"
+            pack_args = []
+            fallback = []
+            flush()
+            for position, field in enumerate(group):
+                tag = _T_INT64 if types[field] is int else _T_FLOAT
+                const = encoded[field] + bytes([tag])
+                fmt += f"{len(const)}s" + ("q" if types[field] is int else "d")
+                name_const = src.const(const)
+                names.append(src.const(encoded[field]))
+                v = f"v{var + position}"
+                src.add(f"    {v} = value.{field}")
+                pack_args.append(name_const)
+                pack_args.append(v)
+                fallback.append(
+                    f"buffer += {names[-1]}; w.write({v})"
+                )
+            checks = " and ".join(
+                f"type(v{var + position}) is "
+                + ("int" if types[field] is int else "float")
+                for position, field in enumerate(group)
+            )
+            packer = src.const(struct.Struct(fmt).pack)
+            src.add(f"    if {checks}:")
+            src.add("        try:")
+            src.add(f"            buffer += {packer}({', '.join(pack_args)})")
+            src.add("        except _PackError:")
+            for line in fallback:
+                src.add(f"            {line}")
+            src.add("    else:")
+            for line in fallback:
+                src.add(f"        {line}")
+            var += len(group)
+            continue
+
+        field = group
+        ftype = types.get(field)
+        pending += encoded[field]
+        if ftype is None:
+            flush()
+            src.add(f"    w.write(value.{field})")
+            continue
+        flush()
+        v = f"v{var}"
+        var += 1
+        src.add(f"    {v} = value.{field}")
+        if ftype is int:
+            src.add(f"    if type({v}) is int and "
+                    f"{_INT64_MIN} <= {v} <= {_INT64_MAX}:")
+            src.add(f"        buffer.append({_T_INT64})")
+            src.add(f"        buffer += _i64({v})")
+        elif ftype is float:
+            src.add(f"    if type({v}) is float:")
+            src.add(f"        buffer.append({_T_FLOAT})")
+            src.add(f"        buffer += _f64({v})")
+        elif ftype is bool:
+            src.add(f"    if {v} is True:")
+            src.add(f"        buffer.append({_T_TRUE})")
+            src.add(f"    elif {v} is False:")
+            src.add(f"        buffer.append({_T_FALSE})")
+        elif ftype is str:
+            src.add(f"    if type({v}) is str:")
+            src.add(f"        _e = {v}.encode('utf-8')")
+            src.add(f"        buffer.append({_T_STR})")
+            src.add("        buffer += _u32(len(_e))")
+            src.add("        buffer += _e")
+        elif ftype is bytes:
+            src.add(f"    if type({v}) is bytes:")
+            src.add(f"        buffer.append({_T_BYTES})")
+            src.add(f"        buffer += _u32(len({v}))")
+            src.add(f"        buffer += {v}")
+        src.add("    else:")
+        src.add(f"        w.write({v})")
+    flush()
+
+    source = src.text()
+    exec(compile(source, f"<serial writer {descriptor.name}>", "exec"),
+         namespace)
+    return namespace[f"_write_{descriptor.cls.__name__}"], source
+
+
+def _compile_reader(descriptor):
+    """Generate the specialized reader: verify the expected constant
+    regions (field count, names, typed tags) with slice compares, decode
+    typed payloads inline, and bail to the fully generic field loop on the
+    first disagreement."""
+    fields = descriptor.fields
+    types = descriptor.field_types
+    namespace = {
+        "_new": descriptor.cls.__new__,
+        "_cls": descriptor.cls,
+        "_u32_at": _PACK_U32.unpack_from,
+        "_i64_at": _PACK_I64.unpack_from,
+        "_f64_at": _PACK_F64.unpack_from,
+        "_str": str,
+        "_bytes": bytes,
+        "_PackError": struct.error,
+        "_fallback": _generic_object_fields,
+        "_Trunc": NotSerializableError,
+    }
+    src = _Source(namespace)
+    src.add(f"def _read_{descriptor.cls.__name__}(r):")
+    src.add("    data = r._data")
+    src.add("    offset = r._offset")
+    src.add("    start = offset")
+    src.add("    size = len(data)")
+    src.add("    value = _new(_cls)")
+    if not descriptor.acyclic:
+        src.add("    r._memo.append(value)")
+    src.add("    _mlen = len(r._memo)")
+    src.add("    try:")
+
+    encoded = dict(descriptor.encoded_fields)
+    pending = bytearray(_PACK_U32.pack(len(fields)))
+
+    def verify():
+        nonlocal pending
+        if pending:
+            expected = src.const(bytes(pending))
+            length = len(pending)
+            src.add(f"        if data[offset:offset + {length}] "
+                    f"!= {expected}:")
+            src.add("            return _fallback(r, value, start, _mlen)")
+            src.add(f"        offset += {length}")
+            pending = bytearray()
+
+    for kind, group in _numeric_runs(fields, types):
+        if kind == "run":
+            fmt = ">"
+            expected_consts = []
+            for position, field in enumerate(group):
+                tag = _T_INT64 if types[field] is int else _T_FLOAT
+                prefix = b"" if position == 0 else encoded[field]
+                const = prefix + bytes([tag])
+                fmt += f"{len(const)}s" + ("q" if types[field] is int else "d")
+                expected_consts.append(src.const(const))
+            pending.extend(encoded[group[0]])
+            verify()
+            run_struct = struct.Struct(fmt)
+            unpacker = src.const(run_struct.unpack_from)
+            src.add(f"        _t = {unpacker}(data, offset)")
+            checks = " or ".join(
+                f"_t[{2 * position}] != {name}"
+                for position, name in enumerate(expected_consts)
+            )
+            src.add(f"        if {checks}:")
+            src.add("            return _fallback(r, value, start, _mlen)")
+            for position, field in enumerate(group):
+                src.add(f"        value.{field} = _t[{2 * position + 1}]")
+            src.add(f"        offset += {run_struct.size}")
+            continue
+
+        field = group
+        ftype = types.get(field)
+        pending.extend(encoded[field])
+        verify()
+        if ftype is None:
+            src.add("        r._offset = offset")
+            src.add(f"        value.{field} = r.read()")
+            src.add("        offset = r._offset")
+        elif ftype is int:
+            src.add(f"        if data[offset] == {_T_INT64}:")
+            src.add(f"            value.{field} = "
+                    "_i64_at(data, offset + 1)[0]")
+            src.add("            offset += 9")
+            src.add("        else:")
+            src.add("            r._offset = offset")
+            src.add(f"            value.{field} = r.read()")
+            src.add("            offset = r._offset")
+        elif ftype is float:
+            src.add(f"        if data[offset] == {_T_FLOAT}:")
+            src.add(f"            value.{field} = "
+                    "_f64_at(data, offset + 1)[0]")
+            src.add("            offset += 9")
+            src.add("        else:")
+            src.add("            r._offset = offset")
+            src.add(f"            value.{field} = r.read()")
+            src.add("            offset = r._offset")
+        elif ftype is bool:
+            src.add("        _tag = data[offset]")
+            src.add(f"        if _tag == {_T_TRUE}:")
+            src.add(f"            value.{field} = True")
+            src.add("            offset += 1")
+            src.add(f"        elif _tag == {_T_FALSE}:")
+            src.add(f"            value.{field} = False")
+            src.add("            offset += 1")
+            src.add("        else:")
+            src.add("            r._offset = offset")
+            src.add(f"            value.{field} = r.read()")
+            src.add("            offset = r._offset")
+        elif ftype in (str, bytes):
+            tag = _T_STR if ftype is str else _T_BYTES
+            src.add(f"        if data[offset] == {tag}:")
+            src.add("            _l = _u32_at(data, offset + 1)[0]")
+            src.add("            _end = offset + 5 + _l")
+            src.add("            if _end > size:")
+            src.add("                raise _Trunc('truncated stream')")
+            if ftype is str:
+                src.add(f"            value.{field} = "
+                        "_str(data[offset + 5:_end], 'utf-8')")
+            else:
+                src.add(f"            value.{field} = "
+                        "_bytes(data[offset + 5:_end])")
+            src.add("            offset = _end")
+            src.add("        else:")
+            src.add("            r._offset = offset")
+            src.add(f"            value.{field} = r.read()")
+            src.add("            offset = r._offset")
+    verify()
+    src.add("    except (_PackError, IndexError):")
+    src.add("        return _fallback(r, value, start, _mlen)")
+    src.add("    r._offset = offset")
+    src.add("    return value")
+
+    source = src.text()
+    exec(compile(source, f"<serial reader {descriptor.name}>", "exec"),
+         namespace)
+    return namespace[f"_read_{descriptor.cls.__name__}"], source
+
+
+def _resolve_is_capability(descriptor):
+    global _Capability
+    if _Capability is None:
+        from .capability import Capability
+        _Capability = Capability
+    flag = issubclass(descriptor.cls, _Capability)
+    descriptor.is_capability = flag
+    return flag
+
+
+def _generic_object_fields(reader, value, start, memo_length):
+    """Fully generic field parse (stream-driven names), used when a
+    compiled reader finds the stream disagreeing with its registration.
+
+    Rewinds the offset to the field-count position and drops memo entries
+    appended by the abandoned compiled parse, so back-reference indices
+    stay aligned with the writer's."""
+    del reader._memo[memo_length:]
+    reader._offset = start
+    read = reader.read
+    raw = reader._raw
+    for _ in range(reader._u32()):
+        field = raw().decode("utf-8")
+        setattr(value, field, read())
+    return value
+
+
+class ObjectWriter:
+    """Serializes one value graph to bytes.
+
+    ``compiled=False`` disables the registration-time compiled class
+    writers and the batched homogeneous-sequence tags, forcing the fully
+    generic per-value path (used by equivalence tests)."""
+
+    def __init__(self, registry=None, capability_table=None, compiled=True):
         self.registry = registry or DEFAULT_REGISTRY
         self.capability_table = capability_table
+        self._compiled = compiled
         self._buffer = bytearray()
         self._memo = {}
 
     def dumps(self, value):
-        self.write(value)
-        return bytes(self._buffer)
+        # Reentrancy-safe: each call gets a pooled buffer and a fresh
+        # memo, with the previous state restored on exit, so a nested
+        # dumps (e.g. a capability stub invoked while serializing) can
+        # never interleave bytes or back-references with this stream.
+        # (Not a cross-thread guarantee for one shared writer instance:
+        # the active buffer lives on `self` — use per-call writers, as
+        # the module-level dumps/copy_via_serialization do.)
+        previous_buffer = self._buffer
+        previous_memo = self._memo
+        buffer = _acquire_buffer()
+        self._buffer = buffer
+        self._memo = {}
+        try:
+            self.write(value)
+            return bytes(buffer)
+        finally:
+            self._buffer = previous_buffer
+            self._memo = previous_memo
+            _release_buffer(buffer)
 
     # -- primitives --------------------------------------------------------
     def _tag(self, tag):
@@ -256,9 +736,15 @@ class ObjectWriter:
             buffer += value
             return
         if value_type is list:
+            if self._compiled and value \
+                    and self._write_batched(_T_INTLIST, _T_FLOATLIST, value):
+                return
             self._write_sequence(_T_LIST, value)
             return
         if value_type is tuple:
+            if self._compiled and value \
+                    and self._write_batched(_T_INTTUPLE, _T_FLOATTUPLE, value):
+                return
             self._write_sequence(_T_TUPLE, value)
             return
         if value_type is set:
@@ -276,9 +762,52 @@ class ObjectWriter:
                 write(key)
                 write(item)
             return
+        # Registered classes are the common case on this tail: probe the
+        # registry before paying the capability isinstance check.  A
+        # registered class that turns out to subclass Capability still
+        # crosses by reference — capabilities are never byte-encoded.
+        descriptor = self.registry.lookup_class(value_type)
+        if descriptor is not None:
+            by_reference = descriptor.is_capability
+            if by_reference is None:
+                by_reference = _resolve_is_capability(descriptor)
+            if not by_reference:
+                self._write_object(value, descriptor)
+                return
         if self._write_capref(value):
             return
-        self._write_object(value)
+        self._write_object(value, None)
+
+    def _write_batched(self, int_tag, float_tag, items):
+        """Homogeneous int/float sequences cross as one batched pack
+        instead of per-element tag/value pairs.  Returns False (nothing
+        written) when the sequence is mixed, holds bools, or an element
+        overflows 64 bits — the caller then takes the per-element path."""
+        # type(items[0]) pre-filter: mixed sequences usually reveal
+        # themselves at element 0, skipping the full scan.
+        first = type(items[0])
+        if first is int:
+            if len(items) > 1 and set(map(type, items)) != _JUST_INT:
+                return False
+            try:
+                packed = _batch_struct("q", len(items)).pack(*items)
+            except struct.error:
+                return False  # an element overflows 64 bits
+            tag = int_tag
+        elif first is float:
+            if len(items) > 1 and set(map(type, items)) != _JUST_FLOAT:
+                return False
+            packed = _batch_struct("d", len(items)).pack(*items)
+            tag = float_tag
+        else:
+            return False
+        memo = self._memo
+        memo[id(items)] = len(memo)
+        buffer = self._buffer
+        buffer.append(tag)
+        buffer += _PACK_U32.pack(len(items))
+        buffer += packed
+        return True
 
     def _write_backref(self, value):
         index = self._memo.get(id(value))
@@ -299,9 +828,11 @@ class ObjectWriter:
             write(item)
 
     def _write_capref(self, value):
-        from .capability import Capability
-
-        if not isinstance(value, Capability):
+        global _Capability
+        if _Capability is None:
+            from .capability import Capability
+            _Capability = Capability
+        if not isinstance(value, _Capability):
             return False
         if self.capability_table is None:
             raise NotSerializableError(
@@ -312,8 +843,7 @@ class ObjectWriter:
         self.capability_table.append(value)
         return True
 
-    def _write_object(self, value):
-        descriptor = self.registry.lookup_class(type(value))
+    def _write_object(self, value, descriptor):
         if descriptor is None:
             if isinstance(value, BaseException):
                 descriptor = self._exception_fallback(value)
@@ -322,8 +852,12 @@ class ObjectWriter:
                     f"{type(value).__qualname__} is not registered as "
                     "serializable (use @serializable or @fast_copy)"
                 )
+        if self._compiled and descriptor.writer is not None:
+            descriptor.writer(self, value)
+            return
         memo = self._memo
-        memo[id(value)] = len(memo)
+        if not descriptor.acyclic:
+            memo[id(value)] = len(memo)
         buffer = self._buffer
         if descriptor.is_exception:
             buffer.append(_T_EXCEPTION)
@@ -357,11 +891,17 @@ class ObjectWriter:
 
 
 class ObjectReader:
-    """Deserializes bytes produced by :class:`ObjectWriter`."""
+    """Deserializes bytes produced by :class:`ObjectWriter`.
 
-    def __init__(self, data, registry=None, capability_table=None):
+    ``compiled=False`` disables the registration-time compiled class
+    readers (batched sequence tags are always understood — they are part
+    of the wire format, whoever wrote them)."""
+
+    def __init__(self, data, registry=None, capability_table=None,
+                 compiled=True):
         self.registry = registry or DEFAULT_REGISTRY
         self.capability_table = capability_table or []
+        self._compiled = compiled
         self._data = memoryview(data)
         self._offset = 0
         self._memo = []
@@ -423,15 +963,35 @@ class ObjectReader:
             if end > size:
                 raise NotSerializableError("truncated stream")
             self._offset = end
-            chunk = bytes(data[offset:end])
-            return chunk.decode("utf-8") if tag == _T_STR else chunk
+            if tag == _T_STR:
+                return str(data[offset:end], "utf-8")
+            return bytes(data[offset:end])
         if tag == _T_FLOAT:
             end = offset + 8
             if end > size:
                 raise NotSerializableError("truncated stream")
             self._offset = end
             return _PACK_F64.unpack(data[offset:end])[0]
+        if _T_INTLIST <= tag <= _T_FLOATTUPLE:
+            end = offset + 4
+            if end > size:
+                raise NotSerializableError("truncated stream")
+            count = _PACK_U32.unpack(data[offset:end])[0]
+            payload_end = end + 8 * count
+            if payload_end > size:
+                raise NotSerializableError("truncated stream")
+            kind = "q" if tag <= _T_INTTUPLE else "d"
+            unpacked = _batch_struct(kind, count).unpack(data[end:payload_end])
+            self._offset = payload_end
+            if tag == _T_INTLIST or tag == _T_FLOATLIST:
+                value = list(unpacked)
+            else:
+                value = unpacked
+            self._memo.append(value)
+            return value
         self._offset = offset
+        if tag == _T_OBJECT:
+            return self._read_object()
         if tag == _T_BIGINT:
             return int.from_bytes(self._raw(), "big", signed=True)
         if tag == _T_BYTEARRAY:
@@ -460,8 +1020,6 @@ class ObjectReader:
             return self.capability_table[self._u32()]
         if tag == _T_EXCEPTION:
             return self._read_exception()
-        if tag == _T_OBJECT:
-            return self._read_object()
         raise NotSerializableError(f"unknown tag {tag}")
 
     def _read_sequence(self, factory):
@@ -481,9 +1039,10 @@ class ObjectReader:
         return value
 
     def _read_exception(self):
-        name = self._raw().decode("utf-8")
-        descriptor = self.registry.lookup_name(name)
+        encoded = self._raw()
+        descriptor = self.registry.lookup_encoded(encoded)
         if descriptor is None:
+            name = encoded.decode("utf-8", "replace")
             raise NotSerializableError(f"unknown exception class {name!r}")
         args = None
         slot = len(self._memo)
@@ -494,12 +1053,29 @@ class ObjectReader:
         return value
 
     def _read_object(self):
-        name = self._raw().decode("utf-8")
-        descriptor = self.registry.lookup_name(name)
+        # Class names are matched on their raw UTF-8 bytes (no decode on
+        # the hot path); the registry keeps the encoded index.
+        data = self._data
+        size = len(data)
+        offset = self._offset
+        end = offset + 4
+        if end > size:
+            raise NotSerializableError("truncated stream")
+        length = _PACK_U32.unpack(data[offset:end])[0]
+        offset, end = end, end + length
+        if end > size:
+            raise NotSerializableError("truncated stream")
+        encoded = bytes(data[offset:end])
+        self._offset = end
+        descriptor = self.registry.lookup_encoded(encoded)
         if descriptor is None:
+            name = encoded.decode("utf-8", "replace")
             raise NotSerializableError(f"unknown class {name!r}")
+        if self._compiled and descriptor.reader is not None:
+            return descriptor.reader(self)
         value = descriptor.cls.__new__(descriptor.cls)
-        self._memo.append(value)
+        if not descriptor.acyclic:
+            self._memo.append(value)
         read = self.read
         raw = self._raw
         for _ in range(self._u32()):

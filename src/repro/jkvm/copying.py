@@ -6,65 +6,129 @@ the callee domain, applying the LRMI calling convention — capabilities
 and pass as-is, everything else is copied field by field.  New objects are
 charged to the current thread's domain tag, so copies land on the
 receiving domain's heap account.
+
+The copier is type-dispatched (exact ``JObject``/``JArray`` checks, no
+isinstance chains) and caches a *copy plan* on each :class:`RuntimeClass`
+the first time one of its instances crosses: strings and capability
+classes resolve to "share", other classes to the tuple of their
+reference-typed field slots.  Primitive-typed slots can never hold
+references, so a copy is one bulk ``fields[:]`` move plus per-slot
+recursion only over the cached reference slots.  The back-reference memo
+dict is allocated lazily — a leaf object (no reference slots) or a
+primitive array costs no hash-table work at all; the memo appears only
+once the graph recurses, which is when a second reference first becomes
+possible.
 """
 
 from __future__ import annotations
 
 from repro.jvm.interp import GuestUnwind
-from repro.jvm.values import JArray, JObject
+from repro.jvm.values import JArray, JObject, is_reference_descriptor
 
 ILLEGAL_ARGUMENT = "java/lang/IllegalArgumentException"
+
+#: copy_plan kinds cached on RuntimeClass.
+_SHARE = "share"
+_COPY = "copy"
+
+
+def _object_plan(vm, jkernel, jclass):
+    """Compute and cache the copy plan for one guest class."""
+    if jclass is vm.string_class:
+        plan = (_SHARE, None)  # immutable: sharing is unobservable
+    elif jclass.is_assignable_to(jkernel.capability_class):
+        plan = (_SHARE, None)  # capabilities pass by reference
+    else:
+        plan = (_COPY, tuple(
+            index
+            for index, field_def in enumerate(jclass.instance_field_defs)
+            if is_reference_descriptor(field_def.desc)
+        ))
+    jclass.copy_plan = plan
+    return plan
 
 
 def copy_value(vm, jkernel, thread, value, memo=None):
     """Deep copy one guest value per the calling convention."""
-    if value is None or isinstance(value, (int, float)):
+    value_type = type(value)
+    if value is None or value_type is int or value_type is float:
         return value
-    if memo is None:
-        memo = {}
-    return _copy(vm, jkernel, thread, value, memo)
+    return _copy_ref(vm, jkernel, thread, value, memo)
 
 
-def _copy(vm, jkernel, thread, value, memo):
-    hit = memo.get(id(value))
-    if hit is not None:
-        return hit
-    owner = thread.domain_tag
-    if isinstance(value, JArray):
-        copy = vm.heap.new_array(value.jclass, len(value.elems), owner=owner)
-        memo[id(value)] = copy
-        if value.jclass.element_class is None:
-            copy.elems[:] = value.elems
-        else:
-            copy.elems[:] = [
-                None if elem is None else _copy(vm, jkernel, thread, elem, memo)
-                for elem in value.elems
-            ]
-        return copy
-    if isinstance(value, JObject):
-        if value.jclass is vm.string_class:
-            return value  # immutable: sharing is unobservable
-        if value.jclass.is_assignable_to(jkernel.capability_class):
-            return value  # capabilities pass by reference
-        if value.native is not None:
-            raise GuestUnwind(
-                vm.make_throwable(
-                    ILLEGAL_ARGUMENT,
-                    f"native-backed {value.jclass.name} cannot cross domains",
-                    owner=owner,
-                )
-            )
-        copy = vm.heap.new_object(value.jclass, owner=owner)
-        memo[id(value)] = copy
-        copy.fields[:] = [
-            field if field is None or isinstance(field, (int, float))
-            else _copy(vm, jkernel, thread, field, memo)
-            for field in value.fields
-        ]
-        return copy
+def _copy_ref(vm, jkernel, thread, value, memo):
+    """Recurse into one non-null reference slot/element."""
+    if type(value) is JObject:
+        return _copy_object(vm, jkernel, thread, value, memo)
+    if type(value) is JArray:
+        return _copy_array(vm, jkernel, thread, value, memo)
     raise GuestUnwind(
         vm.make_throwable(
-            ILLEGAL_ARGUMENT, f"uncopyable host value {type(value).__name__}",
-            owner=owner,
+            ILLEGAL_ARGUMENT,
+            f"uncopyable host value {type(value).__name__}",
+            owner=thread.domain_tag,
         )
     )
+
+
+def _copy_object(vm, jkernel, thread, value, memo):
+    jclass = value.jclass
+    plan = jclass.copy_plan
+    if plan is None:
+        plan = _object_plan(vm, jkernel, jclass)
+    kind, ref_slots = plan
+    if kind is _SHARE:
+        return value
+    if value.native is not None:
+        raise GuestUnwind(
+            vm.make_throwable(
+                ILLEGAL_ARGUMENT,
+                f"native-backed {jclass.name} cannot cross domains",
+                owner=thread.domain_tag,
+            )
+        )
+    if memo is not None:
+        hit = memo.get(id(value))
+        if hit is not None:
+            return hit
+    copy = vm.heap.new_object(jclass, owner=thread.domain_tag)
+    fields = value.fields
+    copy.fields[:] = fields  # primitives move in bulk; refs fixed up below
+    if ref_slots:
+        if memo is None:
+            memo = {}
+        memo[id(value)] = copy
+        copy_fields = copy.fields
+        for index in ref_slots:
+            field = fields[index]
+            if field is not None:
+                copy_fields[index] = _copy_ref(
+                    vm, jkernel, thread, field, memo
+                )
+    elif memo is not None:
+        memo[id(value)] = copy
+    return copy
+
+
+def _copy_array(vm, jkernel, thread, value, memo):
+    if memo is not None:
+        hit = memo.get(id(value))
+        if hit is not None:
+            return hit
+    jclass = value.jclass
+    elems = value.elems
+    copy = vm.heap.new_array(jclass, len(elems), owner=thread.domain_tag)
+    if jclass.element_class is None:
+        copy.elems[:] = elems  # primitive elements: one bulk move
+        if memo is not None:
+            memo[id(value)] = copy
+        return copy
+    if memo is None:
+        memo = {}
+    memo[id(value)] = copy
+    copy.elems[:] = [
+        None if elem is None
+        else _copy_ref(vm, jkernel, thread, elem, memo)
+        for elem in elems
+    ]
+    return copy

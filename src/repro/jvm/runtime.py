@@ -51,6 +51,7 @@ class RuntimeClass:
         "native_bindings",
         "itables",
         "initialized",
+        "copy_plan",
     )
 
     def __init__(self, name, classfile, loader, superclass, interfaces):
@@ -75,6 +76,7 @@ class RuntimeClass:
         self.native_bindings = {}  # (name, desc) -> python callable
         self.itables = {}  # interface RuntimeClass -> {(name, desc) -> vtable idx}
         self.initialized = False
+        self.copy_plan = None  # cached by repro.jkvm.copying on first crossing
 
     def __repr__(self):
         loader_name = getattr(self.loader, "name", "<boot>")

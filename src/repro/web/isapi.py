@@ -42,8 +42,10 @@ class IsapiBridge:
                 503, {"Content-Type": "text/plain"},
                 f"servlet unavailable: {exc}".encode("utf-8"),
             )
+        # The response already crossed the domain boundary, so its headers
+        # dict is a private copy — no defensive re-copy needed.
         return Response(
             servlet_response.status,
-            dict(servlet_response.headers),
+            servlet_response.headers,
             servlet_response.body,
         )

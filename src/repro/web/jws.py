@@ -13,6 +13,7 @@ guest heap.
 
 from __future__ import annotations
 
+import array as _array
 import socket
 import threading
 
@@ -203,8 +204,9 @@ def _handler_classfile():
     return ca.build()
 
 
-def _signed(byte):
-    return byte - 256 if byte >= 128 else byte
+def _signed_list(data):
+    """Bytes -> list of signed guest byte values, via one C-level cast."""
+    return memoryview(data).cast("b").tolist()
 
 
 class JWSServer:
@@ -232,7 +234,7 @@ class JWSServer:
         array = self.vm.heap.new_array(
             self._byte_array_class, len(data), owner="jws"
         )
-        array.elems[:] = [_signed(byte) for byte in data]
+        array.elems[:] = _signed_list(data)
         return array
 
     def _install_documents(self, documents):
@@ -290,7 +292,12 @@ class JWSServer:
                 )
             except JThrowable:
                 return _BAD_REQUEST
-            return bytes((value & 0xFF) for value in response.elems)
+            try:
+                # Guest byte arrays hold i8-wrapped values; one C-level
+                # pack beats a per-byte mask loop.
+                return _array.array("b", response.elems).tobytes()
+            except (OverflowError, TypeError):
+                return bytes((value & 0xFF) for value in response.elems)
 
     # -- sockets --------------------------------------------------------------------
     def start(self):

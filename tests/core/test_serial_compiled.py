@@ -1,0 +1,481 @@
+"""The compiled transfer layer: registration-time writers/readers, batched
+sequence tags, buffer pooling/reentrancy, and acyclic wire mode — all
+asserted equivalent to the fully generic serializer path."""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import NotSerializableError, dumps, loads, serializable
+from repro.core.serial import (
+    DEFAULT_REGISTRY,
+    ObjectReader,
+    ObjectWriter,
+    SerialRegistry,
+)
+
+
+def generic_dumps(value, registry=None):
+    return ObjectWriter(registry, compiled=False).dumps(value)
+
+
+def generic_loads(data, registry=None):
+    return ObjectReader(data, registry, compiled=False).loads()
+
+
+@serializable(fields=("a", "b", "c", "label", "blob", "extra"))
+class Typed:
+    a: int
+    b: int
+    c: float
+    label: str
+    blob: bytes
+
+    def __init__(self, a=1, b=2, c=3.0, label="x", blob=b"y", extra=None):
+        self.a, self.b, self.c = a, b, c
+        self.label, self.blob, self.extra = label, blob, extra
+
+
+@serializable
+class Node:
+    def __init__(self, value=None, link=None):
+        self.value = value
+        self.link = link
+
+
+@serializable(fields=("payload",), acyclic=True)
+class AcyclicBox:
+    def __init__(self, payload):
+        self.payload = payload
+
+
+class TestCompiledGeneration:
+    def test_registration_compiles_writer_and_reader(self):
+        descriptor = DEFAULT_REGISTRY.lookup_class(Typed)
+        assert descriptor.writer is not None
+        assert descriptor.reader is not None
+        assert "def _write_Typed" in descriptor.writer_source
+        assert "def _read_Typed" in descriptor.reader_source
+
+    def test_contiguous_numeric_fields_batch_into_one_struct(self):
+        descriptor = DEFAULT_REGISTRY.lookup_class(Typed)
+        # a, b, c collapse into one multi-field pack with a single
+        # combined type check.
+        assert "type(v0) is int and type(v1) is int and type(v2) is float" \
+            in descriptor.writer_source
+        assert descriptor.writer_source.count("except _PackError") == 1
+
+    def test_dict_state_classes_stay_generic(self):
+        descriptor = DEFAULT_REGISTRY.lookup_class(Node)
+        assert descriptor.fields is None
+        assert descriptor.writer is None
+
+
+class TestWireCompatibility:
+    """Compiled and generic paths are two implementations of one wire
+    format: each side must read the other's bytes."""
+
+    def payloads(self):
+        return [
+            Typed(),
+            Typed(a=2**100, b=-1, c=float("inf"), label="üñï ✓",
+                  blob=b"\x00\xff", extra=[1, "mixed", None]),
+            Typed(a="not an int", b=None, c="nope", label=7, blob=3.5),
+            {"k": [Typed(), {"nested": (1.5, "s")}]},
+            ValueError("boom", 7),
+        ]
+
+    def test_compiled_reads_generic_bytes(self):
+        for payload in self.payloads():
+            data = generic_dumps(payload)
+            assert _same_shape(loads(data), payload)
+
+    def test_generic_reads_compiled_bytes(self):
+        for payload in self.payloads():
+            data = dumps(payload)
+            assert _same_shape(generic_loads(data), payload)
+
+    def test_byte_identical_without_batched_sequences(self):
+        # Payloads with no homogeneous int/float sequences produce the
+        # exact same bytes through either writer.
+        for payload in [
+            Typed(), {"a": Typed(label="z")}, ("s", 1, 2.5, None, b"b"),
+        ]:
+            assert dumps(payload) == generic_dumps(payload)
+
+    def test_batched_sequences_round_trip_types(self):
+        for payload in [
+            [1, 2, 3], (4, 5, 6), [1.5, 2.5], (0.0, -0.0),
+            [True, False], [1, True], [2**70, 1], [1, 2.0],
+        ]:
+            copy = loads(dumps(payload))
+            assert copy == payload
+            assert [type(item) for item in copy] \
+                == [type(item) for item in payload]
+
+
+class TestSharingAndCycles:
+    def test_dag_sharing_preserved(self):
+        shared = Typed(label="shared")
+        copy = loads(dumps([shared, shared, [shared]]))
+        assert copy[0] is copy[1]
+        assert copy[2][0] is copy[0]
+
+    def test_shared_batched_list_preserved(self):
+        inner = [1, 2, 3]
+        copy = loads(dumps({"x": inner, "y": inner}))
+        assert copy["x"] is copy["y"]
+
+    def test_object_cycle(self):
+        node = Node("head")
+        node.link = Node("tail", node)
+        copy = loads(dumps(node))
+        assert copy.link.link is copy
+
+    def test_cycle_through_compiled_class(self):
+        box = Typed()
+        box.extra = {"self": box}
+        copy = loads(dumps(box))
+        assert copy.extra["self"] is copy
+
+
+class TestAcyclicMode:
+    def test_round_trip(self):
+        copy = loads(dumps(AcyclicBox([1, "two"])))
+        assert copy.payload == [1, "two"]
+
+    def test_no_memo_entry_means_duplication_not_backref(self):
+        box = AcyclicBox([1])
+        copy = loads(dumps([box, box]))
+        assert copy[0] is not copy[1]  # opt-in: sharing is not tracked
+        assert copy[0].payload == copy[1].payload
+
+    def test_generic_path_agrees_on_the_wire(self):
+        box = AcyclicBox((1, "s"))
+        assert generic_loads(dumps([box, box]))[1].payload == (1, "s")
+        assert loads(generic_dumps([box, box]))[1].payload == (1, "s")
+
+    def test_backrefs_after_acyclic_object_stay_aligned(self):
+        shared = [1, "x"]
+        value = [AcyclicBox(0), shared, shared]
+        for data in (dumps(value), generic_dumps(value)):
+            for copy in (loads(data), generic_loads(data)):
+                assert copy[1] is copy[2]
+
+
+class TestContainerHandlerAliasing:
+    """The convention-layer structural container handlers must preserve
+    the same within-transfer aliasing the serializer path always did."""
+
+    def test_shared_bytearray_in_list(self):
+        from repro.core import transfer
+
+        shared = bytearray(b"x")
+        copy = transfer([shared, shared])
+        assert copy[0] is copy[1]
+        assert copy[0] is not shared
+
+    def test_shared_serializable_instance_copies_once(self):
+        from repro.core import transfer
+
+        node = Node("payload")
+        copy = transfer([node, {"again": node}])
+        assert copy[0] is copy[1]["again"]
+        assert copy[0] is not node
+
+    def test_shared_substructure_across_set_elements(self):
+        from repro.core import fast_copy, transfer
+
+        @fast_copy(fields=("value",))
+        class FcNode:
+            def __init__(self, value):
+                self.value = value
+
+        shared = bytearray(b"s")
+        copy = transfer({FcNode(shared), FcNode(shared)})
+        values = [element.value for element in copy]
+        assert values[0] is values[1]
+        assert values[0] is not shared
+
+    def test_shared_substructure_across_frozenset_elements(self):
+        from repro.core import fast_copy, transfer
+
+        @fast_copy(fields=("value",))
+        class FzNode:
+            def __init__(self, value):
+                self.value = value
+
+        shared = bytearray(b"f")
+        copy = transfer(frozenset({FzNode(shared), FzNode(shared)}))
+        values = [element.value for element in copy]
+        assert values[0] is values[1]
+
+    def test_fast_mode_shared_bytearray(self):
+        from repro.core import transfer
+
+        shared = bytearray(b"y")
+        copy = transfer([shared, {"k": shared}], mode="fast")
+        assert copy[0] is copy[1]["k"]
+
+    def test_shared_mixed_frozenset_copies_once(self):
+        from repro.core import transfer
+
+        mixed = frozenset({Node("n")})
+        copy = transfer([mixed, mixed])
+        assert copy[0] is copy[1]
+
+    def test_spoofed_class_attribute_cannot_cross_by_reference(self):
+        from repro.core import fast_copy, transfer
+
+        class Liar:
+            # Claims to be an int via __class__; type() knows better.
+            @property
+            def __class__(self):
+                return int
+
+        @fast_copy(fields=("inner",))
+        class Carrier:
+            def __init__(self, inner):
+                self.inner = inner
+
+        with pytest.raises(NotSerializableError):
+            transfer(Carrier(Liar()))
+
+        @fast_copy
+        class DictCarrier:
+            def __init__(self, inner):
+                self.inner = inner
+
+        with pytest.raises(NotSerializableError):
+            transfer(DictCarrier(Liar()))
+
+
+class TestSubclasses:
+    def test_container_subclasses_copy_structurally(self):
+        from repro.core import transfer
+
+        class MyList(list):
+            pass
+
+        for mode in ("fast", "auto"):
+            copied = transfer([MyList([1, 2])], mode=mode)
+            assert copied[0] == [1, 2]
+            assert type(copied[0]) is MyList
+            assert copied[0] is not None
+
+    def test_dict_subclasses_copy_via_dict_protocol(self):
+        import collections
+
+        from repro.core import transfer
+
+        counter = collections.Counter({"a": 5, "b": 2})
+        ordered = collections.OrderedDict([("x", [1]), ("y", 2)])
+        for mode in ("fast", "auto"):
+            copied = transfer(counter, mode=mode)
+            assert copied == counter  # counts survive, not key-iteration
+            assert type(copied) is collections.Counter
+            copied = transfer(ordered, mode=mode)
+            assert copied == ordered
+            assert type(copied) is collections.OrderedDict
+            assert copied["x"] is not ordered["x"]
+
+    def test_serializable_capability_subclass_stays_by_reference(self):
+        from repro.core import Capability, Domain, Remote
+
+        class Iface(Remote):
+            def poke(self): ...
+
+        class Impl(Iface):
+            def poke(self):
+                return "live"
+
+        cap = Capability.create(Impl(), domain=Domain("capser"))
+        serializable(type(cap), name="test.StubByValue?")
+        try:
+            table = []
+            data = dumps({"cap": cap}, capability_table=table)
+            copy = loads(data, capability_table=table)
+            assert copy["cap"] is cap  # by reference, never byte-encoded
+            with pytest.raises(NotSerializableError, match="outside an LRMI"):
+                dumps(cap)
+        finally:
+            registry = DEFAULT_REGISTRY
+            descriptor = registry.lookup_class(type(cap))
+            del registry._by_class[type(cap)]
+            del registry._by_name[descriptor.name]
+            del registry._by_encoded[descriptor.name.encode("utf-8")]
+
+    def test_subclass_of_registered_class_rejected(self):
+        class Sub(Typed):
+            pass
+
+        with pytest.raises(NotSerializableError, match="not registered"):
+            dumps(Sub())
+        with pytest.raises(NotSerializableError, match="not registered"):
+            generic_dumps(Sub())
+
+
+class TestReaderFallback:
+    def test_mismatched_registration_falls_back_to_stream_names(self):
+        class Swapped:
+            def __init__(self, first, second):
+                self.first = first
+                self.second = second
+
+        writer_side = SerialRegistry()
+        writer_side.register(Swapped, name="fb.Swapped",
+                             fields=("first", "second"))
+        reader_side = SerialRegistry()
+        reader_side.register(Swapped, name="fb.Swapped",
+                             fields=("second", "first"))
+
+        data = ObjectWriter(writer_side).dumps(Swapped(1, "two"))
+        copy = ObjectReader(data, reader_side).loads()
+        assert copy.first == 1
+        assert copy.second == "two"
+
+    def test_fallback_keeps_backref_indices_aligned(self):
+        class Holder:
+            def __init__(self, inner, tail):
+                self.inner = inner
+                self.tail = tail
+
+        writer_side = SerialRegistry()
+        writer_side.register(Holder, name="fb.Holder",
+                             fields=("inner", "tail"))
+        reader_side = SerialRegistry()
+        reader_side.register(Holder, name="fb.Holder",
+                             fields=("tail", "inner"))
+
+        shared = ["s"]
+        data = ObjectWriter(writer_side).dumps(
+            [Holder(shared, 1), shared]
+        )
+        copy = ObjectReader(data, reader_side).loads()
+        assert copy[0].inner is copy[1]
+
+
+class TestReentrancy:
+    def test_nested_dumps_during_write_does_not_corrupt(self):
+        probe = {}
+
+        @serializable(fields=("trigger", "tail"))
+        class Reentrant:
+            def __init__(self):
+                self._trigger = "armed"
+                self._tail = 99
+
+            @property
+            def trigger(self):
+                # A field read that serializes something else mid-write —
+                # the shape of a capability stub invoked during an LRMI
+                # argument copy.
+                probe["nested"] = dumps([1, 2, 3])
+                return "fired"
+
+            @trigger.setter
+            def trigger(self, value):
+                self._trigger = value
+
+            @property
+            def tail(self):
+                return self._tail
+
+            @tail.setter
+            def tail(self, value):
+                self._tail = value
+
+        copy = loads(dumps(Reentrant()))
+        assert copy._trigger == "fired"
+        assert copy._tail == 99
+        assert loads(probe["nested"]) == [1, 2, 3]
+
+    def test_same_writer_instance_is_reusable(self):
+        writer = ObjectWriter()
+        first = writer.dumps([1, "a"])
+        second = writer.dumps([1, "a"])
+        assert first == second
+        assert loads(second) == [1, "a"]
+
+    def test_concurrent_dumps_across_threads(self):
+        payloads = [
+            [index, "x" * index, {"n": index}] for index in range(8)
+        ]
+        failures = []
+
+        def worker(payload):
+            try:
+                for _ in range(200):
+                    if loads(dumps(payload)) != payload:
+                        failures.append(payload)
+                        return
+            except Exception as exc:  # pragma: no cover - diagnostic
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(payload,))
+            for payload in payloads
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+
+
+_values = st.recursive(
+    st.none() | st.booleans()
+    | st.integers(min_value=-(2**70), max_value=2**70)
+    | st.floats(allow_nan=False) | st.text(max_size=12)
+    | st.binary(max_size=12),
+    lambda children: st.lists(children, max_size=4)
+    | st.tuples(children, children)
+    | st.dictionaries(st.text(max_size=4), children, max_size=4)
+    | st.builds(lambda v: Typed(extra=v), children)
+    | st.builds(Node, children),
+    max_leaves=24,
+)
+
+
+class TestProperties:
+    @settings(max_examples=120, deadline=None)
+    @given(_values)
+    def test_compiled_round_trip_equals_generic_round_trip(self, value):
+        via_compiled = loads(dumps(value))
+        via_generic = generic_loads(generic_dumps(value))
+        assert _same_shape(via_compiled, via_generic)
+
+    @settings(max_examples=60, deadline=None)
+    @given(_values)
+    def test_cross_mode_streams_interchangeable(self, value):
+        assert _same_shape(loads(generic_dumps(value)),
+                           generic_loads(dumps(value)))
+
+    @settings(max_examples=60, deadline=None)
+    @given(_values)
+    def test_deterministic(self, value):
+        assert dumps(value) == dumps(value)
+
+
+def _same_shape(a, b):
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, Typed):
+        return (a.a, a.b, a.c, a.label, a.blob) \
+            == (b.a, b.b, b.c, b.label, b.blob) \
+            and _same_shape(a.extra, b.extra)
+    if isinstance(a, Node):
+        return _same_shape(a.value, b.value) and _same_shape(a.link, b.link)
+    if isinstance(a, (list, tuple)):
+        return len(a) == len(b) and all(
+            _same_shape(x, y) for x, y in zip(a, b)
+        )
+    if isinstance(a, dict):
+        return a.keys() == b.keys() and all(
+            _same_shape(a[key], b[key]) for key in a
+        )
+    if isinstance(a, BaseException):
+        return a.args == b.args
+    return a == b
