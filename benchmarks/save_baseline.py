@@ -19,7 +19,10 @@ Measured (hosted-core hot paths plus context costs):
 * fast-copy vs serializer transfer µs for the canonical 100-byte payload,
 * all four Table 4 payload shapes through a real LRMI, per mechanism,
 * host double thread switch µs (what each LRMI would cost without
-  thread segments).
+  thread segments),
+* the *enforced* (MiniJVM) null LRMI µs — generated-bytecode stub through
+  the verified J-Kernel on the sunvm profile, the Table 1/Table 6 row —
+  so the VM-level fast path is regression-gated alongside the hosted one.
 """
 
 from __future__ import annotations
@@ -31,7 +34,12 @@ from datetime import datetime, timezone
 from pathlib import Path
 
 from repro.bench.timer import measure
-from repro.bench.workloads import Chunk, Table3Fixture, Table4Fixture
+from repro.bench.workloads import (
+    Chunk,
+    Table1Fixture,
+    Table3Fixture,
+    Table4Fixture,
+)
 from repro.core import Capability, Domain, Remote, transfer
 
 #: Allowed slowdown vs the recorded baseline before --check fails.
@@ -80,6 +88,10 @@ def collect(min_time=0.1):
 
     double_switch = Table3Fixture.host_double_switch_us(2000)
 
+    vm_fixture = Table1Fixture("sunvm")
+    vm_fixture.lrmi_us(batch=200)  # warm inline caches + pooled segments
+    vm_null_lrmi = vm_fixture.lrmi_us(batch=1000)
+
     return {
         "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "python": platform.python_version(),
@@ -93,10 +105,14 @@ def collect(min_time=0.1):
         "lrmi_fastcopy_100B_us": round(lrmi_fast_100, 3),
         "table4": table4_rows,
         "host_double_thread_switch_us": round(double_switch, 3),
+        "vm_null_lrmi_us": round(vm_null_lrmi, 3),
         "shape": {
             "double_switch_over_null_lrmi": round(double_switch / null_lrmi, 1),
             "serial_over_fastcopy_100B": round(
                 lrmi_serial_100 / max(lrmi_fast_100, 1e-9), 2
+            ),
+            "vm_over_hosted_null_lrmi": round(
+                vm_null_lrmi / max(null_lrmi, 1e-9), 1
             ),
         },
     }

@@ -6,7 +6,9 @@ real MiniJVM bytecode performing the cross-domain calling convention:
 1. revocation check (``target`` field null → throw ``jk/RevokedException``),
 2. segment switch (``jk/Kernel.enterSegment`` — thread-info lookup plus the
    two lock pairs, through the VM profile's monitor implementation),
-3. per-argument copy for reference arguments (``jk/Kernel.copyValue``),
+3. per-argument copy for mutable reference arguments
+   (``jk/Kernel.copyValue``); primitives and provably-immutable ``String``
+   arguments pass directly,
 4. ``INVOKEVIRTUAL`` on the target,
 5. result copy (reference results),
 6. segment restore (``jk/Kernel.exitSegment``) — guaranteed by an
@@ -54,6 +56,15 @@ REVOKED = "jk/RevokedException"
 
 TARGET_FIELD = "target"
 DOMAIN_FIELD = "domainHandle"
+
+#: Reference descriptors whose values are provably immutable, so the stub
+#: may pass them across domains by reference without a ``copyValue`` call.
+#: Sound because the loader rejects subclasses of final classes: a slot
+#: verified as ``String`` can only ever hold exactly a ``java/lang/String``
+#: (or null), and those are immutable by construction.  The copy native
+#: would share them anyway; skipping it removes a native round-trip per
+#: argument.
+_IMMUTABLE_REF_DESCS = frozenset(("Ljava/lang/String;",))
 
 
 def remote_interfaces_of(rtclass, remote_class):
@@ -141,10 +152,13 @@ def _emit_stub_method(ca, target_class, name, desc):
 
     protected_start = m.here()
 
-    # 3. arguments: copy references, pass primitives
+    # 3. arguments: copy mutable references; pass primitives and provably
+    #    immutable references (String) directly
     slot = 1
     for arg_desc in args:
-        if is_reference_descriptor(arg_desc):
+        if arg_desc in _IMMUTABLE_REF_DESCS:
+            m.emit(ALOAD, slot)
+        elif is_reference_descriptor(arg_desc):
             m.emit(ALOAD, slot)
             m.emit(INVOKESTATIC, KERNEL, "copyValue",
                    "(Ljava/lang/Object;)Ljava/lang/Object;")
@@ -158,8 +172,8 @@ def _emit_stub_method(ca, target_class, name, desc):
     # 4. the call
     m.emit(INVOKEVIRTUAL, target_class.name, name, desc)
 
-    # 5. result copy
-    if is_reference_descriptor(ret):
+    # 5. result copy (immutable reference results pass as-is)
+    if is_reference_descriptor(ret) and ret not in _IMMUTABLE_REF_DESCS:
         m.emit(INVOKESTATIC, KERNEL, "copyValue",
                "(Ljava/lang/Object;)Ljava/lang/Object;")
         m.emit(CHECKCAST, _cast_operand(ret))

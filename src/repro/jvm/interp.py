@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from .dispatch import DispatchError
 from .values import OBJECT, i8, i32
+from .threads import BLOCKED, RUNNABLE, TERMINATED, Frame
 
 # Sentinel returned by a native method that must block and be retried.
 NATIVE_BLOCKED = object()
@@ -32,25 +33,48 @@ UNSATISFIED_LINK = "java/lang/UnsatisfiedLinkError"
 
 
 class GuestUnwind(Exception):
-    """A guest exception in flight inside the interpreter."""
+    """A guest exception in flight inside the interpreter.
 
-    __slots__ = ("jobject",)
+    ``ticks`` is how many instruction slots the raiser accounts for —
+    normally 1 (the faulting instruction), but a superinstruction that
+    faults midway reports its completed sub-instructions too, keeping
+    retired-tick accounting identical across dispatch tiers.
+    """
 
-    def __init__(self, jobject):
+    __slots__ = ("jobject", "ticks")
+
+    def __init__(self, jobject, ticks=1):
         self.jobject = jobject
+        self.ticks = ticks
 
 
 class Interpreter:
+    """Drives guest threads through one of two dispatch tiers.
+
+    ``use_threaded`` selects between the specialized per-method
+    closure streams compiled at link time (:mod:`repro.jvm.threaded`,
+    the default) and the generic decoder in :meth:`_execute`.  The two
+    tiers are behaviourally identical; the flag exists for differential
+    testing and for embedders that want the simpler decoder.
+    """
+
     def __init__(self, vm):
         self.vm = vm
         self.instructions_retired = 0
+        self.use_threaded = True
 
     # -- driving ---------------------------------------------------------
     def step(self, thread, max_instrs):
-        """Execute up to ``max_instrs`` instructions of ``thread``."""
-        executed = 0
-        from .threads import RUNNABLE, TERMINATED
+        """Execute up to ``max_instrs`` instructions of ``thread``.
 
+        Threaded-code closures return how many instruction slots they
+        retired (superinstructions cover several), so tick accounting
+        matches the generic tier; a fused tail may overshoot the budget
+        by at most the width of one superinstruction.
+        """
+        executed = 0
+        use_threaded = self.use_threaded
+        frames = thread.frames
         while executed < max_instrs:
             if thread.state != RUNNABLE or thread.suspended:
                 break
@@ -60,15 +84,20 @@ class Interpreter:
                 executed += 1
                 self._deliver(thread, jobject)
                 continue
-            if not thread.frames:
+            if not frames:
                 thread.state = TERMINATED
                 break
-            frame = thread.frames[-1]
+            frame = frames[-1]
+            stream = frame.threaded if use_threaded else None
             try:
-                self._execute(thread, frame)
+                if stream is not None:
+                    executed += stream[frame.pc](thread, frame) or 1
+                else:
+                    self._execute(thread, frame)
+                    executed += 1
             except GuestUnwind as unwind:
+                executed += unwind.ticks
                 self._deliver(thread, unwind.jobject)
-            executed += 1
             if thread.yielded:
                 thread.yielded = False
                 break
@@ -85,8 +114,6 @@ class Interpreter:
         raise GuestUnwind(jobject)
 
     def _deliver(self, thread, jobject):
-        from .threads import TERMINATED
-
         top = True
         while thread.frames:
             frame = thread.frames[-1]
@@ -142,8 +169,6 @@ class Interpreter:
         if total_args:
             del stack[len(stack) - total_args:]
         frame.pc += 1
-        from .threads import Frame
-
         thread.frames.append(Frame(owner, method, args))
 
     # -- the big switch --------------------------------------------------------
@@ -519,8 +544,6 @@ class Interpreter:
         elif op == "return":
             thread.frames.pop()
             if not thread.frames:
-                from .threads import TERMINATED
-
                 thread.result = None
                 thread.state = TERMINATED
         elif op in ("ireturn", "areturn", "dreturn"):
@@ -529,8 +552,6 @@ class Interpreter:
             if thread.frames:
                 thread.frames[-1].stack.append(value)
             else:
-                from .threads import TERMINATED
-
                 thread.result = value
                 thread.state = TERMINATED
 
@@ -548,8 +569,6 @@ class Interpreter:
                 stack.pop()
                 frame.pc += 1
             else:
-                from .threads import BLOCKED
-
                 thread.state = BLOCKED
                 thread.blocked_on = target
         elif op == "monitorexit":

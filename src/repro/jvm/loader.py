@@ -20,9 +20,10 @@ J-Kernel shares remote interfaces and fast-copy classes between domains.
 
 from __future__ import annotations
 
-from .classfile import ClassFile, check_classfile
+from .classfile import ACC_FINAL, ClassFile, check_classfile
 from .errors import ClassNotFoundError, LinkageError
 from .runtime import RuntimeClass, link_class
+from .threaded import compile_class
 
 
 class Resolver:
@@ -167,6 +168,14 @@ class ClassLoader:
                     raise LinkageError(
                         f"{name} extends non-class {superclass.name}"
                     )
+                if superclass.classfile is not None and \
+                        superclass.classfile.flags & ACC_FINAL:
+                    # Final means final: immutability arguments elsewhere
+                    # (e.g. the stub generator sharing String arguments)
+                    # rely on final system classes having no subclasses.
+                    raise LinkageError(
+                        f"{name} extends final class {superclass.name}"
+                    )
             interfaces = [self.load(iface) for iface in classfile.interfaces]
             rtclass = link_class(
                 classfile,
@@ -182,6 +191,10 @@ class ClassLoader:
 
                     verify_class(self.vm, rtclass)
                 self.vm.natives.bind_class(rtclass)
+                # Specialized dispatch tier: decode every method body once,
+                # now that verification has vouched for it.
+                if self.vm.threaded_code:
+                    compile_class(self.vm, rtclass)
             except Exception:
                 del self.namespace[name]
                 raise

@@ -34,8 +34,9 @@ class VM:
     """One MiniJVM instance."""
 
     def __init__(self, profile="sunvm", verify=True, intern_weak=False,
-                 quantum=None):
+                 quantum=None, threaded_code=True):
         self.profile = get_profile(profile)
+        self.threaded_code = threaded_code
         self.heap = Heap()
         self.natives = NativeRegistry()
         install_core_natives(self.natives)
@@ -47,6 +48,7 @@ class VM:
             thread_lookup=self.profile.thread_lookup,
         )
         self.interpreter = Interpreter(self)
+        self.interpreter.use_threaded = threaded_code
         self.intern_weak = intern_weak
         self.interned = {}
         self.pinned = set()  # host-held GC roots

@@ -52,6 +52,7 @@ class RuntimeClass:
         "itables",
         "initialized",
         "copy_plan",
+        "code_streams",
     )
 
     def __init__(self, name, classfile, loader, superclass, interfaces):
@@ -77,6 +78,7 @@ class RuntimeClass:
         self.itables = {}  # interface RuntimeClass -> {(name, desc) -> vtable idx}
         self.initialized = False
         self.copy_plan = None  # cached by repro.jkvm.copying on first crossing
+        self.code_streams = {}  # (name, desc) -> threaded-code stream
 
     def __repr__(self):
         loader_name = getattr(self.loader, "name", "<boot>")

@@ -29,16 +29,25 @@ MAX_PRIORITY = 10
 
 
 class Frame:
-    """One activation record of guest code."""
+    """One activation record of guest code.
 
-    __slots__ = ("rtclass", "method", "code", "locals", "stack", "pc")
+    ``threaded`` is the method's compiled closure stream (the specialized
+    dispatch tier, :mod:`repro.jvm.threaded`) or ``None`` when only the
+    generic decoder is available for this method.
+    """
+
+    __slots__ = ("rtclass", "method", "code", "locals", "stack", "pc",
+                 "threaded")
 
     def __init__(self, rtclass, method, args):
         self.rtclass = rtclass
         self.method = method
         self.code = method.code
+        self.threaded = rtclass.code_streams.get((method.name, method.desc))
         local_slots = list(args)
-        local_slots += [None] * (method.max_locals - len(local_slots))
+        pad = method.max_locals - len(local_slots)
+        if pad > 0:
+            local_slots += [None] * pad
         self.locals = local_slots
         self.stack = []
         self.pc = 0
@@ -71,6 +80,7 @@ class ThreadContext:
         "uncaught",
         "last_scheduled",
         "segments",
+        "segment_pool",
         "yielded",
     )
 
@@ -92,6 +102,7 @@ class ThreadContext:
         self.uncaught = None
         self.last_scheduled = 0
         self.segments = []  # used by repro.jkvm thread segments
+        self.segment_pool = []  # retired _VMSegments kept for reuse
         self.yielded = False
 
     @property

@@ -19,11 +19,19 @@ def profile(request):
     return request.param
 
 
+@pytest.fixture(params=["threaded", "generic"])
+def dispatch_tier(request):
+    """Parametrize over the interpreter's two dispatch tiers, so every
+    ``vm``-fixture test doubles as a threaded-vs-generic differential."""
+    return request.param
+
+
 @pytest.fixture()
-def vm(profile):
+def vm(profile, dispatch_tier):
     from tests.support import fresh_vm
 
-    return fresh_vm(profile=profile)
+    return fresh_vm(profile=profile,
+                    threaded_code=(dispatch_tier == "threaded"))
 
 
 @pytest.fixture()

@@ -227,6 +227,64 @@ class TestLrmiSemantics:
         threads = [t for t in kernel.vm.scheduler.threads]
         assert all(not t.segments for t in threads)
 
+    def test_heap_tag_restored_after_callee_athrow(self, world):
+        """Regression: the stub's exception handler restores the caller's
+        segment, so an allocation made right after *catching* a callee
+        ATHROW must be charged to the caller's heap tag, not the callee's.
+        """
+        kernel, server, client, _, _ = world
+        thrower_iface = interface(
+            "svc/Thrower2", [("boom", "()I")], extends=("jk/Remote",)
+        )
+        ca = ClassAssembler("svc/Thrower2Impl",
+                            interfaces=("svc/Thrower2", "jk/Remote"))
+        with ca.method(CONSTRUCTOR_NAME, "()V") as m:
+            m.emit(ALOAD, 0)
+            m.emit(INVOKESPECIAL, "java/lang/Object", CONSTRUCTOR_NAME,
+                   "()V")
+            m.emit(RETURN)
+        with ca.method("boom", "()I") as m:
+            m.emit("new", "java/lang/IllegalStateException")
+            m.emit("dup")
+            m.emit(INVOKESPECIAL, "java/lang/IllegalStateException",
+                   "<init>", "()V")
+            m.emit("athrow")
+        server.define([thrower_iface, ca.build()])
+        target = kernel.vm.construct(server.load("svc/Thrower2Impl"),
+                                     domain_tag=server.tag)
+        cap = server.create_capability(target)
+        client.share_from(server, "svc/Thrower2")
+        drv = ClassAssembler("cl/CatchDriver")
+        with drv.method("probe", "(Lsvc/Thrower2;)Ljava/lang/Object;",
+                        0x0009) as m:
+            start = m.here()
+            m.emit(ALOAD, 0)
+            m.emit(INVOKEINTERFACE, "svc/Thrower2", "boom", "()I")
+            m.emit("pop")
+            m.emit("aconst_null")
+            m.emit(ARETURN)
+            end = m.here()
+            handler = m.here()
+            m.emit("pop")
+            m.emit("new", "java/lang/Object")
+            m.emit("dup")
+            m.emit(INVOKESPECIAL, "java/lang/Object", CONSTRUCTOR_NAME,
+                   "()V")
+            m.emit(ARETURN)
+            m.handler(start, end, handler, None)
+        client.define([drv.build()])
+        driver = client.load("cl/CatchDriver")
+        result = kernel.vm.call_static(
+            driver, "probe", "(Lsvc/Thrower2;)Ljava/lang/Object;", [cap],
+            domain_tag=client.tag,
+        )
+        assert result is not None
+        # the post-catch allocation landed on the *caller's* heap account
+        assert kernel.vm.heap.owner_of(result) == client.tag
+        call_thread = kernel.vm.scheduler.threads[-1]
+        assert call_thread.domain_tag == client.tag
+        assert not call_thread.segments
+
 
 class TestRevocation:
     def test_revoke_via_host(self, world):

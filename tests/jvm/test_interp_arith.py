@@ -58,9 +58,9 @@ def _java_rem(a, b):
     return i32(a - _java_div(a, b) * b)
 
 
-@pytest.fixture(scope="module")
-def arith_vm():
-    vm = fresh_vm()
+@pytest.fixture(scope="module", params=["threaded", "generic"])
+def arith_vm(request):
+    vm = fresh_vm(threaded_code=(request.param == "threaded"))
 
     def build(ca):
         for name, (opcode, _) in _INT_OPS.items():

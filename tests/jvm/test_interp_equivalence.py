@@ -1,0 +1,292 @@
+"""Generic decoder vs threaded-code tier equivalence.
+
+The specialized dispatch tier (:mod:`repro.jvm.threaded`) must be
+observationally identical to the generic decoder in
+:mod:`repro.jvm.interp`: same results, same guest exceptions delivered to
+the same handlers, and the same retired-instruction counts (superinstruction
+widths included), so scheduling quanta and step budgets behave the same.
+
+Two attack angles:
+
+* fuzzed method bodies (the ``test_verifier_fuzz`` instruction pool) run
+  under both tiers in parallel VMs and must agree;
+* deterministic programs target the fusion edge cases — branches into the
+  middle of a would-be superinstruction, fault-pc attribution inside a
+  fused window, polymorphic call/field sites flipping the inline caches.
+"""
+
+from hypothesis import given, settings
+
+from repro.jvm import ClassFormatError, MapResolver, VerifyError
+from repro.jvm.classfile import ClassFile, MethodDef
+from repro.jvm.errors import (
+    DeadlockError,
+    JThrowable,
+    LinkageError,
+    OutOfStepsError,
+)
+from tests.jvm.test_verifier_fuzz import _random_method
+from tests.support import assemble, fresh_vm, load_classes
+
+PUBLIC_STATIC = 0x0009
+FUZZ_DESC = "(IIDLjava/lang/Object;)I"
+
+
+def _run_fuzz_case(vm, code, max_steps=20_000):
+    """Define and run one fuzz method; returns (outcome, retired)."""
+    classfile = ClassFile(
+        name="eq/F",
+        methods=(
+            MethodDef("f", FUZZ_DESC, PUBLIC_STATIC,
+                      max_stack=16, max_locals=8, code=code),
+        ),
+    )
+    loader = vm.new_loader("eq", resolver=MapResolver({}))
+    try:
+        rtclass = loader.define(classfile)
+    except (VerifyError, ClassFormatError, LinkageError) as exc:
+        return ("rejected", type(exc).__name__), None
+    obj = vm.heap.new_object(vm.object_class)
+    before = vm.interpreter.instructions_retired
+    try:
+        result = vm.call_static(
+            rtclass, "f", FUZZ_DESC, [5, -3, 2.5, obj], max_steps=max_steps
+        )
+    except JThrowable as exc:
+        retired = vm.interpreter.instructions_retired - before
+        return ("guest-exception", exc.jobject.jclass.name), retired
+    except OutOfStepsError:
+        return ("out-of-steps",), None
+    except DeadlockError:
+        return ("deadlock",), None
+    retired = vm.interpreter.instructions_retired - before
+    return ("ok", result), retired
+
+
+class TestFuzzedEquivalence:
+    @settings(max_examples=150, deadline=None)
+    @given(code=_random_method())
+    def test_both_tiers_agree(self, code):
+        threaded = fresh_vm()
+        generic = fresh_vm(threaded_code=False)
+        threaded_outcome, threaded_retired = _run_fuzz_case(threaded, code)
+        generic_outcome, generic_retired = _run_fuzz_case(generic, code)
+        assert threaded_outcome == generic_outcome
+        if threaded_outcome[0] in ("ok", "guest-exception"):
+            # Tick parity: superinstructions must report their width,
+            # including the completed sub-instructions of a fused window
+            # that faults midway (GuestUnwind.ticks).
+            assert threaded_retired == generic_retired
+
+
+def _both_vms():
+    return fresh_vm(), fresh_vm(threaded_code=False)
+
+
+def _run_static(vm, classfiles, class_name, method, desc, args):
+    loader = load_classes(vm, classfiles)
+    return vm.call_static(loader.loaded(class_name), method, desc,
+                          list(args))
+
+
+def _agree(classfiles_builder, class_name, method, desc, args):
+    """Run the same program under both tiers; return the (equal) result."""
+    results = []
+    for vm in _both_vms():
+        results.append(
+            _run_static(vm, classfiles_builder(), class_name, method, desc,
+                        args)
+        )
+    assert results[0] == results[1]
+    return results[0]
+
+
+def _holder_classfile():
+    def build(ca):
+        with ca.method("get", "()I") as m:
+            m.emit("aload", 0)
+            m.emit("getfield", "eq/Holder", "value")
+            m.emit("ireturn")
+    return assemble("eq/Holder", build, fields=(("value", "I"),))
+
+
+def _holder2_classfile():
+    """Same field name at a different slot (extra leading field)."""
+    def build(ca):
+        with ca.method("get", "()I") as m:
+            m.emit("aload", 0)
+            m.emit("getfield", "eq/Holder2", "value")
+            m.emit("ireturn")
+    return assemble(
+        "eq/Holder2", build,
+        fields=(("pad", "Ljava/lang/Object;"), ("value", "I")),
+    )
+
+
+class TestFusionEdgeCases:
+    def test_fault_pc_inside_fused_getfield(self):
+        """An NPE from the GETFIELD half of a fused ALOAD·GETFIELD must hit
+        a handler that covers only the GETFIELD pc."""
+        def classfiles():
+            def build(ca):
+                with ca.method("probe", "(Leq/Holder;)I",
+                               PUBLIC_STATIC) as m:
+                    m.emit("aload", 0)        # pc 0 (fusion head)
+                    start = m.here()
+                    m.emit("getfield", "eq/Holder", "value")  # pc 1: faults
+                    end = m.here()
+                    m.emit("ireturn")         # pc 2
+                    handler = m.here()
+                    m.emit("pop")
+                    m.emit("iconst", 7)
+                    m.emit("ireturn")
+                    m.handler(start, end, handler, None)
+            return [_holder_classfile(), assemble("eq/Probe", build)]
+
+        retireds = []
+        for vm in _both_vms():
+            loader = load_classes(vm, classfiles())
+            before = vm.interpreter.instructions_retired
+            result = vm.call_static(loader.loaded("eq/Probe"), "probe",
+                                    "(Leq/Holder;)I", [None])
+            retireds.append(vm.interpreter.instructions_retired - before)
+            assert result == 7
+        # tick parity across the faulting fused window (ALOAD completed,
+        # GETFIELD faulted): both tiers must retire identical counts
+        assert retireds[0] == retireds[1]
+
+    def test_branch_into_middle_of_push_run(self):
+        """A jump target inside a would-be push run must stay executable
+        (fusion is suppressed across entry points)."""
+        def classfiles():
+            def build(ca):
+                with ca.method("probe", "(I)I", PUBLIC_STATIC) as m:
+                    mid = m.label("mid")
+                    m.emit("iload", 0)     # pc 0
+                    m.emit("ifne", mid)    # pc 1
+                    m.emit("iconst", 5)    # pc 2: would fuse with pc 3...
+                    m.emit("istore", 0)    # pc 3
+                    m.mark(mid)
+                    m.emit("iconst", 1)    # pc 4: branch target
+                    m.emit("iconst", 2)    # pc 5
+                    m.emit("iadd")
+                    m.emit("ireturn")
+            return [assemble("eq/Probe", build)]
+
+        for arg, expected in ((0, 3), (1, 3)):
+            assert _agree(classfiles, "eq/Probe", "probe", "(I)I",
+                          [arg]) == expected
+
+    def test_polymorphic_field_site_refills_inline_cache(self):
+        """The same GETFIELD site sees receivers whose field lives at
+        different slots; the monomorphic cache must refill, not go stale."""
+        def classfiles():
+            def build(ca):
+                with ca.method("sum", "(Leq/Holder;Leq/Holder2;)I",
+                               PUBLIC_STATIC) as m:
+                    m.emit("aload", 0)
+                    m.emit("invokevirtual", "eq/Holder", "get", "()I")
+                    m.emit("aload", 1)
+                    m.emit("invokevirtual", "eq/Holder2", "get", "()I")
+                    m.emit("iadd")
+                    m.emit("ireturn")
+            return [_holder_classfile(), _holder2_classfile(),
+                    assemble("eq/Probe", build)]
+
+        results = []
+        for vm in _both_vms():
+            loader = load_classes(vm, classfiles())
+            holder = vm.construct(loader.loaded("eq/Holder"))
+            holder.fields[holder.jclass.field_slots["value"]] = 30
+            holder2 = vm.construct(loader.loaded("eq/Holder2"))
+            holder2.fields[holder2.jclass.field_slots["value"]] = 12
+            # same objects twice: cache hit path after the refill path
+            for _ in range(2):
+                results.append(
+                    vm.call_static(
+                        loader.loaded("eq/Probe"), "sum",
+                        "(Leq/Holder;Leq/Holder2;)I", [holder, holder2],
+                    )
+                )
+        assert results == [42, 42, 42, 42]
+
+    def test_loop_retires_same_tick_count(self):
+        """IINC·GOTO and ILOAD·ILOAD·IF_ICMPGE fusions must report their
+        widths: a counted loop retires identical totals under both tiers."""
+        def classfiles():
+            def build(ca):
+                with ca.method("loop", "(I)I", PUBLIC_STATIC) as m:
+                    m.emit("iconst", 0)
+                    m.emit("istore", 1)
+                    loop = m.here()
+                    m.emit("iload", 1)     # fused cmp-branch head
+                    m.emit("iload", 0)
+                    done = m.label("done")
+                    m.emit("if_icmpge", done)
+                    m.emit("iinc", 1, 1)   # fused iinc+goto
+                    m.emit("goto", loop.pc)
+                    m.mark(done)
+                    m.emit("iload", 1)
+                    m.emit("ireturn")
+            return [assemble("eq/Probe", build)]
+
+        retireds = []
+        for vm in _both_vms():
+            loader = load_classes(vm, classfiles())
+            before = vm.interpreter.instructions_retired
+            result = vm.call_static(loader.loaded("eq/Probe"), "loop",
+                                    "(I)I", [500])
+            retireds.append(vm.interpreter.instructions_retired - before)
+            assert result == 500
+        assert retireds[0] == retireds[1]
+
+    def test_revocation_idiom_branches_and_falls_through(self):
+        """The fused ALOAD·GETFIELD·DUP·IFNONNULL revocation idiom: both
+        the live (branch) and revoked (fall-through) paths must match the
+        generic tier."""
+        def classfiles():
+            def build(ca):
+                with ca.method("check", "(Leq/Holder2;)I",
+                               PUBLIC_STATIC) as m:
+                    m.emit("aload", 0)
+                    m.emit("getfield", "eq/Holder2", "pad")
+                    m.emit("dup")
+                    live = m.label("live")
+                    m.emit("ifnonnull", live)
+                    m.emit("pop")
+                    m.emit("iconst", -1)
+                    m.emit("ireturn")
+                    m.mark(live)
+                    m.emit("pop")
+                    m.emit("iconst", 1)
+                    m.emit("ireturn")
+            return [_holder_classfile(), _holder2_classfile(),
+                    assemble("eq/Probe", build)]
+
+        for fill_pad, expected in ((False, -1), (True, 1)):
+            results = []
+            for vm in _both_vms():
+                loader = load_classes(vm, classfiles())
+                holder2 = vm.construct(loader.loaded("eq/Holder2"))
+                if fill_pad:
+                    slot = holder2.jclass.field_slots["pad"]
+                    holder2.fields[slot] = vm.heap.new_object(
+                        vm.object_class
+                    )
+                results.append(
+                    vm.call_static(loader.loaded("eq/Probe"), "check",
+                                   "(Leq/Holder2;)I", [holder2])
+                )
+            assert results == [expected, expected]
+
+    def test_toggling_tier_on_one_vm(self):
+        """``use_threaded`` can be flipped at run time; both tiers of the
+        same VM agree (streams are compiled either way)."""
+        vm = fresh_vm()
+        loader = load_classes(vm, [_holder_classfile()])
+        holder = vm.construct(loader.loaded("eq/Holder"))
+        holder.fields[holder.jclass.field_slots["value"]] = 11
+        first = vm.call_virtual(holder, "get", "()I")
+        vm.interpreter.use_threaded = False
+        second = vm.call_virtual(holder, "get", "()I")
+        assert (first, second) == (11, 11)

@@ -46,10 +46,10 @@ from tests.support import (
 )
 
 
-@pytest.fixture(scope="module")
-def world():
+@pytest.fixture(scope="module", params=["threaded", "generic"])
+def world(request):
     """A small class hierarchy: Animal <- Dog implements a/Speaks."""
-    vm = fresh_vm()
+    vm = fresh_vm(threaded_code=(request.param == "threaded"))
     speaks = interface("a/Speaks", [("legs", "()I")])
 
     def animal_build(ca):
