@@ -5,10 +5,12 @@ from . import paper
 from .table import format_table
 from .timer import BenchResult, measure, measure_batch
 from .workloads import (
+    BROWSER_HEADERS,
     Chunk,
     Table1Fixture,
     Table3Fixture,
     Table4Fixture,
+    Table5Fixture,
     build_iis,
     build_iis_jkernel,
     build_jws,
@@ -17,12 +19,14 @@ from .workloads import (
 )
 
 __all__ = [
+    "BROWSER_HEADERS",
     "BenchResult",
     "Chunk",
     "PAGE_SIZES",
     "Table1Fixture",
     "Table3Fixture",
     "Table4Fixture",
+    "Table5Fixture",
     "build_iis",
     "build_iis_jkernel",
     "build_jws",

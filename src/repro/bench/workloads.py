@@ -419,13 +419,17 @@ def build_iis_jkernel():
     from repro.web import JKernelWebServer, Servlet, ServletResponse
 
     class DocServlet(Servlet):
+        """Static-document servlet: builds its (sealed, immutable)
+        response once and returns it per request — the servlet-side
+        analogue of the native server's file cache."""
+
         def __init__(self, body):
-            self.body = body
+            self.response = ServletResponse(
+                200, {"Content-Type": "text/html"}, body
+            )
 
         def service(self, request):
-            return ServletResponse(
-                200, {"Content-Type": "text/html"}, self.body
-            )
+            return self.response
 
     server = build_iis()
     jk = JKernelWebServer(server=server, mount="/servlet")
@@ -438,3 +442,103 @@ def build_jws(profile="sunvm"):
     from repro.web import JWSServer
 
     return JWSServer(make_documents(), profile=profile)
+
+
+#: WebStone-era browser request headers: the paper's Table 5 clients are
+#: "eight multithreaded clients" driving the servers the way period HTTP
+#: benchmarks did, so the load generator sends realistic request weight
+#: (the server parses all of it on every request).
+BROWSER_HEADERS = {
+    "Host": "bench.local",
+    "User-Agent": "Mozilla/4.0 (compatible; WebStone; Table5 harness)",
+    "Accept": "text/html, image/gif, image/jpeg, */*",
+    "Accept-Language": "en",
+    "Connection": "keep-alive",
+}
+
+
+class Table5Fixture:
+    """Socket-level Table 5 load harness.
+
+    Builds the native server (documents + response cache), the J-Kernel
+    configuration (same native server, per-servlet domains behind the
+    LRMI fast path) and the interpreted JWS, then measures pages/second
+    with concurrent keep-alive clients sending browser-shaped requests.
+
+    Native and J-Kernel throughput are sampled in *interleaved pairs*
+    and the reported shape ratio is the median of per-pair ratios: the
+    two columns see the same machine mood seconds apart, so host-speed
+    drift (CPU quota, syscall cost) cancels out of the ratio even when
+    it moves the absolute numbers.
+    """
+
+    def __init__(self, clients=8, requests_per_client=120, jws_requests=25,
+                 pairs=3, warmup=8):
+        self.clients = clients
+        self.requests_per_client = requests_per_client
+        self.jws_requests = jws_requests
+        self.pairs = pairs
+        self.warmup = warmup
+        self.jk = build_iis_jkernel()
+        self.native = self.jk.server  # one server, two request paths
+        self.jws = build_jws()
+
+    def start(self):
+        self.native.start()
+        self.jws.start()
+        return self
+
+    def close(self):
+        self.jk.stop()
+        self.jws.stop()
+
+    def _sample(self, port, path, requests):
+        from repro.web import measure_throughput
+
+        return measure_throughput(
+            "127.0.0.1", port, path, self.clients, requests,
+            warmup=self.warmup, headers=BROWSER_HEADERS,
+        )
+
+    def measure(self):
+        """Pages/second per page size and the derived shape ratios."""
+        import statistics
+
+        native = {}
+        jkernel = {}
+        jws = {}
+        ratios = []
+        for size in PAGE_SIZES:
+            doc = f"/doc{size}"
+            native_samples = []
+            jk_samples = []
+            for pair in range(self.pairs):
+                # Alternate which column goes first so a monotone host
+                # speed drift within a pair cannot bias the ratio.
+                columns = [
+                    (native_samples, doc),
+                    (jk_samples, "/servlet" + doc),
+                ]
+                if pair % 2:
+                    columns.reverse()
+                for samples, path in columns:
+                    samples.append(self._sample(
+                        self.native.port, path, self.requests_per_client))
+            native[size] = statistics.median(native_samples)
+            jkernel[size] = statistics.median(jk_samples)
+            ratios.extend(
+                jk / max(n, 1e-9)
+                for n, jk in zip(native_samples, jk_samples)
+            )
+            jws[size] = self._sample(self.jws.port, doc, self.jws_requests)
+        jk_over_native = statistics.median(ratios)
+        iis_over_jws = statistics.median(
+            native[size] / max(jws[size], 1e-9) for size in PAGE_SIZES
+        )
+        return {
+            "native": native,
+            "jws": jws,
+            "jkernel": jkernel,
+            "jk_over_native": jk_over_native,
+            "iis_over_jws": iis_over_jws,
+        }

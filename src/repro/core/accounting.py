@@ -6,31 +6,132 @@ makes it tractable — objects never cross domains, only copies do — so this
 module implements the natural policy:
 
 * a domain is charged for what is copied *into* it (arguments of calls it
-  receives, results of calls it makes), and
-* explicit allocations recorded by cooperative code.
+  receives, results of calls it makes),
+* explicit allocations recorded by cooperative code, and
+* requests serviced by the domain (the web layer charges one request per
+  servlet invocation that completes in the domain, so traffic can be
+  attributed and reconciled per servlet).
 
 Charges are attributed to the domain of the thread's current segment at
 copy time; the serializer reports byte counts through an observer hook.
+
+Charges arrive concurrently — from LRMI caller threads, HTTP event loops
+and domain worker pools — so every counter is a :class:`ShardedCounter`:
+per-thread cells make the increment race-free without a lock on the hot
+path, and reads sum the cells.
 """
 
 from __future__ import annotations
 
 import threading
+import weakref
 
 from . import segments
+
+
+class ShardedCounter:
+    """A counter safe for concurrent increments without hot-path locking.
+
+    ``value += 1`` on a shared int is a load/add/store bytecode sequence
+    and loses updates under thread preemption; here each thread owns a
+    private cell (so its increment is unshared) and reads sum the cells
+    under the registration lock.  Cells are one-element lists so the hot
+    increment is ``cell[0] += n`` on thread-private state.
+
+    A dead thread can never increment its cell again (the thread-local
+    dies with it), so reads fold finished cells into a base count and
+    drop them — cell count tracks *live* incrementing threads, not every
+    thread the process ever ran.
+    """
+
+    __slots__ = ("_cells", "_lock", "_local", "_base")
+
+    def __init__(self):
+        self._cells = []  # (weakref-to-owner-thread, cell) pairs
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._base = 0
+
+    def cell(self):
+        """This thread's cell; hot loops may cache it and increment
+        ``cell[0]`` directly."""
+        try:
+            return self._local.cell
+        except AttributeError:
+            cell = self._local.cell = [0]
+            owner = weakref.ref(threading.current_thread())
+            with self._lock:
+                self._cells.append((owner, cell))
+            return cell
+
+    def add(self, amount=1):
+        try:
+            self._local.cell[0] += amount
+        except AttributeError:
+            self.cell()[0] += amount
+
+    @property
+    def value(self):
+        with self._lock:
+            total = self._base
+            survivors = []
+            for owner, cell in self._cells:
+                total += cell[0]
+                if owner() is None:  # owning thread collected: final
+                    self._base += cell[0]
+                else:
+                    survivors.append((owner, cell))
+            self._cells = survivors
+            return total
+
+    def __repr__(self):
+        return f"<ShardedCounter {self.value}>"
 
 
 class ResourceAccount:
     """Counters for one domain."""
 
-    __slots__ = ("bytes_copied_in", "copy_operations", "allocations",
-                 "allocated_bytes")
+    __slots__ = ("_bytes_copied_in", "_copy_operations", "_allocations",
+                 "_allocated_bytes", "_requests")
 
     def __init__(self):
-        self.bytes_copied_in = 0
-        self.copy_operations = 0
-        self.allocations = 0
-        self.allocated_bytes = 0
+        self._bytes_copied_in = ShardedCounter()
+        self._copy_operations = ShardedCounter()
+        self._allocations = ShardedCounter()
+        self._allocated_bytes = ShardedCounter()
+        self._requests = ShardedCounter()
+
+    @property
+    def bytes_copied_in(self):
+        return self._bytes_copied_in.value
+
+    @property
+    def copy_operations(self):
+        return self._copy_operations.value
+
+    @property
+    def allocations(self):
+        return self._allocations.value
+
+    @property
+    def allocated_bytes(self):
+        return self._allocated_bytes.value
+
+    @property
+    def requests(self):
+        return self._requests.value
+
+    def charge_copy(self, nbytes):
+        self._bytes_copied_in.add(nbytes)
+        self._copy_operations.add(1)
+
+    def charge_allocation(self, nbytes):
+        self._allocations.add(1)
+        self._allocated_bytes.add(nbytes)
+
+    def charge_request(self):
+        """One request serviced by the domain (web serving layer)."""
+        self._requests.add(1)
 
     def snapshot(self):
         return {
@@ -38,11 +139,19 @@ class ResourceAccount:
             "copy_operations": self.copy_operations,
             "allocations": self.allocations,
             "allocated_bytes": self.allocated_bytes,
+            "requests": self.requests,
         }
 
 
 class Accountant:
-    """Holds per-domain accounts and plugs into the copy machinery."""
+    """Holds per-domain accounts and plugs into the copy machinery.
+
+    Accounts are keyed by domain *identity*, not name: hot-swapping a
+    servlet creates a fresh domain under the same derived name, and its
+    account must start at zero rather than inherit the predecessor's
+    charges.  ``release_domain`` closes a terminated domain's account
+    (and drops the key, so the domain object is not pinned).
+    """
 
     def __init__(self):
         self._lock = threading.Lock()
@@ -52,13 +161,13 @@ class Accountant:
         # Fast path: racy read of the accounts dict (a single C-level
         # lookup, safe under the GIL); the lock is only taken to create a
         # missing account exactly once.
-        found = self._accounts.get(domain.name)
+        found = self._accounts.get(domain)
         if found is not None:
             return found
         with self._lock:
-            found = self._accounts.get(domain.name)
+            found = self._accounts.get(domain)
             if found is None:
-                found = self._accounts[domain.name] = ResourceAccount()
+                found = self._accounts[domain] = ResourceAccount()
             return found
 
     def charge_copy(self, nbytes, domain=None):
@@ -66,29 +175,36 @@ class Accountant:
         target = domain or segments.current_domain()
         if target is None:
             return
-        account = self.account(target)
-        account.bytes_copied_in += nbytes
-        account.copy_operations += 1
+        self.account(target).charge_copy(nbytes)
 
     def charge_allocation(self, nbytes, domain=None):
         target = domain or segments.current_domain()
         if target is None:
             return
-        account = self.account(target)
-        account.allocations += 1
-        account.allocated_bytes += nbytes
+        self.account(target).charge_allocation(nbytes)
+
+    def charge_request(self, domain=None):
+        """Charge one serviced request to the handling domain."""
+        target = domain or segments.current_domain()
+        if target is None:
+            return
+        self.account(target).charge_request()
 
     def release_domain(self, domain):
         """Forget a terminated domain's charges (its memory is reclaimed
         when its capabilities are revoked, so the account closes)."""
         with self._lock:
-            return self._accounts.pop(domain.name, None)
+            return self._accounts.pop(domain, None)
 
     def report(self):
+        """Snapshots keyed by domain name (two live domains sharing a
+        name — unusual, but legal — collapse to the later one)."""
         with self._lock:
             return {
-                name: account.snapshot()
-                for name, account in sorted(self._accounts.items())
+                domain.name: account.snapshot()
+                for domain, account in sorted(
+                    self._accounts.items(), key=lambda item: item[0].name
+                )
             }
 
 

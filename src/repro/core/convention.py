@@ -274,6 +274,26 @@ def unregister_reference_type(cls):
         del _DISPATCH[cls]
 
 
+#: Sealed (validated deeply-immutable) classes: by reference in EVERY
+#: mode — forcing ``mode="serial"`` round-trips mutable payloads through
+#: bytes, but an immutable value has nothing a byte round-trip could
+#: decouple, exactly as str/bytes already behave under serial mode.
+_SEALED_TYPES = set()
+
+#: Types whose values skip the transfer call entirely: the immutable
+#: primitives plus every sealed class.  Compiled stubs test argument and
+#: result types against this set inline, so sealed values cross a
+#: boundary without a single function call.
+PASS_BY_REFERENCE = set(_IMMUTABLE_TYPES)
+
+
+def register_sealed_type(cls):
+    """Mark a sealed class (see ``repro.core.sealed``) as by-reference."""
+    _SEALED_TYPES.add(cls)
+    PASS_BY_REFERENCE.add(cls)
+    _DISPATCH[cls] = _identity
+
+
 # Registration hooks: the default registries notify the dispatch table.
 _fastcopy.DEFAULT_REGISTRY._on_register = _install_fastcopy_handler
 _serial.DEFAULT_REGISTRY._on_register = _install_serial_handler
@@ -308,7 +328,7 @@ def transfer(value, mode=MODE_AUTO, memo=None,
 
 def _transfer_general(value, mode, memo, serial_registry, fastcopy_registry):
     value_type = type(value)
-    if value_type in _IMMUTABLE_TYPES:
+    if value_type in _IMMUTABLE_TYPES or value_type in _SEALED_TYPES:
         return value
 
     global _Capability

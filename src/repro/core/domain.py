@@ -107,6 +107,12 @@ class Domain:
     # terminated re-check (see _enter) instead of taking ``_lock`` on the
     # LRMI hot path.
 
+    def in_flight_calls(self):
+        """Thread segments currently executing inside this domain —
+        every LRMI (and ``run``/``spawn`` context) registers one for its
+        duration, so zero means the domain is quiescent right now."""
+        return len(self._segments)
+
     # -- execution inside the domain ----------------------------------------------
     @contextmanager
     def context(self):

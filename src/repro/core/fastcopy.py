@@ -17,13 +17,20 @@ Field specialization: at registration the codegen splits declared fields
 into *immutable* and *transferable*.  A field annotated with an immutable
 primitive type (``int``/``float``/``bool``/``str``/``bytes``) becomes a
 direct assignment guarded by one exact type check — the ``transfer``
-callback is not consulted for it.  Unannotated fields get an inline
-immutable-type membership test before falling back to ``transfer``, so
-primitive-valued fields never pay a call either way.  A class whose fields
-are *all* annotated immutable gets a whole-object fast case: one combined
-type check, then straight field moves and an immediate return.  The
-``transfer`` callback is therefore only invoked for values that genuinely
-need the calling convention (capabilities, containers, nested objects).
+callback is not consulted for it.  A field annotated ``dict`` gets the
+calling convention's scan-then-copy inlined: one C-speed
+``frozenset.issuperset(map(type, ...))`` scan over keys and values, then a
+single builtin ``dict.copy`` — the common string-keyed attribute-map shape
+in carrier classes — falling back to ``transfer`` for mixed contents, or
+whenever a transfer memo is live (its aliasing bookkeeping must see the
+dict).  Unannotated fields get an inline immutable-type
+membership test before falling back to ``transfer``, so primitive-valued
+fields never pay a call either way.  A class whose fields are *all*
+annotated immutable (or ``dict``) gets a whole-object fast case: one
+combined type check, then straight field moves and an immediate return.
+The ``transfer`` callback is therefore only invoked for values that
+genuinely need the general calling convention (capabilities, mixed
+containers, nested objects).
 """
 
 from __future__ import annotations
@@ -40,6 +47,27 @@ IMMUTABLE_TYPES = frozenset(
 
 _GUARDED = {int: "int", float: "float", bool: "bool", str: "str",
             bytes: "bytes"}
+
+
+def _overlay_dict_annotations(cls, fields, field_types):
+    """Mark ``dict``-annotated fields for the inlined scan-then-copy.
+
+    Fast-copy-only: the serializer's shared ``declared_field_types`` maps
+    non-primitive annotations to None (its wire codegen has no dict
+    specialization), so the overlay happens here rather than there.
+    """
+    if not fields:
+        return
+    annotations = {}
+    for ancestor in reversed(cls.__mro__):
+        declared = ancestor.__dict__.get("__annotations__")
+        if declared:
+            annotations.update(declared)
+    for field in fields:
+        if field_types.get(field) is None:
+            declared = annotations.get(field)
+            if declared is dict or declared == "dict":
+                field_types[field] = dict
 
 
 class FastCopyInfo:
@@ -67,7 +95,8 @@ class FastCopyRegistry:
 
     def register(self, cls, fields=None, cyclic=False):
         resolved = class_fields(cls, fields)
-        field_types = declared_field_types(cls, resolved)
+        field_types = dict(declared_field_types(cls, resolved))
+        _overlay_dict_annotations(cls, resolved, field_types)
         copier, source = _generate_copier(cls, resolved, field_types, cyclic)
         info = FastCopyInfo(cls, resolved, field_types, cyclic, copier,
                             source)
@@ -103,6 +132,17 @@ def fast_copy(cls=None, *, fields=None, cyclic=False, registry=None):
     return register(cls)
 
 
+def _dict_copy_expr(var):
+    """Inline scan-then-copy for a ``dict``-annotated field: all-immutable
+    keys and values copy with one builtin call; anything else — including
+    any copy running under a live transfer memo, whose aliasing bookkeeping
+    the inline copy would bypass — falls back to the general convention."""
+    return (f"{var}.copy() if memo is None "
+            f"and _all_immutable(map(type, {var})) "
+            f"and _all_immutable(map(type, {var}.values())) "
+            f"else transfer({var}, memo)")
+
+
 def _field_line(field, ftype, var):
     """One generated statement copying field ``field`` from ``{var}``."""
     guard = _GUARDED.get(ftype)
@@ -112,6 +152,9 @@ def _field_line(field, ftype, var):
         # instance from leaking a shared mutable across domains).
         return (f"    new.{field} = {var} if type({var}) is {guard} "
                 f"else transfer({var}, memo)")
+    if ftype is dict:
+        return (f"    new.{field} = ({_dict_copy_expr(var)}) "
+                f"if type({var}) is dict else transfer({var}, memo)")
     # Exact type(), not __class__: a hostile object can spoof __class__
     # with a property and would otherwise cross by reference.
     return (f"    new.{field} = {var} if type({var}) in _IMMUTABLE "
@@ -137,21 +180,33 @@ def _generate_copier(cls, fields, field_types, cyclic):
     if fields is not None:
         for index, field in enumerate(fields):
             lines.append(f"    v{index} = obj.{field}")
-        all_immutable = fields and all(
-            field_types.get(field) in _GUARDED for field in fields
+        def _fast_guard(field):
+            ftype = field_types.get(field)
+            if ftype in _GUARDED:
+                return _GUARDED[ftype]
+            if ftype is dict:
+                return "dict"
+            return None
+
+        all_specialized = fields and all(
+            _fast_guard(field) is not None for field in fields
         )
-        if all_immutable and not cyclic:
-            # Whole-object fast case: every field is annotated immutable,
-            # so one combined check covers the object and the copy is
-            # pure straight-line field moves.
+        if all_specialized and not cyclic:
+            # Whole-object fast case: every field is annotated immutable
+            # (or dict, which inlines the scan-then-copy), so one combined
+            # check covers the object and the copy is straight-line moves.
             checks = " and ".join(
-                f"type(v{index}) is {_GUARDED[field_types[field]]}"
+                f"type(v{index}) is {_fast_guard(field)}"
                 for index, field in enumerate(fields)
             )
             lines.append(f"    if {checks}:")
             lines.append("        new = _new(_cls)")
             for index, field in enumerate(fields):
-                lines.append(f"        new.{field} = v{index}")
+                if field_types.get(field) is dict:
+                    lines.append(f"        new.{field} = "
+                                 f"{_dict_copy_expr(f'v{index}')}")
+                else:
+                    lines.append(f"        new.{field} = v{index}")
             lines.append("        return new")
         lines.append("    new = _new(_cls)")
         if cyclic:
@@ -173,7 +228,8 @@ def _generate_copier(cls, fields, field_types, cyclic):
     lines.append("    return new")
     source = "\n".join(lines)
     namespace = {"_new": object.__new__, "_cls": cls,
-                 "_IMMUTABLE": IMMUTABLE_TYPES}
+                 "_IMMUTABLE": IMMUTABLE_TYPES,
+                 "_all_immutable": IMMUTABLE_TYPES.issuperset}
     exec(compile(source, f"<fastcopy {cls.__qualname__}>", "exec"), namespace)
     return namespace[name], source
 

@@ -1,0 +1,141 @@
+"""Sealed transfer classes: deep immutability as a zero-copy tier.
+
+The calling convention has always passed *immutable primitives* across
+domains by reference — "copying them would be unobservable"
+(:data:`~repro.core.fastcopy.IMMUTABLE_TYPES`) — and the enforced kernel
+extends the same argument to final String classes (the loader rejects
+subclassing them, so a reference can cross soundly).  This module is the
+hosted-kernel generalization to user-defined carrier classes: a *sealed*
+class promises deep immutability, enforced three ways:
+
+* instances are frozen — ``__setattr__``/``__delattr__`` raise after
+  construction (constructors assign via ``object.__setattr__``),
+* the class is final — subclassing raises, so no mutable subclass can
+  smuggle shared state behind the registered type, and
+* every class in the MRO uses ``__slots__`` — no instance ``__dict__``
+  to scribble on.
+
+Field-value immutability is the constructor's contract: sealed classes
+validate their fields at construction (see
+:class:`FrozenMap` and ``repro.web.servlet``), which moves the cost of
+safety from *every domain crossing* to *one validation per object* —
+exactly the trade the serving layer wants for request/response carriers
+that cross two boundaries per request.
+
+Enforcement caveat: CPython cannot make memory read-only; sealing blocks
+ordinary mutation and subclassing, the same cooperative bar the hosted
+kernel applies elsewhere (the MiniJVM kernel enforces finality for real
+in its loader).
+"""
+
+from __future__ import annotations
+
+from types import MappingProxyType
+
+from . import convention
+from .fastcopy import IMMUTABLE_TYPES
+
+
+def _frozen_setattr(self, name, value):
+    raise AttributeError(
+        f"{type(self).__name__} is sealed: instances are immutable"
+    )
+
+
+def _frozen_delattr(self, name):
+    raise AttributeError(
+        f"{type(self).__name__} is sealed: instances are immutable"
+    )
+
+
+def sealed(cls):
+    """Class decorator: freeze instances, finalize the class, and
+    register it to cross domain boundaries by reference."""
+    probe = cls.__new__(cls)
+    if hasattr(probe, "__dict__"):
+        raise TypeError(
+            f"sealed class {cls.__qualname__} must use __slots__ "
+            "throughout its MRO (instances may not have a __dict__)"
+        )
+    cls.__setattr__ = _frozen_setattr
+    cls.__delattr__ = _frozen_delattr
+
+    def _no_subclass(subclass, **kwargs):
+        raise TypeError(f"{cls.__qualname__} is sealed (final): "
+                        "subclassing would defeat by-reference transfer")
+
+    cls.__init_subclass__ = classmethod(_no_subclass)
+    cls.__sealed__ = True
+    convention.register_sealed_type(cls)
+    return cls
+
+
+@sealed
+class FrozenMap:
+    """Immutable mapping of immutable keys to immutable values.
+
+    The sealed carrier for header dicts: contents are validated at
+    construction (every key and value must be an immutable primitive),
+    after which the map may cross any number of domain boundaries by
+    reference.  Read API mirrors ``dict``; there is no mutation API.
+    """
+
+    __slots__ = ("_map",)
+
+    def __init__(self, items=()):
+        if type(items) is FrozenMap:
+            mapping = items._map
+        else:
+            backing = dict(items)
+            for key, value in backing.items():
+                if type(key) not in IMMUTABLE_TYPES \
+                        or type(value) not in IMMUTABLE_TYPES:
+                    raise TypeError(
+                        "FrozenMap entries must be immutable primitives; "
+                        f"got ({type(key).__name__}, {type(value).__name__})"
+                    )
+            # The stored mapping is a read-only proxy over a dict that
+            # nothing else references: even code that reads the private
+            # attribute gets no mutation handle, so a shared (interned,
+            # by-reference) carrier cannot be poisoned across domains.
+            mapping = MappingProxyType(backing)
+        object.__setattr__(self, "_map", mapping)
+
+    def __getitem__(self, key):
+        return self._map[key]
+
+    def get(self, key, default=None):
+        return self._map.get(key, default)
+
+    def __contains__(self, key):
+        return key in self._map
+
+    def __iter__(self):
+        return iter(self._map)
+
+    def __len__(self):
+        return len(self._map)
+
+    def keys(self):
+        return self._map.keys()
+
+    def values(self):
+        return self._map.values()
+
+    def items(self):
+        return self._map.items()
+
+    def to_dict(self):
+        return dict(self._map)
+
+    def __eq__(self, other):
+        if type(other) is FrozenMap:
+            return self._map == other._map
+        if isinstance(other, dict):
+            return self._map == other
+        return NotImplemented
+
+    __hash__ = None
+
+    def __repr__(self):
+        return f"FrozenMap({self._map!r})"

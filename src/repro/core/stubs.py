@@ -147,7 +147,9 @@ def _generate(implementation_cls):
         "_lrmi_revoked": _raise_revoked,
         "_lrmi_wrap": transfer_exception,
         "_transfer": transfer,
-        "_IMMUTABLE": convention._IMMUTABLE_TYPES,
+        # The live by-reference set (immutable primitives + sealed
+        # classes): sealed arguments/results skip the transfer call.
+        "_IMMUTABLE": convention.PASS_BY_REFERENCE,
     }
     source = "\n".join(
         _method_source(name, methods[name]) for name in sorted(methods)

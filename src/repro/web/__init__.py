@@ -1,16 +1,29 @@
 """The extensible HTTP server stack (paper §4, Table 5)."""
 
-from .client import fetch_once, measure_throughput
+from .client import (
+    LoadReport,
+    fetch_many,
+    fetch_once,
+    fetch_pipelined,
+    measure_throughput,
+    run_mixed_load,
+)
 from .http import (
     HttpError,
     Request,
+    RequestParser,
     Response,
     format_request,
     format_response,
     read_request,
     read_response,
 )
-from .httpd import DocumentStore, NativeHttpServer
+from .httpd import (
+    DocumentStore,
+    DomainWorkerPool,
+    NativeHttpServer,
+    ResponseCache,
+)
 from .isapi import IsapiBridge
 from .jkweb import JKernelWebServer, ServletRegistration, SystemServlet
 from .jws import JWSServer
@@ -24,24 +37,31 @@ from .servlet import (
 
 __all__ = [
     "DocumentStore",
+    "DomainWorkerPool",
     "HttpError",
     "IsapiBridge",
     "JKernelWebServer",
     "JWSServer",
+    "LoadReport",
     "NativeHttpServer",
     "Request",
+    "RequestParser",
     "Response",
+    "ResponseCache",
     "Servlet",
     "ServletRegistration",
     "ServletRequest",
     "ServletResponse",
     "SystemServlet",
     "error_response",
+    "fetch_many",
     "fetch_once",
+    "fetch_pipelined",
     "format_request",
     "format_response",
     "measure_throughput",
     "read_request",
     "read_response",
+    "run_mixed_load",
     "text_response",
 ]

@@ -1,6 +1,7 @@
-"""Benchmark client: concurrent keep-alive request generators (the "eight
-multithreaded clients repeatedly request the same document" workload of
-Table 5)."""
+"""Benchmark/test clients: concurrent keep-alive request generators (the
+"eight multithreaded clients repeatedly request the same document"
+workload of Table 5), plus single-connection keep-alive and pipelined
+fetch helpers used by the conformance and stress suites."""
 
 from __future__ import annotations
 
@@ -11,9 +12,9 @@ import time
 from .http import format_request, read_response
 
 
-def fetch_once(host, port, path):
+def fetch_once(host, port, path, timeout=5.0):
     """One GET on a fresh connection; returns the Response."""
-    with socket.create_connection((host, port), timeout=5.0) as conn:
+    with socket.create_connection((host, port), timeout=timeout) as conn:
         conn.sendall(format_request("GET", path, keep_alive=False))
         reader = conn.makefile("rb")
         response = read_response(reader)
@@ -21,13 +22,52 @@ def fetch_once(host, port, path):
         return response
 
 
-def _client_worker(host, port, path, count, results, index):
+def fetch_many(host, port, paths, timeout=10.0, version="HTTP/1.0"):
+    """GET each path sequentially on ONE keep-alive connection."""
+    responses = []
+    with socket.create_connection((host, port), timeout=timeout) as conn:
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        reader = conn.makefile("rb")
+        for path in paths:
+            conn.sendall(format_request("GET", path, keep_alive=True,
+                                        version=version))
+            response = read_response(reader)
+            if response is None:
+                break
+            responses.append(response)
+        reader.close()
+    return responses
+
+
+def fetch_pipelined(host, port, paths, timeout=10.0, version="HTTP/1.1"):
+    """Send every request back-to-back in one burst, then read the
+    responses; the server must answer them in order."""
+    burst = b"".join(
+        format_request("GET", path, keep_alive=True, version=version)
+        for path in paths
+    )
+    responses = []
+    with socket.create_connection((host, port), timeout=timeout) as conn:
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        conn.sendall(burst)
+        reader = conn.makefile("rb")
+        for _ in paths:
+            response = read_response(reader)
+            if response is None:
+                break
+            responses.append(response)
+        reader.close()
+    return responses
+
+
+def _client_worker(host, port, path, count, results, index, headers=None):
     completed = 0
     try:
         with socket.create_connection((host, port), timeout=10.0) as conn:
             conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             reader = conn.makefile("rb")
-            request = format_request("GET", path, keep_alive=True)
+            request = format_request("GET", path, headers=headers,
+                                     keep_alive=True)
             for _ in range(count):
                 conn.sendall(request)
                 response = read_response(reader)
@@ -41,16 +81,22 @@ def _client_worker(host, port, path, count, results, index):
 
 
 def measure_throughput(host, port, path, clients=8, requests_per_client=50,
-                       warmup=5):
-    """Pages/second with ``clients`` concurrent keep-alive connections."""
+                       warmup=5, headers=None):
+    """Pages/second with ``clients`` concurrent keep-alive connections.
+
+    ``headers`` (optional dict) rides every request — the Table 5 load
+    generator passes browser-shaped headers so the server parses
+    WebStone-era request weight, as the paper's clients sent.
+    """
     if warmup:
         warm_results = [0]
-        _client_worker(host, port, path, warmup, warm_results, 0)
+        _client_worker(host, port, path, warmup, warm_results, 0, headers)
     results = [0] * clients
     threads = [
         threading.Thread(
             target=_client_worker,
-            args=(host, port, path, requests_per_client, results, index),
+            args=(host, port, path, requests_per_client, results, index,
+                  headers),
             daemon=True,
         )
         for index in range(clients)
@@ -65,3 +111,90 @@ def measure_throughput(host, port, path, clients=8, requests_per_client=50,
     if elapsed <= 0 or total == 0:
         return 0.0
     return total / elapsed
+
+
+class LoadReport:
+    """Aggregated result of a mixed-traffic load run."""
+
+    def __init__(self):
+        self.responses = {}      # path -> {status: count}
+        self.garbled = []        # (path, status, body) with unexpected body
+        self.dropped = 0         # connection died before script finished
+        self.errors = []         # unexpected exceptions in workers
+
+    def count(self, path, status=200):
+        return self.responses.get(path, {}).get(status, 0)
+
+    def total(self, status=200):
+        return sum(by_status.get(status, 0)
+                   for by_status in self.responses.values())
+
+    def statuses(self, path):
+        return dict(self.responses.get(path, {}))
+
+
+def run_mixed_load(host, port, script, clients=8, rounds=50,
+                   expectations=None, timeout=15.0):
+    """Drive ``clients`` concurrent keep-alive connections through
+    ``script`` (a path list) ``rounds`` times each, validating every
+    response body.
+
+    ``expectations`` maps path -> callable(response) -> bool (body
+    validator, applied on 200s).  Returns a :class:`LoadReport`; any
+    response whose validator fails is recorded as garbled, any
+    connection that dies early as dropped.
+    """
+    expectations = expectations or {}
+    report = LoadReport()
+    lock = threading.Lock()
+
+    def worker():
+        try:
+            with socket.create_connection((host, port),
+                                          timeout=timeout) as conn:
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                reader = conn.makefile("rb")
+                for _ in range(rounds):
+                    for path in script:
+                        conn.sendall(format_request("GET", path,
+                                                    keep_alive=True))
+                        response = read_response(reader)
+                        if response is None:
+                            with lock:
+                                report.dropped += 1
+                            return
+                        # Validate outside the lock: the soak exists to
+                        # exercise concurrency, not to serialize every
+                        # client through one critical section.
+                        validator = expectations.get(path)
+                        garbled = (response.status == 200
+                                   and validator is not None
+                                   and not validator(response))
+                        with lock:
+                            by_status = report.responses.setdefault(path, {})
+                            by_status[response.status] = \
+                                by_status.get(response.status, 0) + 1
+                            if garbled:
+                                report.garbled.append(
+                                    (path, response.status, response.body)
+                                )
+                reader.close()
+        except Exception as exc:  # noqa: BLE001 - reported, not masked
+            with lock:
+                report.errors.append(repr(exc))
+
+    threads = [threading.Thread(target=worker, daemon=True)
+               for _ in range(clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout + 30.0)
+    stragglers = sum(1 for thread in threads if thread.is_alive())
+    if stragglers:
+        # Workers still running would keep mutating the report behind
+        # the caller's back — surface it as a hard error instead.
+        with lock:
+            report.errors.append(
+                f"{stragglers} load worker(s) still running after join"
+            )
+    return report

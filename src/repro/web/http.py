@@ -1,4 +1,14 @@
-"""Minimal HTTP/1.0 (+keep-alive) parsing and formatting."""
+"""HTTP/1.0 and /1.1 parsing and formatting.
+
+Two parsers share one grammar: :func:`read_request` (the seed's blocking,
+buffered-reader parser, kept as the reference implementation) and
+:class:`RequestParser` (incremental, byte-boundary agnostic — the event
+loop feeds it whatever ``recv`` returned and drains complete requests,
+which is what makes keep-alive pipelining possible on a non-blocking
+socket).  ``tests/web/test_http_fuzz.py`` pins the two to each other:
+any split of a valid byte stream must parse identically, and any input
+the reference rejects must raise :class:`HttpError` incrementally too.
+"""
 
 from __future__ import annotations
 
@@ -10,13 +20,19 @@ REASONS = {
     200: "OK",
     400: "Bad Request",
     404: "Not Found",
+    408: "Request Timeout",
+    413: "Payload Too Large",
     500: "Internal Server Error",
     503: "Service Unavailable",
 }
 
 
 class HttpError(Exception):
-    pass
+    """Malformed request; ``status`` is the response the server sends."""
+
+    def __init__(self, message="", status=400):
+        super().__init__(message)
+        self.status = status
 
 
 @dataclass
@@ -66,7 +82,15 @@ def read_request(reader):
         name, _, value = line.decode("latin-1").partition(":")
         headers[name.strip().lower()] = value.strip()
     body = b""
-    length = int(headers.get("content-length", "0") or "0")
+    raw_length = headers.get("content-length", "0") or "0"
+    try:
+        length = int(raw_length)
+    except ValueError:
+        raise HttpError(f"bad content-length: {raw_length!r}") from None
+    if length < 0:
+        # read(-1) would block until EOF — an indefinite hang on a
+        # keep-alive connection, not a parse error.
+        raise HttpError(f"negative content-length: {raw_length!r}")
     if length:
         body = reader.read(length)
         if len(body) != length:
@@ -74,26 +98,151 @@ def read_request(reader):
     return Request(method.upper(), path, version, headers, body)
 
 
-def format_response(response, keep_alive=False):
-    reason = REASONS.get(response.status, "Unknown")
-    lines = [f"HTTP/1.0 {response.status} {reason}"]
-    headers = dict(response.headers)
-    headers.setdefault("Content-Length", str(len(response.body)))
-    headers.setdefault(
-        "Connection", "keep-alive" if keep_alive else "close"
-    )
+class RequestParser:
+    """Incremental request parser for non-blocking transports.
+
+    ``feed()`` bytes as they arrive, then call ``next_request()`` until it
+    returns None (needs more data) — a single feed may yield several
+    pipelined requests.  Malformed input raises :class:`HttpError`; the
+    resource limits (line length, total header bytes, body size) raise it
+    too, so a hostile peer cannot buffer unboundedly.
+    """
+
+    _LINE, _HEADERS, _BODY = 0, 1, 2
+
+    __slots__ = ("max_line", "max_header_bytes", "max_body", "_buf", "_pos",
+                 "_state", "_method", "_path", "_version", "_headers",
+                 "_length", "_header_bytes")
+
+    def __init__(self, max_line=8192, max_header_bytes=32768,
+                 max_body=1 << 20):
+        self.max_line = max_line
+        self.max_header_bytes = max_header_bytes
+        self.max_body = max_body
+        self._buf = bytearray()
+        self._pos = 0
+        self._state = self._LINE
+        self._headers = None
+        self._length = 0
+        self._header_bytes = 0
+
+    def feed(self, data):
+        self._buf += data
+
+    @property
+    def buffered(self):
+        """Bytes received but not yet consumed by a returned request."""
+        return len(self._buf) - self._pos
+
+    @property
+    def mid_request(self):
+        """True when EOF now would truncate a partially-received request."""
+        return self._state != self._LINE or self.buffered > 0
+
+    def _take_line(self, what):
+        buf = self._buf
+        index = buf.find(b"\n", self._pos)
+        if index < 0:
+            if len(buf) - self._pos > self.max_line:
+                raise HttpError(f"{what} too long")
+            if self._pos:
+                del buf[:self._pos]
+                self._pos = 0
+            return None
+        if index - self._pos > self.max_line:
+            raise HttpError(f"{what} too long")
+        line = bytes(buf[self._pos:index + 1])
+        self._pos = index + 1
+        return line
+
+    def next_request(self):
+        """One complete request, or None until more bytes arrive."""
+        while True:
+            if self._state == self._LINE:
+                line = self._take_line("request line")
+                if line is None:
+                    return None
+                parts = line.decode("latin-1").strip().split()
+                if len(parts) == 2:
+                    method, path = parts
+                    version = "HTTP/1.0"
+                elif len(parts) == 3:
+                    method, path, version = parts
+                else:
+                    raise HttpError(f"malformed request line: {line!r}")
+                self._method = method
+                self._path = path
+                self._version = version
+                self._headers = {}
+                self._header_bytes = 0
+                self._state = self._HEADERS
+            elif self._state == self._HEADERS:
+                line = self._take_line("header line")
+                if line is None:
+                    return None
+                self._header_bytes += len(line)
+                if self._header_bytes > self.max_header_bytes:
+                    raise HttpError("headers too large")
+                stripped = line.strip()
+                if not stripped:
+                    self._length = self._content_length()
+                    self._state = self._BODY
+                    continue
+                name, _, value = stripped.decode("latin-1").partition(":")
+                self._headers[name.strip().lower()] = value.strip()
+            else:  # _BODY
+                if self.buffered < self._length:
+                    return None
+                end = self._pos + self._length
+                body = bytes(self._buf[self._pos:end])
+                del self._buf[:end]
+                self._pos = 0
+                self._state = self._LINE
+                headers = self._headers
+                self._headers = None
+                return Request(self._method.upper(), self._path,
+                               self._version, headers, body)
+
+    def _content_length(self):
+        raw = self._headers.get("content-length", "0") or "0"
+        try:
+            length = int(raw)
+        except ValueError:
+            raise HttpError(f"bad content-length: {raw!r}") from None
+        if length < 0:
+            raise HttpError(f"negative content-length: {raw!r}")
+        if length > self.max_body:
+            raise HttpError(f"body of {length} bytes exceeds limit",
+                            status=413)
+        return length
+
+
+def format_response(response, keep_alive=False, version="HTTP/1.0"):
+    status = response.status
+    body = response.body
+    headers = response.headers
+    lines = [f"{version} {status} {REASONS.get(status, 'Unknown')}"]
+    append = lines.append
     for name, value in headers.items():
-        lines.append(f"{name}: {value}")
-    head = "\r\n".join(lines).encode("latin-1") + CRLF + CRLF
-    return head + response.body
+        append(f"{name}: {value}")
+    # Same defaulting (and header order) as a dict copy + setdefault,
+    # without copying: callers' headers rarely carry either name.
+    if "Content-Length" not in headers:
+        append(f"Content-Length: {len(body)}")
+    if "Connection" not in headers:
+        append("Connection: keep-alive" if keep_alive
+               else "Connection: close")
+    return "\r\n".join(lines).encode("latin-1") + CRLF + CRLF + body
 
 
 def format_request(method, path, headers=None, body=b"",
-                   keep_alive=True):
-    lines = [f"{method} {path} HTTP/1.0"]
+                   keep_alive=True, version="HTTP/1.0"):
+    lines = [f"{method} {path} {version}"]
     header_map = dict(headers or {})
-    if keep_alive:
+    if keep_alive and version != "HTTP/1.1":
         header_map.setdefault("Connection", "keep-alive")
+    elif not keep_alive and version == "HTTP/1.1":
+        header_map.setdefault("Connection", "close")
     if body:
         header_map.setdefault("Content-Length", str(len(body)))
     for name, value in header_map.items():

@@ -3,28 +3,38 @@
 "The HTTP system servlet forwards each request to the appropriate user
 servlet, each of which runs in its own J-Kernel domain."
 
-Structure::
+Structure (default, the paper's architecture — the bridge reaches the
+trusted system servlet by a plain call, the JNI analogue; pass
+``system_lrmi=True`` for the seed's stricter model where that hop is a
+full LRMI too)::
 
     NativeHttpServer ──(extension hook)── IsapiBridge
-        └── LRMI #1 ──> SystemServlet   (domain "http-system")
-                └── LRMI #2 ──> user servlet (one domain per servlet)
+        └── trusted call ──> SystemServlet   (domain "http-system")
+                └── LRMI ──> user servlet (one domain per servlet)
 
 Servlets are installed, replaced and terminated at run time without
 restarting the server — the failure-isolation story the CS314 servlets
 motivated: a crashing servlet produces a 500 for its own URLs and nothing
-else, and replacing a servlet terminates its domain (revoking its
-capabilities) before the replacement goes live.
+else.  Replacement and termination are *graceful* under traffic: the
+route swap is atomic (an immutable snapshot), requests already inside the
+old servlet drain to completion before its domain is terminated, and a
+request that races the drain window is answered 503 rather than crossing
+into a dying domain.  Every request a servlet services is charged to its
+domain's resource account (``repro.core.accounting``), so per-domain
+traffic reconciles against client-side counts.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 
 from repro.core import (
     Capability,
     Domain,
     RemoteException,
     RevokedException,
+    get_accountant,
 )
 
 from .httpd import NativeHttpServer
@@ -32,79 +42,229 @@ from .isapi import IsapiBridge
 from .servlet import Servlet, ServletResponse, error_response
 
 
+class _Route:
+    """One routing-table entry (immutable once published)."""
+
+    __slots__ = ("prefix", "capability", "registration")
+
+    def __init__(self, prefix, capability, registration):
+        self.prefix = prefix
+        self.capability = capability
+        self.registration = registration
+
+
 class SystemServlet(Servlet):
-    """Routes requests to user-servlet capabilities by URL prefix."""
+    """Routes requests to user-servlet capabilities by URL prefix.
+
+    The routing table is an immutable tuple swapped under a lock on
+    mutation and read lock-free on the request path (a single attribute
+    load publishes the whole snapshot).
+    """
 
     def __init__(self):
         self._lock = threading.Lock()
-        self._routes = []  # (prefix, capability) longest prefix first
+        self._routes = ()  # _Route entries, longest prefix first
+        self._exact = {}   # prefix -> route: exact-path fast lookup
 
-    # -- admin (host-side API, not reachable through capabilities) --------------
-    def add_route(self, prefix, capability):
+    # -- admin (host-side API, not reachable through capabilities) ---------
+    def add_route(self, prefix, capability, registration=None):
         with self._lock:
-            self._routes = [
-                entry for entry in self._routes if entry[0] != prefix
-            ]
-            self._routes.append((prefix, capability))
-            self._routes.sort(key=lambda entry: -len(entry[0]))
+            entries = [r for r in self._routes if r.prefix != prefix]
+            entries.append(_Route(prefix, capability, registration))
+            entries.sort(key=lambda route: -len(route.prefix))
+            self._routes = tuple(entries)
+            self._exact = {route.prefix: route for route in self._routes}
 
-    def remove_route(self, prefix):
+    def remove_route(self, prefix, expected_registration=None):
+        """Unroute ``prefix``.  With ``expected_registration`` the route
+        is only removed while it still belongs to that registration —
+        a terminate racing a fresh install must not unroute the
+        replacement."""
         with self._lock:
-            removed = [c for p, c in self._routes if p == prefix]
-            self._routes = [
-                entry for entry in self._routes if entry[0] != prefix
-            ]
-        return removed[0] if removed else None
+            matched = [r for r in self._routes if r.prefix == prefix]
+            if expected_registration is not None and not any(
+                r.registration is expected_registration for r in matched
+            ):
+                return None
+            self._routes = tuple(
+                r for r in self._routes if r.prefix != prefix
+            )
+            self._exact = {route.prefix: route for route in self._routes}
+        return matched[0].capability if matched else None
 
     def routes(self):
-        with self._lock:
-            return [prefix for prefix, _ in self._routes]
+        return [route.prefix for route in self._routes]
 
-    # -- the remote method ---------------------------------------------------------
+    # -- the remote method -------------------------------------------------
     def service(self, request):
-        with self._lock:
-            routes = list(self._routes)
-        for prefix, capability in routes:
-            if request.path.startswith(prefix):
-                try:
-                    return capability.service(request)
-                except RevokedException:
-                    return error_response(
-                        503, f"servlet for {prefix} was terminated"
-                    )
-                except RemoteException as exc:
-                    return error_response(500, f"servlet failed: {exc}")
-                except Exception as exc:
-                    return error_response(500, f"servlet error: {exc!r}")
+        path = request.path
+        # Exact-prefix hit (one dict probe) before the longest-prefix scan.
+        route = self._exact.get(path)
+        if route is not None:
+            return self._serve(route, request)
+        for route in self._routes:
+            if path.startswith(route.prefix):
+                return self._serve(route, request)
         return error_response(404, f"no servlet for {request.path}")
+
+    @classmethod
+    def _serve(cls, route, request):
+        registration = route.registration
+        if registration is not None and registration.draining:
+            return error_response(
+                503, f"servlet for {route.prefix} is draining"
+            )
+        return cls._invoke(route, request)
+
+    @staticmethod
+    def _invoke(route, request):
+        try:
+            response = route.capability.service(request)
+        except RevokedException:
+            return error_response(
+                503, f"servlet for {route.prefix} was terminated"
+            )
+        except RemoteException as exc:
+            return error_response(500, f"servlet failed: {exc}")
+        except Exception as exc:
+            return error_response(500, f"servlet error: {exc!r}")
+        registration = route.registration
+        if registration is not None:
+            # Charged only when the servlet produced the response itself —
+            # exactly the population a well-behaved client can count.
+            registration.charge_request()
+        return response
 
 
 class ServletRegistration:
-    """Book-keeping for one installed servlet."""
+    """Book-keeping for one installed servlet: its domain, capability,
+    the draining flag used for graceful retirement, and the domain's
+    resource account (per-request charges land there).
+
+    In-flight tracking costs nothing on the request path: every LRMI
+    into the domain registers a thread segment for its duration (that
+    is how ``Domain.terminate`` finds victims), so drain just watches
+    ``Domain.in_flight_calls()`` fall to zero.
+    """
+
+    #: Consecutive idle observations (at _IDLE_POLL_S spacing) required
+    #: before a drain believes the domain is quiescent — together a
+    #: ~10 ms continuous-idle window, wider than routine GIL/scheduler
+    #: preemption gaps, covering the lag between a request passing the
+    #: draining-flag check and its segment registration.
+    _IDLE_CONFIRMATIONS = 5
+    _IDLE_POLL_S = 0.002
 
     def __init__(self, prefix, domain, capability):
         self.prefix = prefix
         self.domain = domain
         self.capability = capability
+        self.account = get_accountant().account(domain)
+        self._draining = False
+
+    @property
+    def in_flight(self):
+        """LRMI calls currently executing inside the servlet's domain."""
+        return self.domain.in_flight_calls()
+
+    @property
+    def draining(self):
+        return self._draining
+
+    def charge_request(self):
+        self.account.charge_request()
+
+    def retire(self, timeout=5.0):
+        """Full graceful teardown: drain, terminate the domain, close
+        its resource account (the charges were this incarnation's; a
+        replacement domain starts a fresh account)."""
+        drained = self.drain(timeout)
+        self.domain.terminate()
+        get_accountant().release_domain(self.domain)
+        return drained
+
+    def drain(self, timeout=5.0):
+        """Stop admitting requests, wait for in-flight ones to finish.
+
+        Returns True when the servlet went idle within the timeout.  A
+        request that read the draining flag just before it flipped may
+        slip past an idle-looking registry; the consecutive-idle
+        confirmation window catches the common interleavings, and the
+        residual race resolves through the LRMI revocation check to a
+        clean 503 — the window the issue's "new ones get 503" allows —
+        never through a dying domain's shared state.
+        """
+        self._draining = True
+        deadline = time.monotonic() + timeout
+        idle_streak = 0
+        while idle_streak < self._IDLE_CONFIRMATIONS:
+            if self.domain.in_flight_calls() == 0:
+                idle_streak += 1
+            else:
+                idle_streak = 0
+                if time.monotonic() >= deadline:
+                    return False
+            time.sleep(self._IDLE_POLL_S)
+        return True
 
 
 class JKernelWebServer:
-    """IIS + ISAPI bridge + system servlet + per-servlet domains."""
+    """IIS + ISAPI bridge + system servlet + per-servlet domains.
 
-    def __init__(self, server=None, mount="/servlet"):
+    ``bridge_inline`` controls where servlet requests execute: True (the
+    default) runs the bridge on the server's event-loop thread — the §4
+    arrangement ("the same thread as IIS uses to invoke the bridge") and
+    the configuration Table 5 measures; False routes them through the
+    server's domain worker pool so a slow servlet cannot stall a loop.
+
+    ``system_lrmi`` selects the crossing model for bridge → system
+    servlet: False (default, the paper's architecture) treats the system
+    servlet as trusted kernel code reached by a plain call — the JNI
+    analogue — so each request pays exactly one LRMI, into the user
+    servlet's domain; True routes the bridge through the system
+    capability as well, the seed's stricter double-LRMI accounting.
+    """
+
+    def __init__(self, server=None, mount="/servlet", *, bridge_inline=True,
+                 system_lrmi=False, drain_timeout=5.0):
         self.server = server or NativeHttpServer()
         self.mount = mount
+        self.drain_timeout = drain_timeout
         self.system_domain = Domain("http-system")
         self._system = SystemServlet()
         self.system_capability = self.system_domain.run(
             lambda: Capability.create(self._system, label="system-servlet")
         )
-        self.bridge = IsapiBridge(self.system_capability, strip_prefix=mount)
-        self.server.add_extension(mount, self.bridge.handle)
+        self.bridge = IsapiBridge(
+            self.system_capability if system_lrmi else self._system,
+            strip_prefix=mount,
+        )
+        self.server.add_extension(mount, self.bridge.handle,
+                                  inline=bridge_inline)
         self._registrations = {}
         self._lock = threading.Lock()
 
     # -- servlet lifecycle --------------------------------------------------
+    def _publish(self, prefix, registration):
+        """Swap the new registration in (atomically for new requests),
+        then gracefully retire the old one: drain in-flight requests and
+        terminate its domain (revoking its capabilities).
+
+        The registration-map and routing-table swaps happen under one
+        lock so concurrent installs/replaces on a prefix retire in a
+        consistent order — the route a loser publishes can never outlive
+        its own drain-and-terminate.  The (potentially slow) drain runs
+        outside the lock.
+        """
+        with self._lock:
+            old = self._registrations.get(prefix)
+            self._registrations[prefix] = registration
+            self._system.add_route(prefix, registration.capability,
+                                   registration)
+        if old is not None:
+            old.retire(self.drain_timeout)
+        return registration
+
     def install_servlet(self, prefix, servlet_factory, domain_name=None,
                         copy="auto"):
         """Create a domain, instantiate the servlet inside it, route it."""
@@ -120,14 +280,9 @@ class JKernelWebServer:
             return Capability.create(servlet, copy=copy, label=name)
 
         capability = domain.run(build)
-        registration = ServletRegistration(prefix, domain, capability)
-        with self._lock:
-            old = self._registrations.get(prefix)
-            self._registrations[prefix] = registration
-        self._system.add_route(prefix, capability)
-        if old is not None:
-            old.domain.terminate()
-        return registration
+        return self._publish(
+            prefix, ServletRegistration(prefix, domain, capability)
+        )
 
     def install_source(self, prefix, source, servlet_class_name="servlet",
                        domain_name=None, grants=None):
@@ -153,35 +308,36 @@ class JKernelWebServer:
             return Capability.create(servlet, label=name)
 
         capability = domain.run(build)
-        registration = ServletRegistration(prefix, domain, capability)
-        with self._lock:
-            old = self._registrations.get(prefix)
-            self._registrations[prefix] = registration
-        self._system.add_route(prefix, capability)
-        if old is not None:
-            old.domain.terminate()
-        return registration
+        return self._publish(
+            prefix, ServletRegistration(prefix, domain, capability)
+        )
 
     def replace_servlet(self, prefix, servlet_factory, domain_name=None):
-        """Hot-replace: the old domain terminates, the new one takes over
+        """Hot-replace: new requests go to the replacement the moment its
+        route is published; the old domain drains, then terminates —
         without restarting the server (the chart-component story of §1)."""
         return self.install_servlet(prefix, servlet_factory,
                                     domain_name=domain_name)
 
     def terminate_servlet(self, prefix):
-        """Kill a servlet: unroute it and terminate its domain."""
+        """Kill a servlet: unroute it (new arrivals see 404), drain
+        in-flight requests, terminate its domain.  The conditional
+        remove means a terminate racing a fresh install/replace never
+        unroutes the replacement."""
         with self._lock:
             registration = self._registrations.pop(prefix, None)
-        self._system.remove_route(prefix)
+            self._system.remove_route(
+                prefix, expected_registration=registration
+            )
         if registration is not None:
-            registration.domain.terminate()
+            registration.retire(self.drain_timeout)
         return registration
 
     def registrations(self):
         with self._lock:
             return dict(self._registrations)
 
-    # -- server control ----------------------------------------------------------
+    # -- server control ----------------------------------------------------
     def start(self):
         self.server.start()
         return self
@@ -190,8 +346,9 @@ class JKernelWebServer:
         self.server.stop()
         with self._lock:
             registrations = list(self._registrations.values())
+            self._registrations.clear()
         for registration in registrations:
-            registration.domain.terminate()
+            registration.retire(self.drain_timeout)
 
     def __enter__(self):
         return self.start()

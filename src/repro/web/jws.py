@@ -16,6 +16,7 @@ from __future__ import annotations
 import array as _array
 import socket
 import threading
+import time
 
 from repro.jvm import VM, ClassAssembler, MapResolver
 from repro.jvm.classfile import ACC_PUBLIC, ACC_STATIC
@@ -227,8 +228,11 @@ class JWSServer:
         self._install_documents(documents)
         self._vm_lock = threading.Lock()
         self._listener = None
+        self._accept_thread = None
         self._running = False
-        self.requests_served = 0
+        self._connections = set()
+        self._conn_lock = threading.Lock()
+        self._served = 0  # guarded by _vm_lock (every request holds it)
 
     def _guest_bytes(self, data):
         array = self.vm.heap.new_array(
@@ -279,11 +283,15 @@ class JWSServer:
         for name, value in statics.items():
             rtclass.static_slots[rtclass.static_index[name]] = value
 
+    @property
+    def requests_served(self):
+        return self._served
+
     # -- request processing -------------------------------------------------------
     def handle_bytes(self, raw_request):
         """Run one raw HTTP request through the interpreted handler."""
         with self._vm_lock:
-            self.requests_served += 1
+            self._served += 1
             request_array = self._guest_bytes(raw_request)
             try:
                 response = self.vm.call_static(
@@ -306,19 +314,25 @@ class JWSServer:
         self._listener.bind((self.host, self.port))
         self.port = self._listener.getsockname()[1]
         self._listener.listen(64)
+        self._listener.settimeout(0.2)
         self._running = True
-        accept_thread = threading.Thread(
+        self._accept_thread = threading.Thread(
             target=self._accept_loop, name="jws-accept", daemon=True
         )
-        accept_thread.start()
+        self._accept_thread.start()
         return self
 
     def _accept_loop(self):
+        from .httpd import ACCEPT_STOP, accept_next
+
         while self._running:
-            try:
-                conn, _ = self._listener.accept()
-            except OSError:
+            conn = accept_next(self._listener, lambda: self._running)
+            if conn is None:
+                continue
+            if conn is ACCEPT_STOP:
                 break
+            with self._conn_lock:
+                self._connections.add(conn)
             worker = threading.Thread(
                 target=self._serve_connection, args=(conn,), daemon=True
             )
@@ -340,12 +354,25 @@ class JWSServer:
             pass
         finally:
             conn.close()
+            with self._conn_lock:
+                self._connections.discard(conn)
 
     def stop(self):
         self._running = False
         if self._listener is not None:
             try:
                 self._listener.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(2.0)
+            self._accept_thread = None
+        with self._conn_lock:
+            connections = list(self._connections)
+            self._connections.clear()
+        for conn in connections:
+            try:
+                conn.close()
             except OSError:
                 pass
 

@@ -2,57 +2,133 @@
 
 Servlets customize HTTP request processing for a subset of the server's
 URL space; each user servlet runs in its own protection domain and is
-reached through a capability.  ``ServletRequest``/``ServletResponse`` are
-registered both as fast-copy and serializable classes, so they can cross
-domain boundaries under either copy mechanism.
+reached through a capability.
 
-The fields carry primitive type annotations so the transfer layer's
-compiled copiers specialize them: ``method``/``path``/``status``/``body``
-become direct assignments (fast copy) or inline length-prefixed writes
-(serialization), and the headers dict rides the homogeneous
-scan-then-copy container path — every servlet request and response
-crosses two domain boundaries, so this is the hottest copied data in the
-web stack.  Both classes are registered ``acyclic``: a request or
-response never participates in wire-level sharing, so the serializer
-skips back-reference bookkeeping for them.
+``ServletRequest``/``ServletResponse`` are *sealed* classes
+(``repro.core.sealed``): validated deeply immutable at construction —
+exact ``str``/``int``/``bytes`` fields plus a :class:`FrozenMap` of
+headers — then frozen, final, and registered to cross domain boundaries
+by reference.  Every request and response crosses two boundaries (native
+server → system servlet → user servlet and back), so this is the hottest
+transferred data in the web stack; sealing moves the cost of isolation
+from four deep copies per request to one validation per object, the same
+immutability argument the calling convention has always applied to
+primitives and the enforced kernel applies to final String classes.
+Mutable or cyclic payloads still ride the Table 4 copy machinery — the
+body is a ``bytes`` snapshot taken at construction.
 """
 
-from repro.core import Remote, fast_copy, serializable
+import weakref
+
+from repro.core import Remote
+from repro.core.sealed import FrozenMap, sealed
+
+from .http import format_response
 
 
-@fast_copy(fields=("method", "path", "headers", "body"))
-@serializable(fields=("method", "path", "headers", "body"), acyclic=True)
+def _text(value, what):
+    if type(value) is str:
+        return value
+    coerced = str(value)
+    if type(coerced) is not str:
+        raise TypeError(f"{what} must coerce to exact str")
+    return coerced
+
+
+def _binary(value, what):
+    if type(value) is bytes:
+        return value
+    if isinstance(value, (bytearray, memoryview)):
+        return bytes(value)
+    if isinstance(value, str):
+        return value.encode("utf-8")
+    raise TypeError(f"{what} must be bytes-like or str, "
+                    f"not {type(value).__name__}")
+
+
+def _headers(value):
+    if type(value) is FrozenMap:
+        return value
+    return FrozenMap(value or ())
+
+
+@sealed
 class ServletRequest:
-    """One HTTP request as seen by a servlet."""
+    """One HTTP request as seen by a servlet (sealed: immutable)."""
 
-    method: str
-    path: str
-    headers: dict
-    body: bytes
+    __slots__ = ("method", "path", "headers", "body")
 
     def __init__(self, method, path, headers=None, body=b""):
-        self.method = method
-        self.path = path
-        self.headers = dict(headers or {})
-        self.body = body
+        _set = object.__setattr__
+        _set(self, "method",
+             method if type(method) is str else _text(method, "method"))
+        _set(self, "path",
+             path if type(path) is str else _text(path, "path"))
+        _set(self, "headers",
+             headers if type(headers) is FrozenMap else _headers(headers))
+        _set(self, "body",
+             body if type(body) is bytes else _binary(body, "body"))
 
     def __repr__(self):
         return f"<ServletRequest {self.method} {self.path}>"
 
 
-@fast_copy(fields=("status", "headers", "body"))
-@serializable(fields=("status", "headers", "body"), acyclic=True)
-class ServletResponse:
-    """One HTTP response produced by a servlet."""
+#: Memoized wire forms, keyed by response id with a weakref finalizer
+#: evicting the entry when the response dies (the callback runs during
+#: deallocation, before the id can be recycled; the identity re-check in
+#: ``wire_bytes`` guards the remainder).  Module-private rather than an
+#: instance slot: a slot-held dict would hand any code that can read the
+#: attribute a mutation handle, and a servlet that poisoned its own
+#: response's cached bytes could desynchronize HTTP framing (response
+#: splitting) for later requests on the connection.  An id-keyed plain
+#: dict beats a WeakKeyDictionary here because the lookup is on the
+#: per-request hot path.
+_WIRE_MEMO = {}
 
-    status: int
-    headers: dict
-    body: bytes
+
+def _evict_wire(ident):
+    _WIRE_MEMO.pop(ident, None)
+
+
+@sealed
+class ServletResponse:
+    """One HTTP response produced by a servlet (sealed: immutable)."""
+
+    __slots__ = ("status", "headers", "body", "__weakref__")
 
     def __init__(self, status=200, headers=None, body=b""):
-        self.status = status
-        self.headers = dict(headers or {})
-        self.body = body
+        if type(status) is not int:
+            status = int(status)
+        _set = object.__setattr__
+        _set(self, "status", status)
+        _set(self, "headers",
+             headers if type(headers) is FrozenMap else _headers(headers))
+        _set(self, "body",
+             body if type(body) is bytes else _binary(body, "body"))
+
+    def wire_bytes(self, version="HTTP/1.0", keep_alive=False):
+        """Formatted response bytes, memoized per (version, keep-alive).
+
+        A sealed response is immutable, so its wire form is a pure
+        function of the transport flags: memoizing it is unobservable
+        derived state, the same pattern as str's cached hash.  Servlets
+        that keep one response object per static page (see the Table 5
+        ``DocServlet``) thereby amortize formatting across every request,
+        like the native server's own response cache.
+        """
+        ident = id(self)
+        entry = _WIRE_MEMO.get(ident)
+        if entry is None or entry[0]() is not self:
+            anchor = weakref.ref(
+                self, lambda _ref, _ident=ident: _evict_wire(_ident)
+            )
+            entry = _WIRE_MEMO[ident] = (anchor, {})
+        wire = entry[1]
+        key = (version, keep_alive)
+        cached = wire.get(key)
+        if cached is None:
+            cached = wire[key] = format_response(self, keep_alive, version)
+        return cached
 
     def __repr__(self):
         return f"<ServletResponse {self.status} ({len(self.body)} bytes)>"

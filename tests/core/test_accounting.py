@@ -37,6 +37,7 @@ class TestAccounts:
             "copy_operations": 0,
             "allocations": 0,
             "allocated_bytes": 0,
+            "requests": 0,
         }
 
     def test_charge_allocation(self, accountant):
@@ -88,3 +89,48 @@ class TestAccounts:
         # no current domain on this thread and none passed: silently
         # dropped rather than mis-charged
         assert accountant.report() == {}
+
+    def test_charge_request(self, accountant):
+        domain = Domain("acct-req")
+        accountant.charge_request(domain=domain)
+        accountant.charge_request(domain=domain)
+        assert accountant.account(domain).requests == 2
+
+    def test_sharded_counter_concurrent_increments_exact(self):
+        import threading
+
+        from repro.core.accounting import ShardedCounter
+
+        counter = ShardedCounter()
+        threads = [
+            threading.Thread(
+                target=lambda: [counter.add(1) for _ in range(10_000)]
+            )
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 80_000
+
+    def test_sharded_counter_folds_dead_thread_cells(self):
+        import threading
+
+        from repro.core.accounting import ShardedCounter
+
+        counter = ShardedCounter()
+        threads = [
+            threading.Thread(target=lambda: counter.add(10))
+            for _ in range(20)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        del threads
+        assert counter.value == 200
+        # dead threads' cells folded into the base, not kept forever
+        assert len(counter._cells) <= 1
+        counter.add(5)
+        assert counter.value == 205

@@ -362,3 +362,43 @@ class TestFastPathSemantics:
         cap.echo(1)
         cap.echo(2)
         assert domain.stats["lrmi_calls_in"] == 2
+
+
+class TestDictFieldAliasing:
+    """The inlined dict-field copy must not bypass the transfer memo:
+    an all-immutable dict shared inside one transferred graph stays
+    shared in the copy, exactly as the general container path does."""
+
+    def test_shared_dict_field_aliasing_preserved(self):
+        from repro.core import fast_copy, transfer
+
+        @fast_copy(fields=("tag", "mapping"))
+        class Holder:
+            tag: str
+            mapping: dict
+
+            def __init__(self, tag, mapping):
+                self.tag = tag
+                self.mapping = mapping
+
+        shared = {"a": "1"}
+        one, two = Holder("one", shared), Holder("two", shared)
+        copied = transfer([one, two])
+        assert copied[0].mapping == shared
+        assert copied[0].mapping is not shared
+        assert copied[0].mapping is copied[1].mapping  # aliasing kept
+
+    def test_top_level_dict_field_still_fast_copied(self):
+        from repro.core import fast_copy, transfer
+
+        @fast_copy(fields=("mapping",))
+        class Bag:
+            mapping: dict
+
+            def __init__(self, mapping):
+                self.mapping = mapping
+
+        bag = Bag({"k": "v"})
+        copied = transfer(bag)
+        assert copied.mapping == {"k": "v"}
+        assert copied.mapping is not bag.mapping

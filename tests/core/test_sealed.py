@@ -1,0 +1,115 @@
+"""Sealed transfer classes: deep immutability as a zero-copy tier."""
+
+import pytest
+
+from repro.core import Capability, Domain, Remote, transfer
+from repro.core.sealed import FrozenMap, sealed
+
+
+@sealed
+class Point:
+    __slots__ = ("x", "y")
+
+    def __init__(self, x, y):
+        object.__setattr__(self, "x", x)
+        object.__setattr__(self, "y", y)
+
+
+class TestSealedDecorator:
+    def test_instances_are_frozen(self):
+        point = Point(1, 2)
+        with pytest.raises(AttributeError):
+            point.x = 5
+        with pytest.raises(AttributeError):
+            del point.x
+        assert (point.x, point.y) == (1, 2)
+
+    def test_class_is_final(self):
+        with pytest.raises(TypeError):
+            class Sub(Point):
+                __slots__ = ()
+
+    def test_requires_slots(self):
+        with pytest.raises(TypeError):
+            @sealed
+            class Dicty:
+                def __init__(self):
+                    self.x = 1
+
+    def test_marked_sealed(self):
+        assert Point.__sealed__ is True
+
+
+class TestSealedTransfer:
+    def test_crosses_by_reference_auto_mode(self):
+        point = Point(3, 4)
+        assert transfer(point) is point
+
+    def test_crosses_by_reference_all_modes(self):
+        point = Point(3, 4)
+        assert transfer(point, mode="fast") is point
+        assert transfer(point, mode="serial") is point
+
+    def test_crosses_lrmi_by_reference_both_directions(self):
+        class Echo(Remote):
+            def echo(self, value): ...
+
+        class EchoImpl(Echo):
+            def echo(self, value):
+                return value
+
+        domain = Domain("sealed-lrmi")
+        capability = domain.run(lambda: Capability.create(EchoImpl()))
+        point = Point(7, 8)
+        assert capability.echo(point) is point
+
+    def test_sealed_inside_container_not_copied(self):
+        point = Point(1, 1)
+        copied = transfer([point, point])
+        assert copied[0] is point and copied[1] is point
+
+
+class TestFrozenMap:
+    def test_read_api(self):
+        frozen = FrozenMap({"a": "1", "b": "2"})
+        assert frozen["a"] == "1"
+        assert frozen.get("missing") is None
+        assert "b" in frozen and "c" not in frozen
+        assert sorted(frozen) == ["a", "b"]
+        assert len(frozen) == 2
+        assert dict(frozen.items()) == {"a": "1", "b": "2"}
+        assert frozen.to_dict() == {"a": "1", "b": "2"}
+
+    def test_equality_with_dict_and_frozenmap(self):
+        frozen = FrozenMap({"a": "1"})
+        assert frozen == {"a": "1"}
+        assert frozen == FrozenMap({"a": "1"})
+        assert frozen != FrozenMap({"a": "2"})
+
+    def test_no_mutation_api(self):
+        frozen = FrozenMap({"a": "1"})
+        with pytest.raises(TypeError):
+            frozen["a"] = "2"  # no __setitem__
+        with pytest.raises(AttributeError):
+            frozen._map = {}
+
+    def test_rejects_mutable_contents(self):
+        with pytest.raises(TypeError):
+            FrozenMap({"a": [1, 2]})
+        with pytest.raises(TypeError):
+            FrozenMap({("t",): "v"})  # tuple key: not a primitive
+
+    def test_copy_construction_shares_validated_state(self):
+        original = FrozenMap({"a": "1"})
+        again = FrozenMap(original)
+        assert again == original
+
+    def test_transfer_by_reference(self):
+        frozen = FrozenMap({"k": "v"})
+        assert transfer(frozen) is frozen
+
+    def test_detached_from_source_dict(self):
+        source = {"a": "1"}
+        frozen = FrozenMap(source)
+        source["a"] = "mutated"
+        assert frozen["a"] == "1"

@@ -1,0 +1,289 @@
+"""Keep-alive / pipelining conformance (PR 4 satellite).
+
+Connection and Content-Length semantics for HTTP/1.0 vs 1.1, pipelined
+requests answered strictly in order (including when a pooled extension
+finishes out of order), half-close, and slow (byte-at-a-time) clients —
+all under test deadlines so a regression shows up as a failure, not a
+hang.
+"""
+
+import socket
+import time
+
+import pytest
+
+from repro.web import (
+    NativeHttpServer,
+    Response,
+    fetch_many,
+    fetch_pipelined,
+    format_request,
+    read_response,
+)
+
+DEADLINE = 10.0
+
+
+@pytest.fixture()
+def server():
+    server = NativeHttpServer()
+    for index in range(8):
+        server.documents.put(f"/doc{index}", f"body-{index}".encode())
+    server.documents.put("/page", b"<html>page</html>")
+    server.start()
+    yield server
+    server.stop()
+
+
+def _connect(port):
+    conn = socket.create_connection(("127.0.0.1", port), timeout=DEADLINE)
+    conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    return conn
+
+
+class TestConnectionSemantics:
+    def test_http10_defaults_to_close(self, server):
+        with _connect(server.port) as conn:
+            conn.sendall(b"GET /page HTTP/1.0\r\n\r\n")
+            reader = conn.makefile("rb")
+            response = read_response(reader)
+            assert response.status == 200
+            assert response.headers["connection"] == "close"
+            assert reader.read() == b""  # server closed
+
+    def test_http10_keep_alive_header_keeps_open(self, server):
+        responses = fetch_many("127.0.0.1", server.port,
+                               ["/page", "/doc0", "/doc1"])
+        assert [r.status for r in responses] == [200, 200, 200]
+        assert all(r.headers["connection"] == "keep-alive"
+                   for r in responses)
+
+    def test_http11_defaults_to_keep_alive(self, server):
+        with _connect(server.port) as conn:
+            reader = conn.makefile("rb")
+            for _ in range(2):
+                conn.sendall(b"GET /page HTTP/1.1\r\n\r\n")
+                response = read_response(reader)
+                assert response.status == 200
+            reader.close()
+
+    def test_http11_response_status_line_echoes_version(self, server):
+        with _connect(server.port) as conn:
+            conn.sendall(b"GET /page HTTP/1.1\r\nConnection: close\r\n\r\n")
+            raw = b""
+            while b"\r\n" not in raw:
+                raw += conn.recv(4096)
+        assert raw.startswith(b"HTTP/1.1 200")
+
+    def test_http11_connection_close_closes(self, server):
+        with _connect(server.port) as conn:
+            conn.sendall(b"GET /page HTTP/1.1\r\nConnection: close\r\n\r\n")
+            reader = conn.makefile("rb")
+            response = read_response(reader)
+            assert response.status == 200
+            assert response.headers["connection"] == "close"
+            assert reader.read() == b""
+
+    def test_content_length_exact(self, server):
+        response = fetch_many("127.0.0.1", server.port, ["/page"])[0]
+        assert int(response.headers["content-length"]) == len(response.body)
+        assert response.body == b"<html>page</html>"
+
+    def test_post_body_round_trip(self, server):
+        seen = {}
+
+        def echo(request):
+            seen["body"] = request.body
+            return Response(200, {}, request.body[::-1])
+
+        server.add_extension("/echo", echo, inline=True)
+        with _connect(server.port) as conn:
+            payload = b"hello-world-123"
+            conn.sendall(format_request("POST", "/echo/x", body=payload,
+                                        keep_alive=False))
+            response = read_response(conn.makefile("rb"))
+        assert seen["body"] == payload
+        assert response.body == payload[::-1]
+
+
+class TestPipelining:
+    def test_pipelined_documents_answered_in_order(self, server):
+        paths = [f"/doc{index}" for index in range(8)] * 3
+        responses = fetch_pipelined("127.0.0.1", server.port, paths)
+        assert len(responses) == len(paths)
+        for path, response in zip(paths, responses):
+            assert response.status == 200
+            assert response.body == f"body-{path[4:]}".encode()
+
+    def test_slow_pooled_extension_does_not_reorder(self, server):
+        def slow(request):
+            time.sleep(0.15)
+            return Response(200, {}, b"slow-done")
+
+        server.add_extension("/slow", slow)  # pooled (default)
+        paths = ["/slow/x", "/doc0", "/doc1", "/slow/y", "/doc2"]
+        started = time.monotonic()
+        responses = fetch_pipelined("127.0.0.1", server.port, paths)
+        assert time.monotonic() - started < DEADLINE
+        bodies = [r.body for r in responses]
+        assert bodies == [b"slow-done", b"body-0", b"body-1",
+                          b"slow-done", b"body-2"]
+
+    def test_pipelined_after_close_is_dropped(self, server):
+        burst = (b"GET /doc0 HTTP/1.0\r\nConnection: close\r\n\r\n"
+                 b"GET /doc1 HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+        with _connect(server.port) as conn:
+            conn.sendall(burst)
+            reader = conn.makefile("rb")
+            first = read_response(reader)
+            assert first.body == b"body-0"
+            assert read_response(reader) is None  # connection closed
+
+    def test_deep_pipeline_beyond_cap_all_answered(self):
+        server = NativeHttpServer(max_pipeline=4)
+        server.documents.put("/d", b"x" * 32)
+        server.start()
+        try:
+            paths = ["/d"] * 40
+            responses = fetch_pipelined("127.0.0.1", server.port, paths)
+            assert len(responses) == 40
+            assert all(r.status == 200 and r.body == b"x" * 32
+                       for r in responses)
+        finally:
+            server.stop()
+
+
+class TestHalfCloseAndSlowClients:
+    def test_half_close_still_gets_response(self, server):
+        with _connect(server.port) as conn:
+            conn.sendall(b"GET /page HTTP/1.0\r\n\r\n")
+            conn.shutdown(socket.SHUT_WR)
+            data = b""
+            while True:
+                chunk = conn.recv(65536)
+                if not chunk:
+                    break
+                data += chunk
+        assert data.split(b"\r\n", 1)[0] == b"HTTP/1.0 200 OK"
+        assert data.endswith(b"<html>page</html>")
+
+    def test_half_close_with_pipelined_requests_flushes_all(self, server):
+        burst = b"".join(
+            format_request("GET", f"/doc{index}", keep_alive=True)
+            for index in range(4)
+        )
+        with _connect(server.port) as conn:
+            conn.sendall(burst)
+            conn.shutdown(socket.SHUT_WR)
+            reader = conn.makefile("rb")
+            bodies = []
+            while True:
+                response = read_response(reader)
+                if response is None:
+                    break
+                bodies.append(response.body)
+        assert bodies == [b"body-0", b"body-1", b"body-2", b"body-3"]
+
+    def test_byte_at_a_time_client(self, server):
+        request = b"GET /page HTTP/1.0\r\nX-Slow: yes\r\n\r\n"
+        deadline = time.monotonic() + DEADLINE
+        with _connect(server.port) as conn:
+            for byte in request:
+                conn.sendall(bytes([byte]))
+                assert time.monotonic() < deadline
+            response = read_response(conn.makefile("rb"))
+        assert response.status == 200
+        assert response.body == b"<html>page</html>"
+
+    def test_slow_reader_gets_whole_large_response(self):
+        server = NativeHttpServer(out_highwater=4096)
+        big = bytes(range(256)) * 2048  # 512 KiB
+        server.documents.put("/big", big, content_type="application/params")
+        server.start()
+        try:
+            with _connect(server.port) as conn:
+                conn.sendall(b"GET /big HTTP/1.0\r\n\r\n")
+                received = b""
+                deadline = time.monotonic() + DEADLINE * 3
+                while time.monotonic() < deadline:
+                    chunk = conn.recv(2048)
+                    if not chunk:
+                        break
+                    received += chunk
+                    time.sleep(0.001)  # dribble
+            head, _, body = received.partition(b"\r\n\r\n")
+            assert head.startswith(b"HTTP/1.0 200")
+            assert body == big
+        finally:
+            server.stop()
+
+
+class TestBodyLimits:
+    def test_body_over_buffer_bound_is_413_not_stall(self):
+        server = NativeHttpServer(max_buffered=16384)
+        server.documents.put("/d", b"d")
+        server.start()
+        try:
+            body = b"x" * 100_000
+            with _connect(server.port) as conn:
+                conn.sendall(format_request("POST", "/d", body=body,
+                                            keep_alive=False))
+                response = read_response(conn.makefile("rb"))
+            assert response.status == 413
+        finally:
+            server.stop()
+
+    def test_body_within_bound_accepted(self, server):
+        seen = {}
+
+        def sink(request):
+            seen["n"] = len(request.body)
+            return Response(200, {}, b"got")
+
+        server.add_extension("/sink", sink, inline=True)
+        body = b"y" * 30_000  # under the default 64 KiB bound
+        with _connect(server.port) as conn:
+            conn.sendall(format_request("POST", "/sink/x", body=body,
+                                        keep_alive=False))
+            response = read_response(conn.makefile("rb"))
+        assert response.status == 200
+        assert seen["n"] == 30_000
+
+    def test_max_body_knob_independent_of_buffer(self):
+        server = NativeHttpServer(max_buffered=16384, max_body=262144)
+        got = {}
+
+        def sink(request):
+            got["n"] = len(request.body)
+            return Response(200, {}, b"big-ok")
+
+        server.add_extension("/up", sink, inline=True)
+        server.start()
+        try:
+            body = b"z" * 100_000
+            with _connect(server.port) as conn:
+                conn.sendall(format_request("POST", "/up/x", body=body,
+                                            keep_alive=False))
+                response = read_response(conn.makefile("rb"))
+            assert response.status == 200
+            assert got["n"] == 100_000
+        finally:
+            server.stop()
+
+    def test_pipelined_amplification_bounded_by_out_highwater(self):
+        server = NativeHttpServer(out_highwater=65536, max_pipeline=64)
+        server.documents.put("/big", b"B" * 32768)
+        server.start()
+        try:
+            paths = ["/big"] * 60  # ~2MB of responses from one tiny burst
+            responses = fetch_pipelined("127.0.0.1", server.port, paths,
+                                        timeout=30.0)
+            assert len(responses) == 60
+            assert all(len(r.body) == 32768 for r in responses)
+            # the write buffer never ballooned past the high-water mark
+            # by more than one response's worth
+            for loop in server._loops:
+                for conn in loop.connections:
+                    assert len(conn.out) <= 65536 + 33000
+        finally:
+            server.stop()

@@ -99,3 +99,74 @@ class TestFormatting:
         close = format_response(Response(200, {}, b""), keep_alive=False)
         assert b"keep-alive" in keep
         assert b"close" in close
+
+    def test_response_version_parameter(self):
+        wire = format_response(Response(200, {}, b""), version="HTTP/1.1")
+        assert wire.startswith(b"HTTP/1.1 200")
+        assert format_response(Response(200, {}, b"")).startswith(
+            b"HTTP/1.0 200"
+        )
+
+    def test_response_respects_caller_headers(self):
+        wire = format_response(Response(
+            200, {"Content-Length": "99", "Connection": "upgrade"}, b"xy"
+        ))
+        head = wire.split(b"\r\n\r\n", 1)[0]
+        assert head.count(b"Content-Length") == 1
+        assert b"Content-Length: 99" in head
+        assert b"Connection: upgrade" in head
+
+    def test_request_version_parameter(self):
+        wire = format_request("GET", "/x", version="HTTP/1.1")
+        assert wire.startswith(b"GET /x HTTP/1.1\r\n")
+        # 1.1 keep-alive is the default: no Connection header emitted
+        assert b"Connection" not in wire
+        closing = format_request("GET", "/x", keep_alive=False,
+                                 version="HTTP/1.1")
+        assert b"Connection: close" in closing
+
+
+class TestRequestParser:
+    def _parse_all(self, parser):
+        requests = []
+        while True:
+            request = parser.next_request()
+            if request is None:
+                return requests
+            requests.append(request)
+
+    def test_single_feed_single_request(self):
+        from repro.web import RequestParser
+
+        parser = RequestParser()
+        parser.feed(b"GET /a HTTP/1.1\r\nHost: h\r\n\r\n")
+        (request,) = self._parse_all(parser)
+        assert request.method == "GET"
+        assert request.version == "HTTP/1.1"
+        assert request.headers == {"host": "h"}
+        assert parser.buffered == 0
+        assert not parser.mid_request
+
+    def test_pipelined_requests_in_one_feed(self):
+        from repro.web import RequestParser
+
+        parser = RequestParser()
+        parser.feed(
+            b"GET /one HTTP/1.1\r\n\r\n"
+            b"POST /two HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc"
+            b"GET /three HTTP/1.1\r\n\r\n"
+        )
+        requests = self._parse_all(parser)
+        assert [r.path for r in requests] == ["/one", "/two", "/three"]
+        assert requests[1].body == b"abc"
+
+    def test_mid_request_flag_for_partial_body(self):
+        from repro.web import RequestParser
+
+        parser = RequestParser()
+        parser.feed(b"POST /p HTTP/1.0\r\nContent-Length: 10\r\n\r\nabc")
+        assert parser.next_request() is None
+        assert parser.mid_request
+        parser.feed(b"defghij")
+        (request,) = self._parse_all(parser)
+        assert request.body == b"abcdefghij"

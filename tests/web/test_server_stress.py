@@ -1,0 +1,344 @@
+"""Concurrency/soak battery for the serving layer (PR 4 satellite).
+
+N concurrent keep-alive clients × mixed document/servlet traffic × a
+revoker hot-swapping a servlet mid-flight: zero dropped or garbled
+responses, per-domain request accounting reconciles with client-observed
+counts, shutdown leaks neither threads nor sockets, and the shared
+request counters stay exact under hammering (the seed's unsynchronized
+``requests_served += 1`` regression test).
+
+Client/request counts are env-tunable so CI can bound the soak:
+``JK_STRESS_CLIENTS`` (default 8) and ``JK_STRESS_ROUNDS`` (default 40).
+"""
+
+import os
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.web import (
+    JKernelWebServer,
+    NativeHttpServer,
+    Request,
+    Servlet,
+    format_request,
+    read_response,
+    run_mixed_load,
+    text_response,
+)
+
+STRESS_CLIENTS = int(os.environ.get("JK_STRESS_CLIENTS", "8"))
+STRESS_ROUNDS = int(os.environ.get("JK_STRESS_ROUNDS", "40"))
+
+
+class StampServlet(Servlet):
+    """Returns a recognizable body so garbling is detectable."""
+
+    def __init__(self, stamp):
+        self.stamp = stamp
+
+    def service(self, request):
+        return text_response(f"stamp:{self.stamp}:{request.path}")
+
+
+class TestSharedCounters:
+    def test_requests_served_exact_from_threads(self):
+        server = NativeHttpServer()
+        server.documents.put("/x", b"x")
+        request = Request("GET", "/x")
+        threads_n, per_thread = 8, 5_000
+
+        def hammer():
+            process = server.process
+            for _ in range(per_thread):
+                process(request)
+
+        threads = [threading.Thread(target=hammer)
+                   for _ in range(threads_n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert server.requests_served == threads_n * per_thread
+
+    def test_requests_served_exact_from_many_connections(self):
+        server = NativeHttpServer()
+        server.documents.put("/y", b"counted")
+        server.start()
+        try:
+            per_client = 25
+
+            def client():
+                with socket.create_connection(
+                        ("127.0.0.1", server.port), timeout=10.0) as conn:
+                    reader = conn.makefile("rb")
+                    request = format_request("GET", "/y", keep_alive=True)
+                    for _ in range(per_client):
+                        conn.sendall(request)
+                        assert read_response(reader).status == 200
+                    reader.close()
+
+            threads = [threading.Thread(target=client)
+                       for _ in range(STRESS_CLIENTS)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert server.requests_served == STRESS_CLIENTS * per_client
+        finally:
+            server.stop()
+
+
+class TestMixedSoakWithHotSwap:
+    def test_soak_mixed_traffic_revoker_and_accounting(self):
+        server = NativeHttpServer()
+        server.documents.put("/static", b"static-body")
+        jk = JKernelWebServer(server=server, mount="/servlet")
+        jk.install_servlet("/steady", lambda: StampServlet("steady"))
+        jk.install_servlet("/swap", lambda: StampServlet("swap"))
+        steady_account = jk.registrations()["/steady"].account
+        swap_account = jk.registrations()["/swap"].account
+        steady_before = steady_account.requests
+        swap_before = swap_account.requests
+        server.start()
+
+        swaps = 0
+        stop_revoker = threading.Event()
+        swap_accounts = {id(swap_account): swap_account}
+
+        def revoker():
+            nonlocal swaps
+            while not stop_revoker.is_set():
+                replacement = jk.replace_servlet(
+                    "/swap", lambda: StampServlet("swap")
+                )
+                # each incarnation gets its own fresh account
+                swap_accounts[id(replacement.account)] = replacement.account
+                swaps += 1
+                time.sleep(0.003)
+
+        revoker_thread = threading.Thread(target=revoker, daemon=True)
+        revoker_thread.start()
+        try:
+            report = run_mixed_load(
+                "127.0.0.1", server.port,
+                script=["/static", "/servlet/steady", "/servlet/swap",
+                        "/static", "/servlet/steady"],
+                clients=STRESS_CLIENTS, rounds=STRESS_ROUNDS,
+                expectations={
+                    "/static": lambda r: r.body == b"static-body",
+                    "/servlet/steady":
+                        lambda r: r.body == b"stamp:steady:/steady",
+                    "/servlet/swap":
+                        lambda r: r.body == b"stamp:swap:/swap",
+                },
+            )
+        finally:
+            stop_revoker.set()
+            revoker_thread.join(5.0)
+            server.stop()
+            jk.stop()
+
+        assert swaps > 0, "revoker never ran"
+        assert report.errors == []
+        assert report.dropped == 0
+        assert report.garbled == []
+
+        expected = STRESS_CLIENTS * STRESS_ROUNDS
+        # non-swapped paths must be flawless
+        assert report.statuses("/static") == {200: expected * 2}
+        assert report.statuses("/servlet/steady") == {200: expected * 2}
+        # the swapped path may see 503s in the drain window, nothing else
+        swap_statuses = report.statuses("/servlet/swap")
+        assert set(swap_statuses) <= {200, 503}
+        assert sum(swap_statuses.values()) == expected
+
+        # per-domain accounting reconciles with client-observed counts:
+        # every 200 the clients saw was charged to exactly one servlet
+        # incarnation's account (each replacement domain opens a fresh
+        # account; retired accounts keep their final totals)
+        assert steady_account.requests - steady_before == expected * 2
+        swap_total = sum(account.requests
+                         for account in swap_accounts.values())
+        assert swap_total - swap_before == swap_statuses.get(200, 0)
+        assert len(swap_accounts) > 1  # fresh account per incarnation
+
+    def test_drain_lets_in_flight_request_finish(self):
+        release = threading.Event()
+        entered = threading.Event()
+
+        class BlockingServlet(Servlet):
+            def service(self, request):
+                entered.set()
+                release.wait(10.0)
+                return text_response("finished")
+
+        jk = JKernelWebServer()
+        jk.install_servlet("/block", BlockingServlet)
+        jk.server.start()
+        try:
+            result = {}
+
+            def slow_call():
+                with socket.create_connection(
+                        ("127.0.0.1", jk.server.port), timeout=15.0) as conn:
+                    conn.sendall(format_request(
+                        "GET", "/servlet/block", keep_alive=False))
+                    result["response"] = read_response(conn.makefile("rb"))
+
+            caller = threading.Thread(target=slow_call)
+            caller.start()
+            assert entered.wait(5.0)
+
+            terminated = {}
+
+            def terminate():
+                terminated["registration"] = jk.terminate_servlet("/block")
+
+            terminator = threading.Thread(target=terminate)
+            terminator.start()
+            time.sleep(0.05)
+            assert terminator.is_alive(), "terminate should wait on drain"
+            release.set()
+            terminator.join(10.0)
+            caller.join(10.0)
+
+            assert result["response"].status == 200
+            assert result["response"].body == b"finished"
+            registration = terminated["registration"]
+            assert registration.domain.terminated
+            assert registration.draining
+        finally:
+            jk.server.stop()
+            jk.stop()
+
+
+class TestPoolSaturation:
+    def test_saturated_pool_answers_503_not_hang(self):
+        server = NativeHttpServer(pool_workers=1, pool_capacity=2,
+                                  max_pipeline=64)
+        gate = threading.Event()
+
+        def slow(request):
+            gate.wait(5.0)
+            from repro.web import Response
+            return Response(200, {}, b"slow-ok")
+
+        server.add_extension("/slow", slow)  # pooled
+        server.start()
+        try:
+            burst = b"".join(
+                format_request("GET", "/slow/x", keep_alive=True)
+                for _ in range(12)
+            )
+            with socket.create_connection(
+                    ("127.0.0.1", server.port), timeout=15.0) as conn:
+                conn.sendall(burst)
+                time.sleep(0.3)  # let the pool saturate, then release
+                gate.set()
+                reader = conn.makefile("rb")
+                statuses = [read_response(reader).status
+                            for _ in range(12)]
+            assert set(statuses) <= {200, 503}
+            assert 503 in statuses, "pool never saturated"
+            assert statuses.count(200) >= 1
+            assert server.pool.stats()["rejected"] > 0
+        finally:
+            server.stop()
+
+
+class TestCleanShutdown:
+    def test_no_thread_or_socket_leaks(self):
+        def server_thread_names():
+            return sorted(
+                thread.name for thread in threading.enumerate()
+                if thread.name.startswith(("httpd-", "jws-"))
+            )
+
+        baseline = server_thread_names()
+        jk = JKernelWebServer()
+        jk.server.documents.put("/d", b"doc")
+        jk.install_servlet("/s", lambda: StampServlet("s"))
+        jk.server.start()
+
+        report = run_mixed_load(
+            "127.0.0.1", jk.server.port,
+            script=["/d", "/servlet/s"],
+            clients=4, rounds=10,
+            expectations={"/d": lambda r: r.body == b"doc"},
+        )
+        assert report.dropped == 0 and report.errors == []
+
+        assert len(server_thread_names()) > len(baseline)
+        jk.server.stop()
+        jk.stop()
+
+        deadline = time.monotonic() + 10.0
+        while server_thread_names() != baseline:
+            assert time.monotonic() < deadline, (
+                f"leaked threads: {server_thread_names()}"
+            )
+            time.sleep(0.05)
+        assert jk.server.live_connections() == 0
+        assert jk.server._listener.fileno() == -1  # listener closed
+
+    def test_stop_is_idempotent_and_restartable_state(self):
+        server = NativeHttpServer()
+        server.documents.put("/a", b"a")
+        server.start()
+        server.stop()
+        server.stop()  # second stop is a no-op, not an error
+        assert server.live_connections() == 0
+
+
+class TestIdleReaping:
+    def test_idle_connection_reaped_and_mid_request_gets_408(self):
+        server = NativeHttpServer(idle_timeout=0.5)
+        server.documents.put("/z", b"z")
+        server.start()
+        try:
+            # idle socket with a partial request: reaped with a 408
+            with socket.create_connection(
+                    ("127.0.0.1", server.port), timeout=30.0) as conn:
+                conn.sendall(b"GET /z HTT")  # slow-loris stops here
+                deadline = time.monotonic() + 25.0
+                data = b""
+                while time.monotonic() < deadline:
+                    chunk = conn.recv(4096)
+                    if not chunk:
+                        break
+                    data += chunk
+                assert data.startswith(b"HTTP/1.0 408"), data
+            # a fully idle socket (no bytes at all) is just closed
+            with socket.create_connection(
+                    ("127.0.0.1", server.port), timeout=30.0) as conn:
+                assert conn.recv(4096) == b""  # server closed it
+            assert server.stats()["idle_closed"] >= 2
+            # and active clients were never affected
+            assert server.live_connections() == 0
+        finally:
+            server.stop()
+
+    def test_slow_pooled_handler_outlives_idle_timeout(self):
+        from repro.web import Response
+
+        server = NativeHttpServer(idle_timeout=0.4)
+
+        def slow(request):
+            time.sleep(1.0)  # well beyond idle_timeout
+            return Response(200, {}, b"worth-the-wait")
+
+        server.add_extension("/slow", slow)  # pooled
+        server.start()
+        try:
+            with socket.create_connection(
+                    ("127.0.0.1", server.port), timeout=10.0) as conn:
+                conn.sendall(format_request("GET", "/slow/x",
+                                            keep_alive=False))
+                response = read_response(conn.makefile("rb"))
+            assert response is not None and response.status == 200
+            assert response.body == b"worth-the-wait"
+        finally:
+            server.stop()

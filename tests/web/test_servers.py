@@ -8,6 +8,7 @@ import pytest
 
 from repro.core import Domain
 from repro.web import (
+    DocumentStore,
     JKernelWebServer,
     JWSServer,
     NativeHttpServer,
@@ -229,3 +230,298 @@ class TestJWS:
         before = jws.requests_served
         jws.handle_bytes(b"GET /a HTTP/1.0\r\n\r\n")
         assert jws.requests_served == before + 1
+
+
+class TestReactorFeatures:
+    """PR 4: event-driven reactor — cache, pool, stats, lifecycle."""
+
+    def test_response_cache_serves_and_invalidates(self):
+        server = NativeHttpServer()
+        server.documents.put("/cached", b"first")
+        server.start()
+        try:
+            assert fetch_once("127.0.0.1", server.port,
+                              "/cached").body == b"first"
+            for _ in range(3):
+                fetch_once("127.0.0.1", server.port, "/cached")
+            stats = server.stats()
+            assert stats["cache_hits"] >= 1
+            # a put bumps the store generation: stale entries miss
+            server.documents.put("/cached", b"second")
+            assert fetch_once("127.0.0.1", server.port,
+                              "/cached").body == b"second"
+        finally:
+            server.stop()
+
+    def test_pooled_extension_runs_off_loop(self):
+        import threading as _threading
+
+        server = NativeHttpServer()
+        seen = {}
+
+        def handler(request):
+            seen["thread"] = _threading.current_thread().name
+            from repro.web import Response
+            return Response(200, {}, b"pooled")
+
+        server.add_extension("/p", handler)  # pooled by default
+        server.start()
+        try:
+            assert fetch_once("127.0.0.1", server.port,
+                              "/p/x").body == b"pooled"
+            assert seen["thread"].startswith("httpd-pool")
+        finally:
+            server.stop()
+
+    def test_inline_extension_runs_on_loop(self):
+        import threading as _threading
+
+        server = NativeHttpServer()
+        seen = {}
+
+        def handler(request):
+            seen["thread"] = _threading.current_thread().name
+            from repro.web import Response
+            return Response(200, {}, b"inline")
+
+        server.add_extension("/i", handler, inline=True)
+        server.start()
+        try:
+            assert fetch_once("127.0.0.1", server.port,
+                              "/i/x").body == b"inline"
+            assert seen["thread"].startswith("httpd-loop")
+        finally:
+            server.stop()
+
+    def test_stats_shape(self):
+        server = NativeHttpServer()
+        server.documents.put("/s", b"s")
+        server.start()
+        try:
+            fetch_once("127.0.0.1", server.port, "/s")
+            stats = server.stats()
+            for key in ("requests_served", "live_connections",
+                        "cache_hits", "cache_misses",
+                        "backpressure_pauses", "accept_backpressure",
+                        "pool"):
+                assert key in stats
+            assert stats["requests_served"] >= 1
+        finally:
+            server.stop()
+
+    def test_document_store_remove(self):
+        store = DocumentStore()
+        store.put("/a", b"x")
+        generation = store.generation
+        assert store.remove("/a") is not None
+        assert store.generation > generation
+        assert store.get("/a") is None
+        assert store.remove("/ghost") is None
+
+
+class TestSealedServletSemantics:
+    """PR 4: sealed request/response carriers."""
+
+    def test_servlet_cannot_mutate_request(self, iis, jk):
+        class Mutator(Servlet):
+            def service(self, request):
+                request.path = "/hacked"
+                return text_response("never")
+
+        jk.install_servlet("/mut", Mutator)
+        response = fetch_once("127.0.0.1", iis.port, "/servlet/mut")
+        assert response.status == 500  # AttributeError, isolated
+
+    def test_identical_requests_are_interned(self, iis, jk):
+        seen = []
+
+        class Observer(Servlet):
+            def service(self, request):
+                seen.append(id(request))
+                return text_response("ok")
+
+        jk.install_servlet("/obs", Observer)
+        from repro.web import fetch_many
+        fetch_many("127.0.0.1", iis.port,
+                   ["/servlet/obs", "/servlet/obs"])
+        assert len(seen) == 2
+        assert seen[0] == seen[1]  # sealed request carrier reused
+
+    def test_response_wire_bytes_memoized(self):
+        response = text_response("hello")
+        first = response.wire_bytes("HTTP/1.1", True)
+        second = response.wire_bytes("HTTP/1.1", True)
+        assert first is second
+        assert first.startswith(b"HTTP/1.1 200")
+        close_variant = response.wire_bytes("HTTP/1.0", False)
+        assert close_variant is not first
+        assert b"Connection: close" in close_variant
+
+    def test_system_lrmi_compat_mode(self, iis):
+        jk = JKernelWebServer(server=iis, mount="/servlet2",
+                              system_lrmi=True)
+        jk.install_servlet("/hello", HelloServlet)
+        try:
+            response = fetch_once("127.0.0.1", iis.port,
+                                  "/servlet2/hello")
+            assert response.status == 200
+            assert response.body == b"hello /hello"
+            # the bridge->system hop is a real LRMI in this mode
+            assert jk.system_domain.stats["lrmi_calls_in"] >= 1
+        finally:
+            for prefix in list(jk.registrations()):
+                jk.terminate_servlet(prefix)
+
+    def test_per_domain_request_accounting(self, iis, jk):
+        jk.install_servlet("/acct", HelloServlet)
+        registration = jk.registrations()["/acct"]
+        before = registration.account.requests
+        for _ in range(3):
+            fetch_once("127.0.0.1", iis.port, "/servlet/acct")
+        assert registration.account.requests - before == 3
+
+
+class TestReviewHardening:
+    """PR 4 review fixes: crash containment and sealed-internal safety."""
+
+    def test_unformattable_response_degrades_to_500_not_dead_loop(self):
+        server = NativeHttpServer()
+        server.documents.put("/alive", b"still here")
+
+        def broken(request):
+            from repro.web import Response
+            return Response(200, {"X-Note": "café☃"}, b"")
+
+        server.add_extension("/broken", broken, inline=True)
+        server.start()
+        try:
+            assert fetch_once("127.0.0.1", server.port,
+                              "/broken/x").status == 500
+            # the loop survived: both paths still served
+            assert fetch_once("127.0.0.1", server.port,
+                              "/alive").body == b"still here"
+            assert fetch_once("127.0.0.1", server.port,
+                              "/broken/y").status == 500
+        finally:
+            server.stop()
+
+    def test_broken_pooled_handler_does_not_kill_pool(self):
+        server = NativeHttpServer(pool_workers=1)
+        server.documents.put("/d", b"d")
+
+        def broken(request):
+            from repro.web import Response
+            return Response(200, {"X-Bad": "☃"}, b"")
+
+        server.add_extension("/pooled-broken", broken)  # pooled
+        server.start()
+        try:
+            for _ in range(3):
+                assert fetch_once("127.0.0.1", server.port,
+                                  "/pooled-broken/x").status == 500
+            assert fetch_once("127.0.0.1", server.port,
+                              "/d").status == 200
+        finally:
+            server.stop()
+
+    def test_frozen_map_backing_is_read_only(self):
+        from repro.core.sealed import FrozenMap
+
+        frozen = FrozenMap({"a": "1"})
+        with pytest.raises(TypeError):
+            frozen._map["a"] = "poisoned"  # mappingproxy: no item set
+
+    def test_response_wire_memo_not_instance_reachable(self):
+        response = text_response("x")
+        response.wire_bytes()
+        assert not hasattr(response, "_wire")
+
+    def test_document_store_generation_exact_under_threads(self):
+        import threading as _threading
+
+        store = DocumentStore()
+        rounds = 2_000
+
+        def putter(tag):
+            for index in range(rounds):
+                store.put(f"/{tag}", f"{index}".encode())
+
+        threads = [_threading.Thread(target=putter, args=(tag,))
+                   for tag in ("a", "b", "c", "d")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert store.generation == 4 * rounds
+
+    def test_domain_in_flight_calls_public_api(self, iis, jk):
+        jk.install_servlet("/flight", HelloServlet)
+        registration = jk.registrations()["/flight"]
+        assert registration.domain.in_flight_calls() == 0
+        fetch_once("127.0.0.1", iis.port, "/servlet/flight")
+        assert registration.in_flight == 0  # back to quiescent
+
+
+class TestPerPathInvalidation:
+    def test_updating_one_doc_keeps_others_cached(self):
+        server = NativeHttpServer()
+        server.documents.put("/hot", b"hot-1")
+        server.documents.put("/cold", b"cold-1")
+        server.start()
+        try:
+            for _ in range(3):
+                fetch_once("127.0.0.1", server.port, "/hot")
+            hits_before = server.stats()["cache_hits"]
+            server.documents.put("/cold", b"cold-2")  # unrelated mutation
+            assert fetch_once("127.0.0.1", server.port,
+                              "/hot").body == b"hot-1"
+            assert server.stats()["cache_hits"] > hits_before  # still hit
+            assert fetch_once("127.0.0.1", server.port,
+                              "/cold").body == b"cold-2"
+            # and mutating the hot path is visible immediately
+            server.documents.put("/hot", b"hot-2")
+            assert fetch_once("127.0.0.1", server.port,
+                              "/hot").body == b"hot-2"
+        finally:
+            server.stop()
+
+    def test_removed_document_stops_being_served(self):
+        server = NativeHttpServer()
+        server.documents.put("/gone", b"here")
+        server.start()
+        try:
+            assert fetch_once("127.0.0.1", server.port,
+                              "/gone").status == 200
+            server.documents.remove("/gone")
+            assert fetch_once("127.0.0.1", server.port,
+                              "/gone").status == 404
+        finally:
+            server.stop()
+
+
+class TestAccountLifecycle:
+    """PR 4: per-incarnation resource accounts."""
+
+    def test_replacement_servlet_gets_fresh_account(self, iis, jk):
+        jk.install_servlet("/fresh", HelloServlet)
+        first = jk.registrations()["/fresh"]
+        for _ in range(3):
+            fetch_once("127.0.0.1", iis.port, "/servlet/fresh")
+        assert first.account.requests == 3
+        jk.replace_servlet("/fresh", HelloServlet)
+        second = jk.registrations()["/fresh"]
+        assert second.account is not first.account
+        assert second.account.requests == 0
+        fetch_once("127.0.0.1", iis.port, "/servlet/fresh")
+        assert second.account.requests == 1
+        assert first.account.requests == 3  # final total preserved
+
+    def test_terminated_servlet_account_released(self, iis, jk):
+        from repro.core import get_accountant
+
+        jk.install_servlet("/closed", HelloServlet)
+        registration = jk.registrations()["/closed"]
+        fetch_once("127.0.0.1", iis.port, "/servlet/closed")
+        jk.terminate_servlet("/closed")
+        # the accountant no longer tracks the dead domain
+        assert registration.domain.name not in get_accountant().report()
