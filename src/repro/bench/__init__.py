@@ -11,6 +11,7 @@ from .workloads import (
     Table3Fixture,
     Table4Fixture,
     Table5Fixture,
+    Table6Fixture,
     build_iis,
     build_iis_jkernel,
     build_jws,
@@ -27,6 +28,7 @@ __all__ = [
     "Table3Fixture",
     "Table4Fixture",
     "Table5Fixture",
+    "Table6Fixture",
     "build_iis",
     "build_iis_jkernel",
     "build_jws",

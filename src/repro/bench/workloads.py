@@ -406,16 +406,17 @@ def make_documents():
     }
 
 
-def build_iis():
+def build_iis(workers=None):
     from repro.web import NativeHttpServer
 
-    server = NativeHttpServer()
+    server = (NativeHttpServer(workers=workers) if workers is not None
+              else NativeHttpServer())
     for path, body in make_documents().items():
         server.documents.put(path, body)
     return server
 
 
-def build_iis_jkernel():
+def build_iis_jkernel(workers=None):
     from repro.web import JKernelWebServer, Servlet, ServletResponse
 
     class DocServlet(Servlet):
@@ -431,7 +432,7 @@ def build_iis_jkernel():
         def service(self, request):
             return self.response
 
-    server = build_iis()
+    server = build_iis(workers)
     jk = JKernelWebServer(server=server, mount="/servlet")
     for path, body in make_documents().items():
         jk.install_servlet(path, lambda body=body: DocServlet(body))
@@ -455,6 +456,137 @@ BROWSER_HEADERS = {
     "Accept-Language": "en",
     "Connection": "keep-alive",
 }
+
+
+class _XSink(Remote):
+    """Remote interface for the Table 6 crossing-cost comparison."""
+
+    def nop(self): ...
+    def take(self, value): ...
+
+
+class _XSinkImpl(_XSink):
+    def nop(self):
+        return None
+
+    def take(self, value):
+        return 0
+
+
+def _xsink_setup():
+    """Runs in the forked domain host: the out-of-process twin of the
+    in-process Table 6 target."""
+    domain = Domain("table6-xproc")
+    cap = domain.run(lambda: Capability.create(_XSinkImpl(), label="xsink"))
+    return {"sink": cap}
+
+
+class Table6Fixture:
+    """Crossing-cost comparison: in-process LRMI vs cross-process LRMI
+    vs prefork HTTP throughput (the Table 6 claim, measured).
+
+    The paper argues the J-Kernel's language-enforced crossings beat
+    OS-process alternatives by orders of magnitude; this fixture
+    measures that against our own out-of-process tier: the same
+    capability call (null and 1000-byte payload) through the in-process
+    compiled stub and through the cross-process marshalling proxy, plus
+    the serving-layer consequence — pages/second of the prefork tier at
+    1, 2 and 4 worker processes.
+    """
+
+    def __init__(self):
+        self.domain = Domain(f"table6-{id(self)}")
+        impl = _XSinkImpl()
+        self.inproc_cap = self.domain.run(
+            lambda: Capability.create(impl, label="sink")
+        )
+        from repro.ipc import DomainHostProcess, connect
+
+        self.host = DomainHostProcess(_xsink_setup, name="table6").start()
+        self.client = connect(self.host)
+        self.xproc_cap = self.client.lookup("sink")
+        # Warm both paths: stub bound-method cache, proxy connection.
+        self.inproc_cap.nop()
+        self.xproc_cap.nop()
+
+    def close(self):
+        self.client.close()
+        self.host.stop()
+        self.domain.terminate()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    # -- crossing costs ----------------------------------------------------
+    def inproc_null_us(self, min_time=0.05):
+        return measure(self.inproc_cap.nop, min_time=min_time).us_per_op
+
+    def xproc_null_us(self, min_time=0.05):
+        return measure(self.xproc_cap.nop, min_time=min_time).us_per_op
+
+    def inproc_1000b_us(self, min_time=0.05):
+        payload = Chunk.of_size(1000)
+        return measure(
+            lambda: self.inproc_cap.take(payload), min_time=min_time
+        ).us_per_op
+
+    def xproc_1000b_us(self, min_time=0.05):
+        payload = Chunk.of_size(1000)
+        return measure(
+            lambda: self.xproc_cap.take(payload), min_time=min_time
+        ).us_per_op
+
+    # -- prefork serving ---------------------------------------------------
+    @staticmethod
+    def _prefork_app():
+        """Runs in each prefork child: exactly the Table 5 J-Kernel
+        configuration (same documents, same servlets), sized to one
+        event loop per process — so the prefork numbers compare
+        apples-to-apples against `http_pages_per_sec_jk_*`."""
+        return build_iis_jkernel(workers=1)
+
+    @staticmethod
+    def prefork_pages_per_sec(workers, clients=4, requests_per_client=150,
+                              reuse_port=None):
+        """Pages/second of the J-Kernel servlet path served by a prefork
+        fleet of ``workers`` processes."""
+        from repro.web import PreforkServer, measure_throughput
+
+        master = PreforkServer(Table6Fixture._prefork_app,
+                               workers=workers, reuse_port=reuse_port)
+        master.start()
+        try:
+            return measure_throughput(
+                "127.0.0.1", master.port, "/servlet/doc100",
+                clients, requests_per_client, warmup=8,
+                headers=BROWSER_HEADERS,
+            )
+        finally:
+            master.stop()
+
+    def measure(self, prefork_workers=(1, 2, 4)):
+        """The full Table 6 shape for the snapshot."""
+        inproc_null = self.inproc_null_us()
+        xproc_null = self.xproc_null_us()
+        inproc_1000 = self.inproc_1000b_us()
+        xproc_1000 = self.xproc_1000b_us()
+        prefork = {
+            workers: self.prefork_pages_per_sec(workers)
+            for workers in prefork_workers
+        }
+        return {
+            "inproc_null_us": inproc_null,
+            "xproc_null_us": xproc_null,
+            "inproc_1000b_us": inproc_1000,
+            "xproc_1000b_us": xproc_1000,
+            "prefork_pages_per_sec": prefork,
+            "xproc_over_inproc_null": xproc_null / max(inproc_null, 1e-9),
+            "xproc_over_inproc_1000b": xproc_1000 / max(inproc_1000, 1e-9),
+        }
 
 
 class Table5Fixture:

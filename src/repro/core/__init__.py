@@ -34,6 +34,7 @@ from .domain import Domain
 from .errors import (
     DomainError,
     DomainTerminatedException,
+    DomainUnavailableException,
     JKernelError,
     NameAlreadyBoundError,
     NameNotBoundError,
@@ -63,6 +64,7 @@ from .serial import (
     copy_via_serialization,
     dumps,
     loads,
+    register_capref_type,
     register_class,
     serializable,
 )
@@ -75,6 +77,7 @@ __all__ = [
     "DomainError",
     "DomainResolver",
     "DomainTerminatedException",
+    "DomainUnavailableException",
     "JKernelError",
     "MODE_AUTO",
     "MODE_FAST",
@@ -111,6 +114,7 @@ __all__ = [
     "loads",
     "lrmi_invoke",
     "references",
+    "register_capref_type",
     "register_class",
     "remote_interfaces",
     "remote_methods",

@@ -258,7 +258,12 @@ def _install_fastcopy_handler(info):
 def _install_serial_handler(cls):
     """Dispatch entry for one ``@serializable`` class (default registry).
     Skipped when the class is also fast-copy registered — fast copy wins
-    in auto mode regardless of registration order."""
+    in auto mode regardless of registration order — and for sealed
+    classes, whose serial registration exists only so explicit ``dumps``
+    (the cross-process wire) can encode them: in-process transfers keep
+    passing them by reference."""
+    if cls in _SEALED_TYPES:
+        return
     if not _fastcopy.DEFAULT_REGISTRY.knows(cls):
         _DISPATCH[cls] = _serial_copy
 

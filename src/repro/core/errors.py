@@ -34,6 +34,18 @@ class SegmentStoppedException(RemoteException):
     """This thread segment was stopped (the segment-local ``Thread.stop``)."""
 
 
+class DomainUnavailableException(RemoteException):
+    """An out-of-process domain cannot be reached.
+
+    Raised by the cross-process LRMI transport (``repro.ipc.lrmi``) when
+    the host process is dead, the wire connection drops mid-call, or a
+    reply times out.  Distinct from :class:`RevokedException`: the
+    capability may still be live — its *process* is gone — so callers
+    (e.g. the web layer's system servlet) map it to a retryable 503
+    rather than a permanent failure.
+    """
+
+
 class NotSerializableError(RemoteException):
     """A value crossing a domain boundary has no registered copy mechanism."""
 

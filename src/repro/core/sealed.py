@@ -139,3 +139,18 @@ class FrozenMap:
 
     def __repr__(self):
         return f"FrozenMap({self._map!r})"
+
+
+# Wire form for the cross-process LRMI transport: in-process transfers
+# pass sealed values by reference (the whole point of sealing), but a
+# value crossing a *process* boundary must be byte-encoded.  The sealed
+# constructor IS the validator, so the reduce/rebuild pair re-validates
+# on the receiving side — a forged stream cannot smuggle a mutable map.
+from . import serial as _serial
+
+_serial.register_class(
+    FrozenMap,
+    name="repro.sealed.FrozenMap",
+    reduce=lambda value: (value.to_dict(),),
+    rebuild=FrozenMap,
+)

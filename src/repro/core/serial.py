@@ -67,6 +67,7 @@ _T_INTLIST = 18
 _T_INTTUPLE = 19
 _T_FLOATLIST = 20
 _T_FLOATTUPLE = 21
+_T_REDUCED = 22
 
 _INT64_MIN = -(2 ** 63)
 _INT64_MAX = 2 ** 63 - 1
@@ -170,6 +171,24 @@ def _length_prefixed(text):
     return _PACK_U32.pack(len(encoded)) + encoded
 
 
+def _field_reducer(fields):
+    def reduce(value, _fields=tuple(fields)):
+        return tuple(getattr(value, field) for field in _fields)
+    return reduce
+
+
+#: Non-:class:`Capability` types that nevertheless cross the stream
+#: through the capability side table (the cross-process LRMI proxies of
+#: ``repro.ipc.lrmi``, which must round-trip by reference like the stubs
+#: they stand in for).
+_CAPREF_TYPES = set()
+
+
+def register_capref_type(cls):
+    """Mark a type as crossing via the capability side table."""
+    _CAPREF_TYPES.add(cls)
+
+
 class ClassDescriptor:
     """Registration record for one serializable class.
 
@@ -180,13 +199,31 @@ class ClassDescriptor:
 
     __slots__ = ("cls", "name", "fields", "is_exception", "is_capability",
                  "encoded_name", "encoded_fields", "acyclic", "field_types",
-                 "writer", "reader", "writer_source", "reader_source")
+                 "writer", "reader", "writer_source", "reader_source",
+                 "reduce", "rebuild")
 
-    def __init__(self, cls, name, fields, acyclic=False):
+    def __init__(self, cls, name, fields, acyclic=False,
+                 reduce=None, rebuild=None):
         self.cls = cls
         self.name = name
         self.fields = fields
-        self.acyclic = acyclic
+        if (reduce is None) != (rebuild is None):
+            if rebuild is not None and fields is not None:
+                # Derive the reduction from the declared fields: the
+                # common constructor-rebuilt case (sealed carriers whose
+                # __init__ takes the fields positionally).
+                reduce = _field_reducer(fields)
+            else:
+                raise TypeError(
+                    f"{cls.__qualname__}: reduce and rebuild must be "
+                    "registered together (or rebuild with explicit fields)"
+                )
+        self.reduce = reduce
+        self.rebuild = rebuild
+        # A rebuilt instance only exists after all its parts are read, so
+        # a back-reference to it from inside those parts is impossible:
+        # reduced classes are acyclic by construction.
+        self.acyclic = acyclic or rebuild is not None
         self.is_exception = isinstance(cls, type) and issubclass(
             cls, BaseException
         )
@@ -203,7 +240,8 @@ class ClassDescriptor:
             )
         self.writer = self.reader = None
         self.writer_source = self.reader_source = None
-        if fields is not None and not self.is_exception:
+        if fields is not None and not self.is_exception \
+                and self.rebuild is None:
             self.writer, self.writer_source = _compile_writer(self)
             self.reader, self.reader_source = _compile_reader(self)
 
@@ -224,11 +262,13 @@ class SerialRegistry:
         self._by_name = {}
         self._by_encoded = {}
 
-    def register(self, cls, name=None, fields=None, acyclic=False):
+    def register(self, cls, name=None, fields=None, acyclic=False,
+                 reduce=None, rebuild=None):
         wire_name = name or f"{cls.__module__}.{cls.__qualname__}"
         descriptor = ClassDescriptor(cls, wire_name,
                                      class_fields(cls, fields),
-                                     acyclic=acyclic)
+                                     acyclic=acyclic,
+                                     reduce=reduce, rebuild=rebuild)
         self._by_class[cls] = descriptor
         self._by_name[wire_name] = descriptor
         self._by_encoded[wire_name.encode("utf-8")] = descriptor
@@ -254,7 +294,7 @@ DEFAULT_REGISTRY = SerialRegistry()
 
 
 def serializable(cls=None, *, name=None, fields=None, registry=None,
-                 acyclic=False):
+                 acyclic=False, reduce=None, rebuild=None):
     """Class decorator: make a class copyable via serialization.
 
     ``acyclic=True`` declares that instances never participate in cycles
@@ -263,7 +303,9 @@ def serializable(cls=None, *, name=None, fields=None, registry=None,
     def register(target):
         (registry or DEFAULT_REGISTRY).register(target, name=name,
                                                 fields=fields,
-                                                acyclic=acyclic)
+                                                acyclic=acyclic,
+                                                reduce=reduce,
+                                                rebuild=rebuild)
         return target
 
     if cls is None:
@@ -272,9 +314,10 @@ def serializable(cls=None, *, name=None, fields=None, registry=None,
 
 
 def register_class(cls, name=None, fields=None, registry=None,
-                   acyclic=False):
+                   acyclic=False, reduce=None, rebuild=None):
     (registry or DEFAULT_REGISTRY).register(cls, name=name, fields=fields,
-                                            acyclic=acyclic)
+                                            acyclic=acyclic, reduce=reduce,
+                                            rebuild=rebuild)
     return cls
 
 
@@ -300,6 +343,23 @@ def _register_builtin_exceptions(registry):
         FileNotFoundError,
     ):
         registry.register(exc_type, name=f"builtin.{exc_type.__name__}")
+    # The kernel's own error hierarchy crosses process boundaries too
+    # (the cross-process LRMI wire re-raises callee-side failures in the
+    # caller's process): register it so RevokedException et al. arrive
+    # as themselves, not as opaque wrappers.
+    from . import errors as _errors
+
+    for exc_type in (
+        _errors.JKernelError,
+        _errors.RemoteException,
+        _errors.RevokedException,
+        _errors.DomainTerminatedException,
+        _errors.SegmentStoppedException,
+        _errors.DomainUnavailableException,
+        _errors.NotSerializableError,
+        _errors.DomainError,
+    ):
+        registry.register(exc_type, name=f"jkernel.{exc_type.__name__}")
 
 
 _register_builtin_exceptions(DEFAULT_REGISTRY)
@@ -832,7 +892,8 @@ class ObjectWriter:
         if _Capability is None:
             from .capability import Capability
             _Capability = Capability
-        if not isinstance(value, _Capability):
+        if not isinstance(value, _Capability) \
+                and type(value) not in _CAPREF_TYPES:
             return False
         if self.capability_table is None:
             raise NotSerializableError(
@@ -854,6 +915,18 @@ class ObjectWriter:
                 )
         if self._compiled and descriptor.writer is not None:
             descriptor.writer(self, value)
+            return
+        if descriptor.rebuild is not None:
+            # Constructor-rebuilt classes (sealed carriers): positional
+            # reduced values, re-validated by ``rebuild`` on read.
+            buffer = self._buffer
+            buffer.append(_T_REDUCED)
+            buffer += descriptor.encoded_name
+            values = descriptor.reduce(value)
+            buffer += _PACK_U32.pack(len(values))
+            write = self.write
+            for item in values:
+                write(item)
             return
         memo = self._memo
         if not descriptor.acyclic:
@@ -992,6 +1065,8 @@ class ObjectReader:
         self._offset = offset
         if tag == _T_OBJECT:
             return self._read_object()
+        if tag == _T_REDUCED:
+            return self._read_reduced()
         if tag == _T_BIGINT:
             return int.from_bytes(self._raw(), "big", signed=True)
         if tag == _T_BYTEARRAY:
@@ -1051,6 +1126,25 @@ class ObjectReader:
         value = descriptor.cls(*args)
         self._memo[slot] = value
         return value
+
+    def _read_reduced(self):
+        encoded = bytes(self._take(self._u32()))
+        descriptor = self.registry.lookup_encoded(encoded)
+        if descriptor is None or descriptor.rebuild is None:
+            name = encoded.decode("utf-8", "replace")
+            raise NotSerializableError(
+                f"no rebuild registration for class {name!r}"
+            )
+        read = self.read
+        values = [read() for _ in range(self._u32())]
+        try:
+            return descriptor.rebuild(*values)
+        except NotSerializableError:
+            raise
+        except Exception as exc:
+            raise NotSerializableError(
+                f"rebuilding {descriptor.name} failed: {exc!r}"
+            ) from exc
 
     def _read_object(self):
         # Class names are matched on their raw UTF-8 bytes (no decode on

@@ -1,5 +1,7 @@
-"""OS IPC substrate for Table 2: local RPC between real processes and a
-COM-like component model with in-proc and out-of-proc activation."""
+"""OS IPC substrate: local RPC between real processes, a COM-like
+component model with in-proc and out-of-proc activation (Table 2), and
+the cross-process LRMI transport that deploys whole J-Kernel domains
+out-of-process behind marshalling capability proxies."""
 
 from .com import (
     IN_PROC,
@@ -12,6 +14,15 @@ from .com import (
     connect_proxy,
     create_instance,
 )
+from .lrmi import (
+    DomainClient,
+    DomainHostProcess,
+    ExportTable,
+    ProtocolError,
+    RemoteCapability,
+    connect,
+    exported_methods,
+)
 from .ntrpc import RpcClient, RpcError, RpcServerProcess, null_server
 from .wire import WireError, recv_frame, send_frame
 
@@ -20,15 +31,22 @@ __all__ = [
     "ComHost",
     "ComInterface",
     "ComRegistry",
+    "DomainClient",
+    "DomainHostProcess",
+    "ExportTable",
     "IN_PROC",
     "InterfacePointer",
     "OUT_OF_PROC",
+    "ProtocolError",
+    "RemoteCapability",
     "RpcClient",
     "RpcError",
     "RpcServerProcess",
     "WireError",
+    "connect",
     "connect_proxy",
     "create_instance",
+    "exported_methods",
     "null_server",
     "recv_frame",
     "send_frame",

@@ -1,0 +1,806 @@
+"""Cross-process LRMI: capabilities whose targets live in another process.
+
+The in-process J-Kernel passes capabilities by reference and copies
+everything else (paper §3.1); this module extends exactly that calling
+convention across a real OS process boundary — the Remote-Playground
+deployment style (Malkhi & Reiter): untrusted code runs in a separate
+*domain host* process, and the capability the parent holds is a generated
+proxy that marshals each invocation through the compiled serializer
+(``repro.core.serial``) over a UNIX-socket wire (``repro.ipc.wire``).
+
+Architecture
+------------
+
+* :class:`DomainHostProcess` — forks a child that runs ``setup()`` (which
+  builds domains/servlets and returns ``{name: Capability}`` bindings),
+  then serves LRMI traffic on a fresh UNIX socket.  Each accepted
+  connection gets a serving thread; dispatch goes *through the real
+  in-process capability stub*, so every in-process guarantee (segment
+  switch, argument copying, revocation and termination checks,
+  accounting) holds unchanged inside the host.
+* :class:`DomainClient` — the parent-side peer: a small pool of
+  connections, ``lookup(name)`` returning remote-capability proxies, and
+  kernel control verbs (``revoke``/``terminate``/``stats``/``shutdown``).
+* Proxies — per-method generated classes (mirroring the in-process stub
+  generator): each method marshals ``(export_id, method, args, kwargs)``
+  and re-raises the callee's exception in the caller's process.
+  Capabilities inside arguments/results ride the serializer's capability
+  side table: a real capability is *exported* (a descriptor crosses, a
+  proxy materializes on the other side), and a proxy sent back to its
+  owning side collapses to the original capability object — so callbacks
+  and the revoke-your-own-argument idiom work across the boundary.
+* Revocation broadcast — the host kernel owns the export table and a
+  broadcast channel over every live connection.  After each dispatch
+  (and from a periodic sweeper), exports whose capability has been
+  revoked are dropped and ``OP_REVOKED`` frames fan out, flipping the
+  remote proxies to fail-fast local :class:`RevokedException`; a client
+  that has not yet processed the broadcast still fails correctly,
+  because the host-side stub rejects the call at dispatch.
+
+A dead host surfaces as :class:`DomainUnavailableException` (a
+``RemoteException`` subclass the web layer maps to a retryable 503),
+never as a hang: every *client-side* wire operation runs under a socket
+timeout, and host-side broadcasts are non-blocking (a peer that stops
+reading is closed, not waited on).  Host serving threads block reading
+idle connections by design — they are daemons of a disposable process.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import socket
+import tempfile
+import threading
+import time
+import uuid
+
+from repro.core import Capability, register_capref_type
+from repro.core import convention as _convention
+from repro.core.errors import (
+    DomainUnavailableException,
+    JKernelError,
+    NotSerializableError,
+    RemoteException,
+    RevokedException,
+)
+from repro.core.remote import is_remote_interface
+from repro.core.serial import dumps, loads
+
+from .wire import WireError, recv_frame, send_frame
+
+OP_CALL = 1
+OP_RESULT = 2
+OP_ERROR = 3
+OP_REVOKED = 4
+OP_CONTROL = 5
+OP_BYE = 6
+
+#: Default per-operation wire timeout: generous enough for a slow
+#: servlet, small enough that a wedged host cannot hang its callers.
+CALL_TIMEOUT = 30.0
+
+#: How often the host sweeps its export table for revoked capabilities.
+SWEEP_INTERVAL = 0.02
+
+
+class ProtocolError(JKernelError):
+    """Malformed or out-of-order cross-process LRMI frame."""
+
+
+# Registered so a host-side protocol failure re-raises as itself in the
+# caller's process instead of decaying to the nearest registered base.
+from repro.core.serial import register_class as _register_class  # noqa: E402
+
+_register_class(ProtocolError, name="jkernel.ProtocolError")
+
+
+def exported_methods(capability):
+    """The remote-method names a capability exposes across the wire.
+
+    For an in-process stub these are the methods of its remote
+    interfaces; for a proxy, the method tuple it was built from.
+    """
+    if isinstance(capability, RemoteCapability):
+        return capability._methods
+    names = set()
+    for base in type(capability).__mro__:
+        if is_remote_interface(base):
+            for name, member in vars(base).items():
+                if not name.startswith("_") and callable(member):
+                    names.add(name)
+    return tuple(sorted(names))
+
+
+class ExportTable:
+    """Kernel-owned table of capabilities reachable from other processes."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._by_id = {}
+        self._by_identity = {}
+        self._next = itertools.count(1).__next__
+
+    def export(self, capability):
+        """Register (or re-find) a capability; returns its export id."""
+        with self._lock:
+            found = self._by_identity.get(id(capability))
+            if found is not None:
+                return found
+            export_id = self._next()
+            self._by_id[export_id] = capability
+            self._by_identity[id(capability)] = export_id
+            return export_id
+
+    def get(self, export_id):
+        return self._by_id.get(export_id)
+
+    def sweep(self):
+        """Drop exports whose capability has been revoked; returns the
+        dropped ids (the kernel broadcasts them)."""
+        dropped = []
+        with self._lock:
+            for export_id, capability in list(self._by_id.items()):
+                if getattr(capability, "revoked", False):
+                    del self._by_id[export_id]
+                    self._by_identity.pop(id(capability), None)
+                    dropped.append(export_id)
+        return dropped
+
+    def __len__(self):
+        with self._lock:
+            return len(self._by_id)
+
+
+class RemoteCapability:
+    """Base class of generated cross-process capability proxies."""
+
+    _methods = ()
+
+    def __init__(self, peer, export_id, label, methods):
+        self._peer = peer
+        self._export_id = export_id
+        self._label = label
+        self._methods = tuple(methods)
+        self._revoked = False
+
+    @property
+    def revoked(self):
+        return self._revoked
+
+    @property
+    def label(self):
+        return self._label
+
+    def revoke(self):
+        """Ask the owning kernel to revoke the underlying capability.
+
+        The host revokes the real stub, sweeps, and broadcasts; the
+        local flag flips immediately so this process fails fast even
+        before the broadcast round-trips.
+        """
+        self._revoked = True
+        try:
+            self._peer.control("revoke", self._export_id)
+        except DomainUnavailableException:
+            pass  # a dead host has revoked everything de facto
+
+    def _invoke(self, method, args, kwargs):
+        if self._revoked:
+            raise RevokedException(
+                f"{self._label}: capability revoked (remote)"
+            )
+        return self._peer.call(self._export_id, method, args, kwargs)
+
+    def __repr__(self):
+        state = "revoked" if self._revoked else "live"
+        return f"<RemoteCapability {self._label} #{self._export_id} ({state})>"
+
+
+_proxy_classes = {}
+
+
+def _proxy_class(methods):
+    """Generated proxy class for one remote-method tuple (cached)."""
+    key = tuple(methods)
+    found = _proxy_classes.get(key)
+    if found is not None:
+        return found
+
+    body = {}
+    for name in key:
+        def method(self, *args, _jk_name=name, **kwargs):
+            return self._invoke(_jk_name, args, kwargs)
+        method.__name__ = name
+        body[name] = method
+    cls = type("RemoteCapabilityProxy", (RemoteCapability,), body)
+    # Proxies cross in-process domain boundaries by reference (they ARE
+    # the capability, as far as this process is concerned) and ride the
+    # serializer's capability side table like real stubs.
+    _convention.register_reference_type(cls)
+    register_capref_type(cls)
+    _proxy_classes[key] = cls
+    return cls
+
+
+# -- marshalling --------------------------------------------------------------
+#
+# A wire value is ``dumps((payload_bytes, descriptors))`` where
+# ``payload_bytes`` came from ``dumps(value, capability_table=table)`` and
+# ``descriptors`` describe each capability in table order:
+#
+#   ("back", export_id)                    -- the RECEIVER's own export
+#   ("export", export_id, label, methods)  -- a fresh export of the sender
+
+def _describe(peer, capability):
+    if isinstance(capability, RemoteCapability):
+        if capability._peer is not peer and capability._peer is not None:
+            raise NotSerializableError(
+                "cannot forward a remote capability to a third process"
+            )
+        return ("back", capability._export_id)
+    export_id = peer.exports.export(capability)
+    label = getattr(capability, "label", None) or type(capability).__name__
+    return ("export", export_id, str(label), exported_methods(capability))
+
+
+def _resolve(peer, descriptor):
+    kind = descriptor[0]
+    if kind == "back":
+        capability = peer.exports.get(descriptor[1])
+        if capability is None:
+            raise RevokedException(
+                f"export #{descriptor[1]} is gone (revoked or swept)"
+            )
+        return capability
+    if kind == "export":
+        _, export_id, label, methods = descriptor
+        return peer.proxy_for(export_id, label, methods)
+    raise ProtocolError(f"unknown capability descriptor {descriptor!r}")
+
+
+def marshal(peer, value):
+    table = []
+    payload = dumps(value, capability_table=table)
+    descriptors = tuple(_describe(peer, capability) for capability in table)
+    return dumps((payload, descriptors))
+
+
+def unmarshal(peer, data):
+    payload, descriptors = loads(data)
+    table = [_resolve(peer, descriptor) for descriptor in descriptors]
+    return loads(payload, capability_table=table)
+
+
+class _Peer:
+    """State shared by one side of the wire: the export table and the
+    proxy cache (stable identity per export id)."""
+
+    def __init__(self, exports=None):
+        self.exports = exports if exports is not None else ExportTable()
+        self._proxies = {}
+        self._proxy_lock = threading.Lock()
+
+    def proxy_for(self, export_id, label, methods):
+        with self._proxy_lock:
+            proxy = self._proxies.get(export_id)
+            if proxy is None:
+                proxy = _proxy_class(methods)(self, export_id, label, methods)
+                self._proxies[export_id] = proxy
+            return proxy
+
+    def mark_revoked(self, export_ids):
+        with self._proxy_lock:
+            for export_id in export_ids:
+                proxy = self._proxies.get(export_id)
+                if proxy is not None:
+                    proxy._revoked = True
+
+    # Overridden by the concrete peers.
+    def call(self, export_id, method, args, kwargs):
+        raise NotImplementedError
+
+    def control(self, verb, *args):
+        raise NotImplementedError
+
+
+class _Connection:
+    """One framed socket shared by both protocol directions.
+
+    Strictly nested use: while a caller awaits its reply it dispatches
+    any incoming ``OP_CALL`` on its own thread (cross-process re-entry,
+    the A→B→A LRMI idiom), and applies revocation broadcasts that arrive
+    interleaved with the reply.
+    """
+
+    def __init__(self, sock, peer, dispatcher=None):
+        self.sock = sock
+        self.peer = peer
+        self.dispatcher = dispatcher  # host-side: handles CALL/CONTROL
+        self._send_lock = threading.Lock()
+        self._call_ids = itertools.count(1).__next__
+        self.closed = False
+
+    # -- framing ----------------------------------------------------------
+    def _send(self, opcode, call_id, payload):
+        frame = bytes((opcode,)) + call_id.to_bytes(4, "big") + payload
+        with self._send_lock:
+            send_frame(self.sock, frame)
+
+    def _recv(self):
+        frame = recv_frame(self.sock)
+        if len(frame) < 5:
+            raise WireError(f"short frame ({len(frame)} bytes)")
+        return frame[0], int.from_bytes(frame[1:5], "big"), frame[5:]
+
+    def send_revoked(self, export_ids):
+        """Broadcast revoked export ids WITHOUT ever blocking.
+
+        The broadcaster (the host's sweeper, and after_dispatch on every
+        serving thread) must not wedge fleet-wide behind one client that
+        stopped reading: the frame goes out with ``MSG_DONTWAIT`` and a
+        peer whose socket buffer cannot take it atomically is closed —
+        a client not draining its socket while revocations queue is
+        indistinguishable from a dead one, and the host-side dispatch
+        check keeps revocation correct for it regardless.
+        """
+        payload = dumps(list(export_ids))
+        frame = bytes((OP_REVOKED,)) + (0).to_bytes(4, "big") + payload
+        data = len(frame).to_bytes(4, "big") + frame
+        flags = getattr(socket, "MSG_DONTWAIT", 0)
+        try:
+            with self._send_lock:
+                sent = self.sock.send(data, flags)
+            if sent != len(data):
+                self.close()  # partial frame would desync the stream
+        except (BlockingIOError, InterruptedError, OSError):
+            self.close()
+
+    # -- caller side -------------------------------------------------------
+    def call(self, opcode, request):
+        """One synchronous round trip; serves nested work while waiting."""
+        call_id = self._call_ids()
+        payload = marshal(self.peer, request)
+        try:
+            self._send(opcode, call_id, payload)
+            return self._await(call_id)
+        except (OSError, WireError) as exc:
+            self.close()
+            raise DomainUnavailableException(
+                f"out-of-process domain unreachable: {exc}"
+            ) from None
+
+    def _await(self, call_id):
+        while True:
+            opcode, reply_id, payload = self._recv()
+            if opcode == OP_REVOKED:
+                self.peer.mark_revoked(loads(payload))
+                continue
+            if opcode == OP_CALL and self.dispatcher is None:
+                # Nested callback into this process while we wait.
+                self._serve_call(reply_id, payload)
+                continue
+            if opcode in (OP_CALL, OP_CONTROL):
+                self._dispatch(opcode, reply_id, payload)
+                continue
+            if reply_id != call_id:
+                raise WireError(
+                    f"reply {reply_id} does not match call {call_id}"
+                )
+            if opcode == OP_RESULT:
+                return unmarshal(self.peer, payload)
+            if opcode == OP_ERROR:
+                exc = unmarshal(self.peer, payload)
+                if isinstance(exc, BaseException):
+                    raise exc
+                raise RemoteException(f"remote failure: {exc!r}")
+            raise WireError(f"unexpected opcode {opcode}")
+
+    # -- callee side -------------------------------------------------------
+    def _reply_result(self, call_id, value):
+        self._send(OP_RESULT, call_id, marshal(self.peer, value))
+
+    def _reply_error(self, call_id, exc):
+        try:
+            payload = marshal(self.peer, exc)
+        except Exception:
+            payload = marshal(
+                self.peer,
+                RemoteException(
+                    f"{type(exc).__qualname__} in remote domain: {exc}"
+                ),
+            )
+        self._send(OP_ERROR, call_id, payload)
+
+    def _serve_call(self, call_id, payload):
+        try:
+            export_id, method, args, kwargs = unmarshal(self.peer, payload)
+            capability = self.peer.exports.get(export_id)
+            if capability is None:
+                raise RevokedException(
+                    f"export #{export_id} is gone (revoked or swept)"
+                )
+            result = getattr(capability, method)(*args, **kwargs)
+        except Exception as exc:
+            self._reply_error(call_id, exc)
+        else:
+            self._reply_result(call_id, result)
+        after = getattr(self.peer, "after_dispatch", None)
+        if after is not None:
+            after()
+
+    def _dispatch(self, opcode, call_id, payload):
+        if opcode == OP_CALL:
+            self._serve_call(call_id, payload)
+            return
+        try:
+            verb, args = unmarshal(self.peer, payload)
+            result = self.dispatcher(verb, args)
+        except Exception as exc:
+            self._reply_error(call_id, exc)
+        else:
+            self._reply_result(call_id, result)
+
+    def serve_loop(self):
+        """Host-side connection loop: serve until BYE/close."""
+        try:
+            while not self.closed:
+                opcode, call_id, payload = self._recv()
+                if opcode == OP_BYE:
+                    break
+                if opcode == OP_REVOKED:
+                    self.peer.mark_revoked(loads(payload))
+                    continue
+                self._dispatch(opcode, call_id, payload)
+        except (OSError, WireError):
+            pass
+        finally:
+            self.close()
+
+    def close(self):
+        self.closed = True
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+# -- the host process ---------------------------------------------------------
+
+class _ConnectionPeer(_Peer):
+    """Per-connection peer on the host side: shares the kernel's export
+    table (any connection may invoke any export) but owns its proxy
+    cache and routes outbound (callback) calls over its own socket."""
+
+    def __init__(self, kernel, connection):
+        super().__init__(exports=kernel.exports)
+        self._kernel = kernel
+        self._connection = connection
+
+    def call(self, export_id, method, args, kwargs):
+        return self._connection.call(
+            OP_CALL, (export_id, method, args, kwargs)
+        )
+
+    def control(self, verb, *args):
+        raise ProtocolError("control verbs flow client -> host only")
+
+    def after_dispatch(self):
+        self._kernel.sweep_and_broadcast()
+
+
+class _HostKernel(_Peer):
+    """The host-side kernel state: bindings, exports, broadcast bus."""
+
+    def __init__(self, bindings):
+        super().__init__()
+        self.bindings = bindings
+        self._connections = []
+        self._conn_lock = threading.Lock()
+
+    def register_connection(self, connection):
+        with self._conn_lock:
+            self._connections.append(connection)
+
+    def unregister_connection(self, connection):
+        with self._conn_lock:
+            if connection in self._connections:
+                self._connections.remove(connection)
+
+    def after_dispatch(self):
+        self.sweep_and_broadcast()
+
+    def sweep_and_broadcast(self):
+        dropped = self.exports.sweep()
+        if not dropped:
+            return
+        with self._conn_lock:
+            connections = list(self._connections)
+        for connection in connections:
+            connection.send_revoked(dropped)
+
+    def handle_control(self, verb, args):
+        if verb == "lookup":
+            (name,) = args
+            capability = self.bindings.get(name)
+            if capability is None:
+                raise KeyError(f"no binding named {name!r}")
+            return capability
+        if verb == "revoke":
+            (export_id,) = args
+            capability = self.exports.get(export_id)
+            if capability is not None:
+                capability.revoke()
+                self.sweep_and_broadcast()
+            return True
+        if verb == "terminate":
+            (name,) = args
+            capability = self.bindings.get(name)
+            if capability is None:
+                raise KeyError(f"no binding named {name!r}")
+            domain = getattr(capability, "creator", None)
+            if domain is not None:
+                domain.terminate()
+            self.sweep_and_broadcast()
+            return True
+        if verb == "stats":
+            from repro.core import get_accountant
+
+            domains = {}
+            for name, capability in self.bindings.items():
+                domain = getattr(capability, "creator", None)
+                if domain is not None:
+                    domains[name] = {"domain": domain.name,
+                                     "terminated": domain.terminated,
+                                     **domain.stats}
+            return {
+                "pid": os.getpid(),
+                "bindings": sorted(self.bindings),
+                "exports": len(self.exports),
+                "accounts": get_accountant().report(),
+                "domains": domains,
+            }
+        if verb == "ping":
+            return "pong"
+        if verb == "shutdown":
+            threading.Thread(
+                target=lambda: (time.sleep(0.05), os._exit(0)),
+                daemon=True,
+            ).start()
+            return True
+        raise ProtocolError(f"unknown control verb {verb!r}")
+
+
+def _host_main(path, setup, parent_pid):
+    """Child-process entry: build bindings, serve LRMI forever."""
+    bindings = setup()
+    if not isinstance(bindings, dict) or not bindings:
+        raise TypeError("setup() must return a non-empty {name: Capability}")
+    kernel = _HostKernel(bindings)
+
+    def sweeper():
+        while True:
+            time.sleep(SWEEP_INTERVAL)
+            # Orphan check against the REAL parent pid captured at fork:
+            # comparing against 1 would self-destruct every host when
+            # the parent itself runs as PID 1 (containers).
+            if os.getppid() != parent_pid:
+                os._exit(0)  # orphaned: the parent died
+            kernel.sweep_and_broadcast()
+
+    threading.Thread(target=sweeper, daemon=True,
+                     name="lrmi-host-sweeper").start()
+
+    listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    listener.bind(path)
+    listener.listen(16)
+
+    def serve(conn_sock):
+        connection = _Connection(conn_sock, None,
+                                 dispatcher=kernel.handle_control)
+        connection.peer = _ConnectionPeer(kernel, connection)
+        kernel.register_connection(connection)
+        try:
+            connection.serve_loop()
+        finally:
+            kernel.unregister_connection(connection)
+
+    while True:
+        conn_sock, _ = listener.accept()
+        threading.Thread(target=serve, args=(conn_sock,), daemon=True,
+                         name="lrmi-host-conn").start()
+
+
+class DomainHostProcess:
+    """Forks a child hosting out-of-process domains behind LRMI.
+
+    ``setup`` runs **in the child** after fork and returns
+    ``{name: Capability}`` — the host's published bindings (looked up by
+    :meth:`DomainClient.lookup`).  Closures are fine; nothing is pickled.
+    """
+
+    def __init__(self, setup, name="domain-host"):
+        self.name = name
+        self.path = os.path.join(
+            tempfile.gettempdir(),
+            f"repro-lrmi-{uuid.uuid4().hex[:12]}.sock",
+        )
+        self._setup = setup
+        self._pid = None
+
+    @property
+    def pid(self):
+        return self._pid
+
+    def start(self):
+        parent_pid = os.getpid()
+        pid = os.fork()
+        if pid == 0:
+            status = 0
+            try:
+                _host_main(self.path, self._setup, parent_pid)
+            except BaseException:
+                # Print BEFORE exiting: a bare os._exit would swallow a
+                # setup() failure entirely, leaving the parent's generic
+                # "died during startup" as the only (useless) signal.
+                import traceback
+
+                traceback.print_exc()
+                status = 1
+            finally:
+                os._exit(status)
+        self._pid = pid
+        self._wait_for_socket()
+        return self
+
+    def _wait_for_socket(self, timeout=10.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if not self.alive():
+                raise DomainUnavailableException(
+                    f"domain host {self.name!r} died during startup"
+                )
+            if os.path.exists(self.path):
+                try:
+                    probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                    probe.connect(self.path)
+                    probe.close()
+                    return
+                except OSError:
+                    pass
+            time.sleep(0.005)
+        raise DomainUnavailableException(
+            f"domain host {self.name!r} socket did not appear"
+        )
+
+    def alive(self):
+        if self._pid is None:
+            return False
+        try:
+            pid, _status = os.waitpid(self._pid, os.WNOHANG)
+        except ChildProcessError:
+            return False
+        if pid == self._pid:
+            self._pid = None
+            return False
+        return True
+
+    def stop(self):
+        if self._pid is not None:
+            try:
+                os.kill(self._pid, 9)
+                os.waitpid(self._pid, 0)
+            except OSError:
+                pass
+            self._pid = None
+        if os.path.exists(self.path):
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb):
+        self.stop()
+        return False
+
+
+# -- the client ---------------------------------------------------------------
+
+class DomainClient(_Peer):
+    """Parent-side peer: pooled connections to one domain host."""
+
+    def __init__(self, path, timeout=CALL_TIMEOUT, pool_size=4):
+        super().__init__()
+        self.path = path
+        self.timeout = timeout
+        self.pool_size = pool_size
+        self._free = []
+        self._pool_lock = threading.Lock()
+        self._closed = False
+
+    # -- connection pool ---------------------------------------------------
+    def _connect(self):
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        try:
+            sock.connect(self.path)
+        except OSError as exc:
+            sock.close()
+            raise DomainUnavailableException(
+                f"cannot reach domain host at {self.path}: {exc}"
+            ) from None
+        return _Connection(sock, self)
+
+    def _acquire(self):
+        if self._closed:
+            raise DomainUnavailableException("domain client closed")
+        with self._pool_lock:
+            if self._free:
+                return self._free.pop()
+        return self._connect()
+
+    def _release(self, connection):
+        if connection.closed:
+            return
+        with self._pool_lock:
+            if not self._closed and len(self._free) < self.pool_size:
+                self._free.append(connection)
+                return
+        connection.close()
+
+    def _round_trip(self, opcode, request):
+        connection = self._acquire()
+        try:
+            return connection.call(opcode, request)
+        finally:
+            self._release(connection)
+
+    # -- peer interface ----------------------------------------------------
+    def call(self, export_id, method, args, kwargs):
+        return self._round_trip(OP_CALL, (export_id, method, args, kwargs))
+
+    def control(self, verb, *args):
+        return self._round_trip(OP_CONTROL, (verb, args))
+
+    # -- convenience -------------------------------------------------------
+    def lookup(self, name):
+        """Proxy for a host binding (a cross-process capability)."""
+        capability = self.control("lookup", name)
+        if not isinstance(capability, RemoteCapability):
+            raise ProtocolError(
+                f"lookup({name!r}) did not yield a capability"
+            )
+        return capability
+
+    def stats(self):
+        return self.control("stats")
+
+    def terminate(self, name):
+        """Terminate the domain behind a binding (revokes its exports)."""
+        return self.control("terminate", name)
+
+    def close(self):
+        with self._pool_lock:
+            self._closed = True
+            connections, self._free = self._free, []
+        for connection in connections:
+            try:
+                connection._send(OP_BYE, 0, b"")
+            except (OSError, WireError):
+                pass
+            connection.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+
+def connect(host):
+    """Client for a started :class:`DomainHostProcess`."""
+    return DomainClient(host.path)

@@ -23,9 +23,16 @@ from .httpd import (
     DomainWorkerPool,
     NativeHttpServer,
     ResponseCache,
+    make_listener,
 )
 from .isapi import IsapiBridge
-from .jkweb import JKernelWebServer, ServletRegistration, SystemServlet
+from .jkweb import (
+    JKernelWebServer,
+    OutOfProcessRegistration,
+    ServletRegistration,
+    SystemServlet,
+)
+from .prefork import PreforkError, PreforkServer, WorkerHandle
 from .jws import JWSServer
 from .servlet import (
     Servlet,
@@ -44,6 +51,9 @@ __all__ = [
     "JWSServer",
     "LoadReport",
     "NativeHttpServer",
+    "OutOfProcessRegistration",
+    "PreforkError",
+    "PreforkServer",
     "Request",
     "RequestParser",
     "Response",
@@ -53,12 +63,14 @@ __all__ = [
     "ServletRequest",
     "ServletResponse",
     "SystemServlet",
+    "WorkerHandle",
     "error_response",
     "fetch_many",
     "fetch_once",
     "fetch_pipelined",
     "format_request",
     "format_response",
+    "make_listener",
     "measure_throughput",
     "read_request",
     "read_response",

@@ -45,6 +45,33 @@ _RECV_SIZE = 65536
 ACCEPT_STOP = object()
 
 
+def make_listener(host, port, *, reuse_port=False, backlog=128,
+                  timeout=0.2):
+    """A bound, listening TCP socket ready for an accept loop.
+
+    ``reuse_port=True`` sets ``SO_REUSEPORT`` so several processes can
+    bind the same port and let the kernel spread connections across them
+    (the prefork tier's primary mode); it raises ``OSError`` on platforms
+    without the option, letting callers fall back to sharing one
+    inherited listener fd across forks instead.
+    """
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        if reuse_port:
+            if not hasattr(socket, "SO_REUSEPORT"):
+                raise OSError("SO_REUSEPORT is not available")
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        sock.bind((host, port))
+        sock.listen(backlog)
+        if timeout is not None:
+            sock.settimeout(timeout)
+    except BaseException:
+        sock.close()
+        raise
+    return sock
+
+
 def accept_next(listener, is_running):
     """One accept attempt with transient-error retry semantics.
 
@@ -668,15 +695,24 @@ class _EventLoop(threading.Thread):
     def _flush(self, conn):
         pending = conn.pending
         out = conn.out
-        while pending and pending[0].ready:
-            slot = pending.popleft()
-            out += slot.payload
-            if slot.close_after:
-                conn.close_after_flush = True
-                conn.stop_dispatch = True
-                pending.clear()
+        highwater = self.server.out_highwater
+        # The high-water check bounds each sweep: a burst of
+        # already-ready slots (pipelined cache hits) must not balloon
+        # conn.out past the mark at once.  The outer loop moves deferred
+        # slots only after the kernel fully drained the buffer, so memory
+        # stays bounded while a fast-reading client still gets the whole
+        # pipeline without waiting for another readiness event.
+        while True:
+            while pending and pending[0].ready and len(out) < highwater:
+                slot = pending.popleft()
+                out += slot.payload
+                if slot.close_after:
+                    conn.close_after_flush = True
+                    conn.stop_dispatch = True
+                    pending.clear()
+                    break
+            if not out:
                 break
-        if out:
             try:
                 sent = conn.sock.send(out)
             except (BlockingIOError, InterruptedError):
@@ -687,6 +723,12 @@ class _EventLoop(threading.Thread):
             if sent:
                 del out[:sent]
                 conn.last_activity = time.monotonic()
+            if out or sent == 0:
+                # Kernel buffer full (or partial write): _on_writable
+                # resumes the drain when the client catches up.
+                break
+            if conn.close_after_flush or not pending or not pending[0].ready:
+                break
         if not out:
             if conn.close_after_flush:
                 self._close(conn)
@@ -888,15 +930,21 @@ class NativeHttpServer:
         return snapshot
 
     # -- socket plumbing ---------------------------------------------------
-    def start(self):
+    def start(self, listener=None):
+        """Start serving.  ``listener`` (optional) is a pre-bound
+        listening socket to adopt instead of binding a fresh one — the
+        prefork tier passes either a worker-owned ``SO_REUSEPORT`` socket
+        or the listener fd inherited from the master across ``fork``."""
         if self._running:
             return self
-        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        self._listener.bind((self.host, self.port))
-        self.port = self._listener.getsockname()[1]
-        self._listener.listen(128)
-        self._listener.settimeout(0.2)
+        if listener is not None:
+            self._listener = listener
+            self.host, self.port = listener.getsockname()[:2]
+            if listener.gettimeout() is None:
+                listener.settimeout(0.2)
+        else:
+            self._listener = make_listener(self.host, self.port)
+            self.port = self._listener.getsockname()[1]
         self._running = True
         self._loops = [_EventLoop(self, index)
                        for index in range(self.workers)]
@@ -938,8 +986,12 @@ class NativeHttpServer:
         except OSError:
             pass
 
-    def stop(self):
-        self._running = False
+    def stop_accepting(self):
+        """Close the listener and retire the acceptor, keeping existing
+        connections served — the first phase of a graceful drain.
+        Idempotent; ``stop`` finishes the teardown.  The closed listener
+        object stays referenced (its fileno reads -1), so leak checks
+        and restarts can observe the state."""
         if self._listener is not None:
             try:
                 self._listener.close()
@@ -948,6 +1000,25 @@ class NativeHttpServer:
         if self._accept_thread is not None:
             self._accept_thread.join(2.0)
             self._accept_thread = None
+
+    def drain(self, timeout=5.0, poll=0.01):
+        """Stop accepting and wait for live connections to finish.
+
+        Returns True when the reactor went quiet inside ``timeout``.
+        Keep-alive connections that simply stay open count against the
+        deadline — the caller decides whether to cut them off (stop).
+        """
+        self.stop_accepting()
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.live_connections() == 0:
+                return True
+            time.sleep(poll)
+        return self.live_connections() == 0
+
+    def stop(self):
+        self._running = False
+        self.stop_accepting()
         for loop in self._loops:
             loop.shutdown()
         for loop in self._loops:

@@ -32,10 +32,12 @@ import time
 from repro.core import (
     Capability,
     Domain,
+    DomainUnavailableException,
     RemoteException,
     RevokedException,
     get_accountant,
 )
+from repro.core.accounting import ShardedCounter
 
 from .httpd import NativeHttpServer
 from .isapi import IsapiBridge
@@ -124,6 +126,13 @@ class SystemServlet(Servlet):
             return error_response(
                 503, f"servlet for {route.prefix} was terminated"
             )
+        except DomainUnavailableException:
+            # The servlet's host process is (momentarily) gone — a
+            # retryable condition, unlike a revoked capability's
+            # permanent one: the supervisor is already respawning it.
+            return error_response(
+                503, f"servlet for {route.prefix} is unavailable"
+            )
         except RemoteException as exc:
             return error_response(500, f"servlet failed: {exc}")
         except Exception as exc:
@@ -208,6 +217,152 @@ class ServletRegistration:
         return True
 
 
+class _OutOfProcessGateway:
+    """The stable routing target for one out-of-process servlet.
+
+    The routing table holds this object (not the proxy), so a host
+    respawn swaps the underlying proxy without republishing the route.
+    In-flight tracking mirrors the in-process segment registration: the
+    drain logic watches the counter instead of domain segments.
+    """
+
+    __slots__ = ("_registration",)
+
+    def __init__(self, registration):
+        self._registration = registration
+
+    def service(self, request):
+        registration = self._registration
+        registration._in_flight.add(1)
+        try:
+            return registration.proxy.service(request)
+        finally:
+            registration._in_flight.add(-1)
+
+
+class OutOfProcessRegistration:
+    """Book-keeping for one servlet deployed in a separate OS process
+    (the Remote-Playground deployment: untrusted code behind a hard
+    process boundary, reached through cross-process LRMI).
+
+    Duck-compatible with :class:`ServletRegistration` where the system
+    servlet and web server touch it (``capability``/``draining``/
+    ``charge_request``/``retire``), plus a supervisor that respawns the
+    host process when it dies — in-flight requests during the outage get
+    503s (via :class:`DomainUnavailableException`), never hangs.
+    """
+
+    _RESPAWN_POLL_S = 0.05
+
+    def __init__(self, prefix, setup, host, client, proxy, *,
+                 supervise=True, max_respawns=8):
+        from repro.ipc.lrmi import DomainHostProcess
+
+        self.prefix = prefix
+        self.name = f"xproc{prefix.replace('/', '-')}"
+        self._setup = setup
+        self._host_factory = lambda: DomainHostProcess(
+            setup, name=self.name
+        ).start()
+        self.host = host
+        self.client = client
+        self.proxy = proxy
+        self.account = get_accountant().account(self)
+        self.respawns = 0
+        self.max_respawns = max_respawns
+        self._draining = False
+        self._in_flight = ShardedCounter()
+        self._monitor = None
+        self._lock = threading.Lock()
+        if supervise:
+            self._monitor = threading.Thread(
+                target=self._supervise, daemon=True,
+                name=f"{self.name}-supervisor",
+            )
+            self._monitor.start()
+
+    # -- ServletRegistration duck interface --------------------------------
+    @property
+    def capability(self):
+        return _OutOfProcessGateway(self)
+
+    @property
+    def draining(self):
+        return self._draining
+
+    @property
+    def in_flight(self):
+        return self._in_flight.value
+
+    def charge_request(self):
+        self.account.charge_request()
+
+    def remote_stats(self):
+        """The host process's own accounting report (reconciliation)."""
+        return self.client.stats()
+
+    def drain(self, timeout=5.0):
+        self._draining = True
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self._in_flight.value == 0:
+                return True
+            time.sleep(0.002)
+        return self._in_flight.value == 0
+
+    def retire(self, timeout=5.0):
+        drained = self.drain(timeout)
+        with self._lock:
+            host, client = self.host, self.client
+            self.host = None
+        try:
+            client.terminate("servlet")
+        except Exception:
+            pass  # a dead host has terminated already
+        client.close()
+        if host is not None:
+            host.stop()
+        get_accountant().release_domain(self)
+        return drained
+
+    # -- supervision -------------------------------------------------------
+    def _supervise(self):
+        from repro.ipc.lrmi import connect
+
+        while True:
+            time.sleep(self._RESPAWN_POLL_S)
+            with self._lock:
+                host = self.host
+                if self._draining or host is None:
+                    return
+                if host.alive():
+                    continue
+                if self.respawns >= self.max_respawns:
+                    self.host = None
+                    return
+                # Replace the dead worker: fresh fork, fresh connection,
+                # proxy swap.  Requests racing the window keep getting
+                # DomainUnavailableException -> 503 from the gateway.
+                try:
+                    replacement = self._host_factory()
+                    client = connect(replacement)
+                    proxy = client.lookup("servlet")
+                except Exception:
+                    self.respawns += 1
+                    continue
+                old_client = self.client
+                old_host = host
+                self.host = replacement
+                self.client = client
+                self.proxy = proxy
+                self.respawns += 1
+                old_client.close()
+                # The dead host was reaped by alive(); stop() still
+                # unlinks its /tmp socket path so crash-looping servlets
+                # cannot litter the temp directory.
+                old_host.stop()
+
+
 class JKernelWebServer:
     """IIS + ISAPI bridge + system servlet + per-servlet domains.
 
@@ -223,11 +378,20 @@ class JKernelWebServer:
     analogue — so each request pays exactly one LRMI, into the user
     servlet's domain; True routes the bridge through the system
     capability as well, the seed's stricter double-LRMI accounting.
+
+    ``workers`` sizes the underlying reactor's event-loop pool when no
+    ``server`` is supplied (``JKernelWebServer(workers=4)``); for
+    multi-*process* serving wrap the construction in
+    :class:`~repro.web.prefork.PreforkServer`, which forks one of these
+    per worker process.
     """
 
-    def __init__(self, server=None, mount="/servlet", *, bridge_inline=True,
-                 system_lrmi=False, drain_timeout=5.0):
-        self.server = server or NativeHttpServer()
+    def __init__(self, server=None, mount="/servlet", *, workers=None,
+                 bridge_inline=True, system_lrmi=False, drain_timeout=5.0):
+        if server is None:
+            server = (NativeHttpServer(workers=workers)
+                      if workers is not None else NativeHttpServer())
+        self.server = server
         self.mount = mount
         self.drain_timeout = drain_timeout
         self.system_domain = Domain("http-system")
@@ -312,6 +476,46 @@ class JKernelWebServer:
             prefix, ServletRegistration(prefix, domain, capability)
         )
 
+    def install_servlet_out_of_process(self, prefix, servlet_factory,
+                                       domain_name=None, *, supervise=True,
+                                       max_respawns=8):
+        """Deploy a servlet in its own OS *process* (Remote-Playground
+        style): the servlet's domain lives in a forked domain host, and
+        its capability here is a cross-process LRMI proxy — requests
+        marshal through the compiled serializer over a UNIX socket while
+        trusted/system crossings stay on the in-process fast path.
+
+        ``servlet_factory`` runs in the child after fork (closures are
+        fine).  With ``supervise=True`` a monitor thread respawns the
+        host if it dies; requests racing the outage are answered 503.
+        """
+        from repro.ipc.lrmi import DomainHostProcess, connect
+
+        name = domain_name or f"servlet{prefix.replace('/', '-')}"
+
+        def setup():
+            domain = Domain(name)
+
+            def build():
+                servlet = servlet_factory()
+                if not isinstance(servlet, Servlet):
+                    raise TypeError(
+                        f"{type(servlet).__name__} does not implement "
+                        "Servlet"
+                    )
+                return Capability.create(servlet, label=name)
+
+            return {"servlet": domain.run(build)}
+
+        host = DomainHostProcess(setup, name=name).start()
+        client = connect(host)
+        proxy = client.lookup("servlet")
+        registration = OutOfProcessRegistration(
+            prefix, setup, host, client, proxy,
+            supervise=supervise, max_respawns=max_respawns,
+        )
+        return self._publish(prefix, registration)
+
     def replace_servlet(self, prefix, servlet_factory, domain_name=None):
         """Hot-replace: new requests go to the replacement the moment its
         route is published; the old domain drains, then terminates —
@@ -338,9 +542,31 @@ class JKernelWebServer:
             return dict(self._registrations)
 
     # -- server control ----------------------------------------------------
-    def start(self):
-        self.server.start()
+    def start(self, listener=None):
+        self.server.start(listener)
         return self
+
+    def stop_accepting(self):
+        """Prefork drain phase 1: delegate to the reactor."""
+        self.server.stop_accepting()
+
+    def drain(self, timeout=5.0):
+        """Stop accepting and wait for live connections to finish."""
+        return self.server.drain(timeout)
+
+    def live_connections(self):
+        return self.server.live_connections()
+
+    @property
+    def requests_served(self):
+        return self.server.requests_served
+
+    @property
+    def port(self):
+        return self.server.port
+
+    def stats(self):
+        return self.server.stats()
 
     def stop(self):
         self.server.stop()

@@ -20,7 +20,7 @@ body is a ``bytes`` snapshot taken at construction.
 
 import weakref
 
-from repro.core import Remote
+from repro.core import Remote, register_class
 from repro.core.sealed import FrozenMap, sealed
 
 from .http import format_response
@@ -132,6 +132,18 @@ class ServletResponse:
 
     def __repr__(self):
         return f"<ServletResponse {self.status} ({len(self.body)} bytes)>"
+
+
+# Wire forms for the cross-process servlet tier (``repro.ipc.lrmi``):
+# in-process crossings keep the sealed by-reference fast path; over a
+# process boundary the carriers byte-encode through the compiled
+# serializer and the sealing constructors re-validate them on arrival.
+register_class(ServletRequest, name="repro.web.ServletRequest",
+               fields=("method", "path", "headers", "body"),
+               rebuild=ServletRequest)
+register_class(ServletResponse, name="repro.web.ServletResponse",
+               fields=("status", "headers", "body"),
+               rebuild=ServletResponse)
 
 
 class Servlet(Remote):

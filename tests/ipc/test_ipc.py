@@ -135,6 +135,58 @@ class TestNtRpc:
         assert server_pid != parent_pid
 
 
+class TestNtRpcInProcess:
+    """The server-side dispatch loop, driven without a fork (forked
+    children are invisible to the coverage tracer; the protocol still
+    deserves line-level pinning)."""
+
+    def test_serve_connection_dispatch_and_errors(self):
+        from repro.ipc.ntrpc import _serve_connection
+
+        a, b = socket.socketpair()
+        handlers = {
+            "echo": lambda payload: payload,
+            "none": lambda payload: None,
+            "bad": lambda payload: 1 / 0,
+        }
+        worker = threading.Thread(
+            target=_serve_connection, args=(b, handlers), daemon=True
+        )
+        worker.start()
+        try:
+            send_frame(a, b"echo\x00data")
+            assert recv_frame(a) == b"\x00data"
+            send_frame(a, b"none\x00")
+            assert recv_frame(a) == b"\x00"  # None reply -> empty body
+            send_frame(a, b"bad\x00")
+            reply = recv_frame(a)
+            assert reply[0] == 1 and b"ZeroDivisionError" in reply[1:]
+            send_frame(a, b"missing\x00")
+            reply = recv_frame(a)
+            assert reply[0] == 1 and b"no such method" in reply[1:]
+        finally:
+            a.close()
+            worker.join(5.0)
+        assert not worker.is_alive()
+
+    def test_serve_forever_in_thread(self, tmp_path):
+        import uuid
+
+        from repro.ipc.ntrpc import serve_forever
+
+        path = str(tmp_path / f"rpc-{uuid.uuid4().hex[:8]}.sock")
+        ready = threading.Event()
+        thread = threading.Thread(
+            target=serve_forever,
+            args=(path, {"null": lambda payload: b""}, ready),
+            daemon=True,
+        )
+        thread.start()
+        assert ready.wait(5.0)
+        with RpcClient(path) as client:
+            assert client.call("null") == b""
+
+
 _CALC = ComInterface("ICalc", ["add", "concat", "null_op"])
 
 

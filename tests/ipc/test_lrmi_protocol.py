@@ -1,0 +1,419 @@
+"""Cross-process LRMI protocol units, exercised IN-process.
+
+The differential suite (`test_xproc_lrmi.py`) proves the semantics
+through real forked hosts; a forked child's lines are invisible to the
+parent's coverage tracer, so this suite drives the same host-side
+machinery — :class:`_HostKernel`, :class:`_Connection`, the marshal
+layer, the export table — over a ``socketpair`` with a serving thread in
+THIS process.  That pins the protocol pieces (framing, descriptors,
+error replies, broadcast, control verbs) at unit level, where a
+malformed-frame regression shows up as one failing assertion instead of
+a hung fork.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.core import Capability, Domain, Remote, RevokedException
+from repro.core.errors import NotSerializableError
+from repro.ipc import ExportTable, ProtocolError, RemoteCapability
+from repro.ipc.lrmi import (
+    OP_BYE,
+    OP_CALL,
+    OP_CONTROL,
+    _Connection,
+    _ConnectionPeer,
+    _HostKernel,
+    _Peer,
+    _describe,
+    _resolve,
+    exported_methods,
+    marshal,
+    unmarshal,
+)
+
+
+class IUnit(Remote):
+    def ping(self): ...
+    def echo(self, value): ...
+    def fail(self): ...
+    def call_back(self, cb): ...
+
+
+class UnitImpl(IUnit):
+    def ping(self):
+        return 7
+
+    def echo(self, value):
+        return value
+
+    def fail(self):
+        raise ValueError("unit boom")
+
+    def call_back(self, cb):
+        return cb.ping() * 2
+
+
+def _capability(label="unit"):
+    domain = Domain(f"unit-{label}")
+    return domain.run(lambda: Capability.create(UnitImpl(), label=label))
+
+
+class _Harness:
+    """A host kernel served over a socketpair, no fork involved."""
+
+    def __init__(self, bindings):
+        self.kernel = _HostKernel(bindings)
+        client_sock, host_sock = socket.socketpair()
+        client_sock.settimeout(10.0)
+        host_sock.settimeout(10.0)
+        self.host_conn = _Connection(host_sock, None,
+                                     dispatcher=self.kernel.handle_control)
+        self.host_conn.peer = _ConnectionPeer(self.kernel, self.host_conn)
+        self.kernel.register_connection(self.host_conn)
+        self.client = _Peer()
+        self.client_conn = _Connection(client_sock, self.client)
+        self.client.call = lambda eid, m, a, k: self.client_conn.call(
+            OP_CALL, (eid, m, a, k)
+        )
+        self.client.control = lambda verb, *args: self.client_conn.call(
+            OP_CONTROL, (verb, args)
+        )
+        self.thread = threading.Thread(
+            target=self.host_conn.serve_loop, daemon=True
+        )
+        self.thread.start()
+
+    def lookup(self, name):
+        return self.client.control("lookup", name)
+
+    def close(self):
+        try:
+            self.client_conn._send(OP_BYE, 0, b"")
+        except OSError:
+            pass
+        self.client_conn.close()
+        self.thread.join(5.0)
+        self.host_conn.close()
+
+
+@pytest.fixture()
+def harness():
+    instance = _Harness({"unit": _capability()})
+    yield instance
+    instance.close()
+
+
+class TestProtocolRoundTrips:
+    def test_lookup_and_call(self, harness):
+        proxy = harness.lookup("unit")
+        assert isinstance(proxy, RemoteCapability)
+        assert proxy.ping() == 7
+        assert proxy.echo([1, 2, 3]) == [1, 2, 3]
+
+    def test_callee_exception_typed(self, harness):
+        proxy = harness.lookup("unit")
+        with pytest.raises(ValueError, match="unit boom"):
+            proxy.fail()
+
+    def test_unknown_binding_raises(self, harness):
+        with pytest.raises(KeyError):
+            harness.lookup("ghost")
+
+    def test_unknown_control_verb(self, harness):
+        with pytest.raises(ProtocolError):
+            harness.client.control("frobnicate")
+
+    def test_call_on_swept_export_raises_revoked(self, harness):
+        proxy = harness.lookup("unit")
+        # revoke behind the export table's back, then sweep directly
+        capability = harness.kernel.exports.get(proxy._export_id)
+        capability.revoke()
+        dropped = harness.kernel.exports.sweep()
+        assert dropped == [proxy._export_id]
+        with pytest.raises(RevokedException):
+            proxy.ping()
+
+    def test_revoke_control_broadcasts(self, harness):
+        proxy = harness.lookup("unit")
+        assert harness.client.control("revoke", proxy._export_id) is True
+        # the broadcast interleaved ahead of the control result
+        assert proxy.revoked
+        with pytest.raises(RevokedException):
+            proxy.ping()
+
+    def test_terminate_control(self, harness):
+        proxy = harness.lookup("unit")
+        assert harness.client.control("terminate", "unit") is True
+        with pytest.raises(RevokedException):
+            proxy.ping()
+
+    def test_stats_and_ping_verbs(self, harness):
+        harness.lookup("unit")
+        stats = harness.client.control("stats")
+        assert stats["bindings"] == ["unit"]
+        assert stats["exports"] >= 1
+        assert "unit" in stats["domains"]
+        assert harness.client.control("ping") == "pong"
+
+    def test_nested_callback_over_one_socket(self, harness):
+        proxy = harness.lookup("unit")
+        callback = _capability("cb")  # lives client-side
+        # host -> client call interleaves inside the client's await
+        assert proxy.call_back(callback) == 14
+
+
+class TestMarshalLayer:
+    def test_describe_real_capability_exports(self):
+        peer = _Peer()
+        capability = _capability()
+        kind, export_id, label, methods = _describe(peer, capability)
+        assert kind == "export"
+        assert peer.exports.get(export_id) is capability
+        assert set(methods) >= {"ping", "echo", "fail", "call_back"}
+
+    def test_describe_own_proxy_goes_back(self):
+        peer = _Peer()
+        proxy = peer.proxy_for(5, "p", ("ping",))
+        assert _describe(peer, proxy) == ("back", 5)
+
+    def test_describe_foreign_proxy_rejected(self):
+        peer, other = _Peer(), _Peer()
+        proxy = other.proxy_for(5, "p", ("ping",))
+        with pytest.raises(NotSerializableError):
+            _describe(peer, proxy)
+
+    def test_resolve_back_unknown_export_is_revoked(self):
+        peer = _Peer()
+        with pytest.raises(RevokedException):
+            _resolve(peer, ("back", 12345))
+
+    def test_resolve_unknown_descriptor_kind(self):
+        with pytest.raises(ProtocolError):
+            _resolve(_Peer(), ("sideways", 1))
+
+    def test_marshal_unmarshal_round_trip_with_capability(self):
+        sender, receiver = _Peer(), _Peer()
+        capability = _capability()
+        data = marshal(sender, {"cap": capability, "n": 3})
+        value = unmarshal(receiver, data)
+        assert value["n"] == 3
+        # a real capability crossed as an export: the receiver holds a
+        # proxy naming the sender's export id
+        proxy = value["cap"]
+        assert isinstance(proxy, RemoteCapability)
+        assert sender.exports.get(proxy._export_id) is capability
+
+    def test_marshal_unmarshal_back_reference(self):
+        sender, receiver = _Peer(), _Peer()
+        capability = _capability()
+        export_id = receiver.exports.export(capability)
+        proxy = sender.proxy_for(export_id, "unit", ("ping",))
+        # sending the receiver's own export back collapses the proxy to
+        # the original capability object — identity preserved
+        data = marshal(sender, [proxy])
+        (resolved,) = unmarshal(receiver, data)
+        assert resolved is capability
+
+    def test_proxy_identity_stable_per_export(self):
+        peer = _Peer()
+        first = peer.proxy_for(9, "x", ("ping",))
+        second = peer.proxy_for(9, "x", ("ping",))
+        assert first is second
+
+    def test_mark_revoked_flips_cached_proxies_only(self):
+        peer = _Peer()
+        proxy = peer.proxy_for(3, "x", ("ping",))
+        peer.mark_revoked([3, 99])  # unknown ids are ignored
+        assert proxy.revoked
+
+
+class TestExportTable:
+    def test_export_is_idempotent_per_object(self):
+        table = ExportTable()
+        capability = _capability()
+        first = table.export(capability)
+        assert table.export(capability) == first
+        assert table.get(first) is capability
+        assert len(table) == 1
+
+    def test_sweep_only_drops_revoked(self):
+        table = ExportTable()
+        live = _capability("live")
+        doomed = _capability("doomed")
+        table.export(live)
+        doomed_id = table.export(doomed)
+        doomed.revoke()
+        assert table.sweep() == [doomed_id]
+        assert table.get(doomed_id) is None
+        assert len(table) == 1
+
+    def test_exported_methods_of_proxy(self):
+        peer = _Peer()
+        proxy = peer.proxy_for(1, "x", ("b", "a"))
+        assert exported_methods(proxy) == ("b", "a")
+
+
+class TestWireRobustness:
+    def test_short_frame_rejected(self):
+        from repro.ipc import send_frame
+        from repro.ipc.lrmi import WireError
+
+        a, b = socket.socketpair()
+        try:
+            send_frame(a, b"xx")  # below the 5-byte header
+            conn = _Connection(b, _Peer())
+            with pytest.raises(WireError, match="short frame"):
+                conn._recv()
+        finally:
+            a.close()
+            b.close()
+
+    def test_peer_base_requires_overrides(self):
+        peer = _Peer()
+        with pytest.raises(NotImplementedError):
+            peer.call(1, "m", (), {})
+        with pytest.raises(NotImplementedError):
+            peer.control("stats")
+
+    def test_connection_peer_control_rejected(self):
+        kernel = _HostKernel({"unit": _capability()})
+        a, b = socket.socketpair()
+        try:
+            conn = _Connection(b, None)
+            peer = _ConnectionPeer(kernel, conn)
+            with pytest.raises(ProtocolError):
+                peer.control("revoke", 1)
+        finally:
+            a.close()
+            b.close()
+
+    def test_send_revoked_on_dead_socket_closes_connection(self):
+        a, b = socket.socketpair()
+        conn = _Connection(b, _Peer())
+        a.close()
+        b.close()
+        conn.send_revoked([1, 2])
+        assert conn.closed
+
+    def test_uncopyable_callee_exception_degrades_to_remote(self, harness):
+        from repro.core import RemoteException
+
+        class Opaque:
+            pass
+
+        # an exception whose args cannot serialize must still cross,
+        # wrapped, instead of killing the serving connection
+        capability = harness.kernel.exports  # reach in: bind a new impl
+
+        class WeirdImpl(IUnit):
+            def ping(self):
+                raise ValueError(Opaque())
+
+            def echo(self, value): ...
+            def fail(self): ...
+            def call_back(self, cb): ...
+
+        weird = Domain("weird").run(
+            lambda: Capability.create(WeirdImpl(), label="weird")
+        )
+        harness.kernel.bindings["weird"] = weird
+        proxy = harness.lookup("weird")
+        # the in-process stub wraps the uncopyable args first; either
+        # wrapper layer is acceptable — what matters is a typed
+        # RemoteException, not a dead connection
+        with pytest.raises(RemoteException, match="ValueError"):
+            proxy.ping()
+
+    def test_client_side_revoked_broadcast_into_serving_loop(self, harness):
+        # a client may broadcast too (symmetric protocol): the host's
+        # serve loop applies it to its proxy cache and keeps serving
+        from repro.ipc.lrmi import OP_REVOKED
+        from repro.core.serial import dumps
+
+        harness.client_conn._send(OP_REVOKED, 0, dumps([123]))
+        proxy = harness.lookup("unit")
+        assert proxy.ping() == 7
+
+    def test_proxy_repr_states(self):
+        peer = _Peer()
+        proxy = peer.proxy_for(4, "thing", ("ping",))
+        assert "live" in repr(proxy)
+        peer.mark_revoked([4])
+        assert "revoked" in repr(proxy)
+
+
+class TestDomainClientEdges:
+    """Client-pool behaviors against a real (forked) host."""
+
+    def _world(self):
+        from repro.ipc import DomainHostProcess, connect
+
+        def setup():
+            domain = Domain("edge-server")
+            return {
+                "unit": domain.run(
+                    lambda: Capability.create(UnitImpl(), label="unit")
+                ),
+                "plain": domain.run(
+                    lambda: Capability.create(UnitImpl(), label="plain")
+                ),
+            }
+
+        host = DomainHostProcess(setup, name="edges").start()
+        return host, connect(host)
+
+    def test_closed_client_refuses_calls(self):
+        from repro.core import DomainUnavailableException
+
+        host, client = self._world()
+        try:
+            proxy = client.lookup("unit")
+            assert proxy.ping() == 7
+            client.close()
+            with pytest.raises(DomainUnavailableException):
+                client.lookup("unit")
+        finally:
+            host.stop()
+
+    def test_proxy_revoke_on_dead_host_is_silent(self):
+        import os as os_module
+        import signal
+
+        host, client = self._world()
+        try:
+            proxy = client.lookup("unit")
+            os_module.kill(host.pid, signal.SIGKILL)
+            import time
+
+            time.sleep(0.1)
+            proxy.revoke()  # must not raise: dead host == revoked
+            assert proxy.revoked
+            with pytest.raises(RevokedException):
+                proxy.ping()
+        finally:
+            client.close()
+            host.stop()
+
+    def test_pool_reuses_connections(self):
+        host, client = self._world()
+        try:
+            proxy = client.lookup("unit")
+            for _ in range(10):
+                assert proxy.ping() == 7
+            # the steady state runs on one pooled connection
+            assert len(client._free) == 1
+        finally:
+            client.close()
+            host.stop()
+
+    def test_context_manager_closes(self):
+        host, client = self._world()
+        try:
+            with client as open_client:
+                assert open_client.lookup("unit").ping() == 7
+            assert client._closed
+        finally:
+            host.stop()

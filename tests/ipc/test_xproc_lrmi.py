@@ -1,0 +1,396 @@
+"""Differential LRMI testing: in-process kernel vs cross-process wire.
+
+``tests/jkvm/test_lrmi_differential.py`` pins the hosted kernel to the
+enforced VM kernel with one scenario matrix; this suite runs the SAME
+matrix through the cross-process transport (``repro.ipc.lrmi``) — the
+same remote interface, implemented by the same class, deployed in a
+forked domain-host process behind a marshalling proxy — and asserts the
+caller observes identical outcomes.  The calling convention is one
+contract; moving the callee to another OS process must not change it:
+
+* null call, int-argument call (values returned unchanged),
+* reference arguments (callee mutations invisible to the caller; the
+  returned copy carries them),
+* immutable ``str`` arguments (value preserved),
+* object graphs (the copy recurses; the caller's nodes stay untouched),
+* revocation before a call and revocation *during* a call (the in-flight
+  call completes; the next one fails),
+* callee exceptions (propagate, typed, with the caller usable after),
+* cross-process re-entry (caller -> host -> caller callback),
+
+plus the transport-only scenarios no in-process kernel has: a crashed
+host process surfacing as :class:`DomainUnavailableException` (never a
+hang), revocation broadcast flipping the client-side proxy, and kernel
+stats over the control channel.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.core import (
+    Capability,
+    Domain,
+    DomainUnavailableException,
+    Remote,
+    RevokedException,
+)
+from repro.ipc import DomainHostProcess, RemoteCapability, connect
+
+OK = "ok"
+REVOKED = "revoked"
+CALLEE_EXCEPTION = "callee-exception"
+
+
+class IDiff(Remote):
+    def ping(self): ...
+    def add3(self, a, b, c): ...
+    def fill(self, buf): ...
+    def echo(self, text): ...
+    def boom(self): ...
+    def revoke_it(self, cap): ...
+    def call_back(self, cb): ...
+    def bump(self, outer): ...
+
+
+class DiffImpl(IDiff):
+    def ping(self):
+        return 99
+
+    def add3(self, a, b, c):
+        return a + b + c
+
+    def fill(self, buf):
+        buf[0] = 77
+        return buf
+
+    def echo(self, text):
+        return text
+
+    def boom(self):
+        raise RuntimeError("boom")
+
+    def revoke_it(self, cap):
+        cap.revoke()
+        return 1
+
+    def call_back(self, cb):
+        return cb.ping() + 1
+
+    def bump(self, outer):
+        inner = outer[0]
+        inner[0] += 1
+        return inner
+
+
+class PingImpl(IDiff):
+    """Client-side callback target for the re-entry scenario."""
+
+    def ping(self):
+        return 99
+
+    def add3(self, a, b, c): ...
+    def fill(self, buf): ...
+    def echo(self, text): ...
+    def boom(self): ...
+    def revoke_it(self, cap): ...
+    def call_back(self, cb): ...
+    def bump(self, outer): ...
+
+
+def _diff_setup():
+    domain = Domain("xdiff-server")
+    cap = domain.run(lambda: Capability.create(DiffImpl(), label="diff"))
+    return {"diff": cap}
+
+
+class InProcessWorld:
+    """The hosted-kernel reference leg (same shape as the jkvm suite)."""
+
+    name = "in-process"
+
+    def __init__(self):
+        self.server = Domain("diff-server")
+        self.client_domain = Domain("diff-client")
+        self.cap = self.server.run(lambda: Capability.create(DiffImpl()))
+
+    def close(self):
+        pass
+
+    def _call(self, fn):
+        try:
+            return self.client_domain.run(fn)
+        except RevokedException:
+            return (REVOKED,)
+        except RuntimeError:
+            return (CALLEE_EXCEPTION,)
+
+    def make_callback(self):
+        return self.client_domain.run(
+            lambda: Capability.create(PingImpl())
+        )
+
+    def revoke(self):
+        self.server.run(self.cap.revoke)
+
+
+class XProcWorld:
+    """The same scenarios through a forked domain host."""
+
+    name = "cross-process"
+
+    def __init__(self):
+        self.host = DomainHostProcess(_diff_setup, name="xdiff").start()
+        self.client = connect(self.host)
+        self.cap = self.client.lookup("diff")
+        self.client_domain = Domain("xdiff-client")
+
+    def close(self):
+        self.client.close()
+        self.host.stop()
+
+    def _call(self, fn):
+        try:
+            return self.client_domain.run(fn)
+        except RevokedException:
+            return (REVOKED,)
+        except RuntimeError:
+            return (CALLEE_EXCEPTION,)
+
+    def make_callback(self):
+        return self.client_domain.run(
+            lambda: Capability.create(PingImpl())
+        )
+
+    def revoke(self):
+        self.cap.revoke()
+
+
+def _scenario_null_call(world):
+    result = world._call(lambda: world.cap.ping())
+    return result if isinstance(result, tuple) else (OK, result)
+
+
+def _scenario_int_args(world):
+    result = world._call(lambda: world.cap.add3(1, 2, 3))
+    return result if isinstance(result, tuple) else (OK, result)
+
+
+def _scenario_reference_args(world):
+    buf = [0, 0, 0, 0]
+    result = world._call(lambda: world.cap.fill(buf))
+    if isinstance(result, tuple):
+        return result
+    return (OK, result[0], buf[0])
+
+
+def _scenario_string_arg(world):
+    result = world._call(lambda: world.cap.echo("hello"))
+    return result if isinstance(result, tuple) else (OK, result)
+
+
+def _scenario_graph_args(world):
+    inner = [5]
+    outer = [inner]
+    result = world._call(lambda: world.cap.bump(outer))
+    if isinstance(result, tuple):
+        return result
+    return (OK, result[0], inner[0])
+
+
+def _scenario_revoked_call(world):
+    world.revoke()
+    return _scenario_null_call(world)
+
+
+def _scenario_revoke_mid_call(world):
+    first = world._call(lambda: world.cap.revoke_it(world.cap))
+    if isinstance(first, tuple):
+        return first
+    after = _scenario_null_call(world)
+    return (OK, first) + after
+
+
+def _scenario_callee_throw(world):
+    outcome = world._call(lambda: world.cap.boom())
+    # the caller stays usable: its domain context fully unwound
+    from repro.core import current_domain
+
+    assert current_domain() is None
+    return outcome if isinstance(outcome, tuple) else (OK, outcome)
+
+
+def _scenario_reentry(world):
+    callback = world.make_callback()
+    result = world._call(lambda: world.cap.call_back(callback))
+    return result if isinstance(result, tuple) else (OK, result)
+
+
+SCENARIOS = {
+    "null_call": (_scenario_null_call, (OK, 99)),
+    "int_args": (_scenario_int_args, (OK, 6)),
+    # callee saw its copy and mutated it (77); the caller's buffer kept 0
+    "reference_args": (_scenario_reference_args, (OK, 77, 0)),
+    "string_arg": (_scenario_string_arg, (OK, "hello")),
+    # the callee bumped the copied graph; the caller's nodes kept 5
+    "graph_args": (_scenario_graph_args, (OK, 6, 5)),
+    "revoked_call": (_scenario_revoked_call, (REVOKED,)),
+    # the in-flight call survives its own revocation; the next one fails
+    "revoke_mid_call": (_scenario_revoke_mid_call, (OK, 1, REVOKED)),
+    "callee_throw": (_scenario_callee_throw, (CALLEE_EXCEPTION,)),
+    "reentry": (_scenario_reentry, (OK, 100)),
+}
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_inproc_and_xproc_agree(scenario):
+    """The differential matrix: in-process kernel vs cross-process wire."""
+    run, expected = SCENARIOS[scenario]
+    inproc = InProcessWorld()
+    xproc = XProcWorld()
+    try:
+        inproc_outcome = run(inproc)
+        xproc_outcome = run(xproc)
+    finally:
+        inproc.close()
+        xproc.close()
+    assert inproc_outcome == xproc_outcome, (
+        f"{scenario}: in-process={inproc_outcome} "
+        f"cross-process={xproc_outcome}"
+    )
+    assert inproc_outcome == expected
+
+
+class TestTransportSemantics:
+    """Wire-layer behaviors with no in-process analogue."""
+
+    def test_lookup_returns_proxy_with_stable_identity(self):
+        world = XProcWorld()
+        try:
+            assert isinstance(world.cap, RemoteCapability)
+            again = world.client.lookup("diff")
+            assert again is world.cap  # one proxy per export id
+        finally:
+            world.close()
+
+    def test_revocation_broadcast_flips_local_proxy(self):
+        world = XProcWorld()
+        try:
+            assert world.cap.ping() == 99
+            world.cap.revoke()
+            # the control round trip already processed the broadcast
+            assert world.cap.revoked
+            with pytest.raises(RevokedException):
+                world.cap.ping()
+        finally:
+            world.close()
+
+    def test_domain_terminate_revokes_exports(self):
+        world = XProcWorld()
+        try:
+            assert world.cap.ping() == 99
+            world.client.terminate("diff")
+            with pytest.raises(RevokedException):
+                world.cap.ping()
+        finally:
+            world.close()
+
+    def test_host_stats_reconcile(self):
+        world = XProcWorld()
+        try:
+            for _ in range(5):
+                world.cap.ping()
+            stats = world.client.stats()
+            assert stats["pid"] != os.getpid()
+            assert "diff" in stats["bindings"]
+            assert stats["exports"] >= 1
+        finally:
+            world.close()
+
+    def test_concurrent_clients_share_exports(self):
+        world = XProcWorld()
+        try:
+            other = connect(world.host)
+            cap2 = other.lookup("diff")
+            assert cap2.add3(1, 1, 1) == 3
+            assert world.cap.add3(2, 2, 2) == 6
+            other.close()
+        finally:
+            world.close()
+
+
+class TestHostCrash:
+    """A dead host must surface as a typed error, never a hang."""
+
+    def test_crash_raises_domain_unavailable_not_hang(self):
+        world = XProcWorld()
+        try:
+            assert world.cap.ping() == 99
+            os.kill(world.host.pid, signal.SIGKILL)
+            started = time.monotonic()
+            with pytest.raises(DomainUnavailableException):
+                # Existing pooled connections die with the process; a
+                # fresh connection gets ECONNREFUSED.  Either way: typed
+                # failure, promptly.
+                for _ in range(10):
+                    world.cap.ping()
+            assert time.monotonic() - started < 10.0
+        finally:
+            world.close()
+
+    def test_connect_to_dead_host_fails_fast(self):
+        world = XProcWorld()
+        world.close()
+        client = connect(world.host)
+        with pytest.raises(DomainUnavailableException):
+            client.lookup("diff")
+        client.close()
+
+    def test_inflight_during_crash_does_not_hang(self):
+        """Kill the host while a call is in flight: the caller gets a
+        typed exception within the wire timeout, not a stuck thread."""
+        import threading
+
+        class Slow(IDiff):
+            def ping(self):
+                time.sleep(30)
+                return 1
+
+            def add3(self, a, b, c): ...
+            def fill(self, buf): ...
+            def echo(self, text): ...
+            def boom(self): ...
+            def revoke_it(self, cap): ...
+            def call_back(self, cb): ...
+            def bump(self, outer): ...
+
+        def slow_setup():
+            domain = Domain("slow-server")
+            cap = domain.run(lambda: Capability.create(Slow()))
+            return {"slow": cap}
+
+        host = DomainHostProcess(slow_setup, name="slow").start()
+        client = connect(host)
+        cap = client.lookup("slow")
+        outcome = {}
+
+        def caller():
+            try:
+                cap.ping()
+                outcome["result"] = "returned"
+            except DomainUnavailableException:
+                outcome["result"] = "unavailable"
+            except Exception as exc:  # pragma: no cover - diagnostic
+                outcome["result"] = repr(exc)
+
+        thread = threading.Thread(target=caller, daemon=True)
+        thread.start()
+        time.sleep(0.3)  # let the call reach the host
+        os.kill(host.pid, signal.SIGKILL)
+        thread.join(10.0)
+        assert not thread.is_alive(), "in-flight call hung after host death"
+        assert outcome["result"] == "unavailable"
+        client.close()
+        host.stop()

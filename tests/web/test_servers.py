@@ -525,3 +525,74 @@ class TestAccountLifecycle:
         jk.terminate_servlet("/closed")
         # the accountant no longer tracks the dead domain
         assert registration.domain.name not in get_accountant().report()
+
+
+class TestWorkersParameterAndListeners:
+    """PR 5: reactor sizing + pre-bound listener adoption (the prefork
+    tier builds on both)."""
+
+    def test_jkweb_workers_sizes_event_loop_pool(self):
+        jk = JKernelWebServer(workers=4)
+        assert jk.server.workers == 4
+        jk.start()
+        try:
+            assert len(jk.server._loops) == 4
+            jk.server.documents.put("/w", b"workers")
+            assert fetch_once("127.0.0.1", jk.port, "/w").status == 200
+        finally:
+            jk.stop()
+
+    def test_explicit_server_wins_over_workers(self):
+        server = NativeHttpServer(workers=1)
+        jk = JKernelWebServer(server=server)
+        assert jk.server is server
+
+    def test_start_adopts_prebound_listener(self):
+        from repro.web import make_listener
+
+        listener = make_listener("127.0.0.1", 0)
+        port = listener.getsockname()[1]
+        server = NativeHttpServer()
+        server.documents.put("/pre", b"bound")
+        server.start(listener)
+        try:
+            assert server.port == port
+            assert fetch_once("127.0.0.1", port, "/pre").status == 200
+        finally:
+            server.stop()
+
+    def test_stop_accepting_keeps_existing_connections(self):
+        from repro.web import fetch_many
+
+        server = NativeHttpServer()
+        server.documents.put("/d", b"doc")
+        server.start()
+        try:
+            import socket as socket_module
+
+            conn = socket_module.create_connection(
+                ("127.0.0.1", server.port), timeout=5.0
+            )
+            try:
+                from repro.web import format_request, read_response
+
+                reader = conn.makefile("rb")
+                # Complete one request FIRST: that guarantees an event
+                # loop adopted the connection (a handshake alone may
+                # still sit in the listener backlog, where closing the
+                # listener would reset it).
+                conn.sendall(format_request("GET", "/d", keep_alive=True))
+                assert read_response(reader).status == 200
+                server.stop_accepting()
+                # the established connection is still served...
+                conn.sendall(format_request("GET", "/d", keep_alive=True))
+                response = read_response(reader)
+                assert response.status == 200
+                reader.close()
+            finally:
+                conn.close()
+            # ...but new connections are refused (listener closed)
+            with pytest.raises(OSError):
+                fetch_many("127.0.0.1", server.port, ["/d"])
+        finally:
+            server.stop()
