@@ -38,7 +38,12 @@ Measured (hosted-core hot paths plus context costs):
   ratio is a median of interleaved native/J-Kernel sample pairs, so host
   speed drift cancels; a failing ratio is re-measured once before the
   gate reports a regression (absolute pages/sec are recorded but not
-  gated — they track the host, the ratio tracks the architecture).
+  gated — they track the host, the ratio tracks the architecture),
+* control-plane keys from the open-loop heavy-tailed generator
+  (``benchmarks/loadgen.py``): ``shed_rate_under_burst``,
+  ``p99_latency_ms_burst`` and ``quota_kill_teardown_us`` — all
+  **record-only** (they characterise admission/quota behaviour under a
+  synthetic burst, not a gateable fast path).
 """
 
 from __future__ import annotations
@@ -72,6 +77,18 @@ HTTP_RATIO_FLOOR = 0.80
 #: the in-process one (the paper's in-process-wins claim; measured ~40-80x
 #: here, the floor leaves room for host noise).
 XPROC_RATIO_FLOOR = 5.0
+
+
+def _load_loadgen():
+    """Load the sibling loadgen module by path: this file itself is often
+    loaded by path (tests, CI), so a plain ``import loadgen`` would miss."""
+    import importlib.util
+
+    path = Path(__file__).resolve().parent / "loadgen.py"
+    spec = importlib.util.spec_from_file_location("jk_loadgen", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
 
 
 def measure_http(pairs=5, requests_per_client=250):
@@ -161,6 +178,8 @@ def collect(min_time=0.1):
     prefork_1w = table6_shape["prefork_pages_per_sec"].get(1, 0.0)
     prefork_2w = table6_shape["prefork_pages_per_sec"].get(2, 0.0)
 
+    control = _load_loadgen().burst_metrics()
+
     return {
         "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "python": platform.python_version(),
@@ -184,6 +203,13 @@ def collect(min_time=0.1):
         "xproc_null_lrmi_us": round(table6_shape["xproc_null_us"], 3),
         "xproc_lrmi_1000B_us": round(table6_shape["xproc_1000b_us"], 3),
         **prefork_keys,
+        # Control-plane behaviour under an open-loop heavy-tailed burst
+        # (benchmarks/loadgen.py).  Record-only: the shed rate and burst
+        # tail track the synthetic overload mix, and the teardown time a
+        # thread-scheduling path — none is a regression-gateable µs.
+        "shed_rate_under_burst": control["shed_rate_under_burst"],
+        "p99_latency_ms_burst": control["p99_latency_ms_burst"],
+        "quota_kill_teardown_us": control["quota_kill_teardown_us"],
         "cpu_count": os.cpu_count() or 1,
         "shape": {
             "double_switch_over_null_lrmi": round(double_switch / null_lrmi, 1),
@@ -223,7 +249,8 @@ def _microsecond_metrics(snapshot, prefix=""):
 #: µs keys recorded but never regression-gated: a socket round trip
 #: tracks the host kernel's scheduling mood across sessions; their
 #: architecture signal lives in the gated shape ratios instead.
-GATE_EXEMPT = frozenset({"xproc_null_lrmi_us", "xproc_lrmi_1000B_us"})
+GATE_EXEMPT = frozenset({"xproc_null_lrmi_us", "xproc_lrmi_1000B_us",
+                         "quota_kill_teardown_us"})
 
 
 def compare_metrics(recorded, measured, tolerance=REGRESSION_TOLERANCE,
@@ -331,6 +358,7 @@ def step_summary_line(snapshot, regressions, new_keys):
         f" ({snapshot.get('cpu_count', '?')} cpu)",
         f"null LRMI {snapshot.get('null_lrmi_us', '?')}us",
         f"xproc null {snapshot.get('xproc_null_lrmi_us', '?')}us",
+        f"shed@burst {snapshot.get('shed_rate_under_burst', '?')}",
         f"{len(regressions)} regression(s)",
         f"{len(new_keys)} new key(s)",
     ]

@@ -150,12 +150,21 @@ class Accountant:
     servlet creates a fresh domain under the same derived name, and its
     account must start at zero rather than inherit the predecessor's
     charges.  ``release_domain`` closes a terminated domain's account
-    (and drops the key, so the domain object is not pinned).
+    (and drops the key, so the domain object is not pinned) and folds
+    its final counter values into retained totals — mirroring the
+    prefork master's retired-worker accounting — so fleet-level
+    reconciliation (``fleet_totals``) still matches client-observed
+    counts exactly after a hard quota kill tears a tenant down.
     """
+
+    _COUNTERS = ("bytes_copied_in", "copy_operations", "allocations",
+                 "allocated_bytes", "requests")
 
     def __init__(self):
         self._lock = threading.Lock()
         self._accounts = {}
+        self._retired = dict.fromkeys(self._COUNTERS, 0)
+        self._released_domains = 0
 
     def account(self, domain):
         # Fast path: racy read of the accounts dict (a single C-level
@@ -191,10 +200,44 @@ class Accountant:
         self.account(target).charge_request()
 
     def release_domain(self, domain):
-        """Forget a terminated domain's charges (its memory is reclaimed
-        when its capabilities are revoked, so the account closes)."""
+        """Close a terminated domain's account.
+
+        The domain's memory is reclaimed when its capabilities are
+        revoked, so the account closes — but its *traffic happened*:
+        the final counter values fold into retained totals first (the
+        counter summation drains every per-thread cell, including those
+        of threads that died inside the terminated domain), so
+        ``fleet_totals`` reconciles exactly across quota kills and
+        servlet hot-swaps."""
         with self._lock:
-            return self._accounts.pop(domain, None)
+            account = self._accounts.pop(domain, None)
+            if account is None:
+                return None
+            snapshot = account.snapshot()
+            for key in self._COUNTERS:
+                self._retired[key] += snapshot[key]
+            self._released_domains += 1
+            return account
+
+    def retired_totals(self):
+        """Counters folded from every released (terminated) domain."""
+        with self._lock:
+            return dict(self._retired)
+
+    def fleet_totals(self):
+        """Live accounts plus retained totals of released domains: the
+        number a client-side observer should reconcile against, whoever
+        served (or used to serve) the traffic."""
+        with self._lock:
+            totals = dict(self._retired)
+            accounts = list(self._accounts.values())
+            released = self._released_domains
+        for account in accounts:
+            snapshot = account.snapshot()
+            for key in self._COUNTERS:
+                totals[key] += snapshot[key]
+        totals["released_domains"] = released
+        return totals
 
     def report(self):
         """Snapshots keyed by domain name (two live domains sharing a

@@ -46,6 +46,19 @@ class DomainUnavailableException(RemoteException):
     """
 
 
+class QuotaExceededException(RemoteException):
+    """A domain exhausted a hard resource budget (``repro.core.quota``).
+
+    The kernel's enforcement answer to the paper's resource-accounting
+    section: the accounting machinery *measures* what crosses into a
+    domain; a quota turns the measurement into a budget, and exhausting
+    the hard limit terminates the domain through the same revoke/teardown
+    path ``Domain.terminate`` has always guaranteed.  Callers racing the
+    kill see this exception (or the 503 the web layer maps it to), never
+    a hang or a half-dead domain.
+    """
+
+
 class NotSerializableError(RemoteException):
     """A value crossing a domain boundary has no registered copy mechanism."""
 

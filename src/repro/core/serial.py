@@ -356,6 +356,7 @@ def _register_builtin_exceptions(registry):
         _errors.DomainTerminatedException,
         _errors.SegmentStoppedException,
         _errors.DomainUnavailableException,
+        _errors.QuotaExceededException,
         _errors.NotSerializableError,
         _errors.DomainError,
     ):

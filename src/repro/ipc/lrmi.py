@@ -49,6 +49,7 @@ from __future__ import annotations
 
 import itertools
 import os
+import select
 import socket
 import tempfile
 import threading
@@ -82,6 +83,13 @@ CALL_TIMEOUT = 30.0
 
 #: How often the host sweeps its export table for revoked capabilities.
 SWEEP_INTERVAL = 0.02
+
+#: Control verbs safe to retry after a transport failure: none of them
+#: mutate host state in a way a duplicate delivery could corrupt.
+IDEMPOTENT_CONTROL = frozenset({"lookup", "stats", "ping"})
+
+#: Fault-injection hook (``repro.testing.chaos``); None in production.
+_chaos = None
 
 
 class ProtocolError(JKernelError):
@@ -357,21 +365,45 @@ class _Connection:
             self.close()
 
     # -- caller side -------------------------------------------------------
-    def call(self, opcode, request):
-        """One synchronous round trip; serves nested work while waiting."""
+    def call(self, opcode, request, deadline=None):
+        """One synchronous round trip; serves nested work while waiting.
+
+        ``deadline`` (a ``time.monotonic`` instant) bounds the WHOLE
+        round trip, not just each socket operation: a host that drips
+        broadcast frames fast enough to keep every individual recv
+        under the socket timeout still cannot hold the caller past it.
+        """
         call_id = self._call_ids()
         payload = marshal(self.peer, request)
+        base_timeout = self.sock.gettimeout()
         try:
+            self._apply_deadline(deadline, base_timeout)
             self._send(opcode, call_id, payload)
-            return self._await(call_id)
+            return self._await(call_id, deadline, base_timeout)
         except (OSError, WireError) as exc:
             self.close()
             raise DomainUnavailableException(
                 f"out-of-process domain unreachable: {exc}"
             ) from None
+        finally:
+            if deadline is not None and not self.closed:
+                try:
+                    self.sock.settimeout(base_timeout)
+                except OSError:
+                    pass
 
-    def _await(self, call_id):
+    def _apply_deadline(self, deadline, base_timeout):
+        if deadline is None:
+            return
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise socket.timeout("call deadline exceeded")
+        if base_timeout is None or remaining < base_timeout:
+            self.sock.settimeout(remaining)
+
+    def _await(self, call_id, deadline=None, base_timeout=None):
         while True:
+            self._apply_deadline(deadline, base_timeout)
             opcode, reply_id, payload = self._recv()
             if opcode == OP_REVOKED:
                 self.peer.mark_revoked(loads(payload))
@@ -421,6 +453,11 @@ class _Connection:
                     f"export #{export_id} is gone (revoked or swept)"
                 )
             result = getattr(capability, method)(*args, **kwargs)
+            if _chaos is not None:
+                # Chaos crash point: the host dies after executing the
+                # call but before replying — the worst spot for a
+                # caller, which must see a typed error, never a hang.
+                _chaos.crash_point("lrmi.host.dispatch")
         except Exception as exc:
             self._reply_error(call_id, exc)
         else:
@@ -633,6 +670,13 @@ class DomainHostProcess:
         return self._pid
 
     def start(self):
+        if os.path.exists(self.path):
+            # Restart-in-place after a crash: the dead host's socket
+            # file survives it and would make the child's bind fail.
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
         parent_pid = os.getpid()
         pid = os.fork()
         if pid == 0:
@@ -710,16 +754,35 @@ class DomainHostProcess:
 # -- the client ---------------------------------------------------------------
 
 class DomainClient(_Peer):
-    """Parent-side peer: pooled connections to one domain host."""
+    """Parent-side peer: pooled connections to one domain host.
 
-    def __init__(self, path, timeout=CALL_TIMEOUT, pool_size=4):
+    Robustness knobs (all off by default, preserving PR-5 behaviour):
+
+    * ``call_deadline`` — seconds bounding each whole round trip; on
+      expiry the call raises :class:`DomainUnavailableException`
+      instead of waiting out per-recv socket timeouts one by one.
+    * ``retries``/``backoff`` — bounded retry with exponential backoff
+      after a transport failure, applied ONLY to idempotent work:
+      control verbs in :data:`IDEMPOTENT_CONTROL` and methods the
+      caller declared via ``idempotent=``.  Each attempt acquires a
+      fresh connection (the failed one was closed by the error path).
+    """
+
+    def __init__(self, path, timeout=CALL_TIMEOUT, pool_size=4, *,
+                 call_deadline=None, retries=0, backoff=0.05,
+                 idempotent=()):
         super().__init__()
         self.path = path
         self.timeout = timeout
         self.pool_size = pool_size
+        self.call_deadline = call_deadline
+        self.retries = retries
+        self.backoff = backoff
+        self._idempotent = frozenset(idempotent)
         self._free = []
         self._pool_lock = threading.Lock()
         self._closed = False
+        self._evicted = 0
 
     # -- connection pool ---------------------------------------------------
     def _connect(self):
@@ -734,13 +797,44 @@ class DomainClient(_Peer):
             ) from None
         return _Connection(sock, self)
 
+    @staticmethod
+    def _healthy(connection):
+        """Checkout validation for a pooled idle connection.
+
+        A dead peer shows up as a readable socket whose peek returns
+        b"" (EOF).  A readable socket with pending *data* is healthy:
+        it is a revocation broadcast queued while the connection sat
+        in the pool, which the next ``_await`` loop consumes normally.
+        """
+        sock = connection.sock
+        try:
+            readable, _, _ = select.select([sock], [], [], 0)
+            if not readable:
+                return True
+            return bool(sock.recv(1, socket.MSG_PEEK))
+        except (OSError, ValueError):
+            return False
+
     def _acquire(self):
         if self._closed:
             raise DomainUnavailableException("domain client closed")
-        with self._pool_lock:
-            if self._free:
-                return self._free.pop()
+        while True:
+            with self._pool_lock:
+                if not self._free:
+                    break
+                connection = self._free.pop()
+            if self._healthy(connection):
+                return connection
+            with self._pool_lock:
+                self._evicted += 1
+            connection.close()
         return self._connect()
+
+    @property
+    def evicted(self):
+        """Half-dead pooled connections dropped at checkout (for tests)."""
+        with self._pool_lock:
+            return self._evicted
 
     def _release(self, connection):
         if connection.closed:
@@ -751,19 +845,42 @@ class DomainClient(_Peer):
                 return
         connection.close()
 
-    def _round_trip(self, opcode, request):
-        connection = self._acquire()
-        try:
-            return connection.call(opcode, request)
-        finally:
-            self._release(connection)
+    def _round_trip(self, opcode, request, retry=False):
+        deadline = None
+        if self.call_deadline is not None:
+            deadline = time.monotonic() + self.call_deadline
+        attempts = 1 + (self.retries if retry else 0)
+        delay = self.backoff
+        for attempt in range(attempts):
+            try:
+                # _acquire is inside the retry: during a host outage the
+                # failure IS the dial (connection refused), and retrying
+                # only the round trip would never bridge a restart.
+                connection = self._acquire()
+                try:
+                    return connection.call(opcode, request,
+                                           deadline=deadline)
+                finally:
+                    self._release(connection)
+            except DomainUnavailableException:
+                if attempt + 1 >= attempts or self._closed:
+                    raise
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise
+                time.sleep(min(delay, 1.0))
+                delay *= 2
 
     # -- peer interface ----------------------------------------------------
     def call(self, export_id, method, args, kwargs):
-        return self._round_trip(OP_CALL, (export_id, method, args, kwargs))
+        return self._round_trip(
+            OP_CALL, (export_id, method, args, kwargs),
+            retry=method in self._idempotent,
+        )
 
     def control(self, verb, *args):
-        return self._round_trip(OP_CONTROL, (verb, args))
+        return self._round_trip(
+            OP_CONTROL, (verb, args), retry=verb in IDEMPOTENT_CONTROL,
+        )
 
     # -- convenience -------------------------------------------------------
     def lookup(self, name):
@@ -801,6 +918,7 @@ class DomainClient(_Peer):
         return False
 
 
-def connect(host):
-    """Client for a started :class:`DomainHostProcess`."""
-    return DomainClient(host.path)
+def connect(host, **kwargs):
+    """Client for a started :class:`DomainHostProcess`; keyword options
+    are forwarded to :class:`DomainClient` (deadline/retry knobs)."""
+    return DomainClient(host.path, **kwargs)

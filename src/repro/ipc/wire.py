@@ -12,6 +12,12 @@ _LEN = struct.Struct(">I")
 
 MAX_FRAME = 64 * 1024 * 1024
 
+#: Fault-injection hook (``repro.testing.chaos``): None in production —
+#: one pointer test per send — or a ChaosConfig whose ``before_send``
+#: may delay, truncate or drop the frame.  Installed by the chaos
+#: harness, inherited by forked workers/hosts.
+_chaos = None
+
 
 class WireError(Exception):
     """Framing violation or unexpected connection close."""
@@ -20,7 +26,10 @@ class WireError(Exception):
 def send_frame(sock, payload):
     if len(payload) > MAX_FRAME:
         raise WireError(f"frame too large: {len(payload)}")
-    sock.sendall(_LEN.pack(len(payload)) + payload)
+    data = _LEN.pack(len(payload)) + payload
+    if _chaos is not None:
+        data = _chaos.before_send(sock, data)
+    sock.sendall(data)
 
 
 def recv_exact(sock, count):

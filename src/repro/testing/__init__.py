@@ -1,0 +1,4 @@
+"""Test-support subsystems that ship with the package (fault injection
+lives here so forked workers and domain hosts — which inherit the
+parent's Python state, not the test process's imports — carry the same
+chaos configuration across ``fork``)."""

@@ -349,13 +349,18 @@ class _Slot:
     arrival order, so each request reserves a slot at dispatch and the
     flusher only emits the completed prefix."""
 
-    __slots__ = ("payload", "ready", "close_after", "version")
+    __slots__ = ("payload", "ready", "close_after", "version", "tenant",
+                 "t_start")
 
     def __init__(self, close_after, version):
         self.payload = b""
         self.ready = False
         self.close_after = close_after
         self.version = version
+        # Admission bookkeeping: the tenant key holding one in-flight
+        # unit until this slot is ready (None for shed/unadmitted work).
+        self.tenant = None
+        self.t_start = 0.0
 
 
 class _Connection:
@@ -501,10 +506,14 @@ class _EventLoop(threading.Thread):
                             pass
                 elif kind == "complete":
                     _, conn, slot, payload = item
-                    if conn.closed:
-                        continue
                     slot.payload = payload
                     slot.ready = True
+                    # Release the admission unit even for a connection
+                    # that died while the pool ran the handler — the
+                    # in-flight gauge must track work, not sockets.
+                    self._finish_slot(slot)
+                    if conn.closed:
+                        continue
                     try:
                         self._pump(conn)
                     except Exception:
@@ -624,6 +633,16 @@ class _EventLoop(threading.Thread):
             dispatched += 1
         return dispatched
 
+    def _finish_slot(self, slot):
+        """Release the slot's admission unit and record its latency."""
+        tenant = slot.tenant
+        if tenant is None:
+            return
+        slot.tenant = None
+        self.server.admission.finish(
+            tenant, (time.monotonic() - slot.t_start) * 1e6
+        )
+
     def _dispatch(self, conn, request):
         self._served_cell[0] += 1
         server = self.server
@@ -634,6 +653,27 @@ class _EventLoop(threading.Thread):
         if not keep:
             conn.stop_dispatch = True
 
+        # Admission control AT the parse boundary: a shed request costs
+        # exactly one preformatted 503 here — no extension match, no
+        # pool hand-off, no domain crossing.
+        admission = server.admission
+        if admission is not None:
+            decision = admission.decide(request.path)
+            if not decision.admitted:
+                retry = max(1, int(decision.retry_after or 1))
+                slot.payload = format_response(
+                    Response(503,
+                             {"Content-Type": "text/plain",
+                              "Retry-After": str(retry)},
+                             f"overloaded: {decision.reason}".encode(
+                                 "latin-1")),
+                    keep, version,
+                )
+                slot.ready = True
+                return
+            slot.tenant = decision.tenant
+            slot.t_start = time.monotonic()
+
         entry = server._match_extension(request.path)
         if entry is not None:
             _, handler, inline = entry
@@ -642,6 +682,7 @@ class _EventLoop(threading.Thread):
                 response = _safe_handle(handler, request)
                 slot.payload = _format_payload(response, keep, version)
                 slot.ready = True
+                self._finish_slot(slot)
             elif not pool.submit(_PoolTask(self, conn, slot, handler,
                                            request)):
                 slot.payload = format_response(
@@ -650,6 +691,7 @@ class _EventLoop(threading.Thread):
                     keep, version,
                 )
                 slot.ready = True
+                self._finish_slot(slot)
             return
 
         store = server.documents
@@ -677,6 +719,7 @@ class _EventLoop(threading.Thread):
                 self.cache.put(key, generation, payload)
         slot.payload = payload
         slot.ready = True
+        self._finish_slot(slot)
 
     def _reject(self, conn, exc):
         """Malformed input: answer with the error status, then close."""
@@ -825,9 +868,14 @@ class NativeHttpServer:
     def __init__(self, host="127.0.0.1", port=0, *, workers=2,
                  pool_workers=2, pool_capacity=128, max_pipeline=32,
                  max_buffered=65536, max_body=None, out_highwater=1 << 20,
-                 accept_queue_limit=64, cache_size=256, idle_timeout=60.0):
+                 accept_queue_limit=64, cache_size=256, idle_timeout=60.0,
+                 admission=None):
         self.host = host
         self.port = port
+        #: Optional :class:`repro.web.control.AdmissionController`
+        #: consulted at the parse boundary; None (the default) keeps
+        #: the PR-4/5 admit-everything behaviour and zero overhead.
+        self.admission = admission
         self.documents = DocumentStore()
         self.workers = max(1, workers)
         self.pool = (DomainWorkerPool(pool_workers, pool_capacity)
@@ -927,6 +975,10 @@ class NativeHttpServer:
         }
         if self.pool is not None:
             snapshot["pool"] = self.pool.stats()
+        if self.admission is not None:
+            admission = self.admission.stats()
+            snapshot["admission"] = admission
+            snapshot["p99_latency_ms"] = admission["p99_latency_ms"]
         return snapshot
 
     # -- socket plumbing ---------------------------------------------------

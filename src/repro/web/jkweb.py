@@ -38,7 +38,9 @@ from repro.core import (
     get_accountant,
 )
 from repro.core.accounting import ShardedCounter
+from repro.core.quota import QuotaManager
 
+from .control import AdmissionController
 from .httpd import NativeHttpServer
 from .isapi import IsapiBridge
 from .servlet import Servlet, ServletResponse, error_response
@@ -120,6 +122,12 @@ class SystemServlet(Servlet):
 
     @staticmethod
     def _invoke(route, request):
+        registration = route.registration
+        # Service time is charged as CPU ticks only for quota-armed
+        # servlets, so unmetered routes (the Table 5 path) pay nothing.
+        timed = (registration is not None
+                 and getattr(registration, "quota", None) is not None)
+        start = time.perf_counter() if timed else 0.0
         try:
             response = route.capability.service(request)
         except RevokedException:
@@ -137,11 +145,14 @@ class SystemServlet(Servlet):
             return error_response(500, f"servlet failed: {exc}")
         except Exception as exc:
             return error_response(500, f"servlet error: {exc!r}")
-        registration = route.registration
         if registration is not None:
             # Charged only when the servlet produced the response itself —
             # exactly the population a well-behaved client can count.
             registration.charge_request()
+            if timed:
+                registration.charge_cpu(
+                    (time.perf_counter() - start) * 1e6
+                )
         return response
 
 
@@ -170,6 +181,9 @@ class ServletRegistration:
         self.capability = capability
         self.account = get_accountant().account(domain)
         self._draining = False
+        # Armed by the web server when the prefix has a QuotaSpec.
+        self.quota = None
+        self.quota_key = None
 
     @property
     def in_flight(self):
@@ -182,6 +196,12 @@ class ServletRegistration:
 
     def charge_request(self):
         self.account.charge_request()
+        if self.quota is not None:
+            self.quota.charge_request(self.quota_key)
+
+    def charge_cpu(self, ticks):
+        if self.quota is not None:
+            self.quota.charge_cpu(self.quota_key, ticks)
 
     def retire(self, timeout=5.0):
         """Full graceful teardown: drain, terminate the domain, close
@@ -274,6 +294,11 @@ class OutOfProcessRegistration:
         self._in_flight = ShardedCounter()
         self._monitor = None
         self._lock = threading.Lock()
+        # Armed by the web server when the prefix has a QuotaSpec.
+        self.quota = None
+        self.quota_key = None
+        self._reconcile_every = 10  # supervisor polls between stats RPCs
+        self._poll_count = 0
         if supervise:
             self._monitor = threading.Thread(
                 target=self._supervise, daemon=True,
@@ -296,10 +321,38 @@ class OutOfProcessRegistration:
 
     def charge_request(self):
         self.account.charge_request()
+        if self.quota is not None:
+            self.quota.charge_request(self.quota_key)
+
+    def charge_cpu(self, ticks):
+        if self.quota is not None:
+            self.quota.charge_cpu(self.quota_key, ticks)
 
     def remote_stats(self):
         """The host process's own accounting report (reconciliation)."""
         return self.client.stats()
+
+    def reconcile_quota(self):
+        """Pull the host's accounting report over the control pipe and
+        fold it into the tenant's budget position (summed across the
+        host's domains — they all belong to this tenant)."""
+        if self.quota is None:
+            return None
+        report = self.client.stats()
+        snapshot = {}
+        for account in (report.get("accounts") or {}).values():
+            for key, value in account.items():
+                snapshot[key] = snapshot.get(key, 0) + value
+        return self.quota.reconcile(self.quota_key, snapshot)
+
+    def _fold_quota(self):
+        """Retire the last live host report (the host died/stopped);
+        the replacement reports from zero without resetting usage."""
+        if self.quota is None:
+            return
+        cell = self.quota.cell(self.quota_key)
+        if cell is not None:
+            cell.fold_external()
 
     def drain(self, timeout=5.0):
         self._draining = True
@@ -322,6 +375,7 @@ class OutOfProcessRegistration:
         client.close()
         if host is not None:
             host.stop()
+        self._fold_quota()
         get_accountant().release_domain(self)
         return drained
 
@@ -336,7 +390,19 @@ class OutOfProcessRegistration:
                 if self._draining or host is None:
                     return
                 if host.alive():
+                    self._poll_count += 1
+                    if (self.quota is not None
+                            and self._poll_count % self._reconcile_every
+                            == 0):
+                        try:
+                            self.reconcile_quota()
+                        except Exception:
+                            pass  # host mid-crash; the death path folds
                     continue
+                # Host is dead: retire its last reported usage so the
+                # replacement (reporting from zero) cannot reset the
+                # tenant's budget position.
+                self._fold_quota()
                 if self.respawns >= self.max_respawns:
                     self.host = None
                     return
@@ -387,13 +453,38 @@ class JKernelWebServer:
     """
 
     def __init__(self, server=None, mount="/servlet", *, workers=None,
-                 bridge_inline=True, system_lrmi=False, drain_timeout=5.0):
+                 bridge_inline=True, system_lrmi=False, drain_timeout=5.0,
+                 quotas=None, admission=None):
         if server is None:
             server = (NativeHttpServer(workers=workers)
                       if workers is not None else NativeHttpServer())
         self.server = server
         self.mount = mount
         self.drain_timeout = drain_timeout
+        # -- fleet control plane -------------------------------------------
+        # ``quotas`` is {prefix: QuotaSpec} (or a prebuilt QuotaManager):
+        # each installed servlet at a quoted prefix gets a budget cell
+        # wired to its resource account, with this server's
+        # terminate_servlet as the hard-breach kill path.  Supplying
+        # quotas (or ``admission``) arms an AdmissionController on the
+        # underlying reactor; with neither, behaviour is exactly PR 5's.
+        self.quota = None
+        self._quota_specs = {}
+        if quotas is not None:
+            if isinstance(quotas, QuotaManager):
+                self.quota = quotas
+            else:
+                self.quota = QuotaManager()
+                self._quota_specs = dict(quotas)
+        self.admission = (admission if admission is not None
+                          else getattr(server, "admission", None))
+        if self.admission is None and self.quota is not None:
+            self.admission = AdmissionController(quota_manager=self.quota)
+        if self.admission is not None:
+            if self.quota is not None:
+                self.admission.attach_quota_manager(self.quota)
+            if getattr(server, "admission", None) is None:
+                server.admission = self.admission
         self.system_domain = Domain("http-system")
         self._system = SystemServlet()
         self.system_capability = self.system_domain.run(
@@ -407,6 +498,8 @@ class JKernelWebServer:
                                   inline=bridge_inline)
         self._registrations = {}
         self._lock = threading.Lock()
+        #: (prefix, breached-triple, monotonic) per hard-quota kill.
+        self.quota_kills = []
 
     # -- servlet lifecycle --------------------------------------------------
     def _publish(self, prefix, registration):
@@ -425,9 +518,57 @@ class JKernelWebServer:
             self._registrations[prefix] = registration
             self._system.add_route(prefix, registration.capability,
                                    registration)
+        self._arm_quota(prefix, registration)
         if old is not None:
             old.retire(self.drain_timeout)
         return registration
+
+    def _arm_quota(self, prefix, registration):
+        """Give the registration a budget cell when its prefix has a
+        spec.  A replacement servlet is a fresh domain with a fresh
+        account, so it also starts a fresh budget — mirroring how
+        ``release_domain`` closes the old incarnation's account."""
+        if self.quota is None:
+            return
+        spec = self._quota_specs.get(prefix)
+        if spec is None:
+            cell = self.quota.cell(prefix)
+            if cell is None:
+                return
+            spec = cell.spec
+        self.quota.set_quota(prefix, spec, account=registration.account,
+                             on_kill=self._quota_kill)
+        registration.quota = self.quota
+        registration.quota_key = prefix
+
+    def _quota_kill(self, prefix, cell):
+        """Hard-breach teardown (runs on the quota reaper thread): the
+        same drain → terminate → release path as an administrative
+        terminate, so callers see typed errors/503s, never a hang."""
+        self.quota_kills.append(
+            (prefix, cell.breached, time.monotonic())
+        )
+        self.terminate_servlet(prefix)
+
+    def set_quota(self, prefix, spec):
+        """Set or replace a tenant budget at run time; arms the current
+        registration (if any) immediately."""
+        if self.quota is None:
+            self.quota = QuotaManager()
+            if self.admission is None:
+                self.admission = AdmissionController(
+                    quota_manager=self.quota
+                )
+                if getattr(self.server, "admission", None) is None:
+                    self.server.admission = self.admission
+            else:
+                self.admission.attach_quota_manager(self.quota)
+        self._quota_specs[prefix] = spec
+        with self._lock:
+            registration = self._registrations.get(prefix)
+        if registration is not None:
+            self._arm_quota(prefix, registration)
+        return self
 
     def install_servlet(self, prefix, servlet_factory, domain_name=None,
                         copy="auto"):
@@ -566,7 +707,10 @@ class JKernelWebServer:
         return self.server.port
 
     def stats(self):
-        return self.server.stats()
+        snapshot = self.server.stats()
+        if self.quota is not None:
+            snapshot["quotas"] = self.quota.report()
+        return snapshot
 
     def stop(self):
         self.server.stop()

@@ -53,13 +53,22 @@ from repro.ipc.wire import WireError, recv_frame, send_frame
 
 from .httpd import NativeHttpServer, make_listener
 
+#: Fault-injection hook (``repro.testing.chaos``); None in production.
+_chaos = None
+
 
 class PreforkError(Exception):
     """Master/worker orchestration failure (startup, drain, control)."""
 
 
 def _send_msg(sock, message):
-    send_frame(sock, json.dumps(message).encode("utf-8"))
+    try:
+        send_frame(sock, json.dumps(message).encode("utf-8"))
+    except (OSError, WireError) as exc:
+        # A crashed worker's pipe may already be closed (the monitor
+        # closes it when it replaces the worker); callers handle
+        # PreforkError by falling back to the retained last report.
+        raise PreforkError(f"control channel failed: {exc}") from None
 
 
 def _recv_msg(sock, timeout=None):
@@ -284,6 +293,13 @@ class PreforkServer:
                 return
             kind = message.get("type")
             seq = message.get("seq")
+            if _chaos is not None:
+                # Chaos crash points: die between receiving a control
+                # message and acting on it (the master must replace the
+                # worker and keep its retained counters consistent).
+                _chaos.crash_point("prefork.worker.message")
+                if kind in ("STATS", "PING"):
+                    _chaos.crash_point("prefork.worker.stats")
             if kind in ("STATS", "PING"):
                 _send_msg(control, dict(self._worker_stats(server),
                                         seq=seq))
@@ -363,6 +379,50 @@ class PreforkServer:
         except ChildProcessError:
             return True
         return pid == handle.pid
+
+    # -- autoscaling -------------------------------------------------------
+    def scale_to(self, target):
+        """Resize the fleet to ``target`` workers.
+
+        Scale-up forks through the READY-gated :meth:`_spawn` path;
+        scale-down reuses the rolling-restart drain machinery
+        (:meth:`_retire`), so in-flight requests on departing workers
+        finish and their counters fold into the retained totals.
+        Returns the actual worker count afterwards.
+        """
+        if not self._running:
+            raise PreforkError("prefork server is not running")
+        target = max(1, int(target))
+        while True:
+            with self._lock:
+                current = len(self._handles)
+                if current < target:
+                    self._handles.append(self._spawn())
+                    continue
+                if current > target:
+                    # Retire the newest non-retiring worker.
+                    victim = next(
+                        (handle for handle in reversed(self._handles)
+                         if not handle.retiring), None)
+                    if victim is None:
+                        return current
+                    victim.retiring = True
+                    self._handles.remove(victim)
+                else:
+                    self.workers = current
+                    return current
+            self._retire(victim)
+
+    def autoscale(self, policy=None):
+        """Start a :class:`repro.web.control.Autoscaler` driving
+        :meth:`scale_to` from this master's shed-rate and p99 signals.
+        Returns the (already started) autoscaler; stop it with its
+        ``stop()`` before stopping the server."""
+        from .control import Autoscaler, AutoscalePolicy
+
+        scaler = Autoscaler(self, policy or AutoscalePolicy())
+        scaler.start()
+        return scaler
 
     # -- rolling restart ---------------------------------------------------
     def rolling_restart(self):

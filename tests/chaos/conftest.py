@@ -1,0 +1,15 @@
+"""Chaos-suite fixtures: every test leaves the hooks disarmed."""
+
+import pytest
+
+from repro.testing import chaos as chaos_module
+
+
+@pytest.fixture()
+def chaos():
+    """The chaos module, with guaranteed uninstall after the test (an
+    armed hook leaking into the next test would fault healthy code)."""
+    try:
+        yield chaos_module
+    finally:
+        chaos_module.uninstall()

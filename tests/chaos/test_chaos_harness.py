@@ -1,0 +1,163 @@
+"""The fault-injection harness itself: knobs, scope, wire faults and
+env-var installation.  The end-to-end matrix lives in
+``test_chaos_matrix.py``; this file pins the harness mechanics."""
+
+import os
+import socket
+
+import pytest
+
+from repro.ipc import lrmi, wire
+from repro.testing.chaos import (
+    CRASH_STATUS,
+    KNOWN_POINTS,
+    ChaosConfig,
+    ChaosError,
+    install,
+    install_from_env,
+    uninstall,
+)
+from repro.web import prefork
+
+
+class TestInstallation:
+    def test_install_arms_every_target_layer(self, chaos):
+        config = ChaosConfig(wire_delay_s=0.01)
+        assert install(config) is config
+        assert wire._chaos is config
+        assert lrmi._chaos is config
+        assert prefork._chaos is config
+        assert chaos.active() is config
+        uninstall()
+        assert wire._chaos is None
+        assert lrmi._chaos is None
+        assert prefork._chaos is None
+
+    def test_env_install_reads_every_knob(self, chaos):
+        config = install_from_env({
+            "JK_CHAOS_CRASH_AT": "wire.send, lrmi.host.dispatch",
+            "JK_CHAOS_CRASH_AFTER": "3",
+            "JK_CHAOS_WIRE_DELAY_S": "0.5",
+            "JK_CHAOS_PARTIAL_WRITE": "0.1",
+            "JK_CHAOS_DROP_RATE": "0.2",
+            "JK_CHAOS_SEED": "7",
+            "JK_CHAOS_SCOPE": "child",
+        })
+        assert config.crash_at == {"wire.send", "lrmi.host.dispatch"}
+        assert config.crash_after == 3
+        assert config.wire_delay_s == 0.5
+        assert config.partial_write == 0.1
+        assert config.drop_rate == 0.2
+        assert config.scope == "child"
+        assert wire._chaos is config
+
+    def test_env_install_with_no_knobs_is_inert(self, chaos):
+        assert install_from_env({}) is None
+        assert wire._chaos is None
+
+    def test_unknown_scope_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(scope="sideways")
+
+    def test_known_points_cover_the_matrix(self):
+        assert "prefork.worker.message" in KNOWN_POINTS
+        assert "lrmi.host.dispatch" in KNOWN_POINTS
+        assert "wire.send" in KNOWN_POINTS
+        assert CRASH_STATUS == 137
+
+
+class TestScope:
+    def test_parent_scope_never_fires_in_install_process(self):
+        config = ChaosConfig(crash_at=("wire.send",), scope="child")
+        # We ARE the install (parent) process: the crash must not fire.
+        config.crash_point("wire.send")
+        assert config.injected["crash"] == 0
+
+    def test_unarmed_point_never_fires(self):
+        config = ChaosConfig(crash_at=("lrmi.host.dispatch",))
+        config.crash_point("prefork.worker.stats")
+        assert config.injected["crash"] == 0
+
+    def test_crash_in_child_scope_fires_in_fork(self):
+        config = ChaosConfig(crash_at=("wire.send",), scope="child")
+        pid = os.fork()
+        if pid == 0:
+            config.crash_point("wire.send")
+            os._exit(0)  # reached only if the point failed to fire
+        _, status = os.waitpid(pid, 0)
+        assert os.waitstatus_to_exitcode(status) == CRASH_STATUS
+
+    def test_crash_after_spends_a_pass_budget(self):
+        config = ChaosConfig(crash_at=("wire.send",), crash_after=2,
+                             scope="child")
+        pid = os.fork()
+        if pid == 0:
+            config.crash_point("wire.send")  # pass 1
+            config.crash_point("wire.send")  # pass 2
+            os.write(2, b"")  # still alive here
+            config.crash_point("wire.send")  # pass 3: boom
+            os._exit(0)
+        _, status = os.waitpid(pid, 0)
+        assert os.waitstatus_to_exitcode(status) == CRASH_STATUS
+
+
+class TestWireFaults:
+    def _pair(self):
+        left, right = socket.socketpair()
+        left.settimeout(2.0)
+        right.settimeout(2.0)
+        return left, right
+
+    def test_delay_then_delivery(self, chaos):
+        config = install(ChaosConfig(wire_delay_s=0.05))
+        left, right = self._pair()
+        try:
+            wire.send_frame(left, b"payload")
+            assert wire.recv_frame(right) == b"payload"
+            assert config.injected["delay"] == 1
+        finally:
+            left.close()
+            right.close()
+
+    def test_drop_closes_and_raises_typed(self, chaos):
+        install(ChaosConfig(drop_rate=1.0))
+        left, right = self._pair()
+        try:
+            with pytest.raises(ChaosError):
+                wire.send_frame(left, b"payload")
+            with pytest.raises(wire.WireError):
+                wire.recv_frame(right)  # peer sees a clean EOF error
+        finally:
+            right.close()
+
+    def test_partial_write_desynchronizes_then_raises(self, chaos):
+        config = install(ChaosConfig(partial_write=1.0))
+        left, right = self._pair()
+        try:
+            with pytest.raises(ChaosError):
+                wire.send_frame(left, b"x" * 64)
+            # The peer got a prefix only: the stream errors, not hangs.
+            with pytest.raises(wire.WireError):
+                wire.recv_frame(right)
+            assert config.injected["partial"] == 1
+        finally:
+            right.close()
+
+    def test_seeded_rolls_are_deterministic(self):
+        outcomes = []
+        for _ in range(2):
+            config = ChaosConfig(drop_rate=0.5, seed=42)
+            left, right = self._pair()
+            run = []
+            for _ in range(20):
+                try:
+                    config.before_send(left, b"d")
+                    run.append("ok")
+                except ChaosError:
+                    left, right = self._pair()  # dropped: re-pair
+                    run.append("drop")
+            outcomes.append(run)
+            left.close()
+            right.close()
+        assert outcomes[0] == outcomes[1]
+        assert "drop" in outcomes[0] and "ok" in outcomes[0]

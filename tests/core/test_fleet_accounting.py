@@ -1,0 +1,92 @@
+"""Retained-totals accounting: a terminated domain's final counters fold
+into the accountant's retired totals (mirroring the prefork master's
+retired-worker accounting), so ``fleet_totals`` reconciles exactly with
+client-observed traffic across quota kills and servlet hot-swaps.
+"""
+
+import threading
+
+import pytest
+
+from repro.core import Domain
+from repro.core.accounting import Accountant, install, uninstall
+
+
+@pytest.fixture()
+def accountant():
+    accountant = Accountant()
+    install(accountant)
+    yield accountant
+    uninstall()
+
+
+class TestRetainedTotals:
+    def test_release_folds_final_counters(self, accountant):
+        domain = Domain("tenant-a")
+        account = accountant.account(domain)
+        account.charge_copy(100)
+        account.charge_allocation(50)
+        for _ in range(7):
+            account.charge_request()
+        accountant.release_domain(domain)
+        retired = accountant.retired_totals()
+        assert retired["bytes_copied_in"] == 100
+        assert retired["copy_operations"] == 1
+        assert retired["allocated_bytes"] == 50
+        assert retired["requests"] == 7
+
+    def test_release_of_unknown_domain_is_a_noop(self, accountant):
+        assert accountant.release_domain(Domain("ghost")) is None
+        assert accountant.retired_totals()["requests"] == 0
+        assert accountant.fleet_totals()["released_domains"] == 0
+
+    def test_fleet_totals_span_live_and_released(self, accountant):
+        dead = Domain("dead-tenant")
+        live = Domain("live-tenant")
+        accountant.account(dead).charge_copy(30)
+        accountant.account(dead).charge_request()
+        accountant.account(live).charge_copy(70)
+        accountant.release_domain(dead)
+        totals = accountant.fleet_totals()
+        # Fleet view is unchanged by the kill: traffic happened.
+        assert totals["bytes_copied_in"] == 100
+        assert totals["requests"] == 1
+        assert totals["released_domains"] == 1
+
+    def test_released_account_snapshot_is_returned(self, accountant):
+        domain = Domain("tenant-b")
+        accountant.account(domain).charge_request()
+        released = accountant.release_domain(domain)
+        assert released.requests == 1
+        # The key is gone: a same-named successor starts at zero.
+        successor = Domain("tenant-b")
+        assert accountant.account(successor).requests == 0
+
+    def test_fold_includes_dead_thread_cells(self, accountant):
+        """Charges made by threads that died inside the terminated
+        domain (the quota-kill scenario) must still reconcile."""
+        domain = Domain("tenant-c")
+        account = accountant.account(domain)
+
+        def worker():
+            for _ in range(100):
+                account.charge_request()
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        accountant.release_domain(domain)
+        assert accountant.retired_totals()["requests"] == 400
+        assert accountant.fleet_totals()["requests"] == 400
+
+    def test_repeated_releases_accumulate(self, accountant):
+        for round_number in range(1, 4):
+            domain = Domain(f"gen-{round_number}")
+            accountant.account(domain).charge_allocation(10)
+            accountant.release_domain(domain)
+        totals = accountant.fleet_totals()
+        assert totals["allocated_bytes"] == 30
+        assert totals["allocations"] == 3
+        assert totals["released_domains"] == 3
