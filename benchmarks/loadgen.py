@@ -23,6 +23,15 @@ control plane, not the fast path)::
 * ``quota_kill_teardown_us`` — hard-breach to clean-teardown time for an
   over-budget tenant (unroute + drain + domain terminate + accounting
   fold).
+
+It also measures the fleet layer's two record-only keys
+(``fleet_metrics``)::
+
+* ``failover_blackout_ms`` — host SIGKILL to first successful re-bound
+  call through the survivor (detection window + epoch re-key +
+  re-placement, the whole client-visible outage),
+* ``fleet_heartbeat_overhead_us`` — one coordinator->host liveness round
+  trip over ntrpc (the per-beat price of failure detection).
 """
 
 from __future__ import annotations
@@ -241,6 +250,87 @@ def measure_quota_kill_teardown(poll=0.0002, budget_s=10.0):
         return (done - breach_at) * 1e6
 
 
+def _fleet_registry():
+    from repro.core import Capability, Domain, Remote
+
+    class IEcho(Remote):
+        def echo(self, text): ...
+
+    class EchoImpl(IEcho):
+        def echo(self, text):
+            return text
+
+    def setup():
+        domain = Domain("bench-fleet-echo")
+        return domain.run(
+            lambda: Capability.create(EchoImpl(), label="echo"))
+
+    return {"echo": setup}
+
+
+def measure_fleet_failover(heartbeat_interval=0.05, max_missed=3,
+                           budget_s=30.0):
+    """Client-visible failover blackout, in ms.
+
+    Two hosts, one placement.  SIGKILL the placement's host, then
+    rebind (lookup) + retry until a call lands on the survivor; the
+    clock runs from the kill to that first success — detection
+    (``max_missed`` beats), epoch re-key, re-placement and the rebind
+    all inside it.
+    """
+    from repro.fleet import (
+        FleetCoordinator,
+        FleetUnavailableError,
+        TokenError,
+    )
+
+    with FleetCoordinator(_fleet_registry(),
+                          heartbeat_interval=heartbeat_interval,
+                          max_missed=max_missed) as fleet:
+        hosts = {"h1": fleet.spawn_host("h1"),
+                 "h2": fleet.spawn_host("h2")}
+        token = fleet.place("front", "echo")
+        assert fleet.call(token, "echo", "warm") == "warm"
+
+        victim = hosts[fleet.placements()["front"]]
+        start = time.monotonic()
+        victim.kill()
+        deadline = start + budget_s
+        while True:
+            try:
+                fleet.call(fleet.lookup("front"), "echo", "probe")
+                return (time.monotonic() - start) * 1e3
+            except (FleetUnavailableError, TokenError):
+                if time.monotonic() > deadline:
+                    raise RuntimeError(
+                        "failover did not complete in budget")
+                time.sleep(0.002)
+
+
+def measure_fleet_heartbeat_overhead(batch=300):
+    """One coordinator->host heartbeat round trip, in µs (amortised)."""
+    from repro.fleet import FleetCoordinator
+
+    with FleetCoordinator(_fleet_registry(),
+                          heartbeat_interval=0.5) as fleet:
+        fleet.spawn_host("h1")
+        control = fleet._hosts["h1"].control
+        control.ping()  # warm the pooled socket
+        start = time.perf_counter()
+        for _ in range(batch):
+            control.ping()
+        return (time.perf_counter() - start) / batch * 1e6
+
+
+def fleet_metrics():
+    """The fleet layer's record-only keys for the perf snapshot."""
+    return {
+        "failover_blackout_ms": round(measure_fleet_failover(), 1),
+        "fleet_heartbeat_overhead_us": round(
+            measure_fleet_heartbeat_overhead(), 1),
+    }
+
+
 def burst_metrics():
     """The three record-only control-plane keys for the perf snapshot."""
     result = measure_burst()
@@ -256,4 +346,6 @@ def burst_metrics():
 if __name__ == "__main__":
     import json
 
-    print(json.dumps(burst_metrics(), indent=2))
+    metrics = burst_metrics()
+    metrics.update(fleet_metrics())
+    print(json.dumps(metrics, indent=2))

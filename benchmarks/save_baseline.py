@@ -178,7 +178,9 @@ def collect(min_time=0.1):
     prefork_1w = table6_shape["prefork_pages_per_sec"].get(1, 0.0)
     prefork_2w = table6_shape["prefork_pages_per_sec"].get(2, 0.0)
 
-    control = _load_loadgen().burst_metrics()
+    loadgen = _load_loadgen()
+    control = loadgen.burst_metrics()
+    fleet = loadgen.fleet_metrics()
 
     return {
         "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -210,6 +212,12 @@ def collect(min_time=0.1):
         "shed_rate_under_burst": control["shed_rate_under_burst"],
         "p99_latency_ms_burst": control["p99_latency_ms_burst"],
         "quota_kill_teardown_us": control["quota_kill_teardown_us"],
+        # Fleet-coordinator behaviour (record-only, like the rest of the
+        # control plane): the client-visible failover blackout is
+        # dominated by the heartbeat detection window — a knob, not a
+        # fast path — and one heartbeat is a socket round trip.
+        "failover_blackout_ms": fleet["failover_blackout_ms"],
+        "fleet_heartbeat_overhead_us": fleet["fleet_heartbeat_overhead_us"],
         "cpu_count": os.cpu_count() or 1,
         "shape": {
             "double_switch_over_null_lrmi": round(double_switch / null_lrmi, 1),
@@ -250,7 +258,8 @@ def _microsecond_metrics(snapshot, prefix=""):
 #: tracks the host kernel's scheduling mood across sessions; their
 #: architecture signal lives in the gated shape ratios instead.
 GATE_EXEMPT = frozenset({"xproc_null_lrmi_us", "xproc_lrmi_1000B_us",
-                         "quota_kill_teardown_us"})
+                         "quota_kill_teardown_us",
+                         "fleet_heartbeat_overhead_us"})
 
 
 def compare_metrics(recorded, measured, tolerance=REGRESSION_TOLERANCE,

@@ -1,0 +1,83 @@
+"""The fleet control protocol: JSON envelopes over hardened ntrpc.
+
+Fleet verbs carry JSON (placements, tokens, usage counters — data, not
+live objects; live capability references cross machines only as signed
+tokens, see ``repro.fleet.tokens``).  Every handler reply is an
+envelope::
+
+    {"ok": true,  "result": ...}
+    {"ok": false, "error": "<kind>", "detail": "..."}
+
+so a host-side verdict (stale token, revoked token, missing placement)
+crosses the wire as *typed data* and re-raises as the same exception
+class on the coordinator side, instead of decaying into a stringly
+:class:`~repro.ipc.ntrpc.RpcHandlerError`.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.errors import DomainUnavailableException, RemoteException
+
+from .tokens import (
+    TokenInvalidError,
+    TokenRevokedError,
+    TokenStaleError,
+)
+
+
+class PlacementGoneError(RemoteException):
+    """The placement no longer exists on the host (evicted or never
+    placed there — e.g. a frame that outlived a failover)."""
+
+
+#: error-kind tag <-> exception class, both directions.
+_ERROR_KINDS = {
+    "stale": TokenStaleError,
+    "revoked": TokenRevokedError,
+    "invalid": TokenInvalidError,
+    "gone": PlacementGoneError,
+    "unavailable": DomainUnavailableException,
+}
+_KIND_BY_TYPE = {cls: kind for kind, cls in _ERROR_KINDS.items()}
+
+
+def encode_request(request):
+    return json.dumps(request).encode("utf-8")
+
+
+def decode_request(payload):
+    return json.loads(payload.decode("utf-8")) if payload else {}
+
+
+def envelope(fn):
+    """Wrap a dict-in/dict-out fleet verb as a bytes ntrpc handler."""
+    def handler(payload):
+        try:
+            result = fn(decode_request(payload))
+        except Exception as exc:
+            kind = "app"
+            for cls, tag in _KIND_BY_TYPE.items():
+                if isinstance(exc, cls):
+                    kind = tag
+                    break
+            reply = {"ok": False, "error": kind, "detail": repr(exc)}
+        else:
+            reply = {"ok": True, "result": result}
+        return json.dumps(reply).encode("utf-8")
+    handler.__name__ = getattr(fn, "__name__", "fleet_verb")
+    return handler
+
+
+def decode_reply(body):
+    """The ``result`` of an envelope reply, re-raising typed errors."""
+    reply = json.loads(body.decode("utf-8"))
+    if reply.get("ok"):
+        return reply.get("result")
+    kind = reply.get("error", "app")
+    detail = reply.get("detail", "fleet verb failed")
+    cls = _ERROR_KINDS.get(kind)
+    if cls is not None:
+        raise cls(detail)
+    raise RemoteException(f"fleet host failure: {detail}")

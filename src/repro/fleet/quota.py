@@ -1,0 +1,119 @@
+"""Fleet-wide quota federation: one budget per tenant, N hosts.
+
+A tenant placed on two hosts must not get two budgets.  The federation
+aggregates each host's cumulative usage report into a single
+:class:`~repro.core.quota.QuotaCell` per tenant through exactly the
+reconcile/fold protocol ``OutOfProcessRegistration`` already uses for
+one out-of-process host:
+
+* **reconcile** — each live host's latest ``quota_report`` *replaces*
+  that host's slice of the tenant's external view; the cell sees the
+  element-wise sum of every live slice plus everything retained from
+  dead hosts;
+* **fold** — when a host is evicted (crash, partition, kill) its last
+  report retires into the retained base, so a replacement host
+  reporting from zero never resets the tenant's budget position, and
+  fleet totals stay exact across any kill: ``totals()`` before a kill
+  equals ``totals()`` after the kill plus whatever the survivors have
+  since reported.
+
+Request *rate* is charged centrally (the coordinator routes every call,
+so its sliding window sees fleet-wide rate by construction); the
+``requests`` counter in host reports feeds totals/reporting only —
+charging it into the cell as well would double-count.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.quota import OK, QuotaManager
+
+#: Usage keys folded into the cell's external (budget-bearing) view.
+_BUDGET_KEYS = ("cpu_ticks", "allocated_bytes", "bytes_copied_in")
+
+
+class QuotaFederation:
+    """Per-tenant budget state aggregated across fleet hosts."""
+
+    def __init__(self, manager=None):
+        self.manager = manager if manager is not None else QuotaManager()
+        self._lock = threading.Lock()
+        self._live = {}        # host_id -> {tenant: usage}
+        self._retained = {}    # tenant -> usage (from dead hosts)
+
+    # -- budgets -----------------------------------------------------------
+    def set_quota(self, tenant, spec, on_kill=None):
+        return self.manager.set_quota(tenant, spec, on_kill=on_kill)
+
+    def admit(self, tenant):
+        """Current verdict for a tenant (OK/SOFT/HARD) without charging."""
+        return self.manager.admit(tenant)
+
+    def charge_request(self, tenant):
+        """Central rate charge: the coordinator routes every fleet call,
+        so one window here is the fleet-wide request rate."""
+        return self.manager.charge_request(tenant)
+
+    # -- the reconcile/fold protocol --------------------------------------
+    def ingest(self, host_id, report):
+        """Reconcile one host's cumulative ``quota_report``.
+
+        The report replaces that host's previous live slice (cumulative
+        counters, so replacement — not addition — is what keeps the sum
+        exact), then every reporting tenant's cell re-evaluates against
+        the fleet-wide total.
+        """
+        with self._lock:
+            previous = self._live.get(host_id, {})
+            tenants = set(previous) | set(report)
+            self._live[host_id] = {tenant: dict(usage)
+                                   for tenant, usage in report.items()}
+        for tenant in tenants:
+            self._reconcile_tenant(tenant)
+
+    def fold_host(self, host_id):
+        """Retire a dead host's last report into the retained base."""
+        with self._lock:
+            report = self._live.pop(host_id, {})
+            for tenant, usage in report.items():
+                retained = self._retained.setdefault(tenant, {})
+                for key, value in usage.items():
+                    retained[key] = retained.get(key, 0) + value
+        for tenant in report:
+            self._reconcile_tenant(tenant)
+
+    def _total(self, tenant):
+        with self._lock:
+            total = dict(self._retained.get(tenant, {}))
+            for report in self._live.values():
+                for key, value in report.get(tenant, {}).items():
+                    total[key] = total.get(key, 0) + value
+        return total
+
+    def _reconcile_tenant(self, tenant):
+        cell = self.manager.cell(tenant)
+        if cell is None:
+            return OK
+        total = self._total(tenant)
+        # Budget-bearing keys only: the coordinator already charges the
+        # request window centrally, and "requests" here is a cumulative
+        # count, not a rate.
+        return self.manager.reconcile(
+            tenant, {key: total.get(key, 0) for key in _BUDGET_KEYS})
+
+    # -- reporting ---------------------------------------------------------
+    def totals(self):
+        """Fleet-wide usage per tenant: retained folds + live reports."""
+        with self._lock:
+            tenants = set(self._retained)
+            for report in self._live.values():
+                tenants |= set(report)
+        return {tenant: self._total(tenant) for tenant in sorted(tenants)}
+
+    def report(self):
+        return {
+            "tenants": self.manager.report(),
+            "totals": self.totals(),
+            "live_hosts": sorted(self._live),
+        }

@@ -23,7 +23,18 @@ from .lrmi import (
     connect,
     exported_methods,
 )
-from .ntrpc import RpcClient, RpcError, RpcServerProcess, null_server
+from .ntrpc import (
+    PING_METHOD,
+    RpcClient,
+    RpcDeadlineError,
+    RpcError,
+    RpcHandlerError,
+    RpcMethodNotFound,
+    RpcServer,
+    RpcServerProcess,
+    RpcTransportError,
+    null_server,
+)
 from .wire import WireError, recv_frame, send_frame
 
 __all__ = [
@@ -37,11 +48,17 @@ __all__ = [
     "IN_PROC",
     "InterfacePointer",
     "OUT_OF_PROC",
+    "PING_METHOD",
     "ProtocolError",
     "RemoteCapability",
     "RpcClient",
+    "RpcDeadlineError",
     "RpcError",
+    "RpcHandlerError",
+    "RpcMethodNotFound",
+    "RpcServer",
     "RpcServerProcess",
+    "RpcTransportError",
     "WireError",
     "connect",
     "connect_proxy",

@@ -13,16 +13,26 @@ wrong answer.  This module is how the claim is exercised:
   their deadlines;
 * **partial-write** — a framed send emits only a prefix of the frame
   and drops the connection, desynchronizing the peer's stream;
-* **socket-drop** — a framed send closes the socket instead.
+* **socket-drop** — a framed send closes the socket instead;
+* **partition** — both directions between a named endpoint pair are
+  refused at the calling edge (the ntrpc transport carries endpoint
+  names), healable at runtime via :meth:`ChaosConfig.heal`;
+* **heartbeat-loss** — pings between an endpoint pair are dropped
+  while data calls still flow, the failure mode that distinguishes
+  liveness probing from reachability.
 
 Faults install via hook variables *inside* the target modules
 (``repro.ipc.wire._chaos``, ``repro.ipc.lrmi._chaos``,
-``repro.web.prefork._chaos``): production code pays one ``is not
+``repro.ipc.ntrpc._chaos``, ``repro.web.prefork._chaos``,
+``repro.fleet.host._chaos``): production code pays one ``is not
 None`` check when chaos is off, and the testing package is never
 imported outside tests unless a knob is set.  Because installation
 mutates interpreter state, forked children (prefork workers, domain
 hosts) inherit the active configuration — crash points fire in the
-right process, selected by ``scope``.
+right process, selected by ``scope``.  Partitions and heartbeat loss
+are evaluated in the *calling* process (the coordinator side), so
+:meth:`ChaosConfig.partition` / :meth:`ChaosConfig.heal` take effect
+immediately without cross-process propagation.
 
 Env control (the CI matrix): every knob has a ``JK_CHAOS_*`` variable,
 read by :func:`install_from_env` —
@@ -36,6 +46,9 @@ read by :func:`install_from_env` —
 ``JK_CHAOS_DROP_RATE``        probability [0,1] a send drops the socket
 ``JK_CHAOS_SEED``             RNG seed (default 0: deterministic)
 ``JK_CHAOS_SCOPE``            ``any`` | ``child`` | ``parent``
+``JK_CHAOS_PARTITION``        endpoint pairs to partition, e.g.
+                              ``coordinator|h1,h2|h3``
+``JK_CHAOS_HEARTBEAT_LOSS``   endpoint pairs whose pings are dropped
 ============================  =======================================
 """
 
@@ -62,14 +75,21 @@ KNOWN_POINTS = (
     "prefork.worker.stats",     # worker about to answer a STATS poll
     "lrmi.host.dispatch",       # domain host mid-call, pre-reply
     "wire.send",                # either peer, just before a framed send
+    "fleet.host.invoke",        # fleet host mid-invoke, pre-reply
 )
+
+
+def _pair(a, b):
+    """Canonical unordered endpoint pair (partitions are symmetric)."""
+    return frozenset((a, b))
 
 
 class ChaosConfig:
     """One installed fault configuration (see module docstring)."""
 
     def __init__(self, crash_at=(), crash_after=0, wire_delay_s=0.0,
-                 partial_write=0.0, drop_rate=0.0, seed=0, scope="any"):
+                 partial_write=0.0, drop_rate=0.0, seed=0, scope="any",
+                 partitions=(), heartbeat_loss=()):
         if scope not in ("any", "child", "parent"):
             raise ValueError(f"unknown scope {scope!r}")
         self.crash_at = frozenset(crash_at)
@@ -82,7 +102,10 @@ class ChaosConfig:
         self._lock = threading.Lock()
         self._install_pid = os.getpid()
         self._crash_passes = {}
-        self.injected = {"crash": 0, "delay": 0, "partial": 0, "drop": 0}
+        self._partitions = {_pair(a, b) for a, b in partitions}
+        self._heartbeat_loss = {_pair(a, b) for a, b in heartbeat_loss}
+        self.injected = {"crash": 0, "delay": 0, "partial": 0, "drop": 0,
+                        "partition": 0, "heartbeat": 0}
 
     # -- scope -------------------------------------------------------------
     def _applies(self):
@@ -108,6 +131,48 @@ class ChaosConfig:
                 return
             self.injected["crash"] += 1
         os._exit(CRASH_STATUS)
+
+    # -- partitions and heartbeat loss ------------------------------------
+    def partition(self, a, b):
+        """Drop both directions between endpoints ``a`` and ``b`` (the
+        calling edge refuses the dial/send with a typed error)."""
+        with self._lock:
+            self._partitions.add(_pair(a, b))
+
+    def heal(self, a, b):
+        """Heal the partition between ``a`` and ``b``."""
+        with self._lock:
+            self._partitions.discard(_pair(a, b))
+
+    def heal_all(self):
+        with self._lock:
+            self._partitions.clear()
+            self._heartbeat_loss.clear()
+
+    def partitioned(self, a, b):
+        """True when the pair is partitioned (noted as an injection)."""
+        with self._lock:
+            cut = _pair(a, b) in self._partitions
+            if cut:
+                self.injected["partition"] += 1
+        return cut
+
+    def lose_heartbeats(self, a, b):
+        """Drop pings between ``a`` and ``b`` while data calls flow —
+        the probe-vs-reachability split a partition cannot model."""
+        with self._lock:
+            self._heartbeat_loss.add(_pair(a, b))
+
+    def restore_heartbeats(self, a, b):
+        with self._lock:
+            self._heartbeat_loss.discard(_pair(a, b))
+
+    def heartbeat_lost(self, a, b):
+        with self._lock:
+            lost = _pair(a, b) in self._heartbeat_loss
+            if lost:
+                self.injected["heartbeat"] += 1
+        return lost
 
     # -- wire faults -------------------------------------------------------
     def before_send(self, sock, data):
@@ -149,10 +214,11 @@ class ChaosConfig:
 
 
 def _target_modules():
-    from repro.ipc import lrmi, wire
+    from repro.fleet import host as fleet_host
+    from repro.ipc import lrmi, ntrpc, wire
     from repro.web import prefork
 
-    return (wire, lrmi, prefork)
+    return (wire, lrmi, ntrpc, prefork, fleet_host)
 
 
 def install(config):
@@ -182,6 +248,16 @@ def install_from_env(environ=None):
         for point in env.get("JK_CHAOS_CRASH_AT", "").split(",")
         if point.strip()
     )
+
+    def pairs(name):
+        return tuple(
+            tuple(part.strip() for part in entry.split("|", 1))
+            for entry in env.get(name, "").split(",")
+            if "|" in entry
+        )
+
+    partitions = pairs("JK_CHAOS_PARTITION")
+    heartbeat_loss = pairs("JK_CHAOS_HEARTBEAT_LOSS")
     config = ChaosConfig(
         crash_at=crash_at,
         crash_after=int(env.get("JK_CHAOS_CRASH_AFTER", "0")),
@@ -190,8 +266,11 @@ def install_from_env(environ=None):
         drop_rate=float(env.get("JK_CHAOS_DROP_RATE", "0")),
         seed=int(env.get("JK_CHAOS_SEED", "0")),
         scope=env.get("JK_CHAOS_SCOPE", "any"),
+        partitions=partitions,
+        heartbeat_loss=heartbeat_loss,
     )
     if (not crash_at and config.wire_delay_s == 0.0
-            and config.partial_write == 0.0 and config.drop_rate == 0.0):
+            and config.partial_write == 0.0 and config.drop_rate == 0.0
+            and not partitions and not heartbeat_loss):
         return None
     return install(config)

@@ -134,12 +134,18 @@ class SystemServlet(Servlet):
             return error_response(
                 503, f"servlet for {route.prefix} was terminated"
             )
-        except DomainUnavailableException:
+        except DomainUnavailableException as exc:
             # The servlet's host process is (momentarily) gone — a
             # retryable condition, unlike a revoked capability's
             # permanent one: the supervisor is already respawning it.
+            # A fleet failover says how long (FleetUnavailableError
+            # carries the coordinator's blackout estimate); surface it
+            # as Retry-After so clients pace their rebind.
+            retry_after = getattr(exc, "retry_after", None)
             return error_response(
-                503, f"servlet for {route.prefix} is unavailable"
+                503, f"servlet for {route.prefix} is unavailable",
+                headers=({"Retry-After": f"{retry_after:.3f}"}
+                         if retry_after is not None else None),
             )
         except RemoteException as exc:
             return error_response(500, f"servlet failed: {exc}")

@@ -161,8 +161,11 @@ def text_response(text, status=200, content_type="text/plain"):
     )
 
 
-def error_response(status, message=""):
+def error_response(status, message="", headers=None):
+    merged = {"Content-Type": "text/plain"}
+    if headers:
+        merged.update(headers)
     return ServletResponse(
-        status, {"Content-Type": "text/plain"},
+        status, merged,
         (message or f"error {status}").encode("utf-8"),
     )

@@ -13,3 +13,25 @@ def chaos():
         yield chaos_module
     finally:
         chaos_module.uninstall()
+
+
+@pytest.fixture()
+def fleet():
+    """The fleet-coordinator factory (shared with tests/fleet)."""
+    from repro.fleet import FleetCoordinator
+    from tests.fleet.conftest import REGISTRY
+
+    made = []
+
+    def factory(**kwargs):
+        kwargs.setdefault("heartbeat_interval", 0.1)
+        kwargs.setdefault("ping_deadline", 0.1)
+        coordinator = FleetCoordinator(REGISTRY, **kwargs).start()
+        made.append(coordinator)
+        return coordinator
+
+    try:
+        yield factory
+    finally:
+        for coordinator in made:
+            coordinator.stop()

@@ -63,7 +63,75 @@ class TestInstallation:
         assert "prefork.worker.message" in KNOWN_POINTS
         assert "lrmi.host.dispatch" in KNOWN_POINTS
         assert "wire.send" in KNOWN_POINTS
+        assert "fleet.host.invoke" in KNOWN_POINTS
         assert CRASH_STATUS == 137
+
+    def test_env_install_reads_partition_pairs(self, chaos):
+        config = install_from_env({
+            "JK_CHAOS_PARTITION": "coordinator|h1,h2|h3",
+            "JK_CHAOS_HEARTBEAT_LOSS": "coordinator|h2",
+        })
+        assert config.partitioned("coordinator", "h1")
+        assert config.partitioned("h1", "coordinator")  # symmetric
+        assert config.partitioned("h2", "h3")
+        assert not config.partitioned("coordinator", "h2")
+        assert config.heartbeat_lost("coordinator", "h2")
+        assert not config.heartbeat_lost("coordinator", "h1")
+
+    def test_partition_knob_alone_arms_the_hooks(self, chaos):
+        from repro.fleet import host as fleet_host
+        from repro.ipc import ntrpc
+
+        config = install_from_env({"JK_CHAOS_PARTITION": "a|b"})
+        assert config is not None
+        assert ntrpc._chaos is config
+        assert fleet_host._chaos is config
+
+
+class TestPartitionModel:
+    def test_partition_and_heal_are_dynamic(self, chaos):
+        config = ChaosConfig()
+        assert not config.partitioned("a", "b")
+        config.partition("a", "b")
+        assert config.partitioned("a", "b")
+        assert config.injected["partition"] == 1
+        config.heal("a", "b")
+        assert not config.partitioned("a", "b")
+
+    def test_heal_all_clears_every_pair(self, chaos):
+        config = ChaosConfig(partitions=(("a", "b"), ("c", "d")))
+        config.lose_heartbeats("a", "c")
+        config.heal_all()
+        assert not config.partitioned("a", "b")
+        assert not config.partitioned("c", "d")
+        assert not config.heartbeat_lost("a", "c")
+
+    def test_heartbeat_loss_is_separate_from_partition(self, chaos):
+        config = ChaosConfig()
+        config.lose_heartbeats("a", "b")
+        assert config.heartbeat_lost("a", "b")
+        assert not config.partitioned("a", "b")
+        config.restore_heartbeats("a", "b")
+        assert not config.heartbeat_lost("a", "b")
+
+    def test_unnamed_endpoints_are_never_partitioned(self, chaos):
+        """An RpcClient without endpoint names ignores the partition
+        model entirely — partitioning is opt-in per edge."""
+        from repro.ipc.ntrpc import RpcClient, RpcServer
+        import threading
+
+        config = ChaosConfig(partitions=(("coordinator", "h1"),))
+        install(config)
+        server = RpcServer(handlers={"echo": lambda p: p})
+        ready = threading.Event()
+        threading.Thread(target=server.serve, args=(ready,),
+                         daemon=True).start()
+        assert ready.wait(5.0)
+        try:
+            with RpcClient(server.path) as client:
+                assert client.call("echo", b"x") == b"x"
+        finally:
+            server.stop()
 
 
 class TestScope:

@@ -1,0 +1,164 @@
+"""FleetHostAgent verbs, exercised in-process.
+
+The e2e suites drive the agent across a fork; these tests call the
+verb handlers directly so the agent-side logic (placement table, token
+replica, revocation set, usage counters, envelope error mapping) is
+pinned — and measured — in the parent process.
+"""
+
+import json
+
+import pytest
+
+from repro.core import RemoteException
+from repro.fleet import TokenAuthority, TokenRevokedError, TokenStaleError
+from repro.fleet.host import FleetHostAgent
+from repro.fleet.proto import (
+    PlacementGoneError,
+    decode_reply,
+    encode_request,
+    envelope,
+)
+from tests.fleet.conftest import REGISTRY
+
+pytestmark = pytest.mark.timeout(60)
+
+SECRET = b"agent-test-secret-32-bytes-long!"
+
+
+@pytest.fixture()
+def agent():
+    return FleetHostAgent("h-test", REGISTRY, SECRET)
+
+
+def _mint(agent, placement="front", **kwargs):
+    return TokenAuthority(SECRET, agent.tokens.epoch).mint(
+        placement, **kwargs)
+
+
+class TestPlaceEvict:
+    def test_place_returns_exported_methods(self, agent):
+        reply = agent.place({"placement_id": "front", "kind": "echo"})
+        assert reply["host_id"] == "h-test"
+        assert set(reply["methods"]) == {"echo", "shout"}
+        assert "front" in agent.placements
+
+    def test_place_unknown_kind_raises(self, agent):
+        with pytest.raises(KeyError):
+            agent.place({"placement_id": "x", "kind": "nope"})
+
+    def test_evict_terminates_the_domain(self, agent):
+        agent.place({"placement_id": "front", "kind": "echo"})
+        capability = agent.placements["front"].capability
+        assert agent.evict({"placement_id": "front"})["evicted"]
+        assert "front" not in agent.placements
+        assert capability.creator.terminated
+
+    def test_evict_missing_placement_is_not_an_error(self, agent):
+        assert agent.evict({"placement_id": "ghost"}) == \
+            {"evicted": False}
+
+
+class TestInvoke:
+    def test_invoke_dispatches_and_charges(self, agent):
+        agent.place({"placement_id": "front", "kind": "echo",
+                     "tenant": "acme"})
+        token = _mint(agent, tenant="acme")
+        reply = agent.invoke({"token": token, "method": "echo",
+                              "args": ["hi"]})
+        assert reply["result"] == "hi"
+        usage = agent.quota_report({})["acme"]
+        assert usage["requests"] == 1
+        assert usage["cpu_ticks"] >= 0
+
+    def test_invoke_untenanted_charges_nothing(self, agent):
+        agent.place({"placement_id": "front", "kind": "echo"})
+        agent.invoke({"token": _mint(agent), "method": "echo",
+                      "args": ["x"]})
+        assert agent.quota_report({}) == {}
+
+    def test_stale_epoch_token_refused(self, agent):
+        agent.place({"placement_id": "front", "kind": "echo"})
+        token = _mint(agent)
+        agent.epoch({"epoch": agent.tokens.epoch + 1})
+        with pytest.raises(TokenStaleError):
+            agent.invoke({"token": token, "method": "echo",
+                          "args": ["x"]})
+
+    def test_revoked_tid_refused(self, agent):
+        agent.place({"placement_id": "front", "kind": "echo"})
+        token = _mint(agent)
+        claims = agent.tokens.verify(token)
+        agent.revoke({"ids": [claims["tid"]]})
+        with pytest.raises(TokenRevokedError):
+            agent.invoke({"token": token, "method": "echo",
+                          "args": ["x"]})
+
+    def test_method_outside_claims_refused(self, agent):
+        agent.place({"placement_id": "front", "kind": "echo"})
+        token = _mint(agent, methods=("echo",))
+        with pytest.raises(PlacementGoneError):
+            agent.invoke({"token": token, "method": "shout",
+                          "args": ["x"]})
+
+    def test_unplaced_placement_is_gone(self, agent):
+        with pytest.raises(PlacementGoneError):
+            agent.invoke({"token": _mint(agent, "never-placed"),
+                          "method": "echo", "args": ["x"]})
+
+
+class TestControlVerbs:
+    def test_epoch_broadcast_updates_replica(self, agent):
+        assert agent.epoch({"epoch": 4}) == {"epoch": 4}
+        assert agent.tokens.epoch == 4
+
+    def test_quota_report_is_cumulative_per_tenant(self, agent):
+        agent.place({"placement_id": "front", "kind": "echo",
+                     "tenant": "acme"})
+        token = _mint(agent, tenant="acme")
+        for _ in range(3):
+            agent.invoke({"token": token, "method": "echo",
+                          "args": ["x"]})
+        assert agent.quota_report({})["acme"]["requests"] == 3
+
+    def test_stats_shape(self, agent):
+        agent.place({"placement_id": "front", "kind": "echo"})
+        stats = agent.stats({})
+        assert stats["host_id"] == "h-test"
+        assert stats["placements"] == ["front"]
+        assert stats["epoch"] == 0
+
+    def test_handlers_cover_every_verb(self, agent):
+        assert set(agent.handlers()) == {
+            "place", "evict", "invoke", "revoke", "epoch",
+            "quota_report", "stats",
+        }
+
+
+class TestEnvelope:
+    def test_typed_errors_cross_as_their_kind(self, agent):
+        handler = agent.handlers()["invoke"]
+        body = handler(encode_request(
+            {"token": _mint(agent, "ghost"), "method": "echo",
+             "args": []}))
+        with pytest.raises(PlacementGoneError):
+            decode_reply(body)
+
+    def test_success_envelope_round_trips(self, agent):
+        handler = agent.handlers()["epoch"]
+        assert decode_reply(handler(encode_request({"epoch": 2}))) == \
+            {"epoch": 2}
+
+    def test_untyped_errors_become_remote_exceptions(self):
+        def bad(request):
+            raise RuntimeError("boom")
+
+        body = envelope(bad)(encode_request({}))
+        assert not json.loads(body)["ok"]
+        with pytest.raises(RemoteException) as err:
+            decode_reply(body)
+        assert "boom" in str(err.value)
+
+    def test_empty_payload_decodes_as_empty_request(self, agent):
+        assert decode_reply(agent.handlers()["stats"](b""))[
+            "host_id"] == "h-test"

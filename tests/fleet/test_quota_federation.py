@@ -1,0 +1,177 @@
+"""Quota federation: one budget per tenant, no matter how many hosts.
+
+The escape this layer closes: a tenant placed on two hosts would
+otherwise spend its budget twice.  And the exactness invariant the
+reconcile/fold protocol guarantees: fleet totals survive any host kill
+— the dead host's last report retires into the retained base instead of
+vanishing.
+"""
+
+import pytest
+
+from repro.core.errors import QuotaExceededException
+from repro.core.quota import HARD, OK, QuotaSpec
+from repro.fleet import QuotaFederation
+from repro.fleet.coordinator import wait_until
+
+pytestmark = pytest.mark.timeout(120)
+
+
+class TestFederationUnit:
+    def test_live_reports_replace_not_accumulate(self):
+        federation = QuotaFederation()
+        federation.ingest("h1", {"acme": {"cpu_ticks": 100,
+                                          "requests": 1}})
+        federation.ingest("h1", {"acme": {"cpu_ticks": 150,
+                                          "requests": 2}})
+        assert federation.totals()["acme"]["cpu_ticks"] == 150
+
+    def test_totals_sum_across_hosts(self):
+        federation = QuotaFederation()
+        federation.ingest("h1", {"acme": {"cpu_ticks": 100}})
+        federation.ingest("h2", {"acme": {"cpu_ticks": 40}})
+        assert federation.totals()["acme"]["cpu_ticks"] == 140
+
+    def test_fold_retains_dead_host_usage_exactly(self):
+        federation = QuotaFederation()
+        federation.ingest("h1", {"acme": {"cpu_ticks": 100}})
+        federation.ingest("h2", {"acme": {"cpu_ticks": 40}})
+        before = federation.totals()["acme"]["cpu_ticks"]
+        federation.fold_host("h1")
+        assert federation.totals()["acme"]["cpu_ticks"] == before
+        # A replacement host reporting from zero never resets history.
+        federation.ingest("h3", {"acme": {"cpu_ticks": 0}})
+        assert federation.totals()["acme"]["cpu_ticks"] == before
+        federation.ingest("h3", {"acme": {"cpu_ticks": 25}})
+        assert federation.totals()["acme"]["cpu_ticks"] == before + 25
+
+    def test_budget_spans_hosts(self):
+        """100 ticks on h1 + 100 on h2 breaches a 150-tick budget even
+        though neither host alone would."""
+        federation = QuotaFederation()
+        federation.set_quota("acme", QuotaSpec(cpu_ticks=150))
+        federation.ingest("h1", {"acme": {"cpu_ticks": 100}})
+        assert federation.admit("acme") == OK
+        federation.ingest("h2", {"acme": {"cpu_ticks": 100}})
+        assert federation.admit("acme") == HARD
+
+    def test_fold_preserves_budget_position(self):
+        federation = QuotaFederation()
+        federation.set_quota("acme", QuotaSpec(cpu_ticks=150))
+        federation.ingest("h1", {"acme": {"cpu_ticks": 100}})
+        federation.fold_host("h1")
+        federation.ingest("h2", {"acme": {"cpu_ticks": 60}})
+        assert federation.admit("acme") == HARD
+
+    def test_unquotad_tenant_is_always_ok(self):
+        federation = QuotaFederation()
+        federation.ingest("h1", {"guest": {"cpu_ticks": 10**9}})
+        assert federation.admit("guest") == OK
+
+    def test_fold_unknown_host_is_harmless(self):
+        QuotaFederation().fold_host("never-seen")
+
+
+class TestFederationEndToEnd:
+    def test_tenant_cannot_escape_budget_across_two_hosts(self, fleet):
+        coordinator = fleet(reconcile_every=1)
+        coordinator.spawn_host("h1")
+        coordinator.spawn_host("h2")
+        coordinator.federation.set_quota(
+            "acme", QuotaSpec(cpu_ticks=30_000))
+        # Two placements land on different hosts (least-loaded spread).
+        a = coordinator.place("spin-a", "spin", tenant="acme")
+        b = coordinator.place("spin-b", "spin", tenant="acme")
+        placed_on = set(coordinator.placements().values())
+        assert placed_on == {"h1", "h2"}
+
+        def burn():
+            blocked = False
+            for _ in range(200):
+                try:
+                    coordinator.call(a, "spin", 30_000)
+                    coordinator.call(b, "spin", 30_000)
+                except QuotaExceededException:
+                    blocked = True
+                    break
+                if coordinator.federation.admit("acme") == HARD:
+                    blocked = True
+                    break
+            return blocked
+
+        assert wait_until(burn, timeout=60)
+        with pytest.raises(QuotaExceededException):
+            for _ in range(50):
+                coordinator.call(coordinator.lookup("spin-a"),
+                                 "spin", 10)
+
+    def test_neighbour_tenant_unaffected(self, fleet):
+        coordinator = fleet(reconcile_every=1)
+        coordinator.spawn_host("h1")
+        coordinator.federation.set_quota(
+            "hog", QuotaSpec(cpu_ticks=10_000))
+        hog = coordinator.place("hog-svc", "spin", tenant="hog")
+        quiet = coordinator.place("quiet-svc", "echo", tenant="quiet")
+
+        def hog_blocked():
+            try:
+                coordinator.call(hog, "spin", 50_000)
+            except QuotaExceededException:
+                return True
+            return coordinator.federation.admit("hog") == HARD
+
+        assert wait_until(hog_blocked, timeout=60)
+        assert coordinator.call(quiet, "echo", "still here") == \
+            "still here"
+
+    def test_totals_reconcile_exactly_after_a_kill(self, fleet):
+        """The acceptance invariant: fleet usage totals before a host
+        kill equal totals after (the dead slice folds, nothing lost),
+        and only grow by what survivors report afterwards."""
+        coordinator = fleet(reconcile_every=1)
+        hosts = {"h1": coordinator.spawn_host("h1"),
+                 "h2": coordinator.spawn_host("h2")}
+        a = coordinator.place("svc-a", "spin", tenant="acme")
+        b = coordinator.place("svc-b", "spin", tenant="acme")
+        for _ in range(5):
+            coordinator.call(a, "spin", 5_000)
+            coordinator.call(b, "spin", 5_000)
+
+        # Both hosts must have reported non-zero usage.
+        def both_reported():
+            with coordinator.federation._lock:
+                live = coordinator.federation._live
+            return all(
+                live.get(host, {}).get("acme", {}).get("cpu_ticks", 0) > 0
+                for host in ("h1", "h2"))
+
+        assert wait_until(both_reported, timeout=30)
+        before = coordinator.federation.totals()["acme"]
+
+        victim_id = coordinator.placements()["svc-a"]
+        hosts[victim_id].kill()
+        assert wait_until(
+            lambda: coordinator.hosts()[victim_id] == "dead",
+            timeout=15)
+
+        after = coordinator.federation.totals()["acme"]
+        for key, value in before.items():
+            assert after.get(key, 0) >= value, (key, before, after)
+        # The dead host's slice is retained, not live.
+        with coordinator.federation._lock:
+            assert victim_id not in coordinator.federation._live
+            assert coordinator.federation._retained[
+                "acme"]["cpu_ticks"] > 0
+
+    def test_request_rate_is_charged_centrally(self, fleet):
+        """The coordinator routes every call, so its sliding window IS
+        the fleet-wide request rate — hosts never double-charge it."""
+        coordinator = fleet()
+        coordinator.spawn_host("h1")
+        coordinator.federation.set_quota(
+            "acme", QuotaSpec(requests_per_sec=1_000_000))
+        token = coordinator.place("front", "echo", tenant="acme")
+        for _ in range(5):
+            coordinator.call(token, "echo", "x")
+        cell = coordinator.federation.manager.cell("acme")
+        assert cell.window.total == 5

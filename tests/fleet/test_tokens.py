@@ -1,0 +1,146 @@
+"""Cross-host capability tokens: unforgeable, epoch-scoped, fail-closed."""
+
+import pytest
+
+from repro.core import RevokedException
+from repro.fleet import (
+    TokenAuthority,
+    TokenError,
+    TokenInvalidError,
+    TokenStaleError,
+)
+
+pytestmark = pytest.mark.timeout(30)
+
+SECRET = b"fleet-test-secret-32-bytes-long!"
+
+
+class TestMintVerify:
+    def test_round_trip_returns_claims(self):
+        authority = TokenAuthority(SECRET)
+        token = authority.mint("front", tenant="acme",
+                               methods=("echo", "shout"))
+        claims = authority.verify(token)
+        assert claims["placement"] == "front"
+        assert claims["tenant"] == "acme"
+        assert claims["methods"] == ["echo", "shout"]
+        assert claims["epoch"] == 0
+
+    def test_replica_with_same_secret_verifies(self):
+        """Hosts hold a replica built from the shared secret; keys
+        never cross the wire."""
+        coordinator = TokenAuthority(SECRET)
+        host_replica = TokenAuthority(SECRET)
+        token = coordinator.mint("front")
+        assert host_replica.verify(token)["placement"] == "front"
+
+    def test_token_ids_are_unique(self):
+        authority = TokenAuthority(SECRET)
+        first = authority.verify(authority.mint("front"))
+        second = authority.verify(authority.mint("front"))
+        assert first["tid"] != second["tid"]
+
+
+class TestFailClosed:
+    def test_wrong_secret_is_a_forgery(self):
+        token = TokenAuthority(SECRET).mint("front")
+        stranger = TokenAuthority(b"some-other-secret-entirely-here!")
+        with pytest.raises(TokenInvalidError):
+            stranger.verify(token)
+
+    def test_tampered_claims_are_a_forgery(self):
+        authority = TokenAuthority(SECRET)
+        token = authority.mint("front")
+        body, _, mac = token.rpartition(".")
+        tampered = body[:-2] + ("AA" if body[-2:] != "AA" else "BB")
+        with pytest.raises(TokenInvalidError):
+            authority.verify(tampered + "." + mac)
+
+    @pytest.mark.parametrize("junk", [
+        "", "no-dot-here", "a.b", None, 42, "..", "!!!.???",
+    ])
+    def test_garbage_never_verifies(self, junk):
+        authority = TokenAuthority(SECRET)
+        with pytest.raises(TokenInvalidError):
+            authority.verify(junk)
+
+    def test_token_errors_are_revoked_exceptions(self):
+        """An untrusted token is treated exactly like a revoked
+        capability: same exception family, same fail-closed handling
+        everywhere RevokedException is already caught."""
+        assert issubclass(TokenError, RevokedException)
+        assert issubclass(TokenStaleError, TokenError)
+        assert issubclass(TokenInvalidError, TokenError)
+
+
+class TestEpochs:
+    def test_bump_stales_earlier_tokens(self):
+        authority = TokenAuthority(SECRET)
+        token = authority.mint("front")
+        authority.bump_epoch()
+        with pytest.raises(TokenStaleError):
+            authority.verify(token)
+
+    def test_stale_is_distinct_from_forged(self):
+        """An authentically-signed old-epoch token is STALE — a
+        meaningful verdict (rebind via lookup); a bad signature is a
+        forgery.  The distinction must not leak trust: both refuse."""
+        authority = TokenAuthority(SECRET)
+        old = authority.mint("front")
+        authority.bump_epoch()
+        with pytest.raises(TokenStaleError):
+            authority.verify(old)
+        # Same token, tampered: forged beats stale.
+        body, _, mac = old.rpartition(".")
+        with pytest.raises(TokenInvalidError):
+            authority.verify(body + "." + mac[:-2] + "zz")
+
+    def test_cannot_claim_a_future_epoch_without_the_key(self):
+        """Epoch is authenticated, not advisory: rewriting the claims
+        to the current epoch invalidates the signature."""
+        import json
+
+        from repro.fleet.tokens import _b64, _unb64
+
+        authority = TokenAuthority(SECRET)
+        old = authority.mint("front")
+        authority.bump_epoch()
+        body_text, _, mac_text = old.rpartition(".")
+        claims = json.loads(_unb64(body_text))
+        claims["epoch"] = authority.epoch  # attacker edits the claim
+        forged_body = _b64(json.dumps(claims, sort_keys=True)
+                           .encode("utf-8"))
+        with pytest.raises(TokenInvalidError):
+            authority.verify(forged_body + "." + mac_text)
+
+    def test_replica_epoch_broadcast_stales_fleet_wide(self):
+        coordinator = TokenAuthority(SECRET)
+        host_replica = TokenAuthority(SECRET)
+        token = coordinator.mint("front")
+        new_epoch = coordinator.bump_epoch()
+        host_replica.epoch = new_epoch  # the broadcast
+        with pytest.raises(TokenStaleError):
+            host_replica.verify(token)
+
+    def test_partitioned_host_honours_old_epoch_until_broadcast(self):
+        """A host cut off by a partition keeps the old epoch and keeps
+        honouring old tokens — which is why the coordinator ALSO
+        verifies at the front door; once the broadcast lands the host
+        fails closed too."""
+        coordinator = TokenAuthority(SECRET)
+        partitioned = TokenAuthority(SECRET)
+        token = coordinator.mint("front")
+        coordinator.bump_epoch()
+        assert partitioned.verify(token)["placement"] == "front"  # cut off
+        partitioned.epoch = coordinator.epoch  # heal + broadcast
+        with pytest.raises(TokenStaleError):
+            partitioned.verify(token)
+
+
+class TestAuthorityConstruction:
+    def test_secret_must_be_bytes(self):
+        with pytest.raises(TypeError):
+            TokenAuthority("stringly-secret")
+
+    def test_generated_secrets_differ(self):
+        assert TokenAuthority().secret != TokenAuthority().secret

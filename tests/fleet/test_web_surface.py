@@ -1,0 +1,59 @@
+"""The fleet's web surface: blackout -> typed 503 with Retry-After."""
+
+import pytest
+
+from repro.core import DomainUnavailableException
+from repro.fleet import FleetUnavailableError
+from repro.web.jkweb import SystemServlet
+from repro.web.servlet import ServletRequest, error_response
+
+pytestmark = pytest.mark.timeout(30)
+
+
+class _Route:
+    prefix = "/servlet/front"
+    registration = None
+
+    def __init__(self, capability):
+        self.capability = capability
+
+
+class _FailingOver:
+    def service(self, request):
+        raise FleetUnavailableError("placement 'front' is failing over",
+                                    retry_after=0.4)
+
+
+class _PlainUnavailable:
+    def service(self, request):
+        raise DomainUnavailableException("host gone")
+
+
+def _request():
+    return ServletRequest("GET", "/servlet/front", {}, b"")
+
+
+class TestRetryAfter:
+    def test_fleet_blackout_maps_to_503_with_retry_after(self):
+        response = SystemServlet._invoke(
+            _Route(_FailingOver()), _request())
+        assert response.status == 503
+        assert response.headers["Retry-After"] == "0.400"
+
+    def test_plain_unavailability_has_no_retry_after(self):
+        """Only errors that carry an estimate advertise one — a bare
+        supervisor respawn has no bound to promise."""
+        response = SystemServlet._invoke(
+            _Route(_PlainUnavailable()), _request())
+        assert response.status == 503
+        assert "Retry-After" not in response.headers
+
+    def test_error_response_merges_headers(self):
+        response = error_response(503, "busy",
+                                  headers={"Retry-After": "1"})
+        assert response.headers["Retry-After"] == "1"
+        assert response.headers["Content-Type"] == "text/plain"
+
+    def test_error_response_default_headers_unchanged(self):
+        response = error_response(404)
+        assert response.headers == {"Content-Type": "text/plain"}
