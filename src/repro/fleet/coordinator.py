@@ -110,7 +110,7 @@ def validate_liveness_knobs(ping_deadline, heartbeat_interval, max_missed):
 
 class _HostRecord:
     __slots__ = ("host_id", "process", "data", "control", "state",
-                 "missed_beats", "placements", "spawned")
+                 "missed_beats", "placements", "spawned", "epoch")
 
     def __init__(self, host_id, process, data, control, spawned):
         self.host_id = host_id
@@ -121,6 +121,10 @@ class _HostRecord:
         self.missed_beats = 0
         self.placements = set()
         self.spawned = spawned
+        # Last epoch the host ACKNOWLEDGED; None until the first
+        # successful sync, so a failed broadcast is retried on every
+        # heartbeat rather than assumed delivered.
+        self.epoch = None
 
 
 class _PlacementRecord:
@@ -245,11 +249,11 @@ class FleetCoordinator:
                     self._hosts[host_id].state == LIVE:
                 raise ValueError(f"host {host_id!r} already registered")
             self._hosts[host_id] = record
-        # A late joiner must trust only current-epoch tokens.
-        try:
-            self._control(record, "epoch", {"epoch": self.tokens.epoch})
-        except RpcError:
-            pass  # the next beat will score it
+        # A late joiner must trust only current-epoch tokens and must
+        # honour every revocation issued before it existed.  Failures
+        # here are retried after the next successful heartbeat.
+        self._sync_epoch(record)
+        self._sync_revocations(record)
         return record
 
     def hosts(self):
@@ -273,6 +277,49 @@ class FleetCoordinator:
         return self._verb(record.control, verb, request,
                           deadline=self.ping_deadline)
 
+    # -- epoch / revocation convergence ------------------------------------
+    def _sync_epoch(self, record):
+        """Bring one host's token-replica epoch up to the fleet's.
+
+        Runs at registration, after every successful heartbeat, and in
+        the eviction fanout — so a live host whose eviction-time
+        broadcast was lost (tight ping deadline, momentary partition)
+        converges within one beat instead of rejecting every
+        current-epoch token forever.  ``record.epoch`` tracks the last
+        epoch the host ACKNOWLEDGED; the host-side verb is monotonic
+        (``max(current, new)``), so resends are idempotent and can
+        never regress a replica.  Returns True once the host is known
+        to be current.
+        """
+        epoch = self.tokens.epoch
+        if record.epoch is not None and record.epoch >= epoch:
+            return True
+        try:
+            reply = self._control(record, "epoch", {"epoch": epoch})
+        except RpcError:
+            return False  # retried after the next successful beat
+        record.epoch = int(reply["epoch"])
+        return True
+
+    def _sync_revocations(self, record):
+        """Deliver the FULL revoked-id set to one host (registration
+        path): a host that joins after a revocation was flushed would
+        otherwise never hear it, leaving a hole in the host-side
+        defence-in-depth layer."""
+        with self._lock:
+            revoked = sorted(self._revoked)
+        if not revoked:
+            return True
+        try:
+            self._control(record, "revoke", {"ids": revoked})
+        except RpcError:
+            # Re-queue for the sweeper: hosts union the ids, so the
+            # fleet-wide resend is idempotent.
+            with self._lock:
+                self._pending_revocations.update(revoked)
+            return False
+        return True
+
     # -- placement ---------------------------------------------------------
     def _least_loaded(self):
         live = self._live_records()
@@ -283,17 +330,28 @@ class FleetCoordinator:
 
     def place(self, name, kind, tenant=None):
         """Place a servlet domain; returns its signed capability token."""
+        placement = _PlacementRecord(name, kind, tenant, None, ())
         with self._lock:
             if name in self._placements:
                 raise ValueError(f"placement {name!r} already exists")
-        record = self._least_loaded()
-        reply = self._verb(record.data, "place", {
-            "placement_id": name, "kind": kind, "tenant": tenant,
-        })
-        placement = _PlacementRecord(name, kind, tenant, record.host_id,
-                                     tuple(reply.get("methods", ())))
-        with self._lock:
+            # Reserve the name before releasing the lock: a racing
+            # place() with the same name must fail the check above, not
+            # instantiate a second domain whose record clobbers this
+            # one (leaking the first domain as an orphan on its host).
             self._placements[name] = placement
+        try:
+            record = self._least_loaded()
+            reply = self._verb(record.data, "place", {
+                "placement_id": name, "kind": kind, "tenant": tenant,
+            })
+        except BaseException:
+            with self._lock:
+                if self._placements.get(name) is placement:
+                    del self._placements[name]
+            raise
+        with self._lock:
+            placement.host_id = record.host_id
+            placement.methods = tuple(reply.get("methods", ()))
             record.placements.add(name)
         return self._mint(placement)
 
@@ -369,13 +427,18 @@ class FleetCoordinator:
             pending = set(self._pending_revocations)
         if not pending:
             return
-        delivered = True
+        reached = 0
+        failed = False
         for record in records:
             try:
                 self._control(record, "revoke", {"ids": sorted(pending)})
+                reached += 1
             except RpcError:
-                delivered = False  # retried next beat
-        if delivered:
+                failed = True  # retried next beat
+        # Cleared only once every live host has actually heard the set;
+        # with zero live hosts nobody has, so it stays pending for the
+        # hosts that register later.
+        if reached and not failed:
             with self._lock:
                 self._pending_revocations -= pending
 
@@ -397,6 +460,12 @@ class FleetCoordinator:
                     continue
                 record.missed_beats = 0
                 self.heartbeats_sent += 1
+                # Epoch convergence piggybacks on liveness: a host that
+                # missed the eviction-time broadcast would otherwise
+                # stay LIVE (pings succeed) while rejecting every
+                # current-epoch token.  No-op RPC-wise once the host
+                # has acknowledged the current epoch.
+                self._sync_epoch(record)
                 if self._beats % self.reconcile_every == 0:
                     self._reconcile(record)
 
@@ -432,10 +501,9 @@ class FleetCoordinator:
                                "at_beat": self._beats})
         survivors = self._live_records()
         for survivor in survivors:
-            try:
-                self._control(survivor, "epoch", {"epoch": epoch})
-            except RpcError:
-                pass  # it will be scored by its own beats
+            # A failed fanout is NOT final: record.epoch stays behind,
+            # and the heartbeat loop re-sends until acknowledged.
+            self._sync_epoch(survivor)
         for placement in orphaned:
             self._replace(placement, survivors)
 

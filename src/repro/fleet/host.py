@@ -102,7 +102,9 @@ class FleetHostAgent:
             raise TokenRevokedError(
                 f"token {claims['tid']} was revoked fleet-wide")
         method = request["method"]
-        if claims["methods"] and method not in claims["methods"]:
+        # Fail closed: a token authorizes exactly the methods it
+        # carries, so an empty claim set authorizes nothing.
+        if method not in claims["methods"]:
             raise PlacementGoneError(
                 f"token does not carry method {method!r}")
         with self._lock:
@@ -111,6 +113,15 @@ class FleetHostAgent:
             raise PlacementGoneError(
                 f"placement {claims['placement']!r} is not on host "
                 f"{self.host_id!r}")
+        from repro.ipc.lrmi import exported_methods
+
+        # Dispatch stays inside the capability's remote interface even
+        # for a token that claims more: getattr must never reach a
+        # private attribute of the servlet.
+        if method not in exported_methods(placement.capability):
+            raise PlacementGoneError(
+                f"placement {claims['placement']!r} does not export "
+                f"method {method!r}")
         start = time.perf_counter()
         result = getattr(placement.capability, method)(
             *request.get("args", ()))
@@ -137,9 +148,17 @@ class FleetHostAgent:
         return {"revoked": len(self.revoked)}
 
     def epoch(self, request):
-        """Coordinator epoch broadcast (failover re-key)."""
-        self.tokens.epoch = int(request["epoch"])
-        return {"epoch": self.tokens.epoch}
+        """Coordinator epoch broadcast (failover re-key).
+
+        Monotonic: the replica only ever advances, so re-broadcasts —
+        the coordinator resends on every heartbeat until the host
+        acknowledges — are idempotent and a delayed or duplicated
+        frame can never regress the epoch and resurrect stale tokens.
+        """
+        with self._lock:
+            self.tokens.epoch = max(self.tokens.epoch,
+                                    int(request["epoch"]))
+            return {"epoch": self.tokens.epoch}
 
     def quota_report(self, request):
         """Cumulative per-tenant usage (the reconcile protocol: each

@@ -422,20 +422,22 @@ class RpcClient:
         ntrpc is strict request/reply: an idle connection must have
         nothing to read.  Readable means the peer died (EOF) or broke
         protocol — either way the socket is dropped and redialed.
+        Returns ``(sock, reused)``; ``reused`` marks a pooled socket,
+        whose validation is only a snapshot (see :meth:`_once`).
         """
         sock = self._sock
         if sock is None:
             sock = self._sock = self._dial()
-            return sock
+            return sock, False
         try:
             readable, _, _ = select.select([sock], [], [], 0)
             if readable:
                 self._drop()
-                sock = self._sock = self._dial()
+                return self._checkout()
         except (OSError, ValueError):
             self._drop()
-            sock = self._sock = self._dial()
-        return sock
+            return self._checkout()
+        return sock, True
 
     def _drop(self):
         sock, self._sock = self._sock, None
@@ -482,7 +484,23 @@ class RpcClient:
 
     def _once(self, method, payload, deadline_at):
         self._check_chaos(method)
-        sock = self._checkout()
+        sock, reused = self._checkout()
+        try:
+            return self._exchange(sock, method, payload, deadline_at)
+        except RpcTransportError:
+            if not reused:
+                raise
+            # The select() probe in _checkout is only a snapshot: a
+            # peer that died just before this call can pass it and
+            # reset the socket mid-exchange.  Like an HTTP keep-alive
+            # client, a request that failed on a REUSED connection is
+            # retried once on a fresh dial — independent of the
+            # ``retries`` knob, still inside the deadline.
+            self._remaining(deadline_at)
+            sock, _ = self._checkout()  # _drop() ran: dials fresh
+            return self._exchange(sock, method, payload, deadline_at)
+
+    def _exchange(self, sock, method, payload, deadline_at):
         try:
             self._apply_deadline(sock, deadline_at)
             send_frame(sock, method.encode("utf-8") + b"\x00" + payload)

@@ -26,6 +26,7 @@ traffic reconciles against client-side counts.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 
@@ -140,11 +141,13 @@ class SystemServlet(Servlet):
             # permanent one: the supervisor is already respawning it.
             # A fleet failover says how long (FleetUnavailableError
             # carries the coordinator's blackout estimate); surface it
-            # as Retry-After so clients pace their rebind.
+            # as Retry-After so clients pace their rebind.  RFC 9110
+            # allows only integer delay-seconds, so round up.
             retry_after = getattr(exc, "retry_after", None)
             return error_response(
                 503, f"servlet for {route.prefix} is unavailable",
-                headers=({"Retry-After": f"{retry_after:.3f}"}
+                headers=({"Retry-After":
+                          str(max(1, math.ceil(retry_after)))}
                          if retry_after is not None else None),
             )
         except RemoteException as exc:

@@ -1,5 +1,7 @@
 """Coordinator basics: knob validation, placement, routing, revocation."""
 
+import time
+
 import pytest
 
 from repro.fleet import (
@@ -98,6 +100,23 @@ class TestPlacement:
         with pytest.raises(RemoteException):
             coordinator.place("front", "no-such-kind")
 
+    def test_failed_place_rolls_back_the_name_reservation(self, fleet):
+        """place() reserves the name under the lock (so a racing
+        duplicate fails the existence check, not the insert) and must
+        release the reservation on ANY failure — remote or local."""
+        from repro.core import RemoteException
+
+        coordinator = fleet()
+        with pytest.raises(NoLiveHostError):
+            coordinator.place("front", "echo")
+        assert "front" not in coordinator.placements()
+        coordinator.spawn_host("h1")
+        with pytest.raises(RemoteException):
+            coordinator.place("front", "no-such-kind")
+        assert "front" not in coordinator.placements()
+        token = coordinator.place("front", "echo")
+        assert coordinator.call(token, "echo", "x") == "x"
+
     def test_duplicate_host_id_rejected(self, fleet):
         coordinator = fleet()
         host = coordinator.spawn_host("h1")
@@ -170,6 +189,37 @@ class TestRevocation:
         # And the pending set drains once delivered.
         assert wait_until(
             lambda: not coordinator._pending_revocations)
+
+    def test_late_registered_host_hears_prior_revocations(self, fleet):
+        """A host that joins AFTER a revocation was flushed still gets
+        the full revoked-id set at registration — no hole in the
+        host-side defence-in-depth layer."""
+        from repro.fleet.proto import decode_reply, encode_request
+
+        coordinator = fleet()
+        coordinator.spawn_host("h1")
+        token = coordinator.place("front", "echo")
+        coordinator.revoke(token)
+        assert wait_until(lambda: not coordinator._pending_revocations)
+        coordinator.spawn_host("h2")
+        record = coordinator._hosts["h2"]
+        body = record.control.call("stats", encode_request({}))
+        assert decode_reply(body)["revoked"] >= 1
+
+    def test_revocations_pend_with_zero_live_hosts(self, fleet):
+        """With nobody to tell, the sweeper must NOT mark the set
+        delivered; the first host to register receives it."""
+        from repro.fleet.proto import decode_reply, encode_request
+
+        coordinator = fleet()
+        token = coordinator.tokens.mint("front", methods=("echo",))
+        coordinator.revoke(token)
+        time.sleep(0.35)  # several beats fire with zero live hosts
+        assert coordinator._pending_revocations
+        coordinator.spawn_host("h1")
+        record = coordinator._hosts["h1"]
+        body = record.control.call("stats", encode_request({}))
+        assert decode_reply(body)["revoked"] >= 1
 
     def test_lookup_after_revoke_mints_a_usable_token(self, fleet):
         """Revocation kills the TOKEN, not the placement."""

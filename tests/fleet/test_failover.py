@@ -110,6 +110,33 @@ class TestFailover:
             decode_reply(survivor.data.call("invoke", encode_request(
                 {"token": token, "method": "echo", "args": ["x"]})))
 
+    def test_heartbeat_resyncs_a_host_that_missed_the_broadcast(
+            self, fleet):
+        """A LIVE host that never heard an epoch bump (the eviction-time
+        fanout RPC failed) must not stay wedged rejecting every
+        current-epoch token: the heartbeat loop re-sends the epoch until
+        the host acknowledges, so lookup()/rebind works again."""
+        from repro.fleet.proto import decode_reply, encode_request
+
+        coordinator = fleet()
+        coordinator.spawn_host("h1")
+        token = coordinator.place("front", "echo")
+        # Simulate the lost broadcast: re-key the fleet without telling
+        # anybody — exactly the state after a fanout RpcError.
+        coordinator.tokens.bump_epoch()
+        assert wait_until(
+            lambda: coordinator._hosts["h1"].epoch == coordinator.epoch,
+            timeout=15)
+        record = coordinator._hosts["h1"]
+        body = record.control.call("stats", encode_request({}))
+        assert decode_reply(body)["epoch"] == coordinator.epoch
+        # The pre-bump token is stale fail-closed; the rebind path
+        # mints a token the re-synced host accepts.
+        with pytest.raises(TokenStaleError):
+            coordinator.call(token, "echo", "stale")
+        fresh = coordinator.lookup("front")
+        assert coordinator.call(fresh, "echo", "again") == "again"
+
     def test_blackout_callers_get_unavailable_with_retry_after(
             self, fleet):
         """Callers racing the failover window see the typed 503-shaped

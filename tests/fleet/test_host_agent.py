@@ -32,6 +32,9 @@ def agent():
 
 
 def _mint(agent, placement="front", **kwargs):
+    # Tokens authorize exactly the methods they carry (empty = none),
+    # so the default grant covers the echo servlet's interface.
+    kwargs.setdefault("methods", ("echo", "shout"))
     return TokenAuthority(SECRET, agent.tokens.epoch).mint(
         placement, **kwargs)
 
@@ -101,6 +104,25 @@ class TestInvoke:
             agent.invoke({"token": token, "method": "shout",
                           "args": ["x"]})
 
+    def test_empty_method_set_authorizes_nothing(self, agent):
+        """Fail closed: a token with NO method claims grants no method
+        at all — not every method."""
+        agent.place({"placement_id": "front", "kind": "echo"})
+        token = _mint(agent, methods=())
+        with pytest.raises(PlacementGoneError):
+            agent.invoke({"token": token, "method": "echo",
+                          "args": ["x"]})
+
+    def test_unexported_method_refused_even_when_claimed(self, agent):
+        """Dispatch is bounded by the capability's remote interface:
+        a token claiming a non-exported attribute (here the stub's
+        ``creator`` backref) must not reach it through getattr."""
+        agent.place({"placement_id": "front", "kind": "echo"})
+        token = _mint(agent, methods=("creator",))
+        with pytest.raises(PlacementGoneError):
+            agent.invoke({"token": token, "method": "creator",
+                          "args": []})
+
     def test_unplaced_placement_is_gone(self, agent):
         with pytest.raises(PlacementGoneError):
             agent.invoke({"token": _mint(agent, "never-placed"),
@@ -110,6 +132,14 @@ class TestInvoke:
 class TestControlVerbs:
     def test_epoch_broadcast_updates_replica(self, agent):
         assert agent.epoch({"epoch": 4}) == {"epoch": 4}
+        assert agent.tokens.epoch == 4
+
+    def test_epoch_broadcast_never_regresses(self, agent):
+        """Resends are idempotent and a delayed duplicate of an OLD
+        broadcast cannot roll the replica back (which would resurrect
+        stale tokens)."""
+        agent.epoch({"epoch": 4})
+        assert agent.epoch({"epoch": 2}) == {"epoch": 4}
         assert agent.tokens.epoch == 4
 
     def test_quota_report_is_cumulative_per_tenant(self, agent):

@@ -35,10 +35,22 @@ def _request():
 
 class TestRetryAfter:
     def test_fleet_blackout_maps_to_503_with_retry_after(self):
+        """RFC 9110 Retry-After is integer delay-seconds: the 0.4s
+        blackout estimate rounds UP (never to a too-eager 0)."""
         response = SystemServlet._invoke(
             _Route(_FailingOver()), _request())
         assert response.status == 503
-        assert response.headers["Retry-After"] == "0.400"
+        assert response.headers["Retry-After"] == "1"
+
+    def test_retry_after_rounds_up_not_down(self):
+        class _SlowFailover:
+            def service(self, request):
+                raise FleetUnavailableError("failing over",
+                                            retry_after=2.3)
+
+        response = SystemServlet._invoke(
+            _Route(_SlowFailover()), _request())
+        assert response.headers["Retry-After"] == "3"
 
     def test_plain_unavailability_has_no_retry_after(self):
         """Only errors that carry an estimate advertise one — a bare

@@ -265,6 +265,31 @@ class TestRetryAndCheckout:
         finally:
             server2.stop()
 
+    def test_reused_socket_reset_retries_on_a_fresh_dial(
+            self, tmp_path, monkeypatch):
+        """The checkout probe is only a snapshot: a peer that died just
+        before the call can pass it and reset the socket mid-exchange.
+        The call must retry once on a fresh dial (keep-alive style) —
+        independent of the ``retries`` knob — not surface the corpse's
+        ECONNRESET."""
+        from repro.ipc import ntrpc
+
+        server, _ = _threaded_server(tmp_path, {"echo": lambda p: p},
+                                     name="restart.sock")
+        client = RpcClient(server.path)  # retries=0
+        assert client.call("echo", b"a") == b"a"
+        server.stop()
+        server2, _ = _threaded_server(tmp_path, {"echo": lambda p: p},
+                                      name="restart.sock")
+        # Blind the probe so checkout hands back the dead pooled
+        # socket as if it were healthy — the losing side of the race.
+        monkeypatch.setattr(ntrpc.select, "select",
+                            lambda r, w, x, t=0: ([], [], []))
+        try:
+            assert client.call("echo", b"b") == b"b"
+        finally:
+            server2.stop()
+
 
 class TestHeartbeat:
     def test_ping_answered_by_the_serve_loop(self, tmp_path):
