@@ -78,6 +78,15 @@ HTTP_RATIO_FLOOR = 0.80
 #: here, the floor leaves room for host noise).
 XPROC_RATIO_FLOOR = 5.0
 
+#: Compiled-wire ceilings (absolute, host-speed tolerant): the per-method
+#: frame encoders keep a null cross-process call under this many µs, and
+#: the shared-memory bulk ring keeps the 1000-byte crossing within this
+#: multiple of the in-process one.  Both are re-measured once before the
+#: gate reports a regression — a forked-host round trip on a busy box can
+#: eat a scheduling hiccup the architecture did not cause.
+XPROC_NULL_CEILING_US = 30.0
+XPROC_1000B_RATIO_CEILING = 3.0
+
 
 def _load_loadgen():
     """Load the sibling loadgen module by path: this file itself is often
@@ -254,9 +263,12 @@ def _microsecond_metrics(snapshot, prefix=""):
     return metrics
 
 
-#: µs keys recorded but never regression-gated: a socket round trip
-#: tracks the host kernel's scheduling mood across sessions; their
-#: architecture signal lives in the gated shape ratios instead.
+#: µs keys exempt from the *relative* (snapshot-vs-fresh) gate: a socket
+#: round trip tracks the host kernel's scheduling mood across sessions.
+#: ``xproc_null_lrmi_us`` is still gated — against the absolute
+#: :data:`XPROC_NULL_CEILING_US` in :func:`check_shapes`, alongside the
+#: :data:`XPROC_1000B_RATIO_CEILING` on the 1000-byte ratio — so the
+#: compiled wire cannot silently rot back to the generic path's cost.
 GATE_EXEMPT = frozenset({"xproc_null_lrmi_us", "xproc_lrmi_1000B_us",
                          "quota_kill_teardown_us",
                          "fleet_heartbeat_overhead_us"})
@@ -299,7 +311,31 @@ def compare_metrics(recorded, measured, tolerance=REGRESSION_TOLERANCE,
     return lines, regressions, new_keys
 
 
-def check_shapes(snapshot, regressions, remeasure_http=True):
+def _measure_xproc(samples=3):
+    """Fresh Table 6 crossing samples for the compiled-wire ceiling
+    retry, keeping the per-key minimum.
+
+    The ceilings bound what the wire *costs*; on a one-core box the
+    cross-process ping-pong is acutely scheduling-sensitive, and a
+    single busy window can double the reading.  The minimum over a few
+    fresh fixtures is the standard low-noise estimator for a latency
+    gate (prefork throughput is skipped — only the crossing keys feed
+    the ceilings)."""
+    best = {}
+    for _ in range(samples):
+        fixture = Table6Fixture()
+        try:
+            sample = fixture.measure(prefork_workers=())
+        finally:
+            fixture.close()
+        for key, value in sample.items():
+            if isinstance(value, (int, float)):
+                best[key] = min(value, best.get(key, value))
+    return best
+
+
+def check_shapes(snapshot, regressions, remeasure_http=True,
+                 remeasure_xproc=True):
     """Absolute paper-shape gates (host-speed independent)."""
     lines = []
     shape = snapshot.get("shape", {})
@@ -331,6 +367,41 @@ def check_shapes(snapshot, regressions, remeasure_http=True):
             marker = "  <-- BELOW PAPER SHAPE"
         lines.append(f"{'shape.xproc_over_inproc_null_lrmi (floor)':45s} "
                      f"{XPROC_RATIO_FLOOR:10.3f} -> {xratio:10.3f}{marker}")
+
+    # Compiled-wire ceilings: absolute µs for the null crossing, and the
+    # 1000B xproc/in-process multiple the bulk ring is meant to hold.
+    xnull = snapshot.get("xproc_null_lrmi_us")
+    xratio_1000 = shape.get("xproc_over_inproc_1000B")
+    over = ((xnull is not None and xnull > XPROC_NULL_CEILING_US)
+            or (xratio_1000 is not None
+                and xratio_1000 > XPROC_1000B_RATIO_CEILING))
+    if over and remeasure_xproc:
+        fresh = _measure_xproc()
+        if xnull is not None:
+            xnull = round(fresh["xproc_null_us"], 3)
+        if xratio_1000 is not None:
+            xratio_1000 = round(fresh["xproc_over_inproc_1000b"], 2)
+    if xnull is not None:
+        marker = ""
+        if xnull > XPROC_NULL_CEILING_US:
+            regressions.append(
+                ("xproc_null_lrmi_us", XPROC_NULL_CEILING_US, xnull)
+            )
+            marker = "  <-- ABOVE COMPILED-WIRE CEILING"
+        lines.append(f"{'xproc_null_lrmi_us (ceiling)':45s} "
+                     f"{XPROC_NULL_CEILING_US:10.3f} -> "
+                     f"{xnull:10.3f}{marker}")
+    if xratio_1000 is not None:
+        marker = ""
+        if xratio_1000 > XPROC_1000B_RATIO_CEILING:
+            regressions.append(
+                ("shape.xproc_over_inproc_1000B",
+                 XPROC_1000B_RATIO_CEILING, xratio_1000)
+            )
+            marker = "  <-- ABOVE COMPILED-WIRE CEILING"
+        lines.append(f"{'shape.xproc_over_inproc_1000B (ceiling)':45s} "
+                     f"{XPROC_1000B_RATIO_CEILING:10.3f} -> "
+                     f"{xratio_1000:10.3f}{marker}")
 
     # Prefork scaling only gates on multi-core hosts: two workers on one
     # core share the CPU the single process already saturated.

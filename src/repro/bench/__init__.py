@@ -12,6 +12,7 @@ from .workloads import (
     Table4Fixture,
     Table5Fixture,
     Table6Fixture,
+    TypedChunk,
     build_iis,
     build_iis_jkernel,
     build_jws,
@@ -29,6 +30,7 @@ __all__ = [
     "Table4Fixture",
     "Table5Fixture",
     "Table6Fixture",
+    "TypedChunk",
     "build_iis",
     "build_iis_jkernel",
     "build_jws",

@@ -68,6 +68,13 @@ _T_INTTUPLE = 19
 _T_FLOATLIST = 20
 _T_FLOATTUPLE = 21
 _T_REDUCED = 22
+# Byte-wide batched int sequences: when every element fits 0..255 the
+# batch packs via ``bytes(items)`` — one C call, an eighth of the ">Nq"
+# payload — and decodes as ``list(view)``/``tuple(view)``.  Only reached
+# AFTER the homogeneity scan, so the strict no-bool semantics of the
+# 64-bit batch tags are preserved bit for bit.
+_T_INTLIST_U8 = 23
+_T_INTTUPLE_U8 = 24
 
 _INT64_MIN = -(2 ** 63)
 _INT64_MAX = 2 ** 63 - 1
@@ -137,11 +144,30 @@ def class_fields(cls, explicit=None):
     return tuple(slots) or None
 
 
+class _IntList:
+    """Annotation sentinel: a field declared ``list[int]``."""
+
+
+class _FloatList:
+    """Annotation sentinel: a field declared ``list[float]``."""
+
+
 #: Annotation values (types or their spelled-out names, for modules using
 #: ``from __future__ import annotations``) the codegen specializes on.
+#:
+#: ``list[int]`` / ``list[float]`` declare a *homogeneous batch field*:
+#: the compiled writer packs it in one C call, skipping the per-element
+#: homogeneity scan the undeclared path needs.  The declaration is a
+#: contract — elements of another type still fall back safely to the
+#: scanned path (the pack raises), but ``bool`` elements (and ints in a
+#: ``list[float]``) pack as their numeric values, exactly as they would
+#: in an ``array('q')``/``array('d')``.
 _PRIMITIVE_ANNOTATIONS = {
     int: int, float: float, bool: bool, str: str, bytes: bytes,
     "int": int, "float": float, "bool": bool, "str": str, "bytes": bytes,
+    list[int]: _IntList, "list[int]": _IntList, "List[int]": _IntList,
+    list[float]: _FloatList, "list[float]": _FloatList,
+    "List[float]": _FloatList,
 }
 
 
@@ -411,6 +437,53 @@ def _numeric_runs(fields, types):
     return groups
 
 
+def _write_declared_int_list(writer, items):
+    """Batched write for a field declared ``list[int]``: trusts the
+    annotation, so no per-element homogeneity scan.  Anything the batch
+    packers reject (floats, strings, big ints in the byte-wide case)
+    falls back to the generic scanned path and still serializes
+    correctly; bool elements — which pack as 0/1 — are the one case the
+    declaration is trusted over the runtime type."""
+    if type(items) is not list or not items or not writer._compiled:
+        writer.write(items)
+        return
+    try:
+        packed = bytes(items)
+        tag = _T_INTLIST_U8
+    except (ValueError, TypeError):
+        try:
+            packed = _batch_struct("q", len(items)).pack(*items)
+            tag = _T_INTLIST
+        except struct.error:
+            writer.write(items)
+            return
+    memo = writer._memo
+    memo[id(items)] = len(memo)
+    buffer = writer._buffer
+    buffer.append(tag)
+    buffer += _PACK_U32.pack(len(items))
+    buffer += packed
+
+
+def _write_declared_float_list(writer, items):
+    """Batched write for a field declared ``list[float]`` (see
+    :func:`_write_declared_int_list`; ints pack as their float value)."""
+    if type(items) is not list or not items or not writer._compiled:
+        writer.write(items)
+        return
+    try:
+        packed = _batch_struct("d", len(items)).pack(*items)
+    except struct.error:
+        writer.write(items)
+        return
+    memo = writer._memo
+    memo[id(items)] = len(memo)
+    buffer = writer._buffer
+    buffer.append(_T_FLOATLIST)
+    buffer += _PACK_U32.pack(len(items))
+    buffer += packed
+
+
 def _compile_writer(descriptor):
     """Generate the specialized writer for one explicit-fields class.
 
@@ -427,6 +500,8 @@ def _compile_writer(descriptor):
         "_i64": _PACK_I64.pack,
         "_f64": _PACK_F64.pack,
         "_PackError": struct.error,
+        "_w_intlist": _write_declared_int_list,
+        "_w_floatlist": _write_declared_float_list,
     }
     src = _Source(namespace)
     src.add(f"def _write_{descriptor.cls.__name__}(w, value):")
@@ -492,6 +567,11 @@ def _compile_writer(descriptor):
         if ftype is None:
             flush()
             src.add(f"    w.write(value.{field})")
+            continue
+        if ftype is _IntList or ftype is _FloatList:
+            flush()
+            helper = "_w_intlist" if ftype is _IntList else "_w_floatlist"
+            src.add(f"    {helper}(w, value.{field})")
             continue
         flush()
         v = f"v{var}"
@@ -607,7 +687,10 @@ def _compile_reader(descriptor):
         ftype = types.get(field)
         pending.extend(encoded[field])
         verify()
-        if ftype is None:
+        if ftype is None or ftype is _IntList or ftype is _FloatList:
+            # Batch-declared fields read generically too: the batched
+            # tags decode in one C call either way, and the generic
+            # reader keeps the memo aligned with the writer's.
             src.add("        r._offset = offset")
             src.add(f"        value.{field} = r.read()")
             src.add("        offset = r._offset")
@@ -733,6 +816,33 @@ class ObjectWriter:
             self._memo = previous_memo
             _release_buffer(buffer)
 
+    def dumps_into(self, buffer, value, capability_table=None):
+        """Append ``value``'s serialized stream onto ``buffer`` (a
+        bytearray) in place — the frame-assembly entry point of the
+        cross-process wire, which composes a whole outbound frame in
+        one reusable buffer with zero intermediate bytes objects.
+
+        ``capability_table`` (when given) replaces the writer's table
+        for the duration of the call, so one long-lived writer can
+        serve per-call side tables.  Same reentrancy contract as
+        :meth:`dumps`: previous buffer/memo/table state is restored on
+        exit, so a nested serialization can never interleave with this
+        stream.
+        """
+        previous_buffer = self._buffer
+        previous_memo = self._memo
+        previous_table = self.capability_table
+        self._buffer = buffer
+        self._memo = {}
+        if capability_table is not None:
+            self.capability_table = capability_table
+        try:
+            self.write(value)
+        finally:
+            self._buffer = previous_buffer
+            self._memo = previous_memo
+            self.capability_table = previous_table
+
     # -- primitives --------------------------------------------------------
     def _tag(self, tag):
         self._buffer.append(tag)
@@ -851,10 +961,17 @@ class ObjectWriter:
             if len(items) > 1 and set(map(type, items)) != _JUST_INT:
                 return False
             try:
-                packed = _batch_struct("q", len(items)).pack(*items)
-            except struct.error:
-                return False  # an element overflows 64 bits
-            tag = int_tag
+                # Byte-wide fast path: one C-level conversion when every
+                # element is 0..255 (the dominant bulk-payload shape).
+                packed = bytes(items)
+                tag = _T_INTLIST_U8 if int_tag == _T_INTLIST \
+                    else _T_INTTUPLE_U8
+            except ValueError:
+                try:
+                    packed = _batch_struct("q", len(items)).pack(*items)
+                except struct.error:
+                    return False  # an element overflows 64 bits
+                tag = int_tag
         elif first is float:
             if len(items) > 1 and set(map(type, items)) != _JUST_FLOAT:
                 return False
@@ -1061,6 +1178,21 @@ class ObjectReader:
                 value = list(unpacked)
             else:
                 value = unpacked
+            self._memo.append(value)
+            return value
+        if tag == _T_INTLIST_U8 or tag == _T_INTTUPLE_U8:
+            end = offset + 4
+            if end > size:
+                raise NotSerializableError("truncated stream")
+            count = _PACK_U32.unpack(data[offset:end])[0]
+            payload_end = end + count
+            if payload_end > size:
+                raise NotSerializableError("truncated stream")
+            self._offset = payload_end
+            if tag == _T_INTLIST_U8:
+                value = list(data[end:payload_end])
+            else:
+                value = tuple(data[end:payload_end])
             self._memo.append(value)
             return value
         self._offset = offset

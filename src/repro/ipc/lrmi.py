@@ -22,13 +22,13 @@ Architecture
   connections, ``lookup(name)`` returning remote-capability proxies, and
   kernel control verbs (``revoke``/``terminate``/``stats``/``shutdown``).
 * Proxies — per-method generated classes (mirroring the in-process stub
-  generator): each method marshals ``(export_id, method, args, kwargs)``
-  and re-raises the callee's exception in the caller's process.
-  Capabilities inside arguments/results ride the serializer's capability
-  side table: a real capability is *exported* (a descriptor crosses, a
-  proxy materializes on the other side), and a proxy sent back to its
-  owning side collapses to the original capability object — so callbacks
-  and the revoke-your-own-argument idiom work across the boundary.
+  generator): each method marshals the call and re-raises the callee's
+  exception in the caller's process.  Capabilities inside
+  arguments/results ride the serializer's capability side table: a real
+  capability is *exported* (a descriptor crosses, a proxy materializes on
+  the other side), and a proxy sent back to its owning side collapses to
+  the original capability object — so callbacks and the
+  revoke-your-own-argument idiom work across the boundary.
 * Revocation broadcast — the host kernel owns the export table and a
   broadcast channel over every live connection.  After each dispatch
   (and from a periodic sweeper), exports whose capability has been
@@ -36,6 +36,40 @@ Architecture
   remote proxies to fail-fast local :class:`RevokedException`; a client
   that has not yet processed the broadcast still fails correctly,
   because the host-side stub rejects the call at dispatch.
+
+Wire format (the compiled cross-process wire)
+---------------------------------------------
+
+Every frame is ``opcode(1) + call_id(4) + payload``; the payload's first
+byte names its marshal format:
+
+* ``MF_INLINE``   — one serializer stream, no capabilities crossed.
+* ``MF_TABLED``   — ``dumps(descriptors)`` then the value stream; the
+  reader resolves the descriptors into the capability side table before
+  reading the value.  Descriptors are the PR-5 shapes unchanged:
+  ``("back", export_id)`` and ``("export", export_id, label, methods)``.
+* ``MF_CALL``     — the compiled fast path: ``export_id(4) +
+  method_index(1)`` then the positional-args stream.  Emitted by
+  generated proxy methods for keyword-free calls; the host dispatches
+  through a method table *bound at export time* (the PR-2
+  compile-at-registration strategy), so no method-name string crosses
+  and no ``(export_id, method, args, kwargs)`` envelope is built.
+* ``MF_CALL_TABLED`` — the compiled call with capability arguments:
+  call header, then descriptors, then the args stream.
+* ``MF_SHM``      — a bulk grant: ``(generation, offset, length)``
+  naming bytes in the per-connection shared-memory ring
+  (``repro.ipc.shm``); the granted bytes are themselves a payload in
+  one of the formats above.  Payloads at or over :data:`SHM_THRESHOLD`
+  ride the ring; the socket frame stays tiny.
+
+The old nested ``dumps((payload, descriptors))`` envelope — a full
+second serializer pass over the already-serialized payload bytes — is
+gone on every path.  Outbound frames are composed into one reusable
+per-connection buffer (``ObjectWriter.dumps_into``) and leave through
+scatter-gather ``sendmsg``; inbound frames are sliced zero-copy out of a
+buffered receive.  Set ``JK_LRMI_WIRE=generic`` (or flip
+:data:`COMPILED_WIRE`) to force every call through the generic tagged
+path — the differential matrix runs over both.
 
 A dead host surfaces as :class:`DomainUnavailableException` (a
 ``RemoteException`` subclass the web layer maps to a retryable 503),
@@ -48,9 +82,11 @@ idle connections by design — they are daemons of a disposable process.
 from __future__ import annotations
 
 import itertools
+import keyword as _keyword
 import os
 import select
 import socket
+import struct
 import tempfile
 import threading
 import time
@@ -58,6 +94,8 @@ import uuid
 
 from repro.core import Capability, register_capref_type
 from repro.core import convention as _convention
+from repro.core import segments as _segments
+from repro.core.capability import _raise_revoked, _raise_terminated
 from repro.core.errors import (
     DomainUnavailableException,
     JKernelError,
@@ -66,9 +104,18 @@ from repro.core.errors import (
     RevokedException,
 )
 from repro.core.remote import is_remote_interface
-from repro.core.serial import dumps, loads
+from repro.core.serial import ObjectReader, ObjectWriter, dumps, loads
 
-from .wire import WireError, recv_frame, send_frame
+from .shm import GRANT, BulkRing, RingError
+from .wire import (
+    MAX_FRAME,
+    WireError,
+    decode_fds,
+    fd_ancillary_space,
+    send_frame,
+    send_frame_parts,
+    send_prefixed,
+)
 
 OP_CALL = 1
 OP_RESULT = 2
@@ -76,6 +123,72 @@ OP_ERROR = 3
 OP_REVOKED = 4
 OP_CONTROL = 5
 OP_BYE = 6
+OP_RING = 7  # bulk-ring announcement: dumps((name, size, generation))
+
+# Marshal formats: the first byte of every CALL/RESULT/ERROR/CONTROL
+# payload (OP_REVOKED broadcasts stay a bare dumps(list) — they carry no
+# capabilities and predate the format byte).
+MF_INLINE = 0
+MF_TABLED = 1
+MF_CALL = 2
+MF_CALL_TABLED = 3
+MF_SHM = 4
+
+_CALL_HDR = struct.Struct(">IB")  # export_id, method_index
+
+# Whole-prefix packers for the hot composers: one struct call emits the
+# frame header and marshal-format byte (and, for calls, the call header)
+# back to back.
+_VALUE_PREFIX = struct.Struct(">BIB")    # opcode, call_id, fmt
+_CALL_PREFIX = struct.Struct(">BIBIB")   # opcode, call_id, fmt, export, index
+
+# Precomputed serializer streams for the two null-call constants: an
+# empty argument tuple and a None result.  A no-arg MF_CALL frame and a
+# None MF_INLINE reply are fully constant except the call id, so the hot
+# composers splice these in (and the parsers compare against them)
+# without touching the serializer at all.  Byte-identical to
+# ``ObjectWriter.write(())`` / ``write(None)`` minus the memo entry the
+# empty tuple would earn — nothing else in a call frame can back-
+# reference it, so the entry was dead weight.
+_EMPTY_ARGS_STREAM = b"\x0a\x00\x00\x00\x00"   # _T_TUPLE, count=0
+_NONE_STREAM = b"\x00"                          # _T_NULL
+_REPLY_I64 = struct.Struct(">q")                # _T_INT64 payload
+_I64_BOUND = 2 ** 63
+
+# Whole-frame packers (LENGTH PREFIX INCLUDED) for the constant-shaped
+# hot frames; paired with ``wire.send_prefixed``, each is one struct
+# call and one send.
+_NULL_CALL_FRAME = struct.Struct(">IBIBIB5s")  # 16, op, id, fmt, exp, m, args
+_NONE_REPLY_FRAME = struct.Struct(">IBIBB")    # 7, op, id, fmt, T_NULL
+_INT_REPLY_FRAME = struct.Struct(">IBIBBq")    # 15, op, id, fmt, T_INT64, v
+
+# One-shot header decode for buffered receive: length, opcode, call id.
+_HDR9 = struct.Struct(">IBI")
+
+#: A pooled connection released within this many seconds skips the
+#: checkout health probe: the probe is a freshness snapshot anyway (see
+#: the TOCTOU note on DomainClient), and probing a socket that was alive
+#: microseconds ago spends a syscall to learn nothing.
+PROBE_FRESH_S = 0.005
+
+#: Payloads at/over this many bytes ride the shared-memory bulk ring
+#: instead of the socket (read at send time, so tests can retune it).
+#: The crossover is empirical: below it, one scatter-gather ``sendmsg``
+#: ships the frame parts zero-copy and beats the ring's
+#: assemble-into-shared-memory memcpy; above it, the ring wins (2.3x at
+#: 256 KiB) because the socket path starts paying kernel buffer copies
+#: and fragmented sends.
+SHM_THRESHOLD = int(os.environ.get("JK_LRMI_SHM_THRESHOLD", "16384"))
+
+#: Size of each per-connection bulk ring (one per send direction, lazily
+#: created on the first over-threshold payload).
+RING_SIZE = int(os.environ.get("JK_LRMI_RING_SIZE", str(1 << 20)))
+
+#: Gate for the compiled MF_CALL fast path.  ``JK_LRMI_WIRE=generic``
+#: (or monkeypatching this to False before a host forks) sends every
+#: call through the generic tagged envelope — the differential suite
+#: runs its whole matrix both ways.
+COMPILED_WIRE = os.environ.get("JK_LRMI_WIRE", "compiled") != "generic"
 
 #: Default per-operation wire timeout: generous enough for a slow
 #: servlet, small enough that a wedged host cannot hang its callers.
@@ -103,11 +216,31 @@ from repro.core.serial import register_class as _register_class  # noqa: E402
 _register_class(ProtocolError, name="jkernel.ProtocolError")
 
 
+#: Per-dispatch context on host serving threads: the SCM_RIGHTS file
+#: descriptors that arrived with the call frame, claimable by the callee
+#: (reply streaming).  Unclaimed descriptors are closed after dispatch.
+_dispatch_ctx = threading.local()
+
+
+def claim_fd():
+    """Take ownership of a file descriptor granted to the current
+    dispatch (sent with the call via SCM_RIGHTS).  The caller owns the
+    returned fd and must close it; fds never claimed are closed by the
+    dispatch machinery."""
+    fds = getattr(_dispatch_ctx, "fds", None)
+    if not fds:
+        raise ProtocolError("no file descriptor granted to this dispatch")
+    return fds.pop(0)
+
+
 def exported_methods(capability):
     """The remote-method names a capability exposes across the wire.
 
     For an in-process stub these are the methods of its remote
-    interfaces; for a proxy, the method tuple it was built from.
+    interfaces; for a proxy, the method tuple it was built from.  The
+    tuple's ORDER is the compiled wire's method numbering: proxy method
+    ``i`` dispatches to the host-side binding at index ``i`` — both
+    sides derive it from this one function, so they cannot disagree.
     """
     if isinstance(capability, RemoteCapability):
         return capability._methods
@@ -120,6 +253,39 @@ def exported_methods(capability):
     return tuple(sorted(names))
 
 
+def _host_binding(capability, name):
+    """Copy-free host-side dispatch binding for one exported method.
+
+    Deserializing the call frame already performed the protection-domain
+    copy — the arguments the host holds are private reconstructions no
+    other domain references — so routing the dispatch through the
+    in-process stub would deep-copy every payload a SECOND time.  This
+    binding keeps the stub's crossing semantics exactly (termination
+    check, revocation check, call accounting, segment switch) but
+    invokes the target directly on the already-private arguments.
+    Exceptions propagate raw: marshaling the reply is the copy, and
+    unserializable ones degrade to RemoteException at the reply layer.
+    """
+    _enter = _segments._enter
+    _exit = _segments._exit
+
+    def invoke(*args):
+        domain = capability._domain
+        if domain.terminated:
+            _raise_terminated(capability, domain)
+        target = capability._target
+        if target is None:
+            _raise_revoked(capability)
+        domain._lrmi_calls_in += 1
+        stack, segment = _enter(domain)
+        try:
+            return getattr(target, name)(*args)
+        finally:
+            _exit(stack, segment)
+
+    return invoke
+
+
 class ExportTable:
     """Kernel-owned table of capabilities reachable from other processes."""
 
@@ -127,10 +293,21 @@ class ExportTable:
         self._lock = threading.Lock()
         self._by_id = {}
         self._by_identity = {}
+        self._dispatch = {}
         self._next = itertools.count(1).__next__
 
     def export(self, capability):
-        """Register (or re-find) a capability; returns its export id."""
+        """Register (or re-find) a capability; returns its export id.
+
+        Registration is where the wire gets compiled: the method tuple
+        is bound ONCE into an index-addressed dispatch table, so an
+        MF_CALL frame goes straight from ``(export_id, method_index)``
+        to a bound method — no getattr, no name decode.  The bound
+        methods are the in-process stub's generated methods, which check
+        revocation/termination on every call, so binding early never
+        bypasses a later revoke (and a swept export disappears from this
+        table entirely).
+        """
         with self._lock:
             found = self._by_identity.get(id(capability))
             if found is not None:
@@ -138,10 +315,30 @@ class ExportTable:
             export_id = self._next()
             self._by_id[export_id] = capability
             self._by_identity[id(capability)] = export_id
+            try:
+                names = exported_methods(capability)
+                if isinstance(capability, Capability):
+                    bound = tuple(
+                        _host_binding(capability, name) for name in names
+                    )
+                else:
+                    bound = tuple(
+                        getattr(capability, name, None) for name in names
+                    )
+            except Exception:
+                bound = ()
+            self._dispatch[export_id] = bound
             return export_id
 
     def get(self, export_id):
         return self._by_id.get(export_id)
+
+    def entry(self, export_id):
+        """``(capability, bound_methods)`` for a live export, else None."""
+        capability = self._by_id.get(export_id)
+        if capability is None:
+            return None
+        return capability, self._dispatch.get(export_id, ())
 
     def sweep(self):
         """Drop exports whose capability has been revoked; returns the
@@ -152,6 +349,7 @@ class ExportTable:
                 if getattr(capability, "revoked", False):
                     del self._by_id[export_id]
                     self._by_identity.pop(id(capability), None)
+                    self._dispatch.pop(export_id, None)
                     dropped.append(export_id)
         return dropped
 
@@ -207,6 +405,18 @@ class RemoteCapability:
 
 _proxy_classes = {}
 
+# Compiled per-method proxy body: keyword-free calls skip the
+# (export_id, method, args, kwargs) envelope and go out as one flat
+# MF_CALL frame addressed by method index.  Keyword calls and revoked
+# proxies fall back to the generic path (which raises RevokedException
+# locally for the latter).
+_FAST_PROXY_TEMPLATE = """\
+def {name}(self, *args, **kwargs):
+    if kwargs or self._revoked:
+        return self._invoke({name!r}, args, kwargs)
+    return self._peer.call_fast(self._export_id, {index}, {name!r}, args)
+"""
+
 
 def _proxy_class(methods):
     """Generated proxy class for one remote-method tuple (cached)."""
@@ -216,11 +426,20 @@ def _proxy_class(methods):
         return found
 
     body = {}
-    for name in key:
-        def method(self, *args, _jk_name=name, **kwargs):
-            return self._invoke(_jk_name, args, kwargs)
-        method.__name__ = name
-        body[name] = method
+    for index, name in enumerate(key):
+        if (index < 256 and name.isidentifier()
+                and not _keyword.iskeyword(name)
+                and not name.startswith("_")):
+            namespace = {}
+            exec(_FAST_PROXY_TEMPLATE.format(name=name, index=index),
+                 {}, namespace)
+            body[name] = namespace[name]
+        else:
+            # Exotic name or beyond the 1-byte index space: generic path.
+            def method(self, *args, _jk_name=name, **kwargs):
+                return self._invoke(_jk_name, args, kwargs)
+            method.__name__ = name
+            body[name] = method
     cls = type("RemoteCapabilityProxy", (RemoteCapability,), body)
     # Proxies cross in-process domain boundaries by reference (they ARE
     # the capability, as far as this process is concerned) and ride the
@@ -233,9 +452,7 @@ def _proxy_class(methods):
 
 # -- marshalling --------------------------------------------------------------
 #
-# A wire value is ``dumps((payload_bytes, descriptors))`` where
-# ``payload_bytes`` came from ``dumps(value, capability_table=table)`` and
-# ``descriptors`` describe each capability in table order:
+# Capability descriptors (the side table's wire shape, unchanged):
 #
 #   ("back", export_id)                    -- the RECEIVER's own export
 #   ("export", export_id, label, methods)  -- a fresh export of the sender
@@ -268,16 +485,40 @@ def _resolve(peer, descriptor):
 
 
 def marshal(peer, value):
+    """One flat marshal payload (format byte + stream(s)) — the
+    standalone entry point; connections compose the same bytes straight
+    into their frame buffers."""
     table = []
-    payload = dumps(value, capability_table=table)
+    stream = dumps(value, capability_table=table)
+    if not table:
+        return bytes((MF_INLINE,)) + stream
     descriptors = tuple(_describe(peer, capability) for capability in table)
-    return dumps((payload, descriptors))
+    return bytes((MF_TABLED,)) + dumps(descriptors) + stream
+
+
+def _read_tabled(peer, view):
+    """Parse ``dumps(descriptors) ++ value stream`` from one buffer."""
+    reader = ObjectReader(view)
+    descriptors = reader.read()
+    reader.capability_table = [
+        _resolve(peer, descriptor) for descriptor in descriptors
+    ]
+    value = reader.read()
+    if reader._offset != len(reader._data):
+        raise ProtocolError("trailing bytes after tabled value")
+    return value
 
 
 def unmarshal(peer, data):
-    payload, descriptors = loads(data)
-    table = [_resolve(peer, descriptor) for descriptor in descriptors]
-    return loads(payload, capability_table=table)
+    view = data if isinstance(data, memoryview) else memoryview(data)
+    if len(view) == 0:
+        raise ProtocolError("empty marshal payload")
+    fmt = view[0]
+    if fmt == MF_INLINE:
+        return loads(view[1:])
+    if fmt == MF_TABLED:
+        return _read_tabled(peer, view[1:])
+    raise ProtocolError(f"unexpected marshal format {fmt}")
 
 
 class _Peer:
@@ -308,6 +549,11 @@ class _Peer:
     def call(self, export_id, method, args, kwargs):
         raise NotImplementedError
 
+    def call_fast(self, export_id, method_index, method, args):
+        # Peers without a compiled transport route through the generic
+        # path; DomainClient/_ConnectionPeer override with MF_CALL.
+        return self.call(export_id, method, args, {})
+
     def control(self, verb, *args):
         raise NotImplementedError
 
@@ -318,16 +564,49 @@ class _Connection:
     Strictly nested use: while a caller awaits its reply it dispatches
     any incoming ``OP_CALL`` on its own thread (cross-process re-entry,
     the A→B→A LRMI idiom), and applies revocation broadcasts that arrive
-    interleaved with the reply.
+    interleaved with the reply.  That strict nesting is also what makes
+    the bulk ring's bump allocator safe — see ``repro.ipc.shm``.
     """
 
-    def __init__(self, sock, peer, dispatcher=None):
+    def __init__(self, sock, peer, dispatcher=None, recv_fds=False):
         self.sock = sock
         self.peer = peer
         self.dispatcher = dispatcher  # host-side: handles CALL/CONTROL
         self._send_lock = threading.Lock()
         self._call_ids = itertools.count(1).__next__
         self.closed = False
+        self.last_released = 0.0  # pool-release stamp (probe freshness)
+        # Outbound frame assembly: one long-lived writer bound to one
+        # reusable buffer; the capability side table is rebuilt per
+        # frame.  The writer's buffer/memo/table are managed here
+        # directly (not via dumps_into save/restore) — the writer is
+        # exclusive to this connection, and a *nested* serialization
+        # mid-write goes through ObjectWriter.dumps, which saves and
+        # restores around its own pooled buffer.
+        self._writer = ObjectWriter()
+        self._obuf = bytearray()
+        self._table = []
+        self._writer.capability_table = self._table
+        # Inbound buffering: immutable bytes + offset, so zero-copy
+        # memoryview slices of parsed frames survive buffer compaction.
+        self._rbuf = b""
+        self._roff = 0
+        # Pooled reader for plain (untabled) streams, reset per frame —
+        # the receive-side twin of the pooled writer above.  Its _data
+        # is dropped after every parse so it never pins a receive
+        # buffer or a shared-memory ring view.
+        self._reader = ObjectReader(b"")
+        # Bulk rings, one per direction, lazily created/attached.
+        self._send_ring = None
+        self._peer_ring = None
+        self._ring_failed = False
+        # SCM_RIGHTS receive side (host connections only).
+        self._recv_fds = recv_fds
+        self._in_fds = []
+        self._anc_space = fd_ancillary_space() if recv_fds else 0
+        # Post-dispatch hook, resolved once: peers define it as a class
+        # method (the host kernel's revocation sweep), never per call.
+        self._after_dispatch = getattr(peer, "after_dispatch", None)
 
     # -- framing ----------------------------------------------------------
     def _send(self, opcode, call_id, payload):
@@ -335,11 +614,245 @@ class _Connection:
         with self._send_lock:
             send_frame(self.sock, frame)
 
+    def _frame_buffer(self):
+        frame = self._obuf
+        try:
+            del frame[:]
+        except BufferError:
+            # A view of the previous frame is still alive somewhere (an
+            # exception traceback, typically): abandon that buffer.
+            frame = self._obuf = bytearray()
+        writer = self._writer
+        writer._buffer = frame
+        writer._memo.clear()
+        del self._table[:]
+        return frame
+
+    def _send_value(self, opcode, call_id, value, fds=()):
+        """Compose and send one frame carrying a marshalled value."""
+        frame = self._frame_buffer()
+        frame += _VALUE_PREFIX.pack(opcode, call_id, MF_INLINE)
+        self._writer.write(value)
+        table = self._table
+        descriptors = None
+        if table:
+            frame[5] = MF_TABLED
+            descriptors = dumps(
+                tuple(_describe(self.peer, capability) for capability in table)
+            )
+        self._send_built(frame, 6, descriptors, fds)
+
+    def _send_call(self, call_id, export_id, method_index, args):
+        """Compose and send one compiled MF_CALL frame."""
+        if not args:
+            # A no-arg call is constant but for the ids: one pack, no
+            # frame buffer, no serializer.
+            frame = _NULL_CALL_FRAME.pack(16, OP_CALL, call_id, MF_CALL,
+                                          export_id, method_index,
+                                          _EMPTY_ARGS_STREAM)
+            with self._send_lock:
+                send_prefixed(self.sock, frame)
+            return
+        frame = self._frame_buffer()
+        frame += _CALL_PREFIX.pack(OP_CALL, call_id, MF_CALL,
+                                   export_id, method_index)
+        self._writer.write(args)
+        table = self._table
+        descriptors = None
+        if table:
+            frame[5] = MF_CALL_TABLED
+            descriptors = dumps(
+                tuple(_describe(self.peer, capability) for capability in table)
+            )
+        self._send_built(frame, 6 + _CALL_HDR.size, descriptors)
+
+    def _send_built(self, frame, splice_at, descriptors, fds=()):
+        """Ship a composed frame: over the bulk ring when large, else as
+        a scatter-gather socket frame.  ``descriptors`` (when present)
+        splice in at ``splice_at`` — they were computed AFTER the value
+        stream was written (the side table fills during the write), but
+        the reader needs them FIRST; scattering the parts avoids ever
+        rebuilding the frame to reorder it."""
+        payload_length = len(frame) - 5 + (len(descriptors) if descriptors else 0)
+        if payload_length >= SHM_THRESHOLD and not fds:
+            grant = self._grant(frame, splice_at, descriptors)
+            if grant is not None:
+                small = frame[:5] + bytes((MF_SHM,)) + grant
+                with self._send_lock:
+                    send_frame(self.sock, small)
+                return
+        if descriptors is None:
+            with self._send_lock:
+                send_frame(self.sock, frame, fds=fds)
+            return
+        view = memoryview(frame)
+        parts = (view[:splice_at], descriptors, view[splice_at:])
+        with self._send_lock:
+            send_frame_parts(self.sock, parts, fds=fds)
+
+    def _grant(self, frame, splice_at, descriptors):
+        ring = self._ensure_send_ring()
+        if ring is None:
+            return None
+        view = memoryview(frame)
+        if descriptors is None:
+            return ring.grant(view[5:])
+        return ring.grant_parts(
+            (view[5:splice_at], descriptors, view[splice_at:])
+        )
+
+    def _ensure_send_ring(self):
+        """The outbound bulk ring, creating and announcing it on first
+        use; None when ring setup failed once (inline frames forever)."""
+        if self._send_ring is not None:
+            return self._send_ring
+        if self._ring_failed:
+            return None
+        try:
+            ring = BulkRing.create(RING_SIZE)
+        except Exception:
+            self._ring_failed = True
+            return None
+        announcement = (
+            bytes((OP_RING,))
+            + (0).to_bytes(4, "big")
+            + dumps((ring.name, ring.size, ring.generation))
+        )
+        try:
+            with self._send_lock:
+                send_frame(self.sock, announcement)
+        except (OSError, WireError):
+            ring.close()
+            raise
+        self._send_ring = ring
+        return ring
+
+    def _fill(self):
+        """One socket read into the inbound buffer (with SCM_RIGHTS
+        collection on fd-receiving connections)."""
+        if self._recv_fds:
+            chunk, ancdata, _flags, _addr = self.sock.recvmsg(
+                65536, self._anc_space
+            )
+            if ancdata:
+                self._in_fds.extend(decode_fds(ancdata))
+        else:
+            chunk = self.sock.recv(65536)
+        if not chunk:
+            raise WireError("connection closed mid-frame")
+        if self._roff:
+            rest = self._rbuf[self._roff:]
+            # Steady state: the previous frame was fully consumed, so
+            # the new chunk IS the buffer — no copy, no concat.
+            self._rbuf = rest + chunk if rest else chunk
+            self._roff = 0
+        elif self._rbuf:
+            self._rbuf += chunk
+        else:
+            self._rbuf = chunk
+
+    def _recv_raw(self):
+        """Next ``(opcode, call_id, payload_view)`` from the buffered
+        stream — typically one recv() per frame, and the payload is a
+        zero-copy view into the receive buffer."""
+        while True:
+            buf, off = self._rbuf, self._roff
+            available = len(buf) - off
+            if available >= 9:
+                # Every valid frame is >= 9 bytes on the wire, so the
+                # whole header decodes in one unpack.
+                length, opcode, call_id = _HDR9.unpack_from(buf, off)
+                if length > MAX_FRAME:
+                    raise WireError(f"frame too large: {length}")
+                if length < 5:
+                    raise WireError(f"short frame ({length} bytes)")
+                end = off + 4 + length
+                if available >= 4 + length:
+                    self._roff = end
+                    return opcode, call_id, memoryview(buf)[off + 9:end]
+            elif available >= 4:
+                length = int.from_bytes(buf[off:off + 4], "big")
+                if length > MAX_FRAME:
+                    raise WireError(f"frame too large: {length}")
+                if length < 5:
+                    raise WireError(f"short frame ({length} bytes)")
+            self._fill()
+
     def _recv(self):
-        frame = recv_frame(self.sock)
-        if len(frame) < 5:
-            raise WireError(f"short frame ({len(frame)} bytes)")
-        return frame[0], int.from_bytes(frame[1:5], "big"), frame[5:]
+        while True:
+            opcode, call_id, payload = self._recv_raw()
+            if opcode == OP_RING:
+                self._attach_peer_ring(loads(payload))
+                continue
+            return opcode, call_id, payload
+
+    def _attach_peer_ring(self, announcement):
+        name, _size, generation = announcement
+        previous, self._peer_ring = self._peer_ring, None
+        if previous is not None:
+            previous.close()
+        try:
+            self._peer_ring = BulkRing.attach(name, generation)
+        except (OSError, ValueError) as exc:
+            raise WireError(
+                f"cannot attach bulk ring {name!r}: {exc}"
+            ) from None
+
+    def _open(self, payload):
+        """Resolve a payload to ``(format, bytes)`` — following an
+        MF_SHM grant into the peer's ring when present."""
+        if len(payload) == 0:
+            raise ProtocolError("empty frame payload")
+        fmt = payload[0]
+        if fmt != MF_SHM:
+            return fmt, payload
+        if self._peer_ring is None:
+            raise ProtocolError("bulk grant before ring announcement")
+        generation, offset, length = GRANT.unpack_from(payload, 1)
+        try:
+            inner = self._peer_ring.view(generation, offset, length)
+        except RingError as exc:
+            raise ProtocolError(str(exc)) from None
+        if len(inner) == 0:
+            raise ProtocolError("empty bulk grant")
+        fmt = inner[0]
+        if fmt == MF_SHM:
+            raise ProtocolError("nested bulk grant")
+        return fmt, inner
+
+    _EMPTY_VIEW = memoryview(b"")
+
+    def _parse(self, fmt, payload, offset=1):
+        if fmt in (MF_INLINE, MF_CALL):
+            reader = self._reader
+            reader._data = memoryview(payload)[offset:]
+            reader._offset = 0
+            if reader._memo:
+                del reader._memo[:]
+            if reader.capability_table:
+                del reader.capability_table[:]
+            try:
+                value = reader.read()
+                if reader._offset != len(reader._data):
+                    raise NotSerializableError("trailing bytes after value")
+            finally:
+                reader._data = self._EMPTY_VIEW
+            return value
+        return _read_tabled(self.peer, payload[offset:])
+
+    def _read_value(self, payload):
+        # Constant-shaped replies skip the reader entirely: a None
+        # (MF_INLINE + T_NULL) and a single in-range int (MF_INLINE +
+        # T_INT64 + 8 bytes) — the two dominant result shapes.
+        size = len(payload)
+        if size == 2 and payload[0] == MF_INLINE and payload[1] == 0x00:
+            return None
+        if size == 10 and payload[0] == MF_INLINE and payload[1] == 0x03:
+            return _REPLY_I64.unpack_from(payload, 2)[0]
+        fmt, payload = self._open(payload)
+        if fmt not in (MF_INLINE, MF_TABLED):
+            raise ProtocolError(f"unexpected marshal format {fmt}")
+        return self._parse(fmt, payload)
 
     def send_revoked(self, export_ids):
         """Broadcast revoked export ids WITHOUT ever blocking.
@@ -374,23 +887,73 @@ class _Connection:
         under the socket timeout still cannot hold the caller past it.
         """
         call_id = self._call_ids()
-        payload = marshal(self.peer, request)
+        return self._round(
+            lambda: self._send_value(opcode, call_id, request),
+            call_id, deadline,
+        )
+
+    def call_fast(self, export_id, method_index, args, deadline=None):
+        """One compiled round trip (MF_CALL frame, index dispatch)."""
+        call_id = self._call_ids()
+        return self._round(
+            lambda: self._send_call(call_id, export_id, method_index, args),
+            call_id, deadline,
+        )
+
+    def call_streamed(self, export_id, method, args, fd, deadline=None,
+                      on_sent=None):
+        """A call that grants ``fd`` to the callee via SCM_RIGHTS (reply
+        streaming: the host writes the HTTP response to it directly).
+
+        ``on_sent`` fires only after the call frame went out whole.  The
+        host dispatches (and can write the granted fd) only on a
+        *complete* frame — a failed or truncated send kills the host
+        connection, which closes unclaimed fds without dispatching — so
+        a send-phase exception means the callee never touched the fd and
+        the caller may safely fall back to a marshalled reply.
+        """
+        call_id = self._call_ids()
+        request = (export_id, method, args, {})
+
+        def send():
+            self._send_value(OP_CALL, call_id, request, fds=(fd,))
+            if on_sent is not None:
+                on_sent()
+
+        return self._round(send, call_id, deadline)
+
+    def _round(self, send, call_id, deadline):
         base_timeout = self.sock.gettimeout()
         try:
             self._apply_deadline(deadline, base_timeout)
-            self._send(opcode, call_id, payload)
+            send()
             return self._await(call_id, deadline, base_timeout)
+        except socket.timeout as exc:
+            raise self._transport_error(exc, timed_out=True) from None
         except (OSError, WireError) as exc:
+            raise self._transport_error(exc, timed_out=False) from None
+        except ProtocolError:
+            # A local parse failure means the stream may be desynced;
+            # the connection cannot be trusted for another frame.
             self.close()
-            raise DomainUnavailableException(
-                f"out-of-process domain unreachable: {exc}"
-            ) from None
+            raise
         finally:
             if deadline is not None and not self.closed:
                 try:
                     self.sock.settimeout(base_timeout)
                 except OSError:
                     pass
+
+    def _transport_error(self, exc, timed_out):
+        self.close()
+        error = DomainUnavailableException(
+            f"out-of-process domain unreachable: {exc}"
+        )
+        # Checkout-retry discriminator (see DomainClient._exchange): a
+        # deadline expiry must never be retried — the time is spent —
+        # while a connection reset on a pooled socket is the TOCTOU race.
+        error.timed_out = timed_out
+        return error
 
     def _apply_deadline(self, deadline, base_timeout):
         if deadline is None:
@@ -420,9 +983,9 @@ class _Connection:
                     f"reply {reply_id} does not match call {call_id}"
                 )
             if opcode == OP_RESULT:
-                return unmarshal(self.peer, payload)
+                return self._read_value(payload)
             if opcode == OP_ERROR:
-                exc = unmarshal(self.peer, payload)
+                exc = self._read_value(payload)
                 if isinstance(exc, BaseException):
                     raise exc
                 raise RemoteException(f"remote failure: {exc!r}")
@@ -430,48 +993,111 @@ class _Connection:
 
     # -- callee side -------------------------------------------------------
     def _reply_result(self, call_id, value):
-        self._send(OP_RESULT, call_id, marshal(self.peer, value))
+        # The two dominant result shapes — None and a small int — are
+        # constant-sized MF_INLINE frames: one pack, no frame buffer,
+        # no serializer (mirrored by the _read_value fast paths).
+        if value is None:
+            frame = _NONE_REPLY_FRAME.pack(7, OP_RESULT, call_id,
+                                           MF_INLINE, 0x00)
+            with self._send_lock:
+                send_prefixed(self.sock, frame)
+            return
+        if type(value) is int and -_I64_BOUND <= value < _I64_BOUND:
+            frame = _INT_REPLY_FRAME.pack(15, OP_RESULT, call_id,
+                                          MF_INLINE, 0x03, value)
+            with self._send_lock:
+                send_prefixed(self.sock, frame)
+            return
+        self._send_value(OP_RESULT, call_id, value)
 
     def _reply_error(self, call_id, exc):
         try:
-            payload = marshal(self.peer, exc)
+            self._send_value(OP_ERROR, call_id, exc)
+        except (OSError, WireError):
+            raise
         except Exception:
-            payload = marshal(
-                self.peer,
+            # The exception itself would not serialize; nothing has hit
+            # the socket yet (marshalling precedes the send), so degrade
+            # to a typed wrapper on a still-synchronized stream.
+            self._send_value(
+                OP_ERROR, call_id,
                 RemoteException(
                     f"{type(exc).__qualname__} in remote domain: {exc}"
                 ),
             )
-        self._send(OP_ERROR, call_id, payload)
 
-    def _serve_call(self, call_id, payload):
-        try:
-            export_id, method, args, kwargs = unmarshal(self.peer, payload)
-            capability = self.peer.exports.get(export_id)
-            if capability is None:
+    def _invoke_payload(self, payload):
+        # Inline the common non-grant case; _open handles MF_SHM (and
+        # re-raises the empty-payload check it shares).
+        if len(payload) and payload[0] != MF_SHM:
+            fmt = payload[0]
+        else:
+            fmt, payload = self._open(payload)
+        if fmt in (MF_CALL, MF_CALL_TABLED):
+            export_id, method_index = _CALL_HDR.unpack_from(payload, 1)
+            stream = payload[1 + _CALL_HDR.size:]
+            if stream == _EMPTY_ARGS_STREAM:
+                args = ()  # the constant no-arg frame, no reader needed
+            else:
+                args = self._parse(fmt, payload, offset=1 + _CALL_HDR.size)
+            entry = self.peer.exports.entry(export_id)
+            if entry is None:
                 raise RevokedException(
                     f"export #{export_id} is gone (revoked or swept)"
                 )
-            result = getattr(capability, method)(*args, **kwargs)
-            if _chaos is not None:
-                # Chaos crash point: the host dies after executing the
-                # call but before replying — the worst spot for a
-                # caller, which must see a typed error, never a hang.
-                _chaos.crash_point("lrmi.host.dispatch")
-        except Exception as exc:
-            self._reply_error(call_id, exc)
-        else:
-            self._reply_result(call_id, result)
-        after = getattr(self.peer, "after_dispatch", None)
-        if after is not None:
-            after()
+            _capability, bound = entry
+            if not 0 <= method_index < len(bound) or bound[method_index] is None:
+                raise ProtocolError(
+                    f"export #{export_id} has no compiled method "
+                    f"#{method_index}"
+                )
+            return bound[method_index](*args)
+        if fmt not in (MF_INLINE, MF_TABLED):
+            raise ProtocolError(f"unexpected marshal format {fmt}")
+        export_id, method, args, kwargs = self._parse(fmt, payload)
+        capability = self.peer.exports.get(export_id)
+        if capability is None:
+            raise RevokedException(
+                f"export #{export_id} is gone (revoked or swept)"
+            )
+        return getattr(capability, method)(*args, **kwargs)
+
+    def _serve_call(self, call_id, payload):
+        fds = self._in_fds
+        if fds:
+            self._in_fds = []
+            _dispatch_ctx.fds = fds
+        try:
+            try:
+                result = self._invoke_payload(payload)
+                if _chaos is not None:
+                    # Chaos crash point: the host dies after executing
+                    # the call but before replying — the worst spot for
+                    # a caller, which must see a typed error, never a
+                    # hang.
+                    _chaos.crash_point("lrmi.host.dispatch")
+            except Exception as exc:
+                self._reply_error(call_id, exc)
+            else:
+                self._reply_result(call_id, result)
+            after = self._after_dispatch
+            if after is not None:
+                after()
+        finally:
+            if fds:
+                _dispatch_ctx.fds = []
+                for fd in fds:  # whatever the callee did not claim_fd()
+                    try:
+                        os.close(fd)
+                    except OSError:
+                        pass
 
     def _dispatch(self, opcode, call_id, payload):
         if opcode == OP_CALL:
             self._serve_call(call_id, payload)
             return
         try:
-            verb, args = unmarshal(self.peer, payload)
+            verb, args = self._read_value(payload)
             result = self.dispatcher(verb, args)
         except Exception as exc:
             self._reply_error(call_id, exc)
@@ -500,6 +1126,18 @@ class _Connection:
             self.sock.close()
         except OSError:
             pass
+        fds, self._in_fds = self._in_fds, []
+        for fd in fds:
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+        ring, self._send_ring = self._send_ring, None
+        if ring is not None:
+            ring.close()
+        ring, self._peer_ring = self._peer_ring, None
+        if ring is not None:
+            ring.close()
 
 
 # -- the host process ---------------------------------------------------------
@@ -518,6 +1156,11 @@ class _ConnectionPeer(_Peer):
         return self._connection.call(
             OP_CALL, (export_id, method, args, kwargs)
         )
+
+    def call_fast(self, export_id, method_index, method, args):
+        if not COMPILED_WIRE:
+            return self.call(export_id, method, args, {})
+        return self._connection.call_fast(export_id, method_index, args)
 
     def control(self, verb, *args):
         raise ProtocolError("control verbs flow client -> host only")
@@ -634,7 +1277,8 @@ def _host_main(path, setup, parent_pid):
 
     def serve(conn_sock):
         connection = _Connection(conn_sock, None,
-                                 dispatcher=kernel.handle_control)
+                                 dispatcher=kernel.handle_control,
+                                 recv_fds=True)
         connection.peer = _ConnectionPeer(kernel, connection)
         kernel.register_connection(connection)
         try:
@@ -766,6 +1410,16 @@ class DomainClient(_Peer):
       control verbs in :data:`IDEMPOTENT_CONTROL` and methods the
       caller declared via ``idempotent=``.  Each attempt acquires a
       fresh connection (the failed one was closed by the error path).
+
+    Independent of both knobs, a transport failure on a REUSED pooled
+    connection gets one immediate retry on a fresh dial: the checkout
+    health probe (select + ``MSG_PEEK``) is a snapshot, and a host that
+    restarted between probe and send leaves a socket that probes healthy
+    but RSTs on use — the same TOCTOU race fixed for ``ntrpc.RpcClient``
+    in PR 7.  A fresh dial either reaches the live (new) host or fails
+    honestly; deadline expiries are never retried (the time is spent),
+    and a call that went out on a FRESH dial failed against current
+    state, so it surfaces immediately.
     """
 
     def __init__(self, path, timeout=CALL_TIMEOUT, pool_size=4, *,
@@ -816,6 +1470,8 @@ class DomainClient(_Peer):
             return False
 
     def _acquire(self):
+        """Checkout: ``(connection, reused)`` — reused means it came out
+        of the pool, so its health probe is subject to the TOCTOU race."""
         if self._closed:
             raise DomainUnavailableException("domain client closed")
         while True:
@@ -823,12 +1479,18 @@ class DomainClient(_Peer):
                 if not self._free:
                     break
                 connection = self._free.pop()
-            if self._healthy(connection):
-                return connection
+            # A connection released moments ago skips the probe: back-
+            # to-back calls on a hot pool would pay a select() each to
+            # re-learn what the last call just proved, and the fresh-
+            # dial retry in _exchange covers the (already racy) window
+            # the probe would have covered.
+            if (time.monotonic() - connection.last_released < PROBE_FRESH_S
+                    or self._healthy(connection)):
+                return connection, True
             with self._pool_lock:
                 self._evicted += 1
             connection.close()
-        return self._connect()
+        return self._connect(), False
 
     @property
     def evicted(self):
@@ -839,16 +1501,38 @@ class DomainClient(_Peer):
     def _release(self, connection):
         if connection.closed:
             return
+        connection.last_released = time.monotonic()
         with self._pool_lock:
             if not self._closed and len(self._free) < self.pool_size:
                 self._free.append(connection)
                 return
         connection.close()
 
+    def _exchange(self, connection, reused, deadline, invoke):
+        """One call over a checked-out connection, with the one-shot
+        fresh-dial retry closing the pooled-socket TOCTOU window.  Only
+        a non-timeout transport failure on a REUSED connection retries,
+        and only while the deadline (if any) has time left."""
+        try:
+            try:
+                return invoke(connection)
+            except DomainUnavailableException as exc:
+                if not reused or getattr(exc, "timed_out", True):
+                    raise
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise
+                connection = self._connect()
+                return invoke(connection)
+        finally:
+            self._release(connection)
+
+    def _deadline(self):
+        if self.call_deadline is None:
+            return None
+        return time.monotonic() + self.call_deadline
+
     def _round_trip(self, opcode, request, retry=False):
-        deadline = None
-        if self.call_deadline is not None:
-            deadline = time.monotonic() + self.call_deadline
+        deadline = self._deadline()
         attempts = 1 + (self.retries if retry else 0)
         delay = self.backoff
         for attempt in range(attempts):
@@ -856,12 +1540,12 @@ class DomainClient(_Peer):
                 # _acquire is inside the retry: during a host outage the
                 # failure IS the dial (connection refused), and retrying
                 # only the round trip would never bridge a restart.
-                connection = self._acquire()
-                try:
-                    return connection.call(opcode, request,
-                                           deadline=deadline)
-                finally:
-                    self._release(connection)
+                connection, reused = self._acquire()
+                return self._exchange(
+                    connection, reused, deadline,
+                    lambda conn: conn.call(opcode, request,
+                                           deadline=deadline),
+                )
             except DomainUnavailableException:
                 if attempt + 1 >= attempts or self._closed:
                     raise
@@ -876,6 +1560,40 @@ class DomainClient(_Peer):
             OP_CALL, (export_id, method, args, kwargs),
             retry=method in self._idempotent,
         )
+
+    def call_fast(self, export_id, method_index, method, args):
+        # Idempotent-declared methods keep the generic path: its retry
+        # loop is keyed on the method name.
+        if not COMPILED_WIRE or method in self._idempotent:
+            return self.call(export_id, method, args, {})
+        deadline = self._deadline()
+        connection, reused = self._acquire()
+        return self._exchange(
+            connection, reused, deadline,
+            lambda conn: conn.call_fast(export_id, method_index, args,
+                                        deadline=deadline),
+        )
+
+    def call_streamed(self, export_id, method, args, fd, *, on_grant=None):
+        """Invoke ``method`` granting ``fd`` to the host via SCM_RIGHTS.
+
+        No retries of any kind: once the descriptor crosses, the callee
+        may have written bytes to it, and a duplicate delivery could
+        interleave output.  ``on_grant`` (when given) runs the moment
+        the call frame has gone out whole — the point of no return,
+        after which the fd is (possibly) in foreign hands.  A send-phase
+        failure raises *without* firing it: the host only dispatches a
+        complete frame, so the fd was never written and the caller may
+        fall back to an ordinary marshalled reply.
+        """
+        deadline = self._deadline()
+        connection, _reused = self._acquire()
+        try:
+            return connection.call_streamed(export_id, method, args, fd,
+                                            deadline=deadline,
+                                            on_sent=on_grant)
+        finally:
+            self._release(connection)
 
     def control(self, verb, *args):
         return self._round_trip(

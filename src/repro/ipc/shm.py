@@ -1,0 +1,175 @@
+"""Per-connection shared-memory bulk ring for the cross-process wire.
+
+Payloads above the LRMI inline threshold do not ride the socket: the
+sender serializes into a ``multiprocessing.shared_memory`` segment it
+owns and sends a tiny *grant* frame — ``(generation, offset, length)``
+— instead.  The receiver maps the same segment (announced once, by
+name, over the socket) and deserializes straight out of it.
+
+Why a bump allocator with wrap-around is enough
+-----------------------------------------------
+
+The LRMI protocol is strictly nested request/reply on each connection:
+a peer fully *consumes* (deserializes, copying every byte into Python
+objects) an inbound grant before it sends anything back.  So by the
+time the granting side sees any inbound frame, its previous outbound
+grant is dead — there is never more than one live grant per direction,
+and reusing the region (including wrapping to offset 0 when the tail
+is too short) can never overwrite bytes a peer still needs.
+
+Failure handling
+----------------
+
+* **generation check** — every grant carries the ring's generation (a
+  fresh value per created ring); a grant whose generation does not
+  match the announced ring (a respawned host replaying state, a
+  desynchronized stream) is refused with a typed error, never read.
+* **too large** — a payload that cannot fit the ring at all falls back
+  to the inline socket frame; the ring is an optimization, not a
+  protocol requirement.
+* **crash mid-grant** — both ends unlink the segment on close (POSIX
+  ``shm_unlink`` by name is idempotent; the second call is a no-op),
+  so whichever side survives a crash reclaims the name and the memory.
+
+The segments are deliberately *not* managed by multiprocessing's
+``resource_tracker``: the tracker assumes fork-inherited ownership and
+would unlink live rings (or warn about already-unlinked ones) when any
+one process exits.  Lifetime here is explicit — ``close()`` on both
+ends — so registration is suppressed at construction.  (Register-then-
+unregister does not work: creator and attacher share one forked tracker
+whose cache is a *set*, so the two registrations collapse and the
+second unregistration crashes the tracker thread with a KeyError.)
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+import os
+import struct
+import threading
+
+GRANT = struct.Struct(">III")  # generation, offset, length
+
+_generation = itertools.count(
+    (os.getpid() & 0xFFFF) << 16 | 1
+).__next__
+
+
+class RingError(Exception):
+    """A grant that cannot be honored (stale generation, bad bounds)."""
+
+
+_tracker_lock = threading.Lock()
+
+
+@contextlib.contextmanager
+def _untracked():
+    """Create/attach a SharedMemory without resource_tracker adoption."""
+    from multiprocessing import resource_tracker
+
+    with _tracker_lock:
+        original = resource_tracker.register
+        resource_tracker.register = lambda name, rtype: None
+        try:
+            yield
+        finally:
+            resource_tracker.register = original
+
+
+class BulkRing:
+    """One shared-memory segment with a bump allocator (sender side)
+    or a validated read window (receiver side)."""
+
+    __slots__ = ("shm", "name", "size", "generation", "_next", "_owner")
+
+    def __init__(self, shm, generation, owner):
+        self.shm = shm
+        self.name = shm.name
+        self.size = shm.size
+        self.generation = generation
+        self._next = 0
+        self._owner = owner
+
+    @classmethod
+    def create(cls, size):
+        from multiprocessing.shared_memory import SharedMemory
+
+        with _untracked():
+            shm = SharedMemory(create=True, size=size)
+        return cls(shm, _generation() & 0xFFFFFFFF, owner=True)
+
+    @classmethod
+    def attach(cls, name, generation):
+        from multiprocessing.shared_memory import SharedMemory
+
+        with _untracked():
+            shm = SharedMemory(name=name)
+        return cls(shm, generation, owner=False)
+
+    # -- sender ------------------------------------------------------------
+    def grant(self, payload):
+        """Copy ``payload`` into the ring; returns the packed grant
+        header, or None when the payload cannot fit at all (caller
+        falls back to an inline frame)."""
+        length = len(payload)
+        if length > self.size:
+            return None
+        offset = self._next
+        if offset + length > self.size:
+            offset = 0  # wrap: the tail is too short
+        self._next = offset + length
+        self.shm.buf[offset:offset + length] = payload
+        return GRANT.pack(self.generation, offset, length)
+
+    def grant_parts(self, parts):
+        """Like :meth:`grant` but scatters several bytes-likes into one
+        contiguous granted region, so callers never concatenate."""
+        length = sum(len(part) for part in parts)
+        if length > self.size:
+            return None
+        offset = self._next
+        if offset + length > self.size:
+            offset = 0  # wrap: the tail is too short
+        self._next = offset + length
+        cursor = offset
+        buf = self.shm.buf
+        for part in parts:
+            buf[cursor:cursor + len(part)] = part
+            cursor += len(part)
+        return GRANT.pack(self.generation, offset, length)
+
+    # -- receiver ----------------------------------------------------------
+    def view(self, generation, offset, length):
+        """The granted bytes as a zero-copy memoryview, after checking
+        the grant against this ring's announced generation and bounds."""
+        if generation != self.generation:
+            raise RingError(
+                f"grant generation {generation} does not match ring "
+                f"generation {self.generation} (stale ring?)"
+            )
+        if offset + length > self.size:
+            raise RingError(
+                f"grant [{offset}:{offset + length}] exceeds ring size "
+                f"{self.size}"
+            )
+        return self.shm.buf[offset:offset + length]
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self):
+        """Unmap and unlink.  Both ends call this; unlink-by-name is
+        idempotent, so a crash on either side leaves no segment behind
+        as long as the survivor closes."""
+        try:
+            self.shm.close()
+        except (OSError, BufferError):
+            pass
+        try:
+            self.shm.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+
+    def __repr__(self):
+        role = "owner" if self._owner else "attached"
+        return (f"<BulkRing {self.name} {self.size}B "
+                f"gen={self.generation} ({role})>")

@@ -35,6 +35,7 @@ from collections import OrderedDict, deque
 from repro.core.accounting import ShardedCounter
 
 from .http import HttpError, RequestParser, Response, format_response
+from . import streaming as _streaming
 
 _READ = selectors.EVENT_READ
 _WRITE = selectors.EVENT_WRITE
@@ -679,7 +680,34 @@ class _EventLoop(threading.Thread):
             _, handler, inline = entry
             pool = server.pool
             if inline or pool is None or not pool.running:
-                response = _safe_handle(handler, request)
+                # Reply-streaming offer: while THIS loop thread is blocked
+                # inside the handler, nothing else can write the socket —
+                # so if no output is queued and this request is the only
+                # pending slot, an out-of-process gateway may pass the
+                # socket's fd to its domain host (SCM_RIGHTS) and let the
+                # host write the HTTP response directly.
+                offer = None
+                if (_streaming.armed() and not conn.out
+                        and len(conn.pending) == 1):
+                    offer = _streaming.open_offer(
+                        conn.sock.fileno(), version, keep
+                    )
+                try:
+                    response = _safe_handle(handler, request)
+                finally:
+                    if offer is not None:
+                        _streaming.close_offer()
+                if offer is not None and offer.granted:
+                    # The host wrote (or may have started writing) the
+                    # response itself: this slot owes the client nothing.
+                    # A grant that did not complete cleanly leaves the
+                    # HTTP framing unknowable — close, never append.
+                    slot.payload = b""
+                    slot.ready = True
+                    if offer.failed or not offer.streamed:
+                        slot.close_after = True
+                    self._finish_slot(slot)
+                    return
                 slot.payload = _format_payload(response, keep, version)
                 slot.ready = True
                 self._finish_slot(slot)

@@ -41,6 +41,7 @@ from repro.core import (
 from repro.core.accounting import ShardedCounter
 from repro.core.quota import QuotaManager
 
+from . import streaming
 from .control import AdmissionController
 from .httpd import NativeHttpServer
 from .isapi import IsapiBridge
@@ -264,9 +265,51 @@ class _OutOfProcessGateway:
         registration = self._registration
         registration._in_flight.add(1)
         try:
+            offer = streaming.claim()
+            if offer is not None and registration.stream_proxy is not None:
+                return self._stream(registration, offer, request)
             return registration.proxy.service(request)
         finally:
             registration._in_flight.add(-1)
+
+    @staticmethod
+    def _stream(registration, offer, request):
+        """Reply streaming: grant the client socket's fd to the domain
+        host and let it write the HTTP response directly.
+
+        Failure split on the grant boundary: an error *before*
+        ``offer.grant`` ran means the fd never left this process — the
+        socket is untouched, so the exception propagates into the system
+        servlet's ordinary 503/500 path and a marshalled response goes
+        out normally.  An error *after* the grant (host died mid-call,
+        partial write) leaves the framing unknowable; the offer is
+        failed and the reactor closes the connection without appending.
+        """
+        with registration._lock:
+            # One snapshot: a supervisor respawn swaps client and stream
+            # proxy together; reading them piecemeal could pair a fresh
+            # client with a dead host's export id.
+            client = registration.client
+            stream = registration.stream_proxy
+        if stream is None:
+            return registration.proxy.service(request)
+        try:
+            result = client.call_streamed(
+                stream._export_id, "service",
+                (request, offer.version, offer.keep_alive),
+                offer.fd, on_grant=offer.grant,
+            )
+        except Exception:
+            if not offer.granted:
+                raise
+            offer.fail()
+            return streaming.STREAMED
+        if (isinstance(result, tuple) and len(result) == 2
+                and result[0] == "streamed"):
+            offer.complete(result[1])
+        else:
+            offer.fail()
+        return streaming.STREAMED
 
 
 class OutOfProcessRegistration:
@@ -296,6 +339,13 @@ class OutOfProcessRegistration:
         self.host = host
         self.client = client
         self.proxy = proxy
+        # Reply streaming is an optimization the host may decline (an
+        # old host image without the __stream__ binding): the gateway
+        # falls back to marshalled replies when this stays None.
+        self.stream_proxy = self._lookup_stream(client)
+        self._stream_armed = self.stream_proxy is not None
+        if self._stream_armed:
+            streaming.arm()
         self.account = get_accountant().account(self)
         self.respawns = 0
         self.max_respawns = max_respawns
@@ -314,6 +364,13 @@ class OutOfProcessRegistration:
                 name=f"{self.name}-supervisor",
             )
             self._monitor.start()
+
+    @staticmethod
+    def _lookup_stream(client):
+        try:
+            return client.lookup("__stream__")
+        except Exception:
+            return None
 
     # -- ServletRegistration duck interface --------------------------------
     @property
@@ -377,6 +434,10 @@ class OutOfProcessRegistration:
         with self._lock:
             host, client = self.host, self.client
             self.host = None
+            self.stream_proxy = None
+            if self._stream_armed:
+                self._stream_armed = False
+                streaming.disarm()
         try:
             client.terminate("servlet")
         except Exception:
@@ -430,6 +491,15 @@ class OutOfProcessRegistration:
                 self.host = replacement
                 self.client = client
                 self.proxy = proxy
+                # Fresh host, fresh export table: the old stream proxy's
+                # export id means nothing to the replacement.
+                self.stream_proxy = self._lookup_stream(client)
+                armed = self.stream_proxy is not None
+                if armed and not self._stream_armed:
+                    streaming.arm()
+                elif not armed and self._stream_armed:
+                    streaming.disarm()
+                self._stream_armed = armed
                 self.respawns += 1
                 old_client.close()
                 # The dead host was reaped by alive(); stop() still
@@ -644,6 +714,8 @@ class JKernelWebServer:
         name = domain_name or f"servlet{prefix.replace('/', '-')}"
 
         def setup():
+            from .streaming import ReplyStreamAdapter
+
             domain = Domain(name)
 
             def build():
@@ -655,7 +727,16 @@ class JKernelWebServer:
                     )
                 return Capability.create(servlet, label=name)
 
-            return {"servlet": domain.run(build)}
+            servlet_cap = domain.run(build)
+            # Reply-streaming terminus: trusted host plumbing, so its
+            # capability lives in the host's *system* domain — each
+            # streamed request still crosses into the servlet's domain
+            # exactly once (through servlet_cap), keeping the domain's
+            # LRMI accounting identical to the marshalled-reply path.
+            stream_cap = Capability.create(
+                ReplyStreamAdapter(servlet_cap), label=f"{name}-stream"
+            )
+            return {"servlet": servlet_cap, "__stream__": stream_cap}
 
         host = DomainHostProcess(setup, name=name).start()
         client = connect(host)

@@ -71,11 +71,15 @@ def _send_msg(sock, message):
         raise PreforkError(f"control channel failed: {exc}") from None
 
 
-def _recv_msg(sock, timeout=None):
+def _recv_msg(sock, timeout=None, scratch=None):
+    """One JSON control message.  ``scratch`` (a per-channel bytearray)
+    lets the frame fill a preallocated buffer instead of allocating one
+    per poll — the master polls every worker's stats on a timer, so the
+    buffers would otherwise churn steadily for the server's lifetime."""
     if timeout is not None:
         sock.settimeout(timeout)
     try:
-        return json.loads(recv_frame(sock).decode("utf-8"))
+        return json.loads(recv_frame(sock, scratch).decode("utf-8"))
     except socket.timeout:
         raise PreforkError("control-channel timeout") from None
     except (OSError, WireError, ValueError) as exc:
@@ -86,7 +90,7 @@ class WorkerHandle:
     """Master-side record of one worker process."""
 
     __slots__ = ("pid", "control", "generation", "last_stats", "retiring",
-                 "seq", "_pipe_lock")
+                 "seq", "_pipe_lock", "_scratch")
 
     def __init__(self, pid, control, generation):
         self.pid = pid
@@ -96,6 +100,8 @@ class WorkerHandle:
         self.retiring = False
         self.seq = 0
         self._pipe_lock = threading.Lock()
+        # recv buffer for this handle's frames, reused under _pipe_lock.
+        self._scratch = bytearray(65536)
 
     def request(self, message, timeout):
         """One sequence-tagged control round trip.
@@ -117,7 +123,8 @@ class WorkerHandle:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     raise PreforkError("control-channel timeout")
-                reply = _recv_msg(self.control, timeout=remaining)
+                reply = _recv_msg(self.control, timeout=remaining,
+                                  scratch=self._scratch)
                 if reply.get("seq") == self.seq:
                     self.control.settimeout(None)
                     return reply
@@ -283,9 +290,10 @@ class PreforkServer:
         server.start(listener)
         _send_msg(control, {"type": "READY", "pid": os.getpid(),
                             "port": self.port})
+        scratch = bytearray(65536)
         while True:
             try:
-                message = _recv_msg(control)
+                message = _recv_msg(control, scratch=scratch)
             except PreforkError:
                 # Master died (EOF on the pipe): orphaned workers must
                 # not linger and keep the port bound.

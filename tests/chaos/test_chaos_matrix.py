@@ -154,6 +154,44 @@ class TestHostCrashMidCall:
             host.stop()
 
 
+class TestHostCrashMidGrant:
+    def test_killed_host_mid_grant_is_typed_and_leaks_no_region(
+            self, chaos, monkeypatch):
+        """A payload large enough to ride the shared-memory bulk ring is
+        granted to a host that dies before replying: the caller gets a
+        typed error within its deadline (never a hang), and after the
+        client closes, no shared-memory segment survives — both ends
+        unlink by name, idempotently, so the survivor reclaims the
+        region the dead host can no longer release."""
+        import os as _os
+
+        shm_dir = "/dev/shm"
+        names_before = (set(_os.listdir(shm_dir))
+                        if _os.path.isdir(shm_dir) else None)
+        from repro.ipc import lrmi
+        monkeypatch.setattr(lrmi, "SHM_THRESHOLD", 2048)  # pre-fork
+        install(ChaosConfig(crash_at=("lrmi.host.dispatch",),
+                            scope="child"))
+        host = DomainHostProcess(_echo_setup, name="grant-crash").start()
+        client = connect(host)
+        try:
+            proxy = client.lookup("echo")
+            big = b"g" * 5000  # over SHM_THRESHOLD: travels as a grant
+            start = time.monotonic()
+            with pytest.raises(DomainUnavailableException):
+                proxy.echo(big)
+            assert time.monotonic() - start < 5.0
+        finally:
+            client.close()
+            host.stop()
+        uninstall()
+        assert _wait(lambda: not host.alive(), timeout=5.0)
+        if names_before is not None:
+            leaked = {name for name in set(_os.listdir(shm_dir)) - names_before
+                      if name.startswith("psm_")}
+            assert not leaked, f"shared-memory segments leaked: {leaked}"
+
+
 class TestWireDelayBeyondDeadline:
     def test_call_ends_in_typed_error_at_the_deadline(self, chaos):
         host = DomainHostProcess(_echo_setup, name="slowwire").start()

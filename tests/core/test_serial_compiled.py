@@ -479,3 +479,88 @@ def _same_shape(a, b):
     if isinstance(a, BaseException):
         return a.args == b.args
     return a == b
+
+
+@serializable(fields=("samples", "weights"))
+class Batched:
+    samples: list[int]
+    weights: list[float]
+
+    def __init__(self, samples=(), weights=()):
+        self.samples = list(samples)
+        self.weights = list(weights)
+
+
+class TestByteWideBatches:
+    """The u8 batch tags: an all-0..255 int sequence packs via
+    ``bytes(items)`` — an eighth of the ``>Nq`` payload — without
+    loosening the 64-bit tags' strict no-bool semantics."""
+
+    def test_u8_payload_is_byte_wide(self):
+        small = dumps(list(range(256)))
+        wide = dumps([256] + list(range(1, 256)))  # one element overflows
+        assert len(small) < len(wide) - 7 * 250
+
+    def test_u8_round_trip_types_and_values(self):
+        for payload in [
+            list(range(256)), tuple(range(256)), [0], (255,),
+            [0, 255, 128],
+        ]:
+            copy = loads(dumps(payload))
+            assert copy == payload
+            assert type(copy) is type(payload)
+            assert all(type(item) is int for item in copy)
+
+    def test_bools_and_negatives_stay_off_the_u8_path(self):
+        for payload in [[True, False], [1, True], [-1, 5], [0, 256]]:
+            copy = loads(dumps(payload))
+            assert copy == payload
+            assert [type(item) for item in copy] \
+                == [type(item) for item in payload]
+
+    def test_generic_reader_rejects_nothing_it_wrote(self):
+        # The u8 tags are compiled-writer-only; the generic reader (and
+        # the compiled one) must both decode them.
+        payload = [7] * 100
+        data = dumps(payload)
+        assert loads(data) == payload
+        assert generic_loads(data) == payload
+
+    def test_truncated_u8_stream_is_typed_error(self):
+        data = dumps(list(range(64)))
+        with pytest.raises(NotSerializableError):
+            loads(data[:-3])
+
+
+class TestDeclaredBatchFields:
+    """``list[int]`` / ``list[float]`` annotations skip the homogeneity
+    scan; the declaration is trusted, and lying payloads still round-trip
+    through the generic per-element fallback."""
+
+    def test_declared_fields_round_trip(self):
+        box = Batched(samples=range(200), weights=[0.5, 1.5, -2.0])
+        copy = loads(dumps(box))
+        assert copy.samples == list(range(200))
+        assert copy.weights == [0.5, 1.5, -2.0]
+
+    def test_declared_int_field_uses_u8_packing_when_possible(self):
+        tight = dumps(Batched(samples=[9] * 400))
+        loose = dumps(Batched(samples=[9] * 399 + [300]))
+        assert len(tight) < len(loose) - 7 * 390
+
+    def test_lying_declaration_falls_back_per_element(self):
+        box = Batched(samples=[1, "nope", 3])  # violates list[int]
+        copy = loads(dumps(box))
+        assert copy.samples == [1, "nope", 3]
+
+    def test_int_elements_in_float_field_pack_as_floats(self):
+        box = Batched(weights=[1, 2.5])
+        copy = loads(dumps(box))
+        assert copy.weights == [1.0, 2.5]
+
+    def test_generic_writer_agrees_on_values(self):
+        box = Batched(samples=range(50), weights=[3.25])
+        via_generic = generic_loads(generic_dumps(box))
+        via_compiled = loads(dumps(box))
+        assert via_compiled.samples == via_generic.samples
+        assert via_compiled.weights == via_generic.weights

@@ -1,0 +1,29 @@
+"""Wire-path parametrization for the cross-process LRMI suite.
+
+The compiled wire (per-method frame encoders, MF_CALL index dispatch,
+constant-frame fast paths) and the generic tagged-stream fallback are
+one behavioural contract: ``tests/ipc/test_xproc_lrmi.py``'s scenario
+matrix runs twice, once per path, without the test file knowing.  The
+flip happens by patching :data:`repro.ipc.lrmi.COMPILED_WIRE` *before*
+any host process forks, so both ends of every connection agree on the
+path for the duration of the test.
+"""
+
+import pytest
+
+from repro.ipc import lrmi
+
+
+@pytest.fixture(autouse=True)
+def wire_path(request, monkeypatch):
+    mode = getattr(request, "param", "compiled")
+    monkeypatch.setattr(lrmi, "COMPILED_WIRE", mode != "generic")
+    return mode
+
+
+def pytest_generate_tests(metafunc):
+    if (metafunc.module.__name__.endswith("test_xproc_lrmi")
+            and "wire_path" in metafunc.fixturenames):
+        metafunc.parametrize(
+            "wire_path", ["compiled", "generic"], indirect=True
+        )

@@ -192,3 +192,54 @@ class TestIdempotentRetry:
             client.stats()
         assert time.monotonic() - start < 3.0
         client.close()
+
+
+class TestPooledSocketToctou:
+    """The reused-socket TOCTOU window (ported from ntrpc, PR 7): the
+    checkout probe can pass and the host die before the send — the
+    probe's answer is stale the moment it returns."""
+
+    def test_blinded_probe_still_recovers_via_fresh_dial(self, host,
+                                                         monkeypatch):
+        """With the health probe blinded (simulating the probe-then-die
+        race exactly), a NON-idempotent call on the stale pooled socket
+        must transparently retry once on a freshly dialed connection —
+        with ``retries=0``, proving the one-shot fresh-dial retry in
+        ``_exchange`` is independent of the idempotent-retry budget."""
+        client = connect(host)
+        assert client.retries == 0
+        proxy = client.lookup("echo")
+        assert proxy.echo("warm") == "warm"  # pools a live connection
+        os.kill(host.pid, signal.SIGKILL)
+        while host.alive():
+            time.sleep(0.01)
+        host.start()  # restart-in-place: same socket path, live again
+        # Recreate the export in the replacement host through a second
+        # client (export ids are assigned at lookup; the fresh kernel
+        # hands out the same first id) — the first client's pooled
+        # socket stays stale and untouched.
+        other = connect(host)
+        assert other.lookup("echo")._export_id == proxy._export_id
+        other.close()
+        # Blind the probe: checkout hands out the dead pooled socket,
+        # exactly as if the host had died between probe and send.
+        monkeypatch.setattr(DomainClient, "_healthy",
+                            staticmethod(lambda connection: True))
+        evicted_before = client.evicted
+        assert proxy.echo("back") == "back"
+        # The save came from the fresh-dial retry, not from eviction.
+        assert client.evicted == evicted_before
+        client.close()
+
+    def test_timed_out_reused_call_never_retries(self, host):
+        """The discriminator: a deadline expiry on a reused connection
+        must NOT redial — the time is spent, and replaying a
+        non-idempotent call after a timeout could execute it twice."""
+        client = connect(host, call_deadline=0.4)
+        proxy = client.lookup("echo")
+        assert proxy.echo("warm") == "warm"
+        start = time.monotonic()
+        with pytest.raises(DomainUnavailableException):
+            proxy.nap(5.0)  # runs past the deadline on a reused socket
+        assert time.monotonic() - start < 2.0
+        client.close()

@@ -1,0 +1,227 @@
+"""Shared-memory bulk-ring edges: wrap-around, fallback, stale grants.
+
+The ring is an optimization with sharp failure edges; each gets pinned
+here at the level where it lives — allocator arithmetic on a bare
+:class:`BulkRing`, grant validation on a :class:`_Connection`, and the
+full client↔host path over a real fork for the behaviour a user
+observes (big payloads still round-trip when the ring wraps, overflows,
+or cannot exist at all).
+"""
+
+import socket
+
+import pytest
+
+from repro.core import Capability, Domain, Remote
+from repro.ipc import DomainHostProcess, ProtocolError, connect
+from repro.ipc import lrmi
+from repro.ipc.lrmi import MF_SHM, _Connection, _Peer
+from repro.ipc.shm import GRANT, BulkRing, RingError
+
+
+class TestBulkRingAllocator:
+    def test_grant_view_round_trip(self):
+        ring = BulkRing.create(4096)
+        try:
+            grant = ring.grant(b"hello ring")
+            generation, offset, length = GRANT.unpack(grant)
+            assert generation == ring.generation
+            assert bytes(ring.view(generation, offset, length)) \
+                == b"hello ring"
+        finally:
+            ring.close()
+
+    def test_wrap_around_reuses_offset_zero(self):
+        """A payload that does not fit the tail wraps to offset 0 — and
+        the strictly-nested request/reply protocol means the bytes it
+        overwrites are already dead."""
+        ring = BulkRing.create(1024)
+        try:
+            first = ring.grant(b"a" * 700)
+            _, offset_a, _ = GRANT.unpack(first)
+            assert offset_a == 0
+            second = ring.grant(b"b" * 700)  # tail is 324 bytes: wrap
+            _, offset_b, length_b = GRANT.unpack(second)
+            assert offset_b == 0
+            assert bytes(ring.view(ring.generation, offset_b, length_b)) \
+                == b"b" * 700
+        finally:
+            ring.close()
+
+    def test_payload_larger_than_ring_returns_none(self):
+        ring = BulkRing.create(256)
+        try:
+            assert ring.grant(b"x" * 257) is None
+            assert ring.grant_parts((b"x" * 200, b"y" * 57)) is None
+        finally:
+            ring.close()
+
+    def test_grant_parts_scatters_contiguously(self):
+        ring = BulkRing.create(1024)
+        try:
+            grant = ring.grant_parts((b"head-", b"body-", b"tail"))
+            generation, offset, length = GRANT.unpack(grant)
+            assert bytes(ring.view(generation, offset, length)) \
+                == b"head-body-tail"
+        finally:
+            ring.close()
+
+    def test_stale_generation_refused(self):
+        ring = BulkRing.create(256)
+        try:
+            grant = ring.grant(b"payload")
+            generation, offset, length = GRANT.unpack(grant)
+            with pytest.raises(RingError, match="generation"):
+                ring.view(generation + 1, offset, length)
+        finally:
+            ring.close()
+
+    def test_out_of_bounds_grant_refused(self):
+        ring = BulkRing.create(256)
+        try:
+            with pytest.raises(RingError, match="exceeds"):
+                ring.view(ring.generation, 200, 100)
+        finally:
+            ring.close()
+
+    def test_close_unlinks_and_is_idempotent(self):
+        ring = BulkRing.create(256)
+        name = ring.name
+        ring.close()
+        ring.close()  # second close: no-op, no raise
+        with pytest.raises((FileNotFoundError, OSError)):
+            BulkRing.attach(name, ring.generation)
+
+
+class TestGrantValidation:
+    """``_Connection._open`` against hostile or stale grants."""
+
+    def _connection(self):
+        left, right = socket.socketpair()
+        self._spare = right
+        return _Connection(left, _Peer())
+
+    def test_grant_before_announcement_rejected(self):
+        conn = self._connection()
+        try:
+            payload = bytes((MF_SHM,)) + GRANT.pack(1, 0, 16)
+            with pytest.raises(ProtocolError, match="before ring"):
+                conn._open(payload)
+        finally:
+            conn.close()
+            self._spare.close()
+
+    def test_stale_generation_is_typed_protocol_error(self):
+        """A respawned host replaying a grant against the previous
+        incarnation's ring must get a typed refusal, never a read of
+        unrelated bytes."""
+        conn = self._connection()
+        ring = BulkRing.create(512)
+        try:
+            ring.grant(b"live payload")
+            conn._peer_ring = BulkRing.attach(ring.name,
+                                              ring.generation + 7)
+            payload = bytes((MF_SHM,)) + GRANT.pack(ring.generation, 0, 12)
+            with pytest.raises(ProtocolError, match="generation"):
+                conn._open(payload)
+        finally:
+            conn.close()  # closes the attached ring too
+            ring.close()
+            self._spare.close()
+
+    def test_nested_grant_rejected(self):
+        conn = self._connection()
+        ring = BulkRing.create(512)
+        try:
+            grant = ring.grant(bytes((MF_SHM,)) + b"inner")
+            conn._peer_ring = BulkRing.attach(ring.name, ring.generation)
+            payload = bytes((MF_SHM,)) + grant
+            with pytest.raises(ProtocolError, match="nested"):
+                conn._open(payload)
+        finally:
+            conn.close()
+            ring.close()
+            self._spare.close()
+
+
+class IEcho(Remote):
+    def echo(self, value): ...
+
+
+class EchoImpl(IEcho):
+    def echo(self, value):
+        return value
+
+
+def _echo_setup():
+    domain = Domain("ring-echo")
+    return {"echo": domain.run(
+        lambda: Capability.create(EchoImpl(), label="ring-echo")
+    )}
+
+
+@pytest.fixture()
+def small_ring(monkeypatch):
+    """Shrink the ring and threshold (pre-fork, so the host inherits
+    both) to make wrap-around and overflow cheap to reach."""
+    monkeypatch.setattr(lrmi, "RING_SIZE", 8192)
+    monkeypatch.setattr(lrmi, "SHM_THRESHOLD", 2048)
+    return 8192
+
+
+class TestRingOverTheWire:
+    def test_large_payloads_ride_the_ring_and_wrap(self, small_ring):
+        """Payloads above SHM_THRESHOLD but below the ring size go via
+        shared memory; enough of them in sequence force the bump
+        allocator to wrap, and every echo still round-trips intact."""
+        host = DomainHostProcess(_echo_setup, name="ring-wrap").start()
+        client = connect(host)
+        try:
+            proxy = client.lookup("echo")
+            payloads = [bytes([index]) * 5000 for index in range(6)]
+            for payload in payloads:
+                assert proxy.echo(payload) == payload
+        finally:
+            client.close()
+            host.stop()
+
+    def test_payload_larger_than_ring_falls_back_inline(self, small_ring):
+        """A payload the ring cannot hold at all uses the inline socket
+        frame — the ring is an optimization, not a protocol demand."""
+        host = DomainHostProcess(_echo_setup, name="ring-over").start()
+        client = connect(host)
+        try:
+            proxy = client.lookup("echo")
+            huge = b"z" * (small_ring * 3)
+            assert proxy.echo(huge) == huge
+            # and the connection still works for ring-sized traffic after
+            assert proxy.echo(b"w" * 5000) == b"w" * 5000
+        finally:
+            client.close()
+            host.stop()
+
+    def test_respawn_gets_fresh_ring_generation(self, small_ring):
+        """Kill the host mid-conversation: the replacement connection
+        negotiates fresh rings (fresh generations), and traffic resumes
+        without any stale-grant confusion."""
+        host = DomainHostProcess(_echo_setup, name="ring-respawn").start()
+        client = connect(host)
+        try:
+            proxy = client.lookup("echo")
+            assert proxy.echo(b"a" * 5000) == b"a" * 5000
+            host.stop()
+            replacement = DomainHostProcess(
+                _echo_setup, name="ring-respawn"
+            ).start()
+            try:
+                fresh_client = connect(replacement)
+                try:
+                    fresh = fresh_client.lookup("echo")
+                    assert fresh.echo(b"b" * 5000) == b"b" * 5000
+                finally:
+                    fresh_client.close()
+            finally:
+                replacement.stop()
+        finally:
+            client.close()
+            host.stop()

@@ -233,7 +233,14 @@ class TestOutOfProcessServlet:
             for _ in range(7):
                 assert fetch_once("127.0.0.1", jk.port,
                                   "/servlet/pid").status == 200
-            # client-side charge (the system servlet's view) ...
+            # client-side charge (the system servlet's view): with reply
+            # streaming the host writes the response to the client socket
+            # BEFORE the LRMI acknowledgement returns, so the final
+            # charge may land microseconds after the fetch completes.
+            deadline = time.monotonic() + 2.0
+            while (registration.account.requests < 7
+                   and time.monotonic() < deadline):
+                time.sleep(0.005)
             assert registration.account.requests == 7
             # ... reconciles with the host process's own LRMI counter:
             # every request crossed into the servlet's domain exactly once
@@ -259,6 +266,16 @@ class TestOutOfProcessServlet:
             recovered = None
             while time.monotonic() < deadline:
                 response = fetch_once("127.0.0.1", jk.port, "/servlet/pid")
+                if response is None:
+                    # Reply streaming: a request whose call frame was
+                    # already handed to the dying host cannot be answered
+                    # with a marshalled 503 — the host may have written
+                    # part of the response to the client socket — so the
+                    # server closes the connection instead (the standard
+                    # upstream-died-mid-response behaviour).  Still no
+                    # hang, and the next attempt gets a clean answer.
+                    time.sleep(0.02)
+                    continue
                 statuses.add(response.status)
                 assert response.status in (200, 503), response.status
                 if response.status == 200:
