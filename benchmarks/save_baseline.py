@@ -87,6 +87,15 @@ XPROC_RATIO_FLOOR = 5.0
 XPROC_NULL_CEILING_US = 30.0
 XPROC_1000B_RATIO_CEILING = 3.0
 
+#: Sealed-region ceiling: a 64KiB SealedRegion granted cross-process
+#: (grant descriptor + cached attachment + header validation, zero byte
+#: copies) must stay within this multiple of the in-process *fast-copy*
+#: cost for the same payload size — the "near-fast-copy cross-process
+#: transfer" claim.  Measured ~0.04x (the grant beats copying 64KiB of
+#: structured payload by ~25x); the ceiling leaves room for host noise
+#: while catching any rot back to re-serialization (~10-30x).
+SEALED_64K_RATIO_CEILING = 3.0
+
 
 def _load_loadgen():
     """Load the sibling loadgen module by path: this file itself is often
@@ -213,6 +222,12 @@ def collect(min_time=0.1):
         # xproc/in-process ratio below.
         "xproc_null_lrmi_us": round(table6_shape["xproc_null_us"], 3),
         "xproc_lrmi_1000B_us": round(table6_shape["xproc_1000b_us"], 3),
+        # Sealed-region grant leg (record-only µs; the architecture
+        # signal is shape.sealed_64k_over_fastcopy, ceiling-gated).
+        "xproc_sealed_64k_us": round(table6_shape["xproc_sealed_64k_us"], 3),
+        "inproc_fastcopy_64k_us": round(
+            table6_shape["inproc_fastcopy_64k_us"], 3
+        ),
         **prefork_keys,
         # Control-plane behaviour under an open-loop heavy-tailed burst
         # (benchmarks/loadgen.py).  Record-only: the shed rate and burst
@@ -244,6 +259,9 @@ def collect(min_time=0.1):
             "xproc_over_inproc_1000B": round(
                 table6_shape["xproc_over_inproc_1000b"], 1
             ),
+            "sealed_64k_over_fastcopy": round(
+                table6_shape["sealed_64k_over_fastcopy"], 2
+            ),
             "prefork_2w_over_1w": round(
                 prefork_2w / max(prefork_1w, 1e-9), 2
             ),
@@ -270,6 +288,7 @@ def _microsecond_metrics(snapshot, prefix=""):
 #: :data:`XPROC_1000B_RATIO_CEILING` on the 1000-byte ratio — so the
 #: compiled wire cannot silently rot back to the generic path's cost.
 GATE_EXEMPT = frozenset({"xproc_null_lrmi_us", "xproc_lrmi_1000B_us",
+                         "xproc_sealed_64k_us", "inproc_fastcopy_64k_us",
                          "quota_kill_teardown_us",
                          "fleet_heartbeat_overhead_us"})
 
@@ -372,15 +391,20 @@ def check_shapes(snapshot, regressions, remeasure_http=True,
     # 1000B xproc/in-process multiple the bulk ring is meant to hold.
     xnull = snapshot.get("xproc_null_lrmi_us")
     xratio_1000 = shape.get("xproc_over_inproc_1000B")
+    sealed_ratio = shape.get("sealed_64k_over_fastcopy")
     over = ((xnull is not None and xnull > XPROC_NULL_CEILING_US)
             or (xratio_1000 is not None
-                and xratio_1000 > XPROC_1000B_RATIO_CEILING))
+                and xratio_1000 > XPROC_1000B_RATIO_CEILING)
+            or (sealed_ratio is not None
+                and sealed_ratio > SEALED_64K_RATIO_CEILING))
     if over and remeasure_xproc:
         fresh = _measure_xproc()
         if xnull is not None:
             xnull = round(fresh["xproc_null_us"], 3)
         if xratio_1000 is not None:
             xratio_1000 = round(fresh["xproc_over_inproc_1000b"], 2)
+        if sealed_ratio is not None:
+            sealed_ratio = round(fresh["sealed_64k_over_fastcopy"], 2)
     if xnull is not None:
         marker = ""
         if xnull > XPROC_NULL_CEILING_US:
@@ -402,6 +426,17 @@ def check_shapes(snapshot, regressions, remeasure_http=True,
         lines.append(f"{'shape.xproc_over_inproc_1000B (ceiling)':45s} "
                      f"{XPROC_1000B_RATIO_CEILING:10.3f} -> "
                      f"{xratio_1000:10.3f}{marker}")
+    if sealed_ratio is not None:
+        marker = ""
+        if sealed_ratio > SEALED_64K_RATIO_CEILING:
+            regressions.append(
+                ("shape.sealed_64k_over_fastcopy",
+                 SEALED_64K_RATIO_CEILING, sealed_ratio)
+            )
+            marker = "  <-- SEALED GRANT SLOWER THAN COPYING"
+        lines.append(f"{'shape.sealed_64k_over_fastcopy (ceiling)':45s} "
+                     f"{SEALED_64K_RATIO_CEILING:10.3f} -> "
+                     f"{sealed_ratio:10.3f}{marker}")
 
     # Prefork scaling only gates on multi-core hosts: two workers on one
     # core share the CPU the single process already saturated.
@@ -438,6 +473,8 @@ def step_summary_line(snapshot, regressions, new_keys):
         f" ({snapshot.get('cpu_count', '?')} cpu)",
         f"null LRMI {snapshot.get('null_lrmi_us', '?')}us",
         f"xproc null {snapshot.get('xproc_null_lrmi_us', '?')}us",
+        f"sealed64k/fastcopy {shape.get('sealed_64k_over_fastcopy', '?')}"
+        f" (ceiling {SEALED_64K_RATIO_CEILING:g})",
         f"shed@burst {snapshot.get('shed_rate_under_burst', '?')}",
         f"{len(regressions)} regression(s)",
         f"{len(new_keys)} new key(s)",

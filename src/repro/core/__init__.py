@@ -39,6 +39,7 @@ from .errors import (
     NameAlreadyBoundError,
     NameNotBoundError,
     NotSerializableError,
+    RegionRevokedError,
     RemoteException,
     RemoteInterfaceError,
     RevokedException,
@@ -46,6 +47,7 @@ from .errors import (
     SharingError,
 )
 from .fastcopy import fast_copy, fast_copy_value
+from .regions import AttachmentCache, SealedRegion, seal
 from .remote import Remote, remote_interfaces, remote_methods
 from .repository import Repository, get_repository, reset_repository
 from .resolver import SAFE_BUILTINS, DomainResolver
@@ -72,6 +74,7 @@ from .sharing import SharedClass, check_no_static_state, references, share_class
 
 __all__ = [
     "Accountant",
+    "AttachmentCache",
     "Capability",
     "Domain",
     "DomainError",
@@ -87,6 +90,7 @@ __all__ = [
     "NotSerializableError",
     "ObjectReader",
     "ObjectWriter",
+    "RegionRevokedError",
     "Remote",
     "RemoteException",
     "RemoteInterfaceError",
@@ -94,6 +98,7 @@ __all__ = [
     "ResourceAccount",
     "RevokedException",
     "SAFE_BUILTINS",
+    "SealedRegion",
     "SegmentHandle",
     "SegmentStoppedException",
     "SerialRegistry",
@@ -119,6 +124,7 @@ __all__ = [
     "remote_interfaces",
     "remote_methods",
     "reset_repository",
+    "seal",
     "serializable",
     "share_class",
     "transfer",

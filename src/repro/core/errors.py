@@ -30,6 +30,19 @@ class DomainTerminatedException(RevokedException):
     """The creating domain terminated, revoking all of its capabilities."""
 
 
+class RegionRevokedError(RevokedException):
+    """A sealed shared-memory region was revoked (``repro.core.regions``).
+
+    The MPK-style grant model: a domain *grants* a region to a callee
+    for the duration of a call and the kernel *revokes* the view when
+    the call returns — any later access through the view raises this,
+    never stale bytes.  Also raised for stale-generation grants (a
+    recycled or respawned segment) and reads of a region whose owner
+    revoked it or died.  A :class:`RevokedException` subclass so every
+    existing revocation-handling path treats it identically.
+    """
+
+
 class SegmentStoppedException(RemoteException):
     """This thread segment was stopped (the segment-local ``Thread.stop``)."""
 

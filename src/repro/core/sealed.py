@@ -51,8 +51,12 @@ def _frozen_delattr(self, name):
 def sealed(cls):
     """Class decorator: freeze instances, finalize the class, and
     register it to cross domain boundaries by reference."""
-    probe = cls.__new__(cls)
-    if hasattr(probe, "__dict__"):
+    # Slot-safety is a *layout* property, so ask the type, not an
+    # instance: ``__dictoffset__`` is non-zero exactly when instances
+    # carry a ``__dict__``.  (The old probe ``cls.__new__(cls)`` crashed
+    # for sealed classes whose ``__new__`` takes required arguments, and
+    # constructed a half-initialized frozen instance as a side effect.)
+    if getattr(cls, "__dictoffset__", 0) != 0:
         raise TypeError(
             f"sealed class {cls.__qualname__} must use __slots__ "
             "throughout its MRO (instances may not have a __dict__)"

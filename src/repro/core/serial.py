@@ -380,6 +380,7 @@ def _register_builtin_exceptions(registry):
         _errors.RemoteException,
         _errors.RevokedException,
         _errors.DomainTerminatedException,
+        _errors.RegionRevokedError,
         _errors.SegmentStoppedException,
         _errors.DomainUnavailableException,
         _errors.QuotaExceededException,
@@ -1015,7 +1016,10 @@ class ObjectWriter:
             return False
         if self.capability_table is None:
             raise NotSerializableError(
-                "capabilities cannot be serialized outside an LRMI transfer"
+                f"{type(value).__qualname__} crosses by reference, not by "
+                "bytes: capabilities and sealed regions ride the side "
+                "table of an LRMI transfer and cannot be serialized "
+                "outside an LRMI call"
             )
         self._tag(_T_CAPREF)
         self._u32(len(self.capability_table))

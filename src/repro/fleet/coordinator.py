@@ -254,6 +254,18 @@ class FleetCoordinator:
         # here are retried after the next successful heartbeat.
         self._sync_epoch(record)
         self._sync_revocations(record)
+        # Capacity returning after a total-loss window: placements
+        # orphaned while NO host was live stayed unplaced (eviction's
+        # re-place fanout had no survivors to try).  The first host to
+        # register picks them up — service resumes without an operator
+        # re-placing by hand.
+        with self._lock:
+            orphaned = [placement
+                        for placement in self._placements.values()
+                        if placement.host_id is None]
+        survivors = self._live_records()
+        for placement in orphaned:
+            self._replace(placement, survivors)
         return record
 
     def hosts(self):

@@ -103,6 +103,11 @@ from repro.core.errors import (
     RemoteException,
     RevokedException,
 )
+from repro.core.regions import (
+    AttachmentCache,
+    SealedRegion,
+    purge_pid as _purge_regions,
+)
 from repro.core.remote import is_remote_interface
 from repro.core.serial import ObjectReader, ObjectWriter, dumps, loads
 
@@ -452,12 +457,21 @@ def _proxy_class(methods):
 
 # -- marshalling --------------------------------------------------------------
 #
-# Capability descriptors (the side table's wire shape, unchanged):
+# Capability descriptors (the side table's wire shape):
 #
 #   ("back", export_id)                    -- the RECEIVER's own export
 #   ("export", export_id, label, methods)  -- a fresh export of the sender
+#   ("region", name, gen, offset, length)  -- a sealed shared-memory GRANT
+#
+# A SealedRegion rides the same side table capabilities do, but its
+# descriptor is a *grant*, not an export: nothing is recorded in the
+# export table — the shared segment's own header carries the revocation
+# state, and the serving loop revokes per-call views when the call
+# returns (see _serve_call).
 
 def _describe(peer, capability):
+    if type(capability) is SealedRegion:
+        return capability.grant_descriptor()
     if isinstance(capability, RemoteCapability):
         if capability._peer is not peer and capability._peer is not None:
             raise NotSerializableError(
@@ -481,6 +495,8 @@ def _resolve(peer, descriptor):
     if kind == "export":
         _, export_id, label, methods = descriptor
         return peer.proxy_for(export_id, label, methods)
+    if kind == "region":
+        return peer.attach_region(descriptor)
     raise ProtocolError(f"unknown capability descriptor {descriptor!r}")
 
 
@@ -529,6 +545,37 @@ class _Peer:
         self.exports = exports if exports is not None else ExportTable()
         self._proxies = {}
         self._proxy_lock = threading.Lock()
+        # Sealed-region attachment cache, created on the first inbound
+        # grant; and the count of ring-close failures swallowed on this
+        # peer's connections (a leaked view pinning a mapping — surfaced
+        # in stats instead of silently passed).
+        self._regions = None
+        self.ring_close_failures = 0
+
+    def attach_region(self, descriptor):
+        """Resolve a ``("region", ...)`` grant into a view region,
+        recording it in the active dispatch's grant segment (if any) so
+        the kernel can revoke it when the call returns."""
+        cache = self._regions
+        if cache is None:
+            cache = self._regions = AttachmentCache()
+        region = cache.resolve(descriptor)
+        grants = getattr(_dispatch_ctx, "region_grants", None)
+        if grants is not None:
+            grants.append(region)
+        return region
+
+    def close_regions(self):
+        """Drop the attachment cache (peer teardown); returns the count
+        of close failures (for connection stats)."""
+        cache, self._regions = self._regions, None
+        if cache is None:
+            return 0
+        return cache.close()
+
+    def note_ring_close_failures(self, count):
+        if count:
+            self.ring_close_failures += count
 
     def proxy_for(self, export_id, label, methods):
         with self._proxy_lock:
@@ -600,6 +647,14 @@ class _Connection:
         self._send_ring = None
         self._peer_ring = None
         self._ring_failed = False
+        # Sealed regions referenced by the last outbound REPLY: the
+        # replier may hold no other reference (a response body sealed on
+        # the fly), and a GC finalizer poisoning the segment before the
+        # caller reads the grant would turn a valid reply into a typed
+        # revocation.  Strict nesting per connection guarantees the
+        # previous reply is fully consumed before the next composes, so
+        # replacing the held list at each reply is the release point.
+        self._held_regions = None
         # SCM_RIGHTS receive side (host connections only).
         self._recv_fds = recv_fds
         self._in_fds = []
@@ -640,6 +695,11 @@ class _Connection:
             descriptors = dumps(
                 tuple(_describe(self.peer, capability) for capability in table)
             )
+            if opcode != OP_CALL:
+                # Reply direction: pin granted regions until the next
+                # reply on this connection (see __init__).
+                held = [c for c in table if type(c) is SealedRegion]
+                self._held_regions = held or None
         self._send_built(frame, 6, descriptors, fds)
 
     def _send_call(self, call_id, export_id, method_index, args):
@@ -789,8 +849,8 @@ class _Connection:
     def _attach_peer_ring(self, announcement):
         name, _size, generation = announcement
         previous, self._peer_ring = self._peer_ring, None
-        if previous is not None:
-            previous.close()
+        if previous is not None and previous.close() and self.peer is not None:
+            self.peer.note_ring_close_failures(1)
         try:
             self._peer_ring = BulkRing.attach(name, generation)
         except (OSError, ValueError) as exc:
@@ -799,13 +859,17 @@ class _Connection:
             ) from None
 
     def _open(self, payload):
-        """Resolve a payload to ``(format, bytes)`` — following an
-        MF_SHM grant into the peer's ring when present."""
+        """Resolve a payload to ``(format, bytes, ring_view)`` —
+        following an MF_SHM grant into the peer's ring when present.
+        ``ring_view`` is the live ring export to release once the bytes
+        are deserialized (None for inline payloads): deterministic
+        release is what keeps ``shm.close()`` from hitting a pinned
+        mapping (BufferError) at teardown."""
         if len(payload) == 0:
             raise ProtocolError("empty frame payload")
         fmt = payload[0]
         if fmt != MF_SHM:
-            return fmt, payload
+            return fmt, payload, None
         if self._peer_ring is None:
             raise ProtocolError("bulk grant before ring announcement")
         generation, offset, length = GRANT.unpack_from(payload, 1)
@@ -814,11 +878,23 @@ class _Connection:
         except RingError as exc:
             raise ProtocolError(str(exc)) from None
         if len(inner) == 0:
+            inner.release()
             raise ProtocolError("empty bulk grant")
         fmt = inner[0]
         if fmt == MF_SHM:
+            inner.release()
             raise ProtocolError("nested bulk grant")
-        return fmt, inner
+        return fmt, inner, inner
+
+    @staticmethod
+    def _release_ring_view(ring_view):
+        """Release a consumed ring view; an in-flight exception traceback
+        can still pin a derived sub-view, in which case the mapping
+        unpins at GC and ``BulkRing.close`` counts the miss."""
+        try:
+            ring_view.release()
+        except BufferError:
+            pass
 
     _EMPTY_VIEW = memoryview(b"")
 
@@ -849,10 +925,14 @@ class _Connection:
             return None
         if size == 10 and payload[0] == MF_INLINE and payload[1] == 0x03:
             return _REPLY_I64.unpack_from(payload, 2)[0]
-        fmt, payload = self._open(payload)
-        if fmt not in (MF_INLINE, MF_TABLED):
-            raise ProtocolError(f"unexpected marshal format {fmt}")
-        return self._parse(fmt, payload)
+        fmt, payload, ring_view = self._open(payload)
+        try:
+            if fmt not in (MF_INLINE, MF_TABLED):
+                raise ProtocolError(f"unexpected marshal format {fmt}")
+            return self._parse(fmt, payload)
+        finally:
+            if ring_view is not None:
+                self._release_ring_view(ring_view)
 
     def send_revoked(self, export_ids):
         """Broadcast revoked export ids WITHOUT ever blocking.
@@ -1028,18 +1108,34 @@ class _Connection:
 
     def _invoke_payload(self, payload):
         # Inline the common non-grant case; _open handles MF_SHM (and
-        # re-raises the empty-payload check it shares).
+        # re-raises the empty-payload check it shares).  The ring view
+        # (when any) is released as soon as the arguments are parsed —
+        # the dispatch below can run arbitrarily long, and a view held
+        # across it would pin the ring mapping for the duration.
         if len(payload) and payload[0] != MF_SHM:
             fmt = payload[0]
+            ring_view = None
         else:
-            fmt, payload = self._open(payload)
-        if fmt in (MF_CALL, MF_CALL_TABLED):
-            export_id, method_index = _CALL_HDR.unpack_from(payload, 1)
-            stream = payload[1 + _CALL_HDR.size:]
-            if stream == _EMPTY_ARGS_STREAM:
-                args = ()  # the constant no-arg frame, no reader needed
+            fmt, payload, ring_view = self._open(payload)
+        try:
+            if fmt in (MF_CALL, MF_CALL_TABLED):
+                compiled = True
+                export_id, method_index = _CALL_HDR.unpack_from(payload, 1)
+                if payload[1 + _CALL_HDR.size:] == _EMPTY_ARGS_STREAM:
+                    args = ()  # the constant no-arg frame, no reader needed
+                else:
+                    args = self._parse(fmt, payload,
+                                       offset=1 + _CALL_HDR.size)
+            elif fmt in (MF_INLINE, MF_TABLED):
+                compiled = False
+                export_id, method, args, kwargs = self._parse(fmt, payload)
             else:
-                args = self._parse(fmt, payload, offset=1 + _CALL_HDR.size)
+                raise ProtocolError(f"unexpected marshal format {fmt}")
+        finally:
+            if ring_view is not None:
+                del payload  # drop the alias; args are private copies now
+                self._release_ring_view(ring_view)
+        if compiled:
             entry = self.peer.exports.entry(export_id)
             if entry is None:
                 raise RevokedException(
@@ -1052,9 +1148,6 @@ class _Connection:
                     f"#{method_index}"
                 )
             return bound[method_index](*args)
-        if fmt not in (MF_INLINE, MF_TABLED):
-            raise ProtocolError(f"unexpected marshal format {fmt}")
-        export_id, method, args, kwargs = self._parse(fmt, payload)
         capability = self.peer.exports.get(export_id)
         if capability is None:
             raise RevokedException(
@@ -1067,6 +1160,17 @@ class _Connection:
         if fds:
             self._in_fds = []
             _dispatch_ctx.fds = fds
+        # Per-call region grant segment: any sealed-region view resolved
+        # while THIS call unmarshals (or during nested calls it makes)
+        # is recorded and revoked when the call returns — the kernel's
+        # grant-for-the-duration-of-the-call rule.  Armed only for
+        # payloads that can carry a side table; the null-call hot path
+        # never touches the thread-local.
+        tracked = (len(payload) != 0
+                   and payload[0] in (MF_TABLED, MF_CALL_TABLED, MF_SHM))
+        if tracked:
+            outer_grants = getattr(_dispatch_ctx, "region_grants", None)
+            grants = _dispatch_ctx.region_grants = []
         try:
             try:
                 result = self._invoke_payload(payload)
@@ -1084,6 +1188,14 @@ class _Connection:
             if after is not None:
                 after()
         finally:
+            if tracked:
+                # Revoke AFTER the reply went out: a granted region may
+                # legitimately appear in the result (the callee handing
+                # the same bytes back), and its descriptor must still
+                # validate when the caller resolves it.
+                _dispatch_ctx.region_grants = outer_grants
+                for region in grants:
+                    region.revoke()
             if fds:
                 _dispatch_ctx.fds = []
                 for fd in fds:  # whatever the callee did not claim_fd()
@@ -1132,12 +1244,24 @@ class _Connection:
                 os.close(fd)
             except OSError:
                 pass
+        failures = 0
         ring, self._send_ring = self._send_ring, None
         if ring is not None:
-            ring.close()
+            failures += ring.close()
         ring, self._peer_ring = self._peer_ring, None
         if ring is not None:
-            ring.close()
+            failures += ring.close()
+        self._held_regions = None
+        peer = self.peer
+        if peer is not None:
+            if failures:
+                peer.note_ring_close_failures(failures)
+            if self.dispatcher is not None:
+                # Host-side connection: its per-connection peer (and the
+                # attachment cache of every grant it resolved) dies with
+                # it.  Client-side connections share the DomainClient
+                # peer, whose cache closes with the client.
+                peer.close_regions()
 
 
 # -- the host process ---------------------------------------------------------
@@ -1167,6 +1291,11 @@ class _ConnectionPeer(_Peer):
 
     def after_dispatch(self):
         self._kernel.sweep_and_broadcast()
+
+    def note_ring_close_failures(self, count):
+        # Aggregate kernel-wide: connections come and go, the stats verb
+        # reports one counter for the host.
+        self._kernel.note_ring_close_failures(count)
 
 
 class _HostKernel(_Peer):
@@ -1239,6 +1368,7 @@ class _HostKernel(_Peer):
                 "exports": len(self.exports),
                 "accounts": get_accountant().report(),
                 "domains": domains,
+                "ring_close_failures": self.ring_close_failures,
             }
         if verb == "ping":
             return "pong"
@@ -1308,6 +1438,10 @@ class DomainHostProcess:
         )
         self._setup = setup
         self._pid = None
+        # The last pid this process forked, remembered past alive()'s
+        # reaping (which clears _pid) so stop() can purge the dead
+        # host's region segments by name.
+        self._spawned_pid = None
 
     @property
     def pid(self):
@@ -1338,6 +1472,7 @@ class DomainHostProcess:
             finally:
                 os._exit(status)
         self._pid = pid
+        self._spawned_pid = pid
         self._wait_for_socket()
         return self
 
@@ -1381,6 +1516,13 @@ class DomainHostProcess:
             except OSError:
                 pass
             self._pid = None
+        if self._spawned_pid is not None:
+            # The host is dead (just killed, or reaped earlier by
+            # alive()): reclaim whatever region segments it left in
+            # /dev/shm — a SIGKILL gives its atexit hooks no chance, so
+            # the supervisor's by-name purge is the cleanup of record.
+            _purge_regions(self._spawned_pid)
+            self._spawned_pid = None
         if os.path.exists(self.path):
             try:
                 os.unlink(self.path)
@@ -1627,6 +1769,7 @@ class DomainClient(_Peer):
             except (OSError, WireError):
                 pass
             connection.close()
+        self.close_regions()
 
     def __enter__(self):
         return self

@@ -65,16 +65,23 @@ _tracker_lock = threading.Lock()
 
 @contextlib.contextmanager
 def _untracked():
-    """Create/attach a SharedMemory without resource_tracker adoption."""
+    """Create/attach/unlink a SharedMemory without resource_tracker
+    involvement.  Unregister must be silenced alongside register: an
+    unlink of a never-registered segment would otherwise spawn a tracker
+    process just to log a KeyError about a name it was told to forget."""
     from multiprocessing import resource_tracker
 
+    noop = lambda name, rtype: None  # noqa: E731
     with _tracker_lock:
-        original = resource_tracker.register
-        resource_tracker.register = lambda name, rtype: None
+        original_register = resource_tracker.register
+        original_unregister = resource_tracker.unregister
+        resource_tracker.register = noop
+        resource_tracker.unregister = noop
         try:
             yield
         finally:
-            resource_tracker.register = original
+            resource_tracker.register = original_register
+            resource_tracker.unregister = original_unregister
 
 
 class BulkRing:
@@ -157,17 +164,27 @@ class BulkRing:
 
     # -- lifecycle ---------------------------------------------------------
     def close(self):
-        """Unmap and unlink.  Both ends call this; unlink-by-name is
-        idempotent, so a crash on either side leaves no segment behind
-        as long as the survivor closes."""
+        """Unmap and unlink; returns the number of *swallowed* failures.
+
+        Both ends call this; unlink-by-name is idempotent, so a crash on
+        either side leaves no segment behind as long as the survivor
+        closes.  A ``BufferError`` here means a consumer leaked a live
+        :meth:`view` export — the mapping stays pinned until GC — so the
+        count is surfaced in connection stats rather than silently
+        ``pass``-ed.  (Unlink failures are *expected* — the peer usually
+        unlinked first — and are not counted.)
+        """
+        failures = 0
         try:
             self.shm.close()
         except (OSError, BufferError):
-            pass
-        try:
-            self.shm.unlink()
-        except (FileNotFoundError, OSError):
-            pass
+            failures += 1
+        with _untracked():
+            try:
+                self.shm.unlink()
+            except OSError:  # includes FileNotFoundError: peer beat us
+                pass
+        return failures
 
     def __repr__(self):
         role = "owner" if self._owner else "attached"

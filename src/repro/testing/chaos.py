@@ -76,6 +76,7 @@ KNOWN_POINTS = (
     "lrmi.host.dispatch",       # domain host mid-call, pre-reply
     "wire.send",                # either peer, just before a framed send
     "fleet.host.invoke",        # fleet host mid-invoke, pre-reply
+    "regions.seal",             # region segment created, nothing granted
 )
 
 
@@ -214,11 +215,12 @@ class ChaosConfig:
 
 
 def _target_modules():
+    from repro.core import regions
     from repro.fleet import host as fleet_host
     from repro.ipc import lrmi, ntrpc, wire
     from repro.web import prefork
 
-    return (wire, lrmi, ntrpc, prefork, fleet_host)
+    return (wire, lrmi, ntrpc, prefork, fleet_host, regions)
 
 
 def install(config):

@@ -220,6 +220,11 @@ class RequestParser:
 def format_response(response, keep_alive=False, version="HTTP/1.0"):
     status = response.status
     body = response.body
+    if type(body) is not bytes:
+        # A sealed shared-memory region body (repro.core.regions): the
+        # socket write needs contiguous private bytes, and a revoked
+        # region raises typed here rather than framing stale bytes.
+        body = bytes(body)
     headers = response.headers
     lines = [f"{version} {status} {REASONS.get(status, 'Unknown')}"]
     append = lines.append

@@ -21,6 +21,8 @@ body is a ``bytes`` snapshot taken at construction.
 import weakref
 
 from repro.core import Remote, register_class
+from repro.core import regions as _regions
+from repro.core.regions import SealedRegion
 from repro.core.sealed import FrozenMap, sealed
 
 from .http import format_response
@@ -103,8 +105,16 @@ class ServletResponse:
         _set(self, "status", status)
         _set(self, "headers",
              headers if type(headers) is FrozenMap else _headers(headers))
-        _set(self, "body",
-             body if type(body) is bytes else _binary(body, "body"))
+        if type(body) is not bytes and type(body) is not SealedRegion:
+            body = _binary(body, "body")
+        if type(body) is bytes and len(body) >= _regions.SEAL_THRESHOLD:
+            # Bulk bodies ride a sealed shared-memory region end to end:
+            # across a process boundary the response marshals as a tiny
+            # generation-checked grant instead of its bytes (the LRMI
+            # side table), and in-process the region crosses by
+            # reference like any sealed value.
+            body = SealedRegion.seal(body)
+        _set(self, "body", body)
 
     def wire_bytes(self, version="HTTP/1.0", keep_alive=False):
         """Formatted response bytes, memoized per (version, keep-alive).

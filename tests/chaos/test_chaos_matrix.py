@@ -192,6 +192,58 @@ class TestHostCrashMidGrant:
             assert not leaked, f"shared-memory segments leaked: {leaked}"
 
 
+class ISealer(Remote):
+    def make_region(self, size): ...
+
+
+class SealerImpl(ISealer):
+    def make_region(self, size):
+        from repro.core import seal
+
+        return seal(b"r" * size)
+
+
+def _sealer_setup():
+    domain = Domain("sealer-host")
+    return {"sealer": domain.run(
+        lambda: Capability.create(SealerImpl(), label="sealer"))}
+
+
+class TestHostCrashMidSeal:
+    def test_sigkill_between_segment_and_grant_leaks_no_region(
+            self, chaos):
+        """The worst window for region lifecycle discipline: the host
+        dies AFTER creating a region segment but BEFORE any grant
+        leaves — no peer knows the name, no finalizer will ever run.
+        The caller gets a typed error within its deadline, and the
+        supervisor's ``purge_pid`` half of the both-end unlink reclaims
+        the orphan by its deterministic ``jkr<pid>g<seq>`` name when the
+        host is stopped."""
+        import os as _os
+        import time as _time
+
+        install(ChaosConfig(crash_at=("regions.seal",), scope="child"))
+        host = DomainHostProcess(_sealer_setup, name="seal-crash").start()
+        client = connect(host)
+        host_pid = host.pid
+        try:
+            proxy = client.lookup("sealer")
+            start = _time.monotonic()
+            with pytest.raises(DomainUnavailableException):
+                proxy.make_region(65536)
+            assert _time.monotonic() - start < 5.0
+        finally:
+            client.close()
+            host.stop()  # purges the dead host's regions by name
+        uninstall()
+        assert _wait(lambda: not host.alive(), timeout=5.0)
+        shm_dir = "/dev/shm"
+        if _os.path.isdir(shm_dir):
+            leaked = [name for name in _os.listdir(shm_dir)
+                      if name.startswith(f"jkr{host_pid}g")]
+            assert not leaked, f"region segments leaked: {leaked}"
+
+
 class TestWireDelayBeyondDeadline:
     def test_call_ends_in_typed_error_at_the_deadline(self, chaos):
         host = DomainHostProcess(_echo_setup, name="slowwire").start()

@@ -39,6 +39,37 @@ class TestSealedDecorator:
     def test_marked_sealed(self):
         assert Point.__sealed__ is True
 
+    def test_accepts_class_whose_new_requires_arguments(self):
+        """Regression: the dict probe used to instantiate the class
+        (``cls.__new__(cls)``), so any sealed class with a required
+        ``__new__`` argument was falsely rejected with the constructor's
+        TypeError.  The layout check (``__dictoffset__``) needs no
+        instance."""
+        @sealed
+        class Picky:
+            __slots__ = ("value",)
+
+            def __new__(cls, value):
+                return super().__new__(cls)
+
+            def __init__(self, value):
+                object.__setattr__(self, "value", value)
+
+        assert Picky(7).value == 7
+        assert Picky.__sealed__ is True
+
+    def test_rejects_dict_inherited_from_base(self):
+        """``__slots__`` on the decorated class is not enough: a
+        dict-bearing base still gives instances a mutable ``__dict__``
+        (nonzero ``__dictoffset__``), which must be refused."""
+        class OpenBase:
+            pass
+
+        with pytest.raises(TypeError):
+            @sealed
+            class Sneaky(OpenBase):
+                __slots__ = ("x",)
+
 
 class TestSealedTransfer:
     def test_crosses_by_reference_auto_mode(self):

@@ -193,9 +193,9 @@ class TestFailover:
             coordinator.place("another", "echo")
 
     def test_fresh_host_after_total_loss_restores_service(self, fleet):
-        """An unplaced placement is re-placed... by nothing automatic —
-        but a newly registered host plus lookup/retry from the client
-        converges once a failover re-scan places it."""
+        """Capacity returning after a total-loss window re-places the
+        orphaned placements automatically: registering the fresh host is
+        all it takes — no operator re-place by hand."""
         coordinator = fleet()
         host = coordinator.spawn_host("h1")
         coordinator.place("front", "echo")
@@ -204,10 +204,6 @@ class TestFailover:
             lambda: coordinator.placements()["front"] is None,
             timeout=15)
         coordinator.spawn_host("h2")
-        # Re-place through the public path: placement is gone from every
-        # host, so an explicit re-place by the operator is the contract.
-        placement = coordinator._placements["front"]
-        assert coordinator._replace(
-            placement, coordinator._live_records())
+        assert coordinator.placements()["front"] == "h2"
         result, _ = retry_call(coordinator, "front", "echo", "back")
         assert result == "back"

@@ -92,6 +92,24 @@ class TestBulkRingAllocator:
         with pytest.raises((FileNotFoundError, OSError)):
             BulkRing.attach(name, ring.generation)
 
+    def test_clean_close_counts_zero_swallowed_failures(self):
+        ring = BulkRing.create(256)
+        assert ring.close() == 0
+
+    def test_leaked_view_export_is_counted_not_silenced(self):
+        """A consumer that kept a live ``view`` export past the ring's
+        life pins the mapping; ``close`` swallows the ``BufferError``
+        (teardown must not fail) but reports it, so connection stats can
+        surface the leak instead of hiding it in a bare ``pass``."""
+        ring = BulkRing.create(4096)
+        grant = ring.grant(b"pinned payload")
+        generation, offset, length = GRANT.unpack(grant)
+        leaked = ring.view(generation, offset, length)
+        try:
+            assert ring.close() == 1
+        finally:
+            leaked.release()
+
 
 class TestGrantValidation:
     """``_Connection._open`` against hostile or stale grants."""
