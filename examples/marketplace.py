@@ -1,0 +1,376 @@
+#!/usr/bin/env python3
+"""The untrusted-servlet marketplace.
+
+Vendors upload servlets the operator has no reason to trust; the
+marketplace sells them shelf space anyway.  Four mechanisms make that
+safe, and this example exercises all of them together:
+
+* **Capabilities** (the J-Kernel's own currency): a vendor can only call
+  what it was handed — here, guarded read/write capabilities to the
+  store-wide key-value service.
+* **Stack-based policy** (``repro.core.policy``, layered *on top* of
+  capabilities): every domain on the call chain must imply a demanded
+  permission, so a vendor cannot launder a write through a better-armed
+  deputy, and ``do_privileged`` lets a deputy vouch for its own callees
+  without also vouching for its callers.
+* **Static policy generation** (``repro.toolchain.policygen``): the
+  marketplace proposes a least-privilege permission set from the
+  vendor's code *before* install — uploaded Python source and verified
+  MiniJVM bytecode both.
+* **Tenant quotas** (the fleet control plane): a vendor that spams its
+  own shelf gets its domain terminated, neighbours unharmed.
+
+Run:  python examples/marketplace.py
+"""
+
+import time
+
+from repro.core import (
+    AccessDeniedError,
+    Capability,
+    Domain,
+    Remote,
+    do_privileged,
+)
+from repro.core.quota import QuotaSpec
+from repro.web import JKernelWebServer, Servlet, ServletResponse
+from repro.web.client import fetch_once
+
+
+# --------------------------------------------------------------------------
+# The marketplace's one shared service: a key-value store.  The store
+# domain hands out *guarded* capabilities — possession is necessary but
+# no longer sufficient; the caller's whole chain must imply the guard.
+# --------------------------------------------------------------------------
+
+class KvStore(Remote):
+    def read(self, key): ...
+    def write(self, key, value): ...
+
+
+class KvStoreImpl(KvStore):
+    def __init__(self):
+        self.data = {"motd": "welcome to the marketplace"}
+
+    def read(self, key):
+        return self.data.get(key)
+
+    def write(self, key, value):
+        self.data[key] = value
+        return True
+
+
+def build_store():
+    store_domain = Domain("kv-store")
+    impl = KvStoreImpl()
+    read_cap = store_domain.run(
+        lambda: Capability.create(impl, guard="kv.read", label="kv-read")
+    )
+    write_cap = store_domain.run(
+        lambda: Capability.create(impl, guard="kv.write", label="kv-write")
+    )
+    return store_domain, read_cap, write_cap
+
+
+# --------------------------------------------------------------------------
+# Scene 1 — the kernel-level deny matrix: direct call, do_privileged
+# abuse, confused deputy.
+# --------------------------------------------------------------------------
+
+class Deputy(Remote):
+    def relay_write(self, key, value): ...
+    def audited_write(self, key, value): ...
+
+
+class DeputyImpl(Deputy):
+    """A well-armed intermediary: holds the write capability."""
+
+    def __init__(self, write_cap):
+        self._write = write_cap
+
+    def relay_write(self, key, value):
+        # Naive relay: the caller's domain stays on the chain, so a
+        # restricted tenant cannot launder a write through us.
+        return self._write.write(key, value)
+
+    def audited_write(self, key, value):
+        # The deputy vouches for this one: do_privileged truncates the
+        # walk at the deputy's own domain (which holds kv.write).
+        return do_privileged(self._write.write, key, value)
+
+
+class Tenant(Remote):
+    def shop(self): ...
+    def steal(self): ...
+    def steal_privileged(self): ...
+    def steal_via_deputy(self): ...
+    def purchase(self): ...
+
+
+class TenantImpl(Tenant):
+    def __init__(self, read_cap, write_cap, deputy_cap):
+        self._read = read_cap
+        self._write = write_cap
+        self._deputy = deputy_cap
+
+    def shop(self):
+        return self._read.read("motd")
+
+    def steal(self):
+        return self._write.write("motd", "pwned")
+
+    def steal_privileged(self):
+        # do_privileged never *adds* permissions: the asserting frame's
+        # own domain stays in the walk.
+        return do_privileged(self._write.write, "motd", "pwned")
+
+    def steal_via_deputy(self):
+        return self._deputy.relay_write("motd", "pwned")
+
+    def purchase(self):
+        # The deputy's audited path is the sanctioned way to write.
+        return self._deputy.audited_write("sales", "tenant-a bought one")
+
+
+def expect_denied(label, thunk):
+    try:
+        thunk()
+    except AccessDeniedError as exc:
+        print(f"  {label}: DENIED ({exc.permission} missing in "
+              f"{exc.domain})")
+    else:
+        raise AssertionError(f"{label}: should have been denied")
+
+
+def scene_kernel():
+    print("-- scene 1: kernel deny matrix (in-process) --")
+    store_domain, read_cap, write_cap = build_store()
+
+    deputy_domain = Domain("deputy").set_policy(["kv.read", "kv.write"])
+    deputy_cap = deputy_domain.run(
+        lambda: Capability.create(DeputyImpl(write_cap), label="deputy")
+    )
+
+    tenant_domain = Domain("tenant-a").set_policy(["kv.read"])
+    tenant = tenant_domain.run(
+        lambda: Capability.create(
+            TenantImpl(read_cap, write_cap, deputy_cap), label="tenant-a"
+        )
+    )
+
+    print(f"  tenant reads motd: {tenant.shop()!r}")
+    expect_denied("direct write", tenant.steal)
+    expect_denied("do_privileged abuse", tenant.steal_privileged)
+    expect_denied("confused deputy", tenant.steal_via_deputy)
+    print(f"  audited write via deputy: {tenant.purchase()}")
+    for domain in (store_domain, deputy_domain, tenant_domain):
+        domain.terminate()
+
+
+# --------------------------------------------------------------------------
+# Scene 2 — uploaded *source* vendors behind the web server: the static
+# generator proposes a least-privilege policy before install.
+# --------------------------------------------------------------------------
+
+HONEST_VENDOR = '''
+class ShopFront(Servlet):
+    def service(self, request):
+        return ServletResponse(200, {}, "motd: %s" % kv.read("motd"))
+servlet = ShopFront
+'''
+
+ROGUE_VENDOR = '''
+class ShopLifter(Servlet):
+    def service(self, request):
+        if request.path.endswith("/steal"):
+            kv_admin.write("motd", "pwned")       # guarded kv.write
+            return ServletResponse(200, {}, "stolen")
+        if request.path.endswith("/launder"):
+            do_privileged(kv_admin.write, "motd", "pwned")
+            return ServletResponse(200, {}, "laundered")
+        return ServletResponse(200, {}, "motd: %s" % kv.read("motd"))
+servlet = ShopLifter
+'''
+
+
+def get(port, path):
+    response = fetch_once("127.0.0.1", port, path)
+    body = response.body.decode("utf-8", "replace")
+    print(f"  GET {path} -> {response.status} {body[:60]!r}")
+    return response
+
+
+def scene_web(server, port, read_cap, write_cap):
+    print("\n-- scene 2: uploaded source vendors, generated policy --")
+    from repro.toolchain import propose_policy_source
+
+    grants = {"kv": read_cap, "kv_admin": write_cap,
+              "do_privileged": do_privileged}
+    for name, source in (("honest", HONEST_VENDOR),
+                         ("rogue", ROGUE_VENDOR)):
+        proposal = propose_policy_source(source, grants)
+        print(f"  {name} vendor proposal: "
+              f"{sorted(str(p) for p in proposal)}")
+
+    # The honest vendor's proposal is just kv.read — install with it.
+    server.install_source("/shop", HONEST_VENDOR, grants=grants,
+                          policy="generate")
+    assert get(port, "/servlet/shop").status == 200
+
+    # The rogue vendor references kv_admin, so the *proposal* includes
+    # kv.write — the operator reviews and grants only kv.read.
+    server.install_source("/lifter", ROGUE_VENDOR, grants=grants,
+                          policy=["kv.read"])
+    assert get(port, "/servlet/lifter").status == 200
+    assert get(port, "/servlet/lifter/steal").status == 403
+    assert get(port, "/servlet/lifter/launder").status == 403
+
+
+# --------------------------------------------------------------------------
+# Scene 3 — a VM-hosted vendor: verified bytecode, initcheck-vetted,
+# policy generated from the code itself.
+# --------------------------------------------------------------------------
+
+def scene_vm():
+    print("\n-- scene 3: VM-hosted vendor (verified bytecode) --")
+    from repro.jkvm import JKernelVM
+    from repro.jvm import ClassAssembler, interface
+    from repro.jvm.classfile import CONSTRUCTOR_NAME
+    from repro.jvm.errors import JThrowable
+    from repro.jvm.instructions import (
+        ALOAD,
+        ICONST,
+        INVOKEINTERFACE,
+        INVOKESPECIAL,
+        INVOKESTATIC,
+        IRETURN,
+        LDC_STR,
+        RETURN,
+    )
+    from repro.toolchain import generate_policy
+
+    svc = "market/Ledger"
+    ledger_iface = interface(svc, [("record", "()I")],
+                             extends=("jk/Remote",))
+    impl = ClassAssembler("market/LedgerImpl",
+                          interfaces=(svc, "jk/Remote"))
+    with impl.method(CONSTRUCTOR_NAME, "()V") as m:
+        m.emit(ALOAD, 0)
+        m.emit(INVOKESPECIAL, "java/lang/Object", CONSTRUCTOR_NAME, "()V")
+        m.emit(RETURN)
+    with impl.method("record", "()I") as m:
+        m.emit(LDC_STR, "ledger.append")
+        m.emit(INVOKESTATIC, "jk/Kernel", "checkPermission",
+               "(Ljava/lang/String;)V")
+        m.emit(ICONST, 1)
+        m.emit(IRETURN)
+
+    vendor = ClassAssembler("vend/Vendor")
+    with vendor.method("sell", f"(L{svc};)I", 0x0009) as m:
+        m.emit(ALOAD, 0)
+        m.emit(INVOKEINTERFACE, svc, "record", "()I")
+        m.emit(IRETURN)
+
+    kernel = JKernelVM()
+    ledger_files = [ledger_iface, impl.build()]
+    needs = generate_policy(ledger_files)
+    print(f"  ledger bytecode demands: {sorted(str(p) for p in needs)}")
+
+    ledger_domain = kernel.new_domain("ledger")
+    ledger_domain.define(ledger_files)  # initcheck vets constructors
+    target = kernel.vm.construct(ledger_domain.load("market/LedgerImpl"),
+                                 domain_tag=ledger_domain.tag)
+    ledger_cap = ledger_domain.create_capability(target)
+
+    vendor_domain = kernel.new_domain("vm-vendor")
+    vendor_domain.share_from(ledger_domain, svc)
+    vendor_domain.define([vendor.build()])
+    driver = vendor_domain.load("vend/Vendor")
+
+    vendor_domain.set_policy(["ledger.append"])
+    sold = kernel.vm.call_static(driver, "sell", f"(L{svc};)I",
+                                 [ledger_cap],
+                                 domain_tag=vendor_domain.tag)
+    print(f"  granted vendor sells: {sold}")
+
+    vendor_domain.set_policy(["window.shop"])
+    try:
+        kernel.vm.call_static(driver, "sell", f"(L{svc};)I", [ledger_cap],
+                              domain_tag=vendor_domain.tag)
+        raise AssertionError("guest write should have been denied")
+    except JThrowable as exc:
+        print(f"  restricted vendor: {exc}")
+
+
+# --------------------------------------------------------------------------
+# Scene 4 — an out-of-process vendor: the restricted context crosses the
+# process boundary with the call, and the typed denial marshals home.
+# --------------------------------------------------------------------------
+
+class _BoothServlet(Servlet):
+    def service(self, request):
+        from repro.core import check_permission
+
+        if request.path.endswith("/admin"):
+            check_permission("market.admin")
+            return ServletResponse(200, {}, b"admin console")
+        check_permission("market.page")
+        return ServletResponse(200, {}, b"booth page")
+
+
+def scene_out_of_process(server, port):
+    print("\n-- scene 4: out-of-process vendor --")
+    server.install_servlet_out_of_process(
+        "/booth", _BoothServlet, supervise=False,
+        policy=["market.page"],
+    )
+    assert get(port, "/servlet/booth").status == 200
+    assert get(port, "/servlet/booth/admin").status == 403
+
+
+# --------------------------------------------------------------------------
+# Scene 5 — the fleet control plane: a spamming vendor is terminated by
+# its tenant quota, the neighbour keeps serving.
+# --------------------------------------------------------------------------
+
+class _QuickServlet(Servlet):
+    def service(self, request):
+        return ServletResponse(200, {}, b"ok")
+
+
+def scene_quota(server, port):
+    print("\n-- scene 5: tenant quota kill --")
+    server.set_quota("/greedy", QuotaSpec(requests_per_sec=30,
+                                          soft_fraction=0.5))
+    server.install_servlet("/greedy", _QuickServlet)
+    server.install_servlet("/meek", _QuickServlet)
+
+    deadline = time.monotonic() + 10.0
+    while not server.quota_kills and time.monotonic() < deadline:
+        fetch_once("127.0.0.1", port, "/servlet/greedy")
+    while "/greedy" in server.registrations():
+        time.sleep(0.01)
+    prefix, breached, _at = server.quota_kills[0]
+    print(f"  quota kill: {prefix} breached {breached[0]}")
+    get(port, "/servlet/greedy")   # unrouted/shed now
+    assert get(port, "/servlet/meek").status == 200
+
+
+def main():
+    scene_kernel()
+
+    store_domain, read_cap, write_cap = build_store()
+    server = JKernelWebServer(workers=1)
+    with server:
+        port = server.port
+        scene_web(server, port, read_cap, write_cap)
+        scene_out_of_process(server, port)
+        scene_quota(server, port)
+    store_domain.terminate()
+
+    scene_vm()
+    print("\nmarketplace closed cleanly.")
+
+
+if __name__ == "__main__":
+    main()

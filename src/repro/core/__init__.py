@@ -32,6 +32,7 @@ from .convention import (
 )
 from .domain import Domain
 from .errors import (
+    AccessDeniedError,
     DomainError,
     DomainTerminatedException,
     DomainUnavailableException,
@@ -47,6 +48,14 @@ from .errors import (
     SharingError,
 )
 from .fastcopy import fast_copy, fast_copy_value
+from .policy import (
+    AccessControlContext,
+    Permission,
+    PermissionSet,
+    check_permission,
+    current_context,
+    do_privileged,
+)
 from .regions import AttachmentCache, SealedRegion, seal
 from .remote import Remote, remote_interfaces, remote_methods
 from .repository import Repository, get_repository, reset_repository
@@ -73,6 +82,8 @@ from .serial import (
 from .sharing import SharedClass, check_no_static_state, references, share_class
 
 __all__ = [
+    "AccessControlContext",
+    "AccessDeniedError",
     "Accountant",
     "AttachmentCache",
     "Capability",
@@ -90,6 +101,8 @@ __all__ = [
     "NotSerializableError",
     "ObjectReader",
     "ObjectWriter",
+    "Permission",
+    "PermissionSet",
     "RegionRevokedError",
     "Remote",
     "RemoteException",
@@ -106,11 +119,14 @@ __all__ = [
     "SharingError",
     "ThreadSegment",
     "check_no_static_state",
+    "check_permission",
     "checkpoint",
     "copy_via_serialization",
+    "current_context",
     "current_domain",
     "current_handle",
     "current_segment",
+    "do_privileged",
     "dumps",
     "fast_copy",
     "fast_copy_value",

@@ -54,15 +54,24 @@ class Capability:
 
     _jk_fields = ("_target", "_domain", "_copy_mode", "_label")
 
+    #: Class-level default: unguarded.  A guarded capability overrides it
+    #: with an instance attribute holding the Permission every caller
+    #: chain must imply (checked in the caller's context, before the
+    #: segment switch) — unguarded stubs pay one class-attribute load.
+    _jk_guard = None
+
     @staticmethod
-    def create(target, domain=None, copy=MODE_AUTO, label=None):
+    def create(target, domain=None, copy=MODE_AUTO, label=None, guard=None):
         """Create a capability for ``target`` owned by ``domain``.
 
         ``domain`` defaults to the calling domain (the current segment's
         domain), falling back to the system domain.  ``copy`` selects the
         argument copy mechanism: ``"auto"`` (per-class registration),
         ``"serial"`` (force serialization) or ``"fast"`` (force the direct
-        copy path).
+        copy path).  ``guard`` (a ``Permission`` or ``"kind:target"``
+        string) makes the capability *guarded*: every invocation first
+        runs ``policy.check_permission(guard)`` against the caller's
+        effective call chain, raising ``AccessDeniedError`` on failure.
         """
         from .domain import Domain
         from .stubs import stub_class_for
@@ -79,8 +88,17 @@ class Capability:
         stub._domain = domain
         stub._copy_mode = check_mode(copy)
         stub._label = label or type(target).__name__
+        if guard is not None:
+            from .policy import Permission
+
+            stub._jk_guard = Permission.parse(guard)
         domain._register_capability(stub)
         return stub
+
+    @property
+    def guard(self):
+        """The guarding Permission, or None for an unguarded capability."""
+        return self._jk_guard
 
     # -- revocation ----------------------------------------------------------
     def revoke(self):
@@ -159,6 +177,13 @@ def lrmi_invoke(capability, method_name, args, kwargs):
     target = capability._target
     if target is None:
         raise RevokedException(f"{capability._label}: capability revoked")
+    guard = capability._jk_guard
+    if guard is not None:
+        # Checked in the *caller's* context: the callee domain (which
+        # owns the guarded resource) is not yet on the chain.
+        from .policy import check_permission
+
+        check_permission(guard)
 
     mode = capability._copy_mode
     domain._lrmi_calls_in += 1

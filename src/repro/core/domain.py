@@ -50,6 +50,9 @@ class Domain:
         self._modules = {}
         self._output = []
         self._resolver = None
+        # Stack-based access control (repro.core.policy): None means
+        # unrestricted — this domain never denies a permission check.
+        self.permissions = None
 
     def __repr__(self):
         state = "terminated" if self.terminated else "live"
@@ -69,6 +72,20 @@ class Domain:
     def record_stat(self, key, value):
         """Store an auxiliary (off-hot-path) counter in ``stats``."""
         self._stats[key] = value
+
+    # -- policy -----------------------------------------------------------
+    def set_policy(self, policy):
+        """Install (or clear) this domain's permission set.
+
+        ``policy`` is ``None`` (unrestricted), a
+        :class:`~repro.core.policy.PermissionSet`, or an iterable of
+        permissions / ``"kind:target"`` strings.  Every permission check
+        on a call chain passing through this domain intersects with it.
+        """
+        from .policy import coerce_policy
+
+        self.permissions = coerce_policy(policy)
+        return self
 
     # -- the system domain ------------------------------------------------
     @classmethod

@@ -72,6 +72,30 @@ class QuotaExceededException(RemoteException):
     """
 
 
+class AccessDeniedError(RemoteException):
+    """A stack-based access-control check failed (``repro.core.policy``).
+
+    Raised when a guarded capability is invoked — or ``check_permission``
+    is called — while some protection domain on the effective call chain
+    lacks the required permission.  The chain is the LRMI segment stack
+    (every domain the request passed through), truncated at the most
+    recent ``do_privileged`` scope and extended by the compressed caller
+    context a cross-process call frame carried in.  A ``RemoteException``
+    subclass so it propagates through every existing failure path; the
+    web layer maps it to a typed 403 rather than a 500.
+    """
+
+    def __init__(self, message, permission=None, domain=None):
+        # All three ride in ``args`` so the wire rebuild (``cls(*args)``)
+        # preserves the typed fields across process boundaries.
+        super().__init__(message, permission, domain)
+        self.permission = permission
+        self.domain = domain
+
+    def __str__(self):
+        return str(self.args[0]) if self.args else ""
+
+
 class NotSerializableError(RemoteException):
     """A value crossing a domain boundary has no registered copy mechanism."""
 

@@ -384,6 +384,7 @@ def _register_builtin_exceptions(registry):
         _errors.SegmentStoppedException,
         _errors.DomainUnavailableException,
         _errors.QuotaExceededException,
+        _errors.AccessDeniedError,
         _errors.NotSerializableError,
         _errors.DomainError,
     ):

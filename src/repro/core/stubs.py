@@ -39,6 +39,9 @@ def {name}(self{params}):
     _jk_target = self._target
     if _jk_target is None:
         _lrmi_revoked(self)
+    _jk_guard = self._jk_guard
+    if _jk_guard is not None:
+        _policy_check(_jk_guard)
     _jk_domain._lrmi_calls_in += 1
     _jk_stack, _jk_segment = _lrmi_enter(_jk_domain)
     _jk_mode = self._copy_mode
@@ -134,6 +137,7 @@ def _generate(implementation_cls):
         lrmi_invoke,
     )
     from .convention import transfer, transfer_exception
+    from .policy import check_permission
 
     methods = remote_methods(implementation_cls)
     interfaces = remote_interfaces(implementation_cls)
@@ -146,6 +150,7 @@ def _generate(implementation_cls):
         "_lrmi_dead": _raise_terminated,
         "_lrmi_revoked": _raise_revoked,
         "_lrmi_wrap": transfer_exception,
+        "_policy_check": check_permission,
         "_transfer": transfer,
         # The live by-reference set (immutable primitives + sealed
         # classes): sealed arguments/results skip the transfer call.

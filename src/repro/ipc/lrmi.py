@@ -94,6 +94,7 @@ import uuid
 
 from repro.core import Capability, register_capref_type
 from repro.core import convention as _convention
+from repro.core import policy as _policy
 from repro.core import segments as _segments
 from repro.core.capability import _raise_revoked, _raise_terminated
 from repro.core.errors import (
@@ -412,15 +413,19 @@ _proxy_classes = {}
 
 # Compiled per-method proxy body: keyword-free calls skip the
 # (export_id, method, args, kwargs) envelope and go out as one flat
-# MF_CALL frame addressed by method index.  Keyword calls and revoked
-# proxies fall back to the generic path (which raises RevokedException
-# locally for the latter).
+# MF_CALL frame addressed by method index.  Keyword calls, revoked
+# proxies and policy-restricted callers fall back to the generic path
+# (which raises RevokedException locally for revoked proxies, and
+# carries the compressed access-control context in the envelope for
+# restricted callers — the constant MF_CALL frame has no room for it).
 _FAST_PROXY_TEMPLATE = """\
 def {name}(self, *args, **kwargs):
-    if kwargs or self._revoked:
+    if kwargs or self._revoked or _policy_restricted():
         return self._invoke({name!r}, args, kwargs)
     return self._peer.call_fast(self._export_id, {index}, {name!r}, args)
 """
+
+_PROXY_GLOBALS = {"_policy_restricted": _policy.restricted}
 
 
 def _proxy_class(methods):
@@ -437,7 +442,7 @@ def _proxy_class(methods):
                 and not name.startswith("_")):
             namespace = {}
             exec(_FAST_PROXY_TEMPLATE.format(name=name, index=index),
-                 {}, namespace)
+                 _PROXY_GLOBALS, namespace)
             body[name] = namespace[name]
         else:
             # Exotic name or beyond the 1-byte index space: generic path.
@@ -468,6 +473,17 @@ def _proxy_class(methods):
 # export table — the shared segment's own header carries the revocation
 # state, and the serving loop revokes per-call views when the call
 # returns (see _serve_call).
+
+def _call_envelope(export_id, method, args, kwargs):
+    """The generic call envelope, with the caller's compressed
+    access-control context appended as a fifth element when (and only
+    when) something on the chain is restricted — unrestricted callers
+    keep the 4-tuple, byte-identical to the pre-policy wire."""
+    context = _policy.exported_wire_context()
+    if context is None:
+        return (export_id, method, args, kwargs)
+    return (export_id, method, args, kwargs, context)
+
 
 def _describe(peer, capability):
     if type(capability) is SealedRegion:
@@ -993,7 +1009,7 @@ class _Connection:
         the caller may safely fall back to a marshalled reply.
         """
         call_id = self._call_ids()
-        request = (export_id, method, args, {})
+        request = _call_envelope(export_id, method, args, {})
 
         def send():
             self._send_value(OP_CALL, call_id, request, fds=(fd,))
@@ -1128,7 +1144,12 @@ class _Connection:
                                        offset=1 + _CALL_HDR.size)
             elif fmt in (MF_INLINE, MF_TABLED):
                 compiled = False
-                export_id, method, args, kwargs = self._parse(fmt, payload)
+                envelope = self._parse(fmt, payload)
+                if len(envelope) == 5:
+                    export_id, method, args, kwargs, wire_context = envelope
+                else:
+                    export_id, method, args, kwargs = envelope
+                    wire_context = None
             else:
                 raise ProtocolError(f"unexpected marshal format {fmt}")
         finally:
@@ -1153,7 +1174,14 @@ class _Connection:
             raise RevokedException(
                 f"export #{export_id} is gone (revoked or swept)"
             )
-        return getattr(capability, method)(*args, **kwargs)
+        if wire_context is None:
+            return getattr(capability, method)(*args, **kwargs)
+        # The caller's compressed context joins this process's walk for
+        # the duration of the dispatch (and of any nested call it makes)
+        # — the effective-permission intersection spans the process
+        # boundary.
+        with _policy.imported_context(wire_context):
+            return getattr(capability, method)(*args, **kwargs)
 
     def _serve_call(self, call_id, payload):
         fds = self._in_fds
@@ -1278,7 +1306,7 @@ class _ConnectionPeer(_Peer):
 
     def call(self, export_id, method, args, kwargs):
         return self._connection.call(
-            OP_CALL, (export_id, method, args, kwargs)
+            OP_CALL, _call_envelope(export_id, method, args, kwargs)
         )
 
     def call_fast(self, export_id, method_index, method, args):
@@ -1699,7 +1727,7 @@ class DomainClient(_Peer):
     # -- peer interface ----------------------------------------------------
     def call(self, export_id, method, args, kwargs):
         return self._round_trip(
-            OP_CALL, (export_id, method, args, kwargs),
+            OP_CALL, _call_envelope(export_id, method, args, kwargs),
             retry=method in self._idempotent,
         )
 

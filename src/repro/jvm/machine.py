@@ -142,8 +142,9 @@ class VM:
         return value if isinstance(value, str) else ""
 
     # -- throwables -------------------------------------------------------------
-    def make_throwable(self, class_name, message=None, owner="<system>"):
-        rtclass = self.boot_loader.load(class_name)
+    def make_throwable(self, class_name, message=None, owner="<system>",
+                       loader=None):
+        rtclass = (loader or self.boot_loader).load(class_name)
         jobject = self.heap.new_object(rtclass, owner=owner)
         jobject.native = message
         if message is not None:

@@ -3,9 +3,11 @@ assembler, the linker, and their servlet wrappers (paper §4)."""
 
 from .asmtext import AsmError, assemble_many, assemble_text
 from .codegen import JrCompileError, compile_program, compile_source
+from .initcheck import InitEscapeError, check_initialization
 from .lexer import JrSyntaxError, tokenize
 from .linker import DEFAULT_PROVIDED, LinkedImage, Linker, LinkError, link
 from .parser import parse
+from .policygen import PolicyGenError, generate_policy, propose_policy_source
 from .servlets import (
     AssemblerServlet,
     CompilerServlet,
@@ -23,6 +25,7 @@ __all__ = [
     "AssemblerServlet",
     "CompilerServlet",
     "DEFAULT_PROVIDED",
+    "InitEscapeError",
     "JrAssembler",
     "JrCompileError",
     "JrCompiler",
@@ -33,13 +36,17 @@ __all__ = [
     "LinkedImage",
     "Linker",
     "PipelineServlet",
+    "PolicyGenError",
     "assemble_many",
     "assemble_text",
+    "check_initialization",
     "classfile_to_portable",
     "compile_program",
     "compile_source",
+    "generate_policy",
     "link",
     "parse",
     "portable_to_classfile",
+    "propose_policy_source",
     "tokenize",
 ]

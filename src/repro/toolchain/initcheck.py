@@ -1,0 +1,279 @@
+"""Secure object initialization: the uninitialized-``this`` escape pass.
+
+After "Enforcing Secure Object Initialization in Java": a constructor may
+use ``this`` freely *after* delegating to another constructor
+(``invokespecial <init>`` on it), but before that point the object is a
+shell — fields hold defaults, invariants do not hold — and letting the
+reference *escape* (into a field, a static, an array, another method, a
+return value or a thrown object) hands other code, possibly in another
+protection domain, a partially-initialized object.  The stock JVM rules
+around ``uninitializedThis`` leave known holes (exception handlers,
+finalizers); this pass closes the escape route at the loader instead:
+:func:`check_initialization` runs a small worklist dataflow over every
+``<init>`` method and rejects the class if any path lets the
+uninitialized receiver out.  ``VMDomain.define`` applies it to every
+classfile before the namespace sees the class.
+
+The abstract domain is deliberately tiny — each stack slot / local is
+either U (possibly the uninitialized ``this``) or O (anything else);
+merges are pessimistic (U wins).  Escape points rejected while a value
+is U:
+
+* ``putfield`` / ``putstatic`` / ``aastore`` with a U *value* operand;
+* any invocation with U among its arguments, or as the receiver of a
+  non-``<init>`` call (virtual dispatch on a shell object);
+* ``areturn`` / ``athrow`` of U;
+* ``monitorenter`` / ``monitorexit`` on U (publishes identity);
+* falling off the constructor (``return``) while ``this`` is still U —
+  the object would be observable forever uninitialized.
+
+Delegation (``invokespecial <init>`` with a U receiver) is the one
+operation that *consumes* U: afterwards every copy of it (stack and
+locals both) becomes O.
+"""
+
+from __future__ import annotations
+
+from repro.jvm import instructions as ins
+from repro.jvm.classfile import CONSTRUCTOR_NAME
+from repro.jvm.errors import VerifyError
+from repro.jvm.values import parse_method_descriptor
+
+__all__ = ["InitEscapeError", "check_initialization"]
+
+# Abstract values: U = possibly the uninitialized `this`, O = other.
+_U = True
+_O = False
+
+
+class InitEscapeError(VerifyError):
+    """A constructor lets uninitialized ``this`` escape."""
+
+
+# Fixed (pop, push) stack effects for the opcodes with no special
+# U-tracking semantics; pushes are always O.  One slot per value (the
+# MiniJVM operand stack is untyped-width, like the verifier's).
+_SIMPLE_EFFECTS = {
+    ins.NOP: (0, 0),
+    ins.ICONST: (0, 1),
+    ins.DCONST: (0, 1),
+    ins.LDC_STR: (0, 1),
+    ins.ACONST_NULL: (0, 1),
+    ins.ILOAD: (0, 1),
+    ins.DLOAD: (0, 1),
+    ins.IINC: (0, 0),
+    ins.IADD: (2, 1), ins.ISUB: (2, 1), ins.IMUL: (2, 1),
+    ins.IDIV: (2, 1), ins.IREM: (2, 1), ins.INEG: (1, 1),
+    ins.ISHL: (2, 1), ins.ISHR: (2, 1),
+    ins.IAND: (2, 1), ins.IOR: (2, 1), ins.IXOR: (2, 1),
+    ins.DADD: (2, 1), ins.DSUB: (2, 1), ins.DMUL: (2, 1),
+    ins.DDIV: (2, 1), ins.DNEG: (1, 1), ins.DCMP: (2, 1),
+    ins.I2D: (1, 1), ins.D2I: (1, 1),
+    ins.NEW: (0, 1),
+    ins.GETSTATIC: (0, 1),
+    ins.INSTANCEOF: (1, 1),
+    ins.NEWARRAY: (1, 1),
+    ins.ARRAYLENGTH: (1, 1),
+    ins.BALOAD: (2, 1), ins.IALOAD: (2, 1), ins.DALOAD: (2, 1),
+    ins.AALOAD: (2, 1),
+    ins.BASTORE: (3, 0), ins.IASTORE: (3, 0), ins.DASTORE: (3, 0),
+    ins.IRETURN: (1, 0), ins.DRETURN: (1, 0),
+    ins.GOTO: (0, 0),
+    ins.IFEQ: (1, 0), ins.IFNE: (1, 0), ins.IFLT: (1, 0),
+    ins.IFLE: (1, 0), ins.IFGT: (1, 0), ins.IFGE: (1, 0),
+    ins.IFNULL: (1, 0), ins.IFNONNULL: (1, 0),
+    ins.IF_ICMPEQ: (2, 0), ins.IF_ICMPNE: (2, 0), ins.IF_ICMPLT: (2, 0),
+    ins.IF_ICMPLE: (2, 0), ins.IF_ICMPGT: (2, 0), ins.IF_ICMPGE: (2, 0),
+    ins.IF_ACMPEQ: (2, 0), ins.IF_ACMPNE: (2, 0),
+    ins.ISTORE: (1, 0), ins.DSTORE: (1, 0),
+}
+
+
+def check_initialization(classfile):
+    """Reject ``classfile`` if any of its constructors can leak the
+    uninitialized ``this``; no-op for interfaces and init-free classes.
+    Raises :class:`InitEscapeError`."""
+    if classfile.is_interface:
+        return
+    for method in classfile.methods:
+        if method.name != CONSTRUCTOR_NAME:
+            continue
+        if method.is_native or method.is_abstract or not method.code:
+            continue
+        _InitChecker(classfile, method).run()
+
+
+class _InitChecker:
+    def __init__(self, classfile, method):
+        self.classfile = classfile
+        self.method = method
+        self.code = method.code
+        self.pc = 0
+
+    def fail(self, message):
+        raise InitEscapeError(
+            message,
+            class_name=self.classfile.name,
+            method=CONSTRUCTOR_NAME,
+            pc=self.pc,
+        )
+
+    def run(self):
+        method = self.method
+        args, _ret = parse_method_descriptor(method.desc)
+        locals_init = [_U] + [_O] * (max(method.max_locals, len(args) + 1) - 1)
+        states = {0: (tuple(locals_init), ())}
+        handler_index = {}
+        for handler in method.handlers:
+            for pc in range(handler.start_pc, handler.end_pc):
+                handler_index.setdefault(pc, []).append(handler.handler_pc)
+        worklist = [0]
+        while worklist:
+            pc = worklist.pop()
+            self.pc = pc
+            locals_, stack = states[pc]
+            for successor, state in self._step(pc, list(locals_), list(stack)):
+                if self._merge(states, successor, state):
+                    worklist.append(successor)
+            # Any pc covered by a handler may transfer there with the
+            # current locals and a one-slot stack (the thrown object —
+            # never U: athrow of U is rejected at the throw site).
+            for handler_pc in handler_index.get(pc, ()):
+                state = (locals_, (_O,))
+                if self._merge(states, handler_pc, state):
+                    worklist.append(handler_pc)
+
+    @staticmethod
+    def _merge(states, pc, state):
+        """Merge ``state`` into ``states[pc]`` (U wins); True if changed."""
+        locals_, stack = state
+        locals_ = tuple(locals_)
+        stack = tuple(stack)
+        known = states.get(pc)
+        if known is None:
+            states[pc] = (locals_, stack)
+            return True
+        known_locals, known_stack = known
+        if len(known_stack) != len(stack):
+            raise InitEscapeError(
+                "inconsistent stack depth at join",
+                class_name=None, method=CONSTRUCTOR_NAME, pc=pc,
+            )
+        merged_locals = tuple(
+            a or b for a, b in zip(known_locals, locals_)
+        )
+        merged_stack = tuple(a or b for a, b in zip(known_stack, stack))
+        if merged_locals == known_locals and merged_stack == known_stack:
+            return False
+        states[pc] = (merged_locals, merged_stack)
+        return True
+
+    def _pop(self, stack, count):
+        if len(stack) < count:
+            self.fail("operand stack underflow")
+        taken = stack[len(stack) - count:]
+        del stack[len(stack) - count:]
+        return taken
+
+    def _step(self, pc, locals_, stack):
+        """Simulate one instruction; yields ``(successor_pc, state)``."""
+        instr = self.code[pc]
+        opcode = instr[0]
+
+        simple = _SIMPLE_EFFECTS.get(opcode)
+        if simple is not None:
+            pops, pushes = simple
+            self._pop(stack, pops)
+            stack.extend([_O] * pushes)
+            if opcode in (ins.ISTORE, ins.DSTORE):
+                locals_[instr[1]] = _O
+        elif opcode == ins.ALOAD:
+            stack.append(locals_[instr[1]])
+        elif opcode == ins.ASTORE:
+            locals_[instr[1]] = self._pop(stack, 1)[0]
+        elif opcode == ins.POP:
+            self._pop(stack, 1)
+        elif opcode == ins.DUP:
+            if not stack:
+                self.fail("dup on empty stack")
+            stack.append(stack[-1])
+        elif opcode == ins.DUP_X1:
+            two = self._pop(stack, 2)
+            stack.extend((two[1], two[0], two[1]))
+        elif opcode == ins.SWAP:
+            two = self._pop(stack, 2)
+            stack.extend((two[1], two[0]))
+        elif opcode == ins.CHECKCAST:
+            pass  # value (and its U-ness) flows through
+        elif opcode == ins.GETFIELD:
+            receiver = self._pop(stack, 1)[0]
+            if receiver is _U:
+                self.fail("getfield on uninitialized this")
+            stack.append(_O)
+        elif opcode == ins.PUTFIELD:
+            receiver, value = self._pop(stack, 2)
+            if value is _U:
+                self.fail("uninitialized this stored into a field")
+            if receiver is _U:
+                self.fail("putfield on uninitialized this")
+        elif opcode == ins.PUTSTATIC:
+            if self._pop(stack, 1)[0] is _U:
+                self.fail("uninitialized this stored into a static")
+        elif opcode == ins.AASTORE:
+            _array, _idx, value = self._pop(stack, 3)
+            if value is _U:
+                self.fail("uninitialized this stored into an array")
+        elif opcode == ins.ARETURN:
+            if self._pop(stack, 1)[0] is _U:
+                self.fail("uninitialized this returned")
+        elif opcode == ins.ATHROW:
+            if self._pop(stack, 1)[0] is _U:
+                self.fail("uninitialized this thrown")
+            return  # no fall-through; handler edges added by the driver
+        elif opcode in (ins.MONITORENTER, ins.MONITOREXIT):
+            if self._pop(stack, 1)[0] is _U:
+                self.fail("monitor operation on uninitialized this")
+        elif opcode in (ins.INVOKEVIRTUAL, ins.INVOKEINTERFACE,
+                        ins.INVOKESTATIC, ins.INVOKESPECIAL):
+            _owner, name, desc = instr[1], instr[2], instr[3]
+            arg_descs, ret = parse_method_descriptor(desc)
+            values = self._pop(stack, len(arg_descs))
+            if any(value is _U for value in values):
+                self.fail("uninitialized this passed as an argument")
+            if opcode != ins.INVOKESTATIC:
+                receiver = self._pop(stack, 1)[0]
+                if receiver is _U:
+                    if opcode == ins.INVOKESPECIAL \
+                            and name == CONSTRUCTOR_NAME:
+                        # Delegation initializes: every copy of U in the
+                        # frame becomes a normal reference.
+                        locals_[:] = [_O for _ in locals_]
+                        stack[:] = [_O for _ in stack]
+                    else:
+                        self.fail(
+                            "method invoked on uninitialized this"
+                        )
+            if ret != "V":
+                stack.append(_O)
+        elif opcode == ins.RETURN:
+            if _U in locals_ or _U in stack:
+                self.fail(
+                    "constructor returns without initializing this"
+                )
+            return
+        else:
+            self.fail(f"initcheck: unhandled opcode {opcode!r}")
+
+        if opcode in ins.BRANCH_OPCODES:
+            yield instr[1], (locals_, stack)
+        if opcode not in ins.TERMINAL_OPCODES:
+            if pc + 1 >= len(self.code):
+                self.fail("control falls off the end of the constructor")
+            yield pc + 1, (locals_, stack)
+        elif opcode == ins.GOTO:
+            pass  # target already yielded above
+        elif opcode in (ins.IRETURN, ins.DRETURN):
+            if _U in locals_ or _U in stack:
+                self.fail(
+                    "constructor returns without initializing this"
+                )

@@ -1,0 +1,135 @@
+"""Static least-privilege policy generation (paper §3 follow-on).
+
+Before an untrusted servlet is installed, the marketplace wants to know
+what it is going to ask for — so the operator grants exactly that and
+nothing more.  Two generators, one per servlet flavour:
+
+* :func:`generate_policy` walks *verified MiniJVM bytecode* and collects
+  every permission the code can demand at run time: explicit
+  ``jk/Kernel.checkPermission`` call sites (whose argument must be a
+  string *constant* — a permission computed at run time cannot be
+  audited statically and is rejected), plus any invocation listed in the
+  caller-supplied ``guard_table`` mapping known guarded kernel/library
+  entry points to the permissions their guards demand.
+
+* :func:`propose_policy_source` walks the Python AST of an uploaded
+  source servlet and proposes the union of the guards on the
+  capabilities the installer is about to grant it — only those the
+  source actually references.  ``install_source(policy="generate")``
+  uses this to make least privilege the default instead of a chore.
+
+Both return a :class:`~repro.core.policy.PermissionSet` ready to pass to
+``Domain.set_policy`` / ``install_servlet(policy=...)``.  The proposal
+is an upper bound on *useful* permissions, not a sandbox by itself — the
+policy layer enforces at run time whatever set the operator finally
+grants.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.core.errors import JKernelError
+from repro.core.policy import Permission, PermissionSet
+from repro.jvm import instructions as ins
+
+__all__ = [
+    "CHECK_PERMISSION_DESC",
+    "KERNEL_CLASS",
+    "PolicyGenError",
+    "generate_policy",
+    "propose_policy_source",
+]
+
+#: The guest-visible kernel class and the checkPermission signature the
+#: generator recognises (mirrors ``repro.jkvm.kernel``).
+KERNEL_CLASS = "jk/Kernel"
+CHECK_PERMISSION_DESC = "(Ljava/lang/String;)V"
+
+
+class PolicyGenError(JKernelError):
+    """Static policy generation failed (non-constant permission, bad
+    guard-table entry) — the servlet cannot be auto-audited."""
+
+
+def _normalize_guard_table(guard_table):
+    """Validate and index {(class, method[, desc]): permission(s)}."""
+    table = {}
+    for key, value in (guard_table or {}).items():
+        if not isinstance(key, tuple) or len(key) not in (2, 3):
+            raise PolicyGenError(
+                f"guard_table key {key!r} is not (class, method[, desc])"
+            )
+        if isinstance(value, (str, Permission)):
+            value = (value,)
+        table[key] = tuple(Permission.parse(p) for p in value)
+    return table
+
+
+def generate_policy(classfiles, guard_table=None):
+    """Propose the least-privilege :class:`PermissionSet` for verified
+    bytecode: every ``jk/Kernel.checkPermission`` constant plus every
+    ``guard_table`` hit.  Raises :class:`PolicyGenError` when a
+    checkPermission argument is not a string constant (the preceding
+    instruction must be ``LDC_STR`` — anything else means the permission
+    is computed and the class cannot be statically audited)."""
+    table = _normalize_guard_table(guard_table)
+    permissions = []
+    for classfile in classfiles:
+        for method in classfile.methods:
+            if not method.code:
+                continue
+            for index, instr in enumerate(method.code):
+                opcode = instr[0]
+                if opcode not in (ins.INVOKESTATIC, ins.INVOKEVIRTUAL,
+                                  ins.INVOKEINTERFACE, ins.INVOKESPECIAL):
+                    continue
+                owner, name, desc = instr[1], instr[2], instr[3]
+                if (opcode == ins.INVOKESTATIC
+                        and owner == KERNEL_CLASS
+                        and name == "checkPermission"
+                        and desc == CHECK_PERMISSION_DESC):
+                    prev = method.code[index - 1] if index else None
+                    if prev is None or prev[0] != ins.LDC_STR:
+                        raise PolicyGenError(
+                            "checkPermission argument is not a string "
+                            f"constant in {classfile.name}.{method.name} "
+                            f"at pc {index} — computed permissions defeat "
+                            "static audit"
+                        )
+                    permissions.append(Permission.parse(prev[1]))
+                    continue
+                hit = (table.get((owner, name, desc))
+                       or table.get((owner, name)))
+                if hit:
+                    permissions.extend(hit)
+    return PermissionSet(permissions)
+
+
+def _guard_of(value):
+    """The parsed guard Permission of a granted capability, or None."""
+    guard = getattr(value, "_jk_guard", None)
+    return guard if isinstance(guard, Permission) else None
+
+
+def propose_policy_source(source, grants, filename="<servlet>"):
+    """Propose a :class:`PermissionSet` for an uploaded *source* servlet:
+    the guards of exactly those granted capabilities the source
+    references by name.  A grant the code never mentions contributes
+    nothing — install it anyway and the proposal stays least-privilege.
+    Raises :class:`PolicyGenError` on unparseable source."""
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        raise PolicyGenError(f"cannot parse servlet source: {exc}") from exc
+    referenced = {
+        node.id for node in ast.walk(tree) if isinstance(node, ast.Name)
+    }
+    permissions = []
+    for name, value in (grants or {}).items():
+        if name not in referenced:
+            continue
+        guard = _guard_of(value)
+        if guard is not None:
+            permissions.append(guard)
+    return PermissionSet(permissions)

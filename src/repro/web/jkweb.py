@@ -31,6 +31,7 @@ import threading
 import time
 
 from repro.core import (
+    AccessDeniedError,
     Capability,
     Domain,
     DomainUnavailableException,
@@ -132,6 +133,11 @@ class SystemServlet(Servlet):
         start = time.perf_counter() if timed else 0.0
         try:
             response = route.capability.service(request)
+        except AccessDeniedError as exc:
+            # A stack-based permission check failed inside the servlet's
+            # restricted domain: the client's request asked for something
+            # the operator never granted — Forbidden, not a server error.
+            return error_response(403, f"access denied: {exc}")
         except RevokedException:
             return error_response(
                 503, f"servlet for {route.prefix} was terminated"
@@ -299,11 +305,21 @@ class _OutOfProcessGateway:
                 (request, offer.version, offer.keep_alive),
                 offer.fd, on_grant=offer.grant,
             )
-        except Exception:
+        except (DomainUnavailableException, OSError):
+            # Transport-level death after the grant: the host may have
+            # written part of a response, so the framing is unknowable.
             if not offer.granted:
                 raise
             offer.fail()
             return streaming.STREAMED
+        except Exception:
+            # A typed exception *reply*: the round trip completed and the
+            # host's adapter raises strictly before the first byte (write
+            # failures come back as ("stream-failed", n) tuples instead),
+            # so the connection framing is intact — retract the grant and
+            # propagate into the ordinary error path (403/500/503).
+            offer.retract()
+            raise
         if (isinstance(result, tuple) and len(result) == 2
                 and result[0] == "streamed"):
             offer.complete(result[1])
@@ -650,10 +666,19 @@ class JKernelWebServer:
         return self
 
     def install_servlet(self, prefix, servlet_factory, domain_name=None,
-                        copy="auto"):
-        """Create a domain, instantiate the servlet inside it, route it."""
+                        copy="auto", policy=None):
+        """Create a domain, instantiate the servlet inside it, route it.
+
+        ``policy`` restricts the servlet's domain to a permission set
+        (``repro.core.policy``): guarded capabilities it calls — and any
+        explicit ``check_permission`` on its call chain — deny with 403
+        unless the set implies the demanded permission.  ``None`` (the
+        default) leaves the domain unrestricted, exactly as before.
+        """
         name = domain_name or f"servlet{prefix.replace('/', '-')}"
         domain = Domain(name)
+        if policy is not None:
+            domain.set_policy(policy)
 
         def build():
             servlet = servlet_factory()
@@ -669,16 +694,29 @@ class JKernelWebServer:
         )
 
     def install_source(self, prefix, source, servlet_class_name="servlet",
-                       domain_name=None, grants=None):
+                       domain_name=None, grants=None, policy=None):
         """Upload servlet *source code* into a fresh domain (the paper's
         "users … dynamically extend the functionality of the server by
         uploading Java programs").
 
         The source runs in the domain's restricted namespace and must
         define ``servlet_class_name`` (a Servlet subclass or factory).
+
+        ``policy`` restricts the domain like :meth:`install_servlet`;
+        the special value ``"generate"`` runs the static policy
+        generator (``repro.toolchain.policygen``) over the uploaded
+        source and installs the least-privilege proposal — the union of
+        the guards on exactly those ``grants`` the source references.
         """
         name = domain_name or f"servlet{prefix.replace('/', '-')}"
         domain = Domain(name)
+        if policy == "generate":
+            from repro.toolchain.policygen import propose_policy_source
+
+            policy = propose_policy_source(source, grants,
+                                           filename=f"upload:{prefix}")
+        if policy is not None:
+            domain.set_policy(policy)
         resolver = domain.resolver
         resolver.grant("Servlet", Servlet)
         resolver.grant("ServletResponse", ServletResponse)
@@ -698,7 +736,7 @@ class JKernelWebServer:
 
     def install_servlet_out_of_process(self, prefix, servlet_factory,
                                        domain_name=None, *, supervise=True,
-                                       max_respawns=8):
+                                       max_respawns=8, policy=None):
         """Deploy a servlet in its own OS *process* (Remote-Playground
         style): the servlet's domain lives in a forked domain host, and
         its capability here is a cross-process LRMI proxy — requests
@@ -708,6 +746,10 @@ class JKernelWebServer:
         ``servlet_factory`` runs in the child after fork (closures are
         fine).  With ``supervise=True`` a monitor thread respawns the
         host if it dies; requests racing the outage are answered 503.
+        ``policy`` restricts the servlet's domain *inside the host
+        process* (and again after every respawn) — its restricted
+        context rides the LRMI wire, so guarded capabilities back in
+        this process still deny; the typed error marshals home as a 403.
         """
         from repro.ipc.lrmi import DomainHostProcess, connect
 
@@ -717,6 +759,8 @@ class JKernelWebServer:
             from .streaming import ReplyStreamAdapter
 
             domain = Domain(name)
+            if policy is not None:
+                domain.set_policy(policy)
 
             def build():
                 servlet = servlet_factory()

@@ -127,6 +127,13 @@ class StreamOffer:
     def grant(self):
         self.granted = True
 
+    def retract(self):
+        """Void the grant: the host completed the LRMI round trip with a
+        typed exception *reply*, which its adapter can only produce
+        before the first byte goes out — so the socket is untouched and
+        the ordinary marshalled-response path owns it again."""
+        self.granted = False
+
     def complete(self, nbytes):
         self.streamed = True
         self.nbytes = nbytes

@@ -124,6 +124,7 @@ class TestExamplesRun:
         "file_server.py",
         "extensible_web_server.py",
         "cs314_pipeline.py",
+        "marketplace.py",
     ])
     def test_example(self, script, capsys, repository):
         path = EXAMPLES / script

@@ -1,0 +1,302 @@
+"""The policy-layer toolchain passes: secure object initialization
+(initcheck) and static least-privilege policy generation (policygen)."""
+
+import pytest
+
+from repro.core import Capability, Domain, Permission, Remote
+from repro.jvm import ClassAssembler, interface
+from repro.jvm.classfile import CONSTRUCTOR_NAME
+from repro.jvm.instructions import (
+    ACONST_NULL,
+    ALOAD,
+    ARETURN,
+    ASTORE,
+    ATHROW,
+    CHECKCAST,
+    DUP,
+    GOTO,
+    ICONST,
+    IFEQ,
+    ILOAD,
+    INVOKESPECIAL,
+    INVOKESTATIC,
+    INVOKEVIRTUAL,
+    LDC_STR,
+    NEW,
+    PUTFIELD,
+    PUTSTATIC,
+    RETURN,
+)
+from repro.toolchain import (
+    InitEscapeError,
+    PolicyGenError,
+    check_initialization,
+    generate_policy,
+    propose_policy_source,
+)
+
+OBJ = "java/lang/Object"
+
+
+def ctor_class(name="t/C", fields=(), extra_methods=None):
+    ca = ClassAssembler(name)
+    for fname, fdesc, fflags in fields:
+        ca.field(fname, fdesc, fflags)
+    return ca
+
+
+def build_ctor(ca, emit):
+    with ca.method(CONSTRUCTOR_NAME, "()V") as m:
+        emit(m)
+    return ca.build()
+
+
+class TestInitcheckAccepts:
+    def test_plain_delegating_constructor(self):
+        ca = ctor_class()
+        cf = build_ctor(ca, lambda m: (
+            m.emit(ALOAD, 0),
+            m.emit(INVOKESPECIAL, OBJ, CONSTRUCTOR_NAME, "()V"),
+            m.emit(RETURN),
+        ))
+        check_initialization(cf)
+
+    def test_use_after_delegation(self):
+        ca = ctor_class(fields=(("f", f"L{OBJ};", 0x0002),))
+        cf = build_ctor(ca, lambda m: (
+            m.emit(ALOAD, 0),
+            m.emit(INVOKESPECIAL, OBJ, CONSTRUCTOR_NAME, "()V"),
+            m.emit(ALOAD, 0),          # now initialized
+            m.emit(ACONST_NULL),
+            m.emit(PUTFIELD, "t/C", "f"),
+            m.emit(RETURN),
+        ))
+        check_initialization(cf)
+
+    def test_delegation_clears_all_copies(self):
+        # this is duplicated into a local before delegation; the stored
+        # copy must also become initialized afterwards.
+        ca = ctor_class(fields=(("f", f"L{OBJ};", 0x0002),))
+        cf = build_ctor(ca, lambda m: (
+            m.emit(ALOAD, 0),
+            m.emit(ASTORE, 1),          # copy of uninit this
+            m.emit(ALOAD, 0),
+            m.emit(INVOKESPECIAL, OBJ, CONSTRUCTOR_NAME, "()V"),
+            m.emit(ALOAD, 1),           # the copy is initialized too
+            m.emit(ACONST_NULL),
+            m.emit(PUTFIELD, "t/C", "f"),
+            m.emit(RETURN),
+        ))
+        check_initialization(cf)
+
+    def test_interface_is_noop(self):
+        check_initialization(interface("t/I", [("m", "()V")]))
+
+    def test_non_constructor_methods_ignored(self):
+        ca = ClassAssembler("t/M")
+        with ca.method(CONSTRUCTOR_NAME, "()V") as m:
+            m.emit(ALOAD, 0)
+            m.emit(INVOKESPECIAL, OBJ, CONSTRUCTOR_NAME, "()V")
+            m.emit(RETURN)
+        with ca.method("leakSelf", f"()L{OBJ};") as m:
+            m.emit(ALOAD, 0)   # fine outside <init>
+            m.emit(ARETURN)
+        check_initialization(ca.build())
+
+
+class TestInitcheckRejects:
+    def emit_and_check(self, ca, emit, match):
+        cf = build_ctor(ca, emit)
+        with pytest.raises(InitEscapeError, match=match):
+            check_initialization(cf)
+
+    def test_putstatic_escape(self):
+        ca = ctor_class("t/S", fields=(("leak", f"L{OBJ};", 0x0009),))
+        self.emit_and_check(ca, lambda m: (
+            m.emit(ALOAD, 0),
+            m.emit(PUTSTATIC, "t/S", "leak"),
+            m.emit(ALOAD, 0),
+            m.emit(INVOKESPECIAL, OBJ, CONSTRUCTOR_NAME, "()V"),
+            m.emit(RETURN),
+        ), "static")
+
+    def test_putfield_value_escape(self):
+        # storing uninit this as a *value* into another object's field
+        ca = ctor_class("t/F", fields=(("f", f"L{OBJ};", 0x0002),))
+        self.emit_and_check(ca, lambda m: (
+            m.emit(NEW, "t/F"),
+            m.emit(ALOAD, 0),
+            m.emit(PUTFIELD, "t/F", "f"),
+            m.emit(ALOAD, 0),
+            m.emit(INVOKESPECIAL, OBJ, CONSTRUCTOR_NAME, "()V"),
+            m.emit(RETURN),
+        ), "field")
+
+    def test_argument_escape(self):
+        ca = ctor_class("t/A")
+        with ca.method("helper", f"(L{OBJ};)V", 0x0009) as m:
+            m.emit(RETURN)
+        self.emit_and_check(ca, lambda m: (
+            m.emit(ALOAD, 0),
+            m.emit(INVOKESTATIC, "t/A", "helper", f"(L{OBJ};)V"),
+            m.emit(ALOAD, 0),
+            m.emit(INVOKESPECIAL, OBJ, CONSTRUCTOR_NAME, "()V"),
+            m.emit(RETURN),
+        ), "argument")
+
+    def test_virtual_call_on_uninit_receiver(self):
+        ca = ctor_class("t/V")
+        with ca.method("peek", "()V") as m:
+            m.emit(RETURN)
+        self.emit_and_check(ca, lambda m: (
+            m.emit(ALOAD, 0),
+            m.emit(INVOKEVIRTUAL, "t/V", "peek", "()V"),
+            m.emit(ALOAD, 0),
+            m.emit(INVOKESPECIAL, OBJ, CONSTRUCTOR_NAME, "()V"),
+            m.emit(RETURN),
+        ), "invoked on uninitialized")
+
+    def test_return_without_delegation(self):
+        ca = ctor_class("t/R")
+        self.emit_and_check(ca, lambda m: (
+            m.emit(RETURN),
+        ), "without initializing")
+
+    def test_maybe_uninit_after_join_rejected(self):
+        # pessimistic merge: delegation on only one branch leaves this
+        # *possibly* uninitialized at the join — using it there rejects.
+        ca2 = ctor_class("t/B2", fields=(("f", f"L{OBJ};", 0x0002),))
+        cf = build_ctor(ca2, lambda m: (
+            m.emit(ICONST, 1),                             # 0
+            m.emit(IFEQ, 5),                               # 1: skip init
+            m.emit(ALOAD, 0),                              # 2
+            m.emit(INVOKESPECIAL, OBJ, CONSTRUCTOR_NAME, "()V"),  # 3
+            m.emit(GOTO, 5),                               # 4
+            m.emit(ALOAD, 0),                              # 5: join —
+            m.emit(ACONST_NULL),                           #    maybe-uninit
+            m.emit(PUTFIELD, "t/B2", "f"),
+            m.emit(RETURN),
+        ))
+        with pytest.raises(InitEscapeError):
+            check_initialization(cf)
+
+    def test_checkcast_preserves_uninit(self):
+        ca = ctor_class("t/CC", fields=(("leak", f"L{OBJ};", 0x0009),))
+        self.emit_and_check(ca, lambda m: (
+            m.emit(ALOAD, 0),
+            m.emit(CHECKCAST, OBJ),
+            m.emit(PUTSTATIC, "t/CC", "leak"),
+            m.emit(ALOAD, 0),
+            m.emit(INVOKESPECIAL, OBJ, CONSTRUCTOR_NAME, "()V"),
+            m.emit(RETURN),
+        ), "static")
+
+    def test_dup_tracks_both_copies(self):
+        ca = ctor_class("t/D", fields=(("leak", f"L{OBJ};", 0x0009),))
+        self.emit_and_check(ca, lambda m: (
+            m.emit(ALOAD, 0),
+            m.emit(DUP),
+            m.emit(PUTSTATIC, "t/D", "leak"),
+            m.emit(INVOKESPECIAL, OBJ, CONSTRUCTOR_NAME, "()V"),
+            m.emit(RETURN),
+        ), "static")
+
+
+KERNEL_SIG = "(Ljava/lang/String;)V"
+
+
+class TestGeneratePolicy:
+    def checked_class(self, *permissions):
+        ca = ClassAssembler("g/Svc")
+        with ca.method("go", "()V", 0x0009) as m:
+            for permission in permissions:
+                m.emit(LDC_STR, permission)
+                m.emit(INVOKESTATIC, "jk/Kernel", "checkPermission",
+                       KERNEL_SIG)
+            m.emit(RETURN)
+        return ca.build()
+
+    def test_collects_constants(self):
+        ps = generate_policy([self.checked_class("a.read", "b.write:x")])
+        assert sorted(str(p) for p in ps) == ["a.read:*", "b.write:x"]
+
+    def test_dedupes(self):
+        ps = generate_policy([self.checked_class("a.read", "a.read")])
+        assert len(ps) == 1
+
+    def test_computed_permission_rejected(self):
+        ca = ClassAssembler("g/Bad")
+        with ca.method("go", "(Ljava/lang/String;)V", 0x0009) as m:
+            m.emit(ALOAD, 0)
+            m.emit(INVOKESTATIC, "jk/Kernel", "checkPermission",
+                   KERNEL_SIG)
+            m.emit(RETURN)
+        with pytest.raises(PolicyGenError, match="string constant"):
+            generate_policy([ca.build()])
+
+    def test_guard_table_hits(self):
+        ca = ClassAssembler("g/T")
+        with ca.method("go", "()V", 0x0009) as m:
+            m.emit(INVOKESTATIC, "lib/Files", "delete", "()V")
+            m.emit(RETURN)
+        ps = generate_policy(
+            [ca.build()],
+            guard_table={("lib/Files", "delete"): "file.delete"},
+        )
+        assert ps.implies(Permission.parse("file.delete"))
+
+    def test_guard_table_desc_specific(self):
+        ca = ClassAssembler("g/T2")
+        with ca.method("go", "()V", 0x0009) as m:
+            m.emit(INVOKESTATIC, "lib/Files", "delete", "()V")
+            m.emit(RETURN)
+        ps = generate_policy(
+            [ca.build()],
+            guard_table={("lib/Files", "delete", "()V"): ("a", "b")},
+        )
+        assert len(ps) == 2
+
+    def test_bad_guard_table_key(self):
+        with pytest.raises(PolicyGenError, match="guard_table"):
+            generate_policy([], guard_table={"not-a-tuple": "x"})
+
+
+class TestProposePolicySource:
+    def guarded_cap(self, guard):
+        domain = Domain(f"pg-{guard}")
+
+        class Svc(Remote):
+            def go(self): ...
+
+        class SvcImpl(Svc):
+            def go(self):
+                return "ok"
+
+        cap = domain.run(
+            lambda: Capability.create(SvcImpl(), guard=guard)
+        )
+        return domain, cap
+
+    def test_only_referenced_grants_contribute(self):
+        d1, used = self.guarded_cap("kv.read")
+        d2, unused = self.guarded_cap("kv.write")
+        try:
+            ps = propose_policy_source(
+                "x = kv.go()", {"kv": used, "admin": unused}
+            )
+            assert ps.implies(Permission.parse("kv.read"))
+            assert not ps.implies(Permission.parse("kv.write"))
+        finally:
+            d1.terminate()
+            d2.terminate()
+
+    def test_unguarded_grants_contribute_nothing(self):
+        ps = propose_policy_source("x = helper()", {"helper": len})
+        assert len(ps) == 0
+
+    def test_syntax_error_rejected(self):
+        with pytest.raises(PolicyGenError, match="parse"):
+            propose_policy_source("def f(:", {})
+
+    def test_empty_grants(self):
+        assert len(propose_policy_source("pass", None)) == 0

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Doc lint: the docs tree must keep up with the code.
+
+Three checks, each of which fails the build on a violation:
+
+1. **Env-knob coverage** — every ``JK_*`` environment variable
+   mentioned anywhere under ``src/`` must appear in at least one
+   ``docs/*.md`` (the consolidated table lives in ``docs/env-knobs.md``).
+2. **Public-API coverage** — every name in ``repro.core.__all__`` and
+   ``repro.fleet.__all__`` must appear in at least one ``docs/*.md``
+   (the coverage anchor is the API-surface listing in
+   ``docs/index.md``).
+3. **Link resolution** — every relative markdown link inside ``docs/``
+   (and the README's links into ``docs/``) must point at a file that
+   exists.
+
+Run:  PYTHONPATH=src python tools/doclint.py
+"""
+
+import ast
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+DOCS = REPO / "docs"
+
+KNOB_RE = re.compile(r"JK_[A-Z][A-Z_]*")
+# [text](target) — but not images and not in fenced code (good enough:
+# fenced blocks in these docs never contain markdown links).
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+
+
+def _knobs_in_source():
+    knobs = set()
+    for path in SRC.rglob("*.py"):
+        for match in KNOB_RE.findall(path.read_text(encoding="utf-8")):
+            knobs.add(match.rstrip("_"))
+    return knobs
+
+
+def _public_exports():
+    """The ``__all__`` lists, read syntactically — the lint must not
+    depend on the package importing cleanly in the lint environment."""
+    exports = {}
+    for package in ("core", "fleet"):
+        init = SRC / "repro" / package / "__init__.py"
+        tree = ast.parse(init.read_text(encoding="utf-8"))
+        names = None
+        for node in ast.walk(tree):
+            if (isinstance(node, ast.Assign)
+                    and any(isinstance(t, ast.Name) and t.id == "__all__"
+                            for t in node.targets)):
+                names = [ast.literal_eval(elt) for elt in node.value.elts]
+        if names is None:
+            raise SystemExit(f"doclint: no __all__ literal in {init}")
+        exports[f"repro.{package}"] = names
+    return exports
+
+
+def _docs_corpus():
+    pages = {}
+    for path in sorted(DOCS.glob("*.md")):
+        pages[path] = path.read_text(encoding="utf-8")
+    readme = REPO / "README.md"
+    pages[readme] = readme.read_text(encoding="utf-8")
+    return pages
+
+
+def _word_pattern(name):
+    return re.compile(rf"(?<![A-Za-z0-9_]){re.escape(name)}(?![A-Za-z0-9_])")
+
+
+def main():
+    problems = []
+    pages = _docs_corpus()
+    corpus = "\n".join(pages.values())
+
+    for knob in sorted(_knobs_in_source()):
+        if knob not in corpus:
+            problems.append(
+                f"undocumented env knob: {knob} (add it to "
+                f"docs/env-knobs.md)"
+            )
+
+    for module, names in _public_exports().items():
+        for name in sorted(names):
+            if not _word_pattern(name).search(corpus):
+                problems.append(
+                    f"undocumented public export: {module}.{name} "
+                    f"(add it to the API surface in docs/index.md)"
+                )
+
+    for path, text in pages.items():
+        for target in LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"dangling link in {path.relative_to(REPO)}: "
+                    f"({target})"
+                )
+
+    if problems:
+        print(f"doclint: {len(problems)} problem(s)")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    knob_count = len(_knobs_in_source())
+    export_count = sum(len(v) for v in _public_exports().values())
+    print(f"doclint: ok ({knob_count} knobs, {export_count} exports, "
+          f"{len(pages)} pages)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Run every example script to completion, as CI does.
+
+Each ``examples/*.py`` must exit 0.  The process-supervision examples
+are timing-sensitive (they kill -9 their own children and race the
+respawn window), so a failing script gets one retry before it fails the
+run.
+
+Run:  PYTHONPATH=src python tools/run_examples.py
+"""
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+EXAMPLES = REPO / "examples"
+TIMEOUT_S = 180
+RETRIES = 1
+
+
+def run_one(script):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return subprocess.run(
+        [sys.executable, str(script)],
+        cwd=REPO, env=env, timeout=TIMEOUT_S,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+    )
+
+
+def main():
+    scripts = sorted(EXAMPLES.glob("*.py"))
+    if not scripts:
+        print("run_examples: no examples found", file=sys.stderr)
+        return 1
+    failures = []
+    for script in scripts:
+        for attempt in range(1 + RETRIES):
+            started = time.monotonic()
+            try:
+                proc = run_one(script)
+            except subprocess.TimeoutExpired:
+                print(f"TIMEOUT {script.name} (>{TIMEOUT_S}s)")
+                failures.append(script.name)
+                break
+            elapsed = time.monotonic() - started
+            if proc.returncode == 0:
+                retried = " (after retry)" if attempt else ""
+                print(f"ok   {script.name}  [{elapsed:.1f}s]{retried}")
+                break
+            if attempt < RETRIES:
+                print(f"retry {script.name} (exit {proc.returncode})")
+                continue
+            print(f"FAIL {script.name} (exit {proc.returncode})")
+            sys.stdout.write(proc.stdout.decode("utf-8", "replace"))
+            failures.append(script.name)
+    if failures:
+        print(f"run_examples: {len(failures)} failed: "
+              f"{', '.join(failures)}")
+        return 1
+    print(f"run_examples: all {len(scripts)} examples passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
